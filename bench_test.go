@@ -1,0 +1,216 @@
+package mhafs
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// (§V). Each benchmark executes the corresponding experiment end-to-end —
+// workload generation, planning under all four schemes, placement, and
+// replay on the simulated cluster — and reports the per-scheme aggregate
+// bandwidths as custom metrics (units: simulated MB/s), so `go test
+// -bench=.` regenerates every figure's series. Run `cmd/mhabench` for the
+// full paper-style tables.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mhafs/internal/bench"
+	"mhafs/internal/layout"
+	"mhafs/internal/metrics"
+	"mhafs/internal/units"
+)
+
+// benchConfig uses a higher scale divisor than the CLI so -bench runs
+// complete quickly; shapes are scale-invariant.
+func benchConfig() bench.Config {
+	c := bench.Default()
+	c.Scale = 512
+	return c
+}
+
+// reportRows publishes each row's per-scheme bandwidths as benchmark
+// metrics, e.g. "read/128+256/MHA" in MB/s.
+func reportRows(b *testing.B, rows []bench.BandwidthRow) {
+	b.Helper()
+	for _, row := range rows {
+		for _, s := range layout.AllSchemes() {
+			if bw, ok := row.Read[s]; ok && bw > 0 {
+				b.ReportMetric(bw, fmt.Sprintf("read/%s/%s", row.Label, s))
+			}
+			if bw, ok := row.Write[s]; ok && bw > 0 {
+				b.ReportMetric(bw, fmt.Sprintf("write/%s/%s", row.Label, s))
+			}
+		}
+	}
+}
+
+func runBandwidthBench(b *testing.B, fn func(bench.Config) ([]bench.BandwidthRow, *metrics.Table, error)) {
+	b.Helper()
+	cfg := benchConfig()
+	var rows []bench.BandwidthRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = fn(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, rows)
+}
+
+// BenchmarkFig03LANLSequence regenerates the Fig. 3 request-size sequence.
+func BenchmarkFig03LANLSequence(b *testing.B) {
+	var rowCount int
+	for i := 0; i < b.N; i++ {
+		tb := bench.Fig3(5)
+		rowCount = tb.Rows()
+	}
+	b.ReportMetric(float64(rowCount), "requests")
+}
+
+// BenchmarkFig07IORMixedSizes regenerates Fig. 7: IOR bandwidth with mixed
+// request sizes under DEF/AAL/HARL/MHA.
+func BenchmarkFig07IORMixedSizes(b *testing.B) {
+	runBandwidthBench(b, func(c bench.Config) ([]bench.BandwidthRow, *metrics.Table, error) {
+		return c.Fig7()
+	})
+}
+
+// BenchmarkFig08PerServerTime regenerates Fig. 8: normalized per-server
+// I/O times; reported metrics are the per-scheme load-imbalance factors
+// (max/min across servers).
+func BenchmarkFig08PerServerTime(b *testing.B) {
+	cfg := benchConfig()
+	var rows []bench.Fig8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = cfg.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range layout.AllSchemes() {
+		var vals []float64
+		for _, r := range rows {
+			vals = append(vals, r.Time[s])
+		}
+		b.ReportMetric(metrics.LoadImbalance(vals), fmt.Sprintf("imbalance/%s", s))
+	}
+}
+
+// BenchmarkFig09IORMixedProcs regenerates Fig. 9: IOR bandwidth with mixed
+// process numbers.
+func BenchmarkFig09IORMixedProcs(b *testing.B) {
+	runBandwidthBench(b, func(c bench.Config) ([]bench.BandwidthRow, *metrics.Table, error) {
+		return c.Fig9()
+	})
+}
+
+// BenchmarkFig10ServerRatios regenerates Fig. 10: IOR bandwidth across
+// HServer:SServer ratios.
+func BenchmarkFig10ServerRatios(b *testing.B) {
+	runBandwidthBench(b, func(c bench.Config) ([]bench.BandwidthRow, *metrics.Table, error) {
+		return c.Fig10()
+	})
+}
+
+// BenchmarkFig11HPIO regenerates Fig. 11: HPIO bandwidth across process
+// counts.
+func BenchmarkFig11HPIO(b *testing.B) {
+	runBandwidthBench(b, func(c bench.Config) ([]bench.BandwidthRow, *metrics.Table, error) {
+		return c.Fig11()
+	})
+}
+
+// BenchmarkFig12aBTIO regenerates Fig. 12a: BTIO aggregate bandwidth.
+func BenchmarkFig12aBTIO(b *testing.B) {
+	runBandwidthBench(b, func(c bench.Config) ([]bench.BandwidthRow, *metrics.Table, error) {
+		return c.Fig12a()
+	})
+}
+
+// BenchmarkFig12bLANL regenerates Fig. 12b: LANL App2 replay.
+func BenchmarkFig12bLANL(b *testing.B) {
+	runBandwidthBench(b, func(c bench.Config) ([]bench.BandwidthRow, *metrics.Table, error) {
+		return c.Fig12b()
+	})
+}
+
+// BenchmarkFig13aLU regenerates Fig. 13a: LU decomposition replay.
+func BenchmarkFig13aLU(b *testing.B) {
+	runBandwidthBench(b, func(c bench.Config) ([]bench.BandwidthRow, *metrics.Table, error) {
+		return c.Fig13a()
+	})
+}
+
+// BenchmarkFig13bCholesky regenerates Fig. 13b: sparse Cholesky replay.
+func BenchmarkFig13bCholesky(b *testing.B) {
+	runBandwidthBench(b, func(c bench.Config) ([]bench.BandwidthRow, *metrics.Table, error) {
+		return c.Fig13b()
+	})
+}
+
+// BenchmarkFig14RedirectionOverhead regenerates Fig. 14: the middleware
+// redirection overhead; metrics are the per-process-count overhead
+// percentages.
+func BenchmarkFig14RedirectionOverhead(b *testing.B) {
+	cfg := benchConfig()
+	var rows []bench.Fig14Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = cfg.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.OverheadPct, fmt.Sprintf("overhead%%/%dp", r.Procs))
+	}
+}
+
+// BenchmarkTab1MetaOverhead regenerates the §V-E2 metadata-space analysis.
+func BenchmarkTab1MetaOverhead(b *testing.B) {
+	var rows []bench.MetaOverheadRow
+	for i := 0; i < b.N; i++ {
+		rows, _ = bench.MetaOverhead([]int64{4 * units.KB, 64 * units.KB, 1 * units.MB})
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.OverheadPct, fmt.Sprintf("overhead%%/%s", units.Bytes(r.RequestSize)))
+	}
+}
+
+// BenchmarkExtendedComparison runs the six-scheme comparison (the paper's
+// four plus the related-work CARL and HAS baselines).
+func BenchmarkExtendedComparison(b *testing.B) {
+	cfg := benchConfig()
+	var rows []bench.ExtendedRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = cfg.Extended()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		label := strings.ReplaceAll(r.Label, " ", "-")
+		for _, s := range layout.ExtendedSchemes() {
+			b.ReportMetric(r.BW[s], fmt.Sprintf("%s/%s", label, s))
+		}
+	}
+}
+
+// BenchmarkLatencyDistribution reports each scheme's p99 request latency
+// (ms) on the mixed-size reference workload.
+func BenchmarkLatencyDistribution(b *testing.B) {
+	cfg := benchConfig()
+	var rows []bench.LatencyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = cfg.Latency()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Lat.P99*1e3, fmt.Sprintf("p99ms/%s", r.Scheme))
+	}
+}

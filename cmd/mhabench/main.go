@@ -1,0 +1,125 @@
+// Command mhabench regenerates the tables and figures of the MHA paper's
+// evaluation (§V) on the simulated hybrid parallel file system.
+//
+// Usage:
+//
+//	mhabench [-fig all|3|7|8|9|10|11|12a|12b|13a|13b|14|meta]
+//	         [-scale N] [-h N] [-s N] [-csv]
+//
+// -scale divides the paper's workload volumes (default 64; 1 reproduces
+// the full 16 GB runs). -h/-s override the default 6 HServer : 2 SServer
+// cluster. -csv emits CSV instead of aligned text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mhafs/internal/bench"
+	"mhafs/internal/config"
+	"mhafs/internal/metrics"
+	"mhafs/internal/units"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate (all, 3, 7, 8, 9, 10, 11, 12a, 12b, 13a, 13b, 14, meta, ablation-step, ablation-k, ablation-conc, scaling, extended)")
+		scale   = flag.Int64("scale", 64, "divide the paper's workload volumes by this factor")
+		hSrv    = flag.Int("h", 6, "number of HServers (HDD-backed)")
+		sSrv    = flag.Int("s", 2, "number of SServers (SSD-backed)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		calPath = flag.String("config", "", "JSON calibration file overriding device/network/planner defaults")
+	)
+	flag.Parse()
+
+	cfg := bench.Default()
+	cfg.Scale = *scale
+	cfg.Cluster.HServers, cfg.Env.M = *hSrv, *hSrv
+	cfg.Cluster.SServers, cfg.Env.N = *sSrv, *sSrv
+	if *calPath != "" {
+		cal, err := config.Load(*calPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = cal.Apply(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	type runner struct {
+		id    string
+		extra bool // not part of the paper's figures; excluded from "all"
+		fn    func() (*metrics.Table, error)
+	}
+	runners := []runner{
+		{"3", false, func() (*metrics.Table, error) { return bench.Fig3(5), nil }},
+		{"7", false, tableOf(cfg.Fig7)},
+		{"8", false, func() (*metrics.Table, error) { _, tb, err := cfg.Fig8(); return tb, err }},
+		{"9", false, tableOf(cfg.Fig9)},
+		{"10", false, tableOf(cfg.Fig10)},
+		{"11", false, tableOf(cfg.Fig11)},
+		{"12a", false, tableOf(cfg.Fig12a)},
+		{"12b", false, tableOf(cfg.Fig12b)},
+		{"13a", false, tableOf(cfg.Fig13a)},
+		{"13b", false, tableOf(cfg.Fig13b)},
+		{"14", false, func() (*metrics.Table, error) { _, tb, err := cfg.Fig14(); return tb, err }},
+		{"latency", true, func() (*metrics.Table, error) { _, tb, err := cfg.Latency(); return tb, err }},
+		{"extended", true, func() (*metrics.Table, error) { _, tb, err := cfg.Extended(); return tb, err }},
+		{"scaling", true, func() (*metrics.Table, error) { _, tb, err := cfg.Scaling(); return tb, err }},
+		{"ablation-step", true, func() (*metrics.Table, error) { _, tb, err := cfg.StepAblation(); return tb, err }},
+		{"ablation-k", true, func() (*metrics.Table, error) { _, tb, err := cfg.GroupBoundAblation(); return tb, err }},
+		{"ablation-straggler", true, func() (*metrics.Table, error) { _, tb, err := cfg.StragglerAblation(); return tb, err }},
+		{"ablation-conc", true, func() (*metrics.Table, error) { _, tb, err := cfg.ConcurrencyAblation(); return tb, err }},
+		{"meta", false, func() (*metrics.Table, error) {
+			_, tb := bench.MetaOverhead([]int64{4 * units.KB, 16 * units.KB, 64 * units.KB, 1 * units.MB})
+			return tb, nil
+		}},
+	}
+
+	want := strings.ToLower(*fig)
+	ran := false
+	for _, r := range runners {
+		if want == "all" && r.extra {
+			continue // extras (ablations, scaling, …) run only by name
+		}
+		if want != "all" && want != r.id {
+			continue
+		}
+		ran = true
+		tb, err := r.fn()
+		if err != nil {
+			fatal(fmt.Errorf("fig %s: %w", r.id, err))
+		}
+		if *csv {
+			if err := tb.FprintCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			if err := tb.Fprint(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown figure %q (see -help for the list)", *fig))
+	}
+}
+
+func tableOf(fn func() ([]bench.BandwidthRow, *metrics.Table, error)) func() (*metrics.Table, error) {
+	return func() (*metrics.Table, error) {
+		_, tb, err := fn()
+		return tb, err
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mhabench:", err)
+	os.Exit(1)
+}

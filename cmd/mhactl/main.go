@@ -1,0 +1,258 @@
+// Command mhactl inspects traces and layout plans: the offline half of the
+// MHA pipeline, without running a simulation.
+//
+// Subcommands:
+//
+//	mhactl stats  -trace t.txt             summarize a trace
+//	mhactl hist   -trace t.txt             request-size histogram
+//	mhactl epochs -trace t.txt             concurrency epochs
+//	mhactl group  -trace t.txt [-k 16]     Algorithm 1 request grouping
+//	mhactl sig    -trace t.txt             per-stream I/O signatures
+//	mhactl plan   -trace t.txt -scheme MHA [-h 6 -s 2] show the plan
+//	mhactl replay -trace t.txt -scheme MHA             simulate a replay
+//	mhactl convert -trace in.txt -o out.bin [-binary=true]  convert formats
+//	mhactl drt    -db drt.db               dump a persisted DRT
+//	mhactl rst    -db rst.db               dump a persisted RST
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"mhafs/internal/bench"
+	"mhafs/internal/cluster"
+	"mhafs/internal/layout"
+	"mhafs/internal/metrics"
+	"mhafs/internal/pattern"
+	"mhafs/internal/region"
+	"mhafs/internal/stripe"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace file (text format)")
+	db := fs.String("db", "", "table database path (drt/rst)")
+	schemeStr := fs.String("scheme", "MHA", "layout scheme for plan")
+	hSrv := fs.Int("h", 6, "HServers")
+	sSrv := fs.Int("s", 2, "SServers")
+	k := fs.Int("k", 16, "maximum group count")
+	window := fs.Float64("window", pattern.DefaultEpochWindow, "concurrency window (s)")
+	outPath := fs.String("o", "", "output path (convert)")
+	toBinary := fs.Bool("binary", true, "convert to binary (false: to text)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "stats":
+		tr := loadTrace(*tracePath)
+		fmt.Println(tr.Summarize())
+	case "hist":
+		tr := loadTrace(*tracePath)
+		tb := metrics.NewTable("request-size histogram", "size", "count")
+		for _, b := range pattern.SizeHistogram(tr) {
+			tb.AddRow(units.Bytes(b.Size).String(), b.Count)
+		}
+		tb.Fprint(os.Stdout)
+	case "epochs":
+		tr := loadTrace(*tracePath)
+		tb := metrics.NewTable("concurrency epochs", "epoch", "requests", "t0", "bytes")
+		for i, ep := range pattern.Epochs(tr, *window) {
+			var bytes int64
+			for _, r := range ep {
+				bytes += r.Size
+			}
+			tb.AddRow(i, len(ep), fmt.Sprintf("%.6f", ep[0].Time), units.Bytes(bytes).String())
+		}
+		tb.Fprint(os.Stdout)
+	case "group":
+		tr := loadTrace(*tracePath)
+		ann := pattern.Annotate(tr, *window)
+		pts := pattern.Points(ann)
+		kk := cluster.BoundK(pts, *k)
+		res, err := cluster.Group(pts, kk, cluster.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		tb := metrics.NewTable(
+			fmt.Sprintf("Algorithm 1 grouping (k=%d, iters=%d)", res.K(), res.Iters),
+			"group", "requests", "center size", "center conc")
+		for g, members := range res.Groups {
+			tb.AddRow(g, len(members),
+				units.Bytes(int64(res.Centers[g].X)).String(),
+				fmt.Sprintf("%.1f", res.Centers[g].Y))
+		}
+		tb.Fprint(os.Stdout)
+	case "sig":
+		tr := loadTrace(*tracePath)
+		tb := metrics.NewTable("I/O signatures (per rank, file stream)",
+			"file", "rank", "kind", "requests", "stride", "confidence")
+		for _, sg := range pattern.Signatures(tr) {
+			tb.AddRow(sg.File, sg.Rank, sg.Kind.String(), sg.Requests,
+				units.Bytes(sg.Stride).String(), fmt.Sprintf("%.2f", sg.Confidence))
+		}
+		tb.Fprint(os.Stdout)
+	case "plan":
+		tr := loadTrace(*tracePath)
+		scheme, err := layout.ParseScheme(*schemeStr)
+		if err != nil {
+			fatal(err)
+		}
+		env := layout.DefaultEnv()
+		env.M, env.N = *hSrv, *sSrv
+		env.MaxRegions = *k
+		planner, err := layout.NewPlanner(scheme)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := planner.Plan(tr, env)
+		if err != nil {
+			fatal(err)
+		}
+		tb := metrics.NewTable(
+			fmt.Sprintf("%v plan: %d regions, %d mappings", scheme, len(plan.Regions), len(plan.Mappings)),
+			"region", "layout", "size", "model cost (s)")
+		for _, r := range plan.Regions {
+			tb.AddRow(r.File, r.Layout.String(), units.Bytes(r.Size).String(),
+				fmt.Sprintf("%.6f", r.Cost))
+		}
+		tb.Fprint(os.Stdout)
+	case "convert":
+		tr := loadTrace(*tracePath)
+		if *outPath == "" {
+			fatal(fmt.Errorf("missing -o"))
+		}
+		out, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer out.Close()
+		enc := trace.Write
+		if *toBinary {
+			enc = trace.WriteBinary
+		}
+		if err := enc(out, tr); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mhactl: wrote %d records to %s\n", len(tr), *outPath)
+	case "replay":
+		tr := loadTrace(*tracePath)
+		scheme, err := layout.ParseScheme(*schemeStr)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := bench.Default()
+		cfg.Cluster.HServers, cfg.Env.M = *hSrv, *hSrv
+		cfg.Cluster.SServers, cfg.Env.N = *sSrv, *sSrv
+		cfg.Env.MaxRegions = *k
+		run, err := cfg.RunScheme(scheme, tr)
+		if err != nil {
+			fatal(err)
+		}
+		res := run.Result
+		lat := res.LatencySummary()
+		tb := metrics.NewTable(
+			fmt.Sprintf("replay under %v (%dH+%dS)", scheme, *hSrv, *sSrv),
+			"metric", "value")
+		tb.AddRow("requests", res.Ops)
+		tb.AddRow("makespan (s)", fmt.Sprintf("%.6f", res.Makespan))
+		tb.AddRow("aggregate MB/s", res.Bandwidth())
+		tb.AddRow("read MB/s", res.ReadBandwidth())
+		tb.AddRow("write MB/s", res.WriteBandwidth())
+		tb.AddRow("latency mean (ms)", fmt.Sprintf("%.3f", lat.Mean*1e3))
+		tb.AddRow("latency p50 (ms)", fmt.Sprintf("%.3f", lat.P50*1e3))
+		tb.AddRow("latency p95 (ms)", fmt.Sprintf("%.3f", lat.P95*1e3))
+		tb.AddRow("latency p99 (ms)", fmt.Sprintf("%.3f", lat.P99*1e3))
+		tb.AddRow("regions", len(run.Plan.Regions))
+		tb.Fprint(os.Stdout)
+		tb2 := metrics.NewTable("per-server busy time (s)", "server", "busy", "bytes")
+		for _, st := range res.PerServer {
+			tb2.AddRow(st.Name, fmt.Sprintf("%.6f", st.BusyTime), st.ReadBytes+st.WriteBytes)
+		}
+		tb2.Fprint(os.Stdout)
+	case "drt":
+		d, err := region.OpenDRT(*db)
+		if err != nil {
+			fatal(err)
+		}
+		defer d.Close()
+		tb := metrics.NewTable(fmt.Sprintf("DRT: %d mappings", d.Len()),
+			"o_file", "o_offset", "r_file", "r_offset", "length")
+		for _, f := range d.Files() {
+			for _, m := range d.Mappings(f) {
+				tb.AddRow(m.OFile, m.OOffset, m.RFile, m.ROffset, m.Length)
+			}
+		}
+		tb.Fprint(os.Stdout)
+	case "rst":
+		r, err := region.OpenRST(*db)
+		if err != nil {
+			fatal(err)
+		}
+		defer r.Close()
+		tb := metrics.NewTable(fmt.Sprintf("RST: %d regions", r.Len()),
+			"region", "layout")
+		type row struct {
+			name string
+			l    string
+		}
+		var rows []row
+		r.ForEach(func(name string, l stripe.Layout) bool {
+			rows = append(rows, row{name, l.String()})
+			return true
+		})
+		sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+		for _, rr := range rows {
+			tb.AddRow(rr.name, rr.l)
+		}
+		tb.Fprint(os.Stdout)
+	default:
+		usage()
+	}
+}
+
+func loadTrace(path string) trace.Trace {
+	if path == "" {
+		fatal(fmt.Errorf("missing -trace"))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	// Auto-detect the binary format by its magic.
+	head := make([]byte, 4)
+	n, _ := io.ReadFull(f, head)
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		fatal(err)
+	}
+	var tr trace.Trace
+	if n == 4 && string(head) == "MHTR" {
+		tr, err = trace.ReadBinary(f)
+	} else {
+		tr, err = trace.Read(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mhactl <stats|hist|epochs|group|sig|plan|replay|convert|drt|rst> [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mhactl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,179 @@
+// Command tracegen emits synthetic I/O traces in the text trace format,
+// one record per line. The generators reproduce the access structure of
+// the workloads in the MHA paper's evaluation: the IOR and HPIO
+// micro-benchmarks, the BTIO macro-benchmark, and the LANL App2, LU
+// decomposition and sparse Cholesky application traces.
+//
+// Usage:
+//
+//	tracegen -workload ior  -op write -procs 32 -sizes 128KB,256KB -filesize 256MB
+//	tracegen -workload hpio -op read  -procs 16 -regions 512 -sizes 16KB,32KB,64KB
+//	tracegen -workload btio -procs 16 -steps 40
+//	tracegen -workload lanl -procs 8 -loops 32
+//	tracegen -workload lu   -slabs 32
+//	tracegen -workload chol -panels 32
+//	tracegen ... -o trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+	"mhafs/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("workload", "ior", "workload: ior, hpio, btio, lanl, lu, chol")
+		opStr    = flag.String("op", "write", "operation for ior/hpio/btio/lanl: read or write")
+		procs    = flag.Int("procs", 32, "process count (square for btio)")
+		sizesStr = flag.String("sizes", "64KB", "comma-separated request sizes (ior/hpio)")
+		procsMix = flag.String("procsmix", "", "comma-separated process-count phases for ior (overrides -procs)")
+		fileSize = flag.String("filesize", "256MB", "total bytes accessed (ior)")
+		regions  = flag.Int("regions", 512, "region count (hpio)")
+		spacing  = flag.String("spacing", "0", "region spacing (hpio)")
+		steps    = flag.Int("steps", 40, "time steps (btio)")
+		loops    = flag.Int("loops", 32, "loops (lanl)")
+		slabs    = flag.Int("slabs", 32, "slabs (lu)")
+		panels   = flag.Int("panels", 32, "panels (chol)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		shuffle  = flag.Bool("shuffle", false, "shuffle ior phases")
+		file     = flag.String("file", "", "logical file name (default derived from workload)")
+		out      = flag.String("o", "", "output path (default stdout)")
+		binary   = flag.Bool("binary", false, "emit the compact binary format instead of text")
+	)
+	flag.Parse()
+
+	op, err := trace.ParseOp(*opStr)
+	if err != nil {
+		fatal(err)
+	}
+	name := *file
+	if name == "" {
+		name = *kind + ".dat"
+	}
+
+	var tr trace.Trace
+	switch strings.ToLower(*kind) {
+	case "ior":
+		sizes, err := parseSizes(*sizesStr)
+		if err != nil {
+			fatal(err)
+		}
+		fs, err := units.ParseBytes(*fileSize)
+		if err != nil {
+			fatal(err)
+		}
+		pcs := []int{*procs}
+		if *procsMix != "" {
+			pcs = nil
+			for _, p := range strings.Split(*procsMix, ",") {
+				var v int
+				if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil {
+					fatal(fmt.Errorf("bad procsmix entry %q: %w", p, err))
+				}
+				pcs = append(pcs, v)
+			}
+		}
+		tr, err = workload.IOR(workload.IORConfig{
+			File: name, Op: op, Sizes: sizes, Procs: pcs,
+			FileSize: int64(fs), Shuffle: *shuffle, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	case "hpio":
+		sizes, err := parseSizes(*sizesStr)
+		if err != nil {
+			fatal(err)
+		}
+		sp, err := units.ParseBytes(*spacing)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = workload.HPIO(workload.HPIOConfig{
+			File: name, Op: op, Procs: *procs,
+			RegionCount: *regions, RegionSpacing: int64(sp), RegionSizes: sizes,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	case "btio":
+		cfg := workload.DefaultBTIO(*procs, op)
+		cfg.File = name
+		cfg.Steps = *steps
+		var err error
+		tr, err = workload.BTIO(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	case "lanl":
+		var err error
+		tr, err = workload.LANL(workload.LANLConfig{
+			File: name, Op: op, Procs: *procs, Loops: *loops,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	case "lu":
+		cfg := workload.DefaultLU()
+		cfg.Slabs = *slabs
+		cfg.Seed = *seed
+		var err error
+		tr, err = workload.LU(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	case "chol", "cholesky":
+		cfg := workload.DefaultCholesky()
+		cfg.Panels = *panels
+		cfg.Seed = *seed
+		var err error
+		tr, err = workload.Cholesky(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *kind))
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := trace.Write
+	if *binary {
+		enc = trace.WriteBinary
+	}
+	if err := enc(w, tr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %s\n", tr.Summarize())
+}
+
+func parseSizes(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		b, err := units.ParseBytes(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, int64(b))
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

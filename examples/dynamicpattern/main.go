@@ -1,0 +1,85 @@
+// Dynamic re-optimization — the MHA paper's stated future work: "develop
+// dynamic approaches to further improve the performance of those
+// applications with unpredictable patterns".
+//
+//	go run ./examples/dynamicpattern
+//
+// An application changes its access pattern mid-run (checkpoint-style
+// small records, then analysis-style large reads). The dynamic manager
+// watches the live trace, detects the drift, and re-optimizes: a new
+// generation of regions is planned from the cumulative trace, populated
+// from the previous generation's locations, and switched in transparently.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mhafs"
+)
+
+func main() {
+	sys, err := mhafs.NewSystem(mhafs.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	mgr, err := mhafs.NewDynamicManager(sys, mhafs.MHA, mhafs.DynamicPolicy{
+		Window: 32, Threshold: 0.3, MinNewRecords: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	h, err := sys.Open("data.bin", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	check := func(phase string) {
+		did, div, err := mgr.Check()
+		if err != nil {
+			log.Fatal(err)
+		}
+		state := "stable"
+		if did {
+			state = fmt.Sprintf("re-optimized (generation %d)", sys.Generation())
+		}
+		fmt.Printf("after %-22s divergence %.2f → %s\n", phase+":", div, state)
+	}
+
+	// Phase 1: many small appends (checkpoint metadata).
+	off := int64(0)
+	for i := 0; i < 40; i++ {
+		if _, err := h.WriteAtSync(make([]byte, 8<<10), off); err != nil {
+			log.Fatal(err)
+		}
+		off += 8 << 10
+	}
+	check("small writes")
+	for _, r := range sys.Plan().Regions {
+		fmt.Printf("   region %-26s %v\n", r.File, r.Layout)
+	}
+
+	// Phase 2: the same pattern continues — no re-plan.
+	for i := 0; i < 40; i++ {
+		if _, err := h.WriteAtSync(make([]byte, 8<<10), off); err != nil {
+			log.Fatal(err)
+		}
+		off += 8 << 10
+	}
+	check("more small writes")
+
+	// Phase 3: the application switches to large sequential writes.
+	for i := 0; i < 40; i++ {
+		if _, err := h.WriteAtSync(make([]byte, 1<<20), off); err != nil {
+			log.Fatal(err)
+		}
+		off += 1 << 20
+	}
+	check("large writes")
+	for _, r := range sys.Plan().Regions {
+		fmt.Printf("   region %-26s %v\n", r.File, r.Layout)
+	}
+}

@@ -1,0 +1,96 @@
+// Server-ratio sweep — the Fig. 10 scenario of the MHA paper: how each
+// layout scheme's bandwidth moves as HServers are traded for SServers in
+// an 8-server cluster, plus the per-server load balance of Fig. 8.
+//
+//	go run ./examples/serverratio [-procs 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mhafs"
+
+	"mhafs/internal/metrics"
+	"mhafs/internal/units"
+)
+
+func main() {
+	procs := flag.Int("procs", 32, "process count")
+	flag.Parse()
+
+	ratios := []struct{ h, s int }{{7, 1}, {6, 2}, {5, 3}, {4, 4}}
+	schemes := []mhafs.Scheme{mhafs.DEF, mhafs.AAL, mhafs.HARL, mhafs.MHA}
+
+	tb := metrics.NewTable("IOR 128+256KB writes vs server ratio",
+		"ratio", "DEF", "AAL", "HARL", "MHA")
+	for _, ratio := range ratios {
+		row := []interface{}{fmt.Sprintf("%dh:%ds", ratio.h, ratio.s)}
+		for _, scheme := range schemes {
+			res, _ := runOnce(scheme, ratio.h, ratio.s, *procs)
+			row = append(row, res.Bandwidth())
+		}
+		tb.AddRow(row...)
+	}
+	if err := tb.Fprint(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 8 flavor: per-server busy time under the paper's 6h:2s split,
+	// normalized to the least-loaded server of the MHA run.
+	fmt.Println()
+	perServer := map[mhafs.Scheme][]float64{}
+	for _, scheme := range schemes {
+		res, _ := runOnce(scheme, 6, 2, *procs)
+		perServer[scheme] = metrics.BusyTimes(res.PerServer)
+	}
+	base := 0.0
+	for _, v := range perServer[mhafs.MHA] {
+		if v > 0 && (base == 0 || v < base) {
+			base = v
+		}
+	}
+	tb2 := metrics.NewTable("per-server I/O time (normalized), 6h:2s",
+		"server", "DEF", "AAL", "HARL", "MHA")
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("S%d(h)", i)
+		if i >= 6 {
+			name = fmt.Sprintf("S%d(s)", i)
+		}
+		tb2.AddRow(name,
+			perServer[mhafs.DEF][i]/base, perServer[mhafs.AAL][i]/base,
+			perServer[mhafs.HARL][i]/base, perServer[mhafs.MHA][i]/base)
+	}
+	if err := tb2.Fprint(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runOnce(scheme mhafs.Scheme, h, s, procs int) (mhafs.ReplayResult, int) {
+	tr, err := mhafs.IOR(mhafs.IORConfig{
+		File: "ior.dat", Op: mhafs.OpWrite,
+		Sizes: []int64{128 * units.KB, 256 * units.KB}, Procs: []int{procs},
+		FileSize: 64 * units.MB, Shuffle: true, Seed: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mhafs.DefaultConfig()
+	cfg.Cluster.HServers, cfg.Cluster.SServers = h, s
+	sys, err := mhafs.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Optimize(scheme, tr); err != nil {
+		log.Fatal(err)
+	}
+	sys.SetTracing(false)
+	res, err := sys.Replay(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res, len(sys.Plan().Regions)
+}

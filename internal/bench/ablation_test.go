@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStepAblation(t *testing.T) {
+	rows, tb, err := testConfig().StepAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || tb.Rows() != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper's trade-off: the finest step must not be slower-planning
+	// than it is precise — concretely, the 4KB step's bandwidth should be
+	// at least that of the coarsest step, and planning time should not
+	// shrink when the grid gets finer.
+	fine, coarse := rows[0], rows[len(rows)-1]
+	if !strings.HasPrefix(fine.Variant, "step=4KB") {
+		t.Fatalf("unexpected ordering: %+v", rows)
+	}
+	if fine.Bandwidth < 0.95*coarse.Bandwidth {
+		t.Errorf("fine step bandwidth %.1f well below coarse %.1f", fine.Bandwidth, coarse.Bandwidth)
+	}
+	for _, r := range rows {
+		if r.Bandwidth <= 0 || r.Regions <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+}
+
+func TestGroupBoundAblation(t *testing.T) {
+	rows, tb, err := testConfig().GroupBoundAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 || tb.Rows() != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Region counts must respect the bound and grow with it.
+	if rows[0].Regions > 8 { // maxK=1 → at most 1 region per file (8 files)
+		t.Errorf("maxK=1 produced %d regions", rows[0].Regions)
+	}
+	if !(rows[len(rows)-1].Regions >= rows[0].Regions) {
+		t.Errorf("regions should not shrink as k grows: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Bandwidth <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+}
+
+func TestConcurrencyAblation(t *testing.T) {
+	rows, tb, err := testConfig().ConcurrencyAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || tb.Rows() != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	withConc, blind := rows[0], rows[1]
+	if withConc.Bandwidth <= 0 || blind.Bandwidth <= 0 {
+		t.Fatalf("degenerate rows %+v", rows)
+	}
+	// Concurrency awareness must not hurt on the concurrent workload.
+	if withConc.Bandwidth < 0.9*blind.Bandwidth {
+		t.Errorf("concurrency-aware %.1f well below blind %.1f", withConc.Bandwidth, blind.Bandwidth)
+	}
+}
+
+func TestStragglerAblation(t *testing.T) {
+	rows, tb, err := testConfig().StragglerAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || tb.Rows() != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byVariant := map[string]float64{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r.Bandwidth
+	}
+	// A degraded disk must cost bandwidth under both schemes...
+	if !(byVariant["DEF straggler"] < byVariant["DEF healthy"]) {
+		t.Error("DEF unaffected by the straggler")
+	}
+	if !(byVariant["MHA straggler"] < byVariant["MHA healthy"]) {
+		t.Error("MHA unaffected by the straggler")
+	}
+	// ...and MHA must still beat DEF even degraded.
+	if !(byVariant["MHA straggler"] > byVariant["DEF straggler"]) {
+		t.Error("MHA lost its advantage under degradation")
+	}
+}

@@ -1,0 +1,178 @@
+// Package bench is the experiment harness: one runner per table/figure of
+// the MHA paper's evaluation (§V). Each runner builds fresh simulated
+// clusters, generates the figure's workload, plans and applies every
+// layout scheme, replays the trace, and reports the same rows/series the
+// paper plots.
+//
+// Absolute numbers differ from the paper (the substrate is a calibrated
+// simulator, not the authors' testbed); the comparisons — which scheme
+// wins, roughly by how much, and how the gap moves with the swept
+// parameter — are the reproduction target. Workload volumes are scaled
+// down from the paper's (16 GB files, 4096 HPIO regions) by Config.Scale
+// so a full suite runs in seconds; the request sizes, mixes and process
+// counts are the paper's.
+package bench
+
+import (
+	"fmt"
+
+	"mhafs/internal/layout"
+	"mhafs/internal/mpiio"
+	"mhafs/internal/pfs"
+	"mhafs/internal/reorder"
+	"mhafs/internal/replay"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+// Config parameterizes the harness.
+type Config struct {
+	// Cluster is the base cluster; experiments override server counts
+	// where the figure sweeps them.
+	Cluster pfs.Config
+
+	// Env is the planning environment; M and N follow the cluster.
+	Env layout.Env
+
+	// Scale divides the paper's workload volumes (file sizes, region
+	// counts) to keep simulated event counts manageable. 1 reproduces the
+	// paper's volumes; the default is 64.
+	Scale int64
+
+	// RedirectLookup is the client-side DRT lookup cost charged to MHA
+	// (and measured by Fig. 14).
+	RedirectLookup float64
+
+	// ReplayMode paces the replaying ranks (Independent by default;
+	// LockStep models bulk-synchronous barriers, Timed honors trace time
+	// stamps).
+	ReplayMode replay.Mode
+}
+
+// Default returns the paper's setup: 6 HServers, 2 SServers, 64 KB
+// default stripes, 4 KB search step, 1/64 volume scale.
+func Default() Config {
+	cfg := Config{
+		Cluster:        pfs.DefaultConfig(),
+		Env:            layout.DefaultEnv(),
+		Scale:          64,
+		RedirectLookup: 1e-6,
+	}
+	return cfg
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Scale <= 0 {
+		return fmt.Errorf("bench: scale must be positive")
+	}
+	if c.RedirectLookup < 0 {
+		return fmt.Errorf("bench: negative redirect lookup")
+	}
+	if err := c.Cluster.Validate(); err != nil {
+		return err
+	}
+	return c.Env.Validate()
+}
+
+// withServers returns a copy with the cluster and planning environment set
+// to m HServers and n SServers.
+func (c Config) withServers(m, n int) Config {
+	c.Cluster.HServers, c.Cluster.SServers = m, n
+	c.Env.M, c.Env.N = m, n
+	return c
+}
+
+// SchemeRun is the outcome of one scheme on one workload.
+type SchemeRun struct {
+	Scheme layout.Scheme
+	Result replay.Result
+	Plan   layout.Plan
+}
+
+// RunScheme executes the full pipeline for one scheme on a fresh cluster:
+// plan from the trace (the profiled first run), apply the placement, then
+// replay the trace as the optimized subsequent run.
+func (c Config) RunScheme(scheme layout.Scheme, tr trace.Trace) (SchemeRun, error) {
+	if err := c.Validate(); err != nil {
+		return SchemeRun{}, err
+	}
+	cluster, err := pfs.New(c.Cluster)
+	if err != nil {
+		return SchemeRun{}, err
+	}
+	// The original files exist from the application's first (profiled)
+	// run, striped with the default layout.
+	for _, f := range tr.Files() {
+		if _, err := cluster.CreateDefault(f); err != nil {
+			return SchemeRun{}, err
+		}
+	}
+	planner, err := layout.NewPlanner(scheme)
+	if err != nil {
+		return SchemeRun{}, err
+	}
+	plan, err := planner.Plan(tr, c.Env)
+	if err != nil {
+		return SchemeRun{}, err
+	}
+	placement, err := reorder.Apply(cluster, plan, reorder.Options{})
+	if err != nil {
+		return SchemeRun{}, err
+	}
+	defer placement.Close()
+
+	mw := mpiio.New(cluster)
+	switch scheme {
+	case layout.DEF:
+		// The baseline runs without any redirection machinery.
+	case layout.MHA:
+		mw.Redirector = reorder.NewRedirector(placement.DRT, c.RedirectLookup)
+	default:
+		// AAL and HARL restripe in place in the paper; route through the
+		// DRT for mechanics but charge no lookup.
+		mw.Redirector = reorder.NewRedirector(placement.DRT, 0)
+	}
+	res, err := replay.RunWith(mw, tr, replay.Options{Mode: c.ReplayMode})
+	if err != nil {
+		return SchemeRun{}, err
+	}
+	return SchemeRun{Scheme: scheme, Result: res, Plan: plan}, nil
+}
+
+// RunAllSchemes runs every scheme on the same workload.
+func (c Config) RunAllSchemes(tr trace.Trace) (map[layout.Scheme]SchemeRun, error) {
+	out := make(map[layout.Scheme]SchemeRun, 4)
+	for _, s := range layout.AllSchemes() {
+		run, err := c.RunScheme(s, tr)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scheme %v: %w", s, err)
+		}
+		out[s] = run
+	}
+	return out, nil
+}
+
+// scaled divides a paper-scale volume by the configured scale, keeping at
+// least one unit.
+func (c Config) scaled(v int64) int64 {
+	s := v / c.Scale
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// scaledCount divides an iteration count, keeping at least one.
+func (c Config) scaledCount(v int) int {
+	s := v / int(c.Scale)
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// mbps formats bandwidth for tables.
+func mbps(bytes int64, seconds float64) float64 {
+	return units.BandwidthMBps(bytes, seconds)
+}

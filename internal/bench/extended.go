@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"mhafs/internal/layout"
+	"mhafs/internal/metrics"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+	"mhafs/internal/workload"
+)
+
+// ExtendedRow is one workload of the six-scheme comparison.
+type ExtendedRow struct {
+	Label string
+	BW    map[layout.Scheme]float64 // write MB/s
+}
+
+// Extended compares the paper's four schemes plus the related-work
+// baselines CARL and HAS (§VI) on two characteristic workloads: the Fig. 7
+// mixed-size IOR write, and the LANL App2 replay. The paper argues MHA
+// beats CARL ("I/O parallelism on all servers may not be fully utilized")
+// and subsumes HAS's per-region candidate selection.
+func (c Config) Extended() ([]ExtendedRow, *metrics.Table, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	workloads := []struct {
+		label string
+		mk    func() (trace.Trace, error)
+	}{
+		{"ior 128+256KB", func() (trace.Trace, error) {
+			return workload.IOR(workload.IORConfig{
+				File: "ior.dat", Op: trace.OpWrite,
+				Sizes: []int64{128 * units.KB, 256 * units.KB}, Procs: []int{32},
+				FileSize: c.scaled(fig7FileSize), Shuffle: true, Seed: 7,
+			})
+		}},
+		{"lanl", func() (trace.Trace, error) {
+			return workload.LANL(workload.LANLConfig{
+				File: "lanl.dat", Op: trace.OpWrite, Procs: 8, Loops: c.scaledCount(fig12bLoops),
+			})
+		}},
+	}
+	var rows []ExtendedRow
+	for _, w := range workloads {
+		tr, err := w.mk()
+		if err != nil {
+			return nil, nil, err
+		}
+		row := ExtendedRow{Label: w.label, BW: make(map[layout.Scheme]float64)}
+		for _, s := range layout.ExtendedSchemes() {
+			run, err := c.RunScheme(s, tr)
+			if err != nil {
+				return nil, nil, err
+			}
+			row.BW[s] = run.Result.Bandwidth()
+		}
+		rows = append(rows, row)
+	}
+	tb := metrics.NewTable("Extended comparison (writes, MB/s): + related-work baselines",
+		"workload", "DEF", "AAL", "CARL", "HAS", "HARL", "MHA")
+	for _, r := range rows {
+		tb.AddRow(r.Label,
+			r.BW[layout.DEF], r.BW[layout.AAL], r.BW[layout.CARL],
+			r.BW[layout.HAS], r.BW[layout.HARL], r.BW[layout.MHA])
+	}
+	return rows, tb, nil
+}
+
+// LatencyRow is one scheme's request-latency distribution on the
+// reference mixed workload.
+type LatencyRow struct {
+	Scheme layout.Scheme
+	Lat    metrics.LatencySummary
+}
+
+// Latency reports per-request latency percentiles under each scheme for
+// the Fig. 7 mixed-size workload — a view the paper does not plot but
+// which explains its bandwidth gaps: DEF's tail is dominated by queueing
+// behind overloaded HServers.
+func (c Config) Latency() ([]LatencyRow, *metrics.Table, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	tr, err := workload.IOR(workload.IORConfig{
+		File: "ior.dat", Op: trace.OpWrite,
+		Sizes: []int64{128 * units.KB, 256 * units.KB}, Procs: []int{32},
+		FileSize: c.scaled(fig7FileSize), Shuffle: true, Seed: 7,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []LatencyRow
+	for _, s := range layout.AllSchemes() {
+		run, err := c.RunScheme(s, tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, LatencyRow{Scheme: s, Lat: run.Result.LatencySummary()})
+	}
+	tb := metrics.NewTable("Per-request latency (ms), IOR 128+256KB write, 32 procs",
+		"scheme", "mean", "p50", "p95", "p99", "max")
+	for _, r := range rows {
+		tb.AddRow(r.Scheme.String(),
+			r.Lat.Mean*1e3, r.Lat.P50*1e3, r.Lat.P95*1e3, r.Lat.P99*1e3, r.Lat.Max*1e3)
+	}
+	return rows, tb, nil
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"testing"
+
+	"mhafs/internal/layout"
+)
+
+// MHA must lead the six-scheme comparison on both workloads, and CARL's
+// selective (non-parallel) placement must trail MHA — the paper's §VI
+// argument.
+func TestExtendedComparison(t *testing.T) {
+	rows, tb, err := testConfig().Extended()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || tb.Rows() != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		mha := row.BW[layout.MHA]
+		for _, s := range layout.ExtendedSchemes() {
+			if s == layout.MHA {
+				continue
+			}
+			if !(mha >= 0.99*row.BW[s]) {
+				t.Errorf("%s: MHA %.1f not leading %v %.1f", row.Label, mha, s, row.BW[s])
+			}
+		}
+		if !(mha > row.BW[layout.CARL]) {
+			t.Errorf("%s: MHA %.1f should beat CARL %.1f", row.Label, mha, row.BW[layout.CARL])
+		}
+	}
+}
+
+func TestLatencyExperiment(t *testing.T) {
+	rows, tb, err := testConfig().Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || tb.Rows() != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byScheme := map[layout.Scheme]float64{}
+	for _, r := range rows {
+		if r.Lat.Count == 0 || r.Lat.Mean <= 0 || r.Lat.P99 < r.Lat.P50 {
+			t.Fatalf("degenerate latency row %+v", r)
+		}
+		byScheme[r.Scheme] = r.Lat.P99
+	}
+	// MHA's tail must beat DEF's (the bandwidth gap in latency form).
+	if !(byScheme[layout.MHA] < byScheme[layout.DEF]) {
+		t.Errorf("MHA p99 %.4f not below DEF %.4f", byScheme[layout.MHA], byScheme[layout.DEF])
+	}
+}

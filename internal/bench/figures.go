@@ -1,0 +1,362 @@
+package bench
+
+import (
+	"fmt"
+
+	"mhafs/internal/layout"
+	"mhafs/internal/metrics"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+	"mhafs/internal/workload"
+)
+
+// schemeOrder is the column order of every figure, matching the paper.
+var schemeOrder = layout.AllSchemes()
+
+// BandwidthRow is one x-axis point of a bandwidth figure: the label and
+// the per-scheme read/write bandwidths in MB/s.
+type BandwidthRow struct {
+	Label string
+	Read  map[layout.Scheme]float64
+	Write map[layout.Scheme]float64
+}
+
+// runBandwidthPoint replays the read and write variants of a workload
+// under every scheme.
+func (c Config) runBandwidthPoint(label string, mk func(op trace.Op) (trace.Trace, error)) (BandwidthRow, error) {
+	row := BandwidthRow{
+		Label: label,
+		Read:  make(map[layout.Scheme]float64),
+		Write: make(map[layout.Scheme]float64),
+	}
+	for _, op := range []trace.Op{trace.OpRead, trace.OpWrite} {
+		tr, err := mk(op)
+		if err != nil {
+			return row, err
+		}
+		runs, err := c.RunAllSchemes(tr)
+		if err != nil {
+			return row, err
+		}
+		for s, r := range runs {
+			bw := r.Result.Bandwidth()
+			if op == trace.OpRead {
+				row.Read[s] = bw
+			} else {
+				row.Write[s] = bw
+			}
+		}
+	}
+	return row, nil
+}
+
+// bandwidthTable renders rows into the paper's figure form.
+func bandwidthTable(title string, rows []BandwidthRow) *metrics.Table {
+	tb := metrics.NewTable(title,
+		"workload", "op",
+		schemeOrder[0].String(), schemeOrder[1].String(),
+		schemeOrder[2].String(), schemeOrder[3].String(),
+	)
+	for _, row := range rows {
+		tb.AddRow(row.Label, "read",
+			row.Read[schemeOrder[0]], row.Read[schemeOrder[1]],
+			row.Read[schemeOrder[2]], row.Read[schemeOrder[3]])
+		tb.AddRow(row.Label, "write",
+			row.Write[schemeOrder[0]], row.Write[schemeOrder[1]],
+			row.Write[schemeOrder[2]], row.Write[schemeOrder[3]])
+	}
+	return tb
+}
+
+// Fig3 regenerates the LANL access sequence of Fig. 3: the request sizes
+// of the first loops.
+func Fig3(loops int) *metrics.Table {
+	tb := metrics.NewTable("Fig. 3: data access sequence in LANL App2 loops",
+		"request#", "size(bytes)")
+	for i, s := range workload.LANLSequence(loops) {
+		tb.AddRow(i, s)
+	}
+	return tb
+}
+
+// fig7Mixes are the request-size mixes of Fig. 7 (KB).
+var fig7Mixes = []struct {
+	label string
+	sizes []int64
+}{
+	{"16", []int64{16 * units.KB}},
+	{"64+128", []int64{64 * units.KB, 128 * units.KB}},
+	{"128+256", []int64{128 * units.KB, 256 * units.KB}},
+	{"64+128+256", []int64{64 * units.KB, 128 * units.KB, 256 * units.KB}},
+}
+
+// fig7FileSize is the paper's 16 GB IOR file (before scaling).
+const fig7FileSize = 16 * units.GB
+
+// Fig7 reproduces "Bandwidths of IOR with mixed request sizes": 32
+// processes issuing random requests at the mixed sizes against a shared
+// file.
+func (c Config) Fig7() ([]BandwidthRow, *metrics.Table, error) {
+	var rows []BandwidthRow
+	for _, mix := range fig7Mixes {
+		mix := mix
+		row, err := c.runBandwidthPoint(mix.label, func(op trace.Op) (trace.Trace, error) {
+			return workload.IOR(workload.IORConfig{
+				File: "ior.dat", Op: op,
+				Sizes: mix.sizes, Procs: []int{32},
+				FileSize: c.scaled(fig7FileSize),
+				Shuffle:  true, Seed: 7,
+			})
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, bandwidthTable("Fig. 7: IOR bandwidth (MB/s), mixed request sizes, 32 procs", rows), nil
+}
+
+// Fig8Row is one server's I/O time under each scheme, normalized to the
+// minimum server time of the MHA run (the paper normalizes "to the
+// minimum of all servers under the MHA layout").
+type Fig8Row struct {
+	Server string
+	Time   map[layout.Scheme]float64
+}
+
+// Fig8 reproduces "I/O time of each server under different data layout
+// schemes" for the 128+256 KB mixed-size IOR write workload.
+func (c Config) Fig8() ([]Fig8Row, *metrics.Table, error) {
+	mk := func(op trace.Op) (trace.Trace, error) {
+		return workload.IOR(workload.IORConfig{
+			File: "ior.dat", Op: op,
+			Sizes: []int64{128 * units.KB, 256 * units.KB}, Procs: []int{32},
+			FileSize: c.scaled(fig7FileSize), Shuffle: true, Seed: 7,
+		})
+	}
+	tr, err := mk(trace.OpWrite)
+	if err != nil {
+		return nil, nil, err
+	}
+	runs, err := c.RunAllSchemes(tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Normalization base: minimum positive per-server time under MHA.
+	base := 0.0
+	for _, st := range runs[layout.MHA].Result.PerServer {
+		if st.BusyTime > 0 && (base == 0 || st.BusyTime < base) {
+			base = st.BusyTime
+		}
+	}
+	if base == 0 {
+		return nil, nil, fmt.Errorf("bench: fig8: MHA run did no I/O")
+	}
+	nServers := c.Cluster.HServers + c.Cluster.SServers
+	rows := make([]Fig8Row, nServers)
+	for i := 0; i < nServers; i++ {
+		rows[i] = Fig8Row{
+			Server: fmt.Sprintf("S%d", i),
+			Time:   make(map[layout.Scheme]float64),
+		}
+		for _, s := range schemeOrder {
+			rows[i].Time[s] = runs[s].Result.PerServer[i].BusyTime / base
+		}
+	}
+	tb := metrics.NewTable(
+		"Fig. 8: per-server I/O time (normalized), IOR write 128+256KB; S0-S5 HServers, S6-S7 SServers",
+		"server", "DEF", "AAL", "HARL", "MHA")
+	for _, r := range rows {
+		tb.AddRow(r.Server, r.Time[layout.DEF], r.Time[layout.AAL], r.Time[layout.HARL], r.Time[layout.MHA])
+	}
+	return rows, tb, nil
+}
+
+// fig9Mixes are the process-count mixes of Fig. 9.
+var fig9Mixes = []struct {
+	label string
+	procs []int
+}{
+	{"8", []int{8}},
+	{"8+32", []int{8, 32}},
+	{"16+64", []int{16, 64}},
+	{"32+128", []int{32, 128}},
+}
+
+// Fig9 reproduces "Bandwidths of IOR with mixed process numbers": fixed
+// 256 KB requests, phases issued by differing process counts.
+func (c Config) Fig9() ([]BandwidthRow, *metrics.Table, error) {
+	var rows []BandwidthRow
+	for _, mix := range fig9Mixes {
+		mix := mix
+		row, err := c.runBandwidthPoint(mix.label, func(op trace.Op) (trace.Trace, error) {
+			return workload.IOR(workload.IORConfig{
+				File: "ior.dat", Op: op,
+				Sizes: []int64{256 * units.KB}, Procs: mix.procs,
+				FileSize: c.scaled(fig7FileSize), Shuffle: true, Seed: 9,
+			})
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, bandwidthTable("Fig. 9: IOR bandwidth (MB/s), mixed process numbers, 256KB requests", rows), nil
+}
+
+// fig10Ratios are the server splits of Fig. 10 (total 8 servers).
+var fig10Ratios = []struct {
+	label string
+	h, s  int
+}{
+	{"7h:1s", 7, 1},
+	{"6h:2s", 6, 2},
+	{"5h:3s", 5, 3},
+	{"4h:4s", 4, 4},
+}
+
+// Fig10 reproduces "Bandwidths of IOR with various server ratios": 32
+// processes, 128+256 KB mixed sizes, sweeping the HServer:SServer split.
+func (c Config) Fig10() ([]BandwidthRow, *metrics.Table, error) {
+	var rows []BandwidthRow
+	for _, ratio := range fig10Ratios {
+		cc := c.withServers(ratio.h, ratio.s)
+		row, err := cc.runBandwidthPoint(ratio.label, func(op trace.Op) (trace.Trace, error) {
+			return workload.IOR(workload.IORConfig{
+				File: "ior.dat", Op: op,
+				Sizes: []int64{128 * units.KB, 256 * units.KB}, Procs: []int{32},
+				FileSize: cc.scaled(fig7FileSize), Shuffle: true, Seed: 10,
+			})
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, bandwidthTable("Fig. 10: IOR bandwidth (MB/s) vs server ratio, 32 procs, 128+256KB", rows), nil
+}
+
+// fig11Procs are the process counts of Fig. 11.
+var fig11Procs = []int{16, 32, 64}
+
+// fig11RegionCount is HPIO's region count in the paper (before scaling).
+const fig11RegionCount = 4096
+
+// Fig11 reproduces "Bandwidths of HPIO with various process numbers":
+// region sizes 16/32/64 KB, spacing 0, region count 4096.
+func (c Config) Fig11() ([]BandwidthRow, *metrics.Table, error) {
+	var rows []BandwidthRow
+	for _, procs := range fig11Procs {
+		procs := procs
+		row, err := c.runBandwidthPoint(fmt.Sprintf("%dp", procs), func(op trace.Op) (trace.Trace, error) {
+			return workload.HPIO(workload.HPIOConfig{
+				File: "hpio.dat", Op: op, Procs: procs,
+				RegionCount:   c.scaledCount(fig11RegionCount),
+				RegionSpacing: 0,
+				RegionSizes:   []int64{16 * units.KB, 32 * units.KB, 64 * units.KB},
+			})
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, bandwidthTable("Fig. 11: HPIO bandwidth (MB/s) vs process count, regions 16/32/64KB", rows), nil
+}
+
+// fig12aProcs are BTIO's (square) process counts.
+var fig12aProcs = []int{9, 16, 25}
+
+// Fig12a reproduces the BTIO aggregate write bandwidth: Class B and C
+// request sizes interleaved over 40 steps.
+func (c Config) Fig12a() ([]BandwidthRow, *metrics.Table, error) {
+	var rows []BandwidthRow
+	for _, procs := range fig12aProcs {
+		procs := procs
+		row, err := c.runBandwidthPoint(fmt.Sprintf("%dp", procs), func(op trace.Op) (trace.Trace, error) {
+			cfg := workload.DefaultBTIO(procs, op)
+			cfg.TotalB = c.scaled(cfg.TotalB)
+			cfg.TotalC = c.scaled(cfg.TotalC)
+			return workload.BTIO(cfg)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, bandwidthTable("Fig. 12a: BTIO bandwidth (MB/s), Class B+C interleaved", rows), nil
+}
+
+// fig12bLoops is the LANL loop count at scale 1 (256 KB per rank-loop).
+const fig12bLoops = 2048
+
+// Fig12b reproduces the LANL App2 replay: 8 processes, the three-request
+// loop of Fig. 3.
+func (c Config) Fig12b() ([]BandwidthRow, *metrics.Table, error) {
+	row, err := c.runBandwidthPoint("lanl", func(op trace.Op) (trace.Trace, error) {
+		return workload.LANL(workload.LANLConfig{
+			File: "lanl.dat", Op: op, Procs: 8, Loops: c.scaledCount(fig12bLoops),
+		})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := []BandwidthRow{row}
+	return rows, bandwidthTable("Fig. 12b: LANL App2 bandwidth (MB/s), 8 procs", rows), nil
+}
+
+// appRow runs a full mixed read+write application trace (LU, Cholesky)
+// under every scheme; the single replay covers both ops, so Read and
+// Write hold the respective per-direction bandwidths of the same run.
+func (c Config) appRow(label string, mk func() (trace.Trace, error)) (BandwidthRow, error) {
+	row := BandwidthRow{
+		Label: label,
+		Read:  make(map[layout.Scheme]float64),
+		Write: make(map[layout.Scheme]float64),
+	}
+	tr, err := mk()
+	if err != nil {
+		return row, err
+	}
+	runs, err := c.RunAllSchemes(tr)
+	if err != nil {
+		return row, err
+	}
+	for s, r := range runs {
+		row.Read[s] = r.Result.ReadBandwidth()
+		row.Write[s] = r.Result.WriteBandwidth()
+	}
+	return row, nil
+}
+
+// fig13Slabs / fig13Panels are the LU/Cholesky sizes at scale 1.
+const (
+	fig13Slabs  = 1024
+	fig13Panels = 2048
+)
+
+// Fig13a reproduces the LU decomposition replay: 8 processes, 8 files,
+// fixed-size writes and varied reads.
+func (c Config) Fig13a() ([]BandwidthRow, *metrics.Table, error) {
+	cfg := workload.DefaultLU()
+	cfg.Slabs = c.scaledCount(fig13Slabs)
+	row, err := c.appRow("lu", func() (trace.Trace, error) { return workload.LU(cfg) })
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := []BandwidthRow{row}
+	return rows, bandwidthTable("Fig. 13a: LU decomposition bandwidth (MB/s), 8 procs", rows), nil
+}
+
+// Fig13b reproduces the sparse Cholesky replay: 8 processes, 8 files,
+// wildly varied request sizes.
+func (c Config) Fig13b() ([]BandwidthRow, *metrics.Table, error) {
+	cfg := workload.DefaultCholesky()
+	cfg.Panels = c.scaledCount(fig13Panels)
+	row, err := c.appRow("cholesky", func() (trace.Trace, error) { return workload.Cholesky(cfg) })
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := []BandwidthRow{row}
+	return rows, bandwidthTable("Fig. 13b: sparse Cholesky bandwidth (MB/s), 8 procs", rows), nil
+}

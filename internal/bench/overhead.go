@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"mhafs/internal/layout"
+	"mhafs/internal/metrics"
+	"mhafs/internal/mpiio"
+	"mhafs/internal/pfs"
+	"mhafs/internal/reorder"
+	"mhafs/internal/replay"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+	"mhafs/internal/workload"
+)
+
+// Fig14Row is one process count of the redirection-overhead experiment.
+type Fig14Row struct {
+	Procs       int
+	BaseBW      float64 // MB/s without redirection
+	RedirectBW  float64 // MB/s with redirection to the original layout
+	OverheadPct float64 // (baseTime→redirectTime) slowdown in percent
+}
+
+// fig14Procs are the process counts of Fig. 14.
+var fig14Procs = []int{8, 32, 128}
+
+// Fig14 reproduces the redirection-overhead measurement: IOR with mixed
+// 4 KB and 64 KB requests is replayed twice — once directly, once through
+// a redirector whose DRT is intentionally empty so every request is
+// redirected back to the original I/O system. The difference is pure
+// middleware overhead.
+func (c Config) Fig14() ([]Fig14Row, *metrics.Table, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var rows []Fig14Row
+	for _, procs := range fig14Procs {
+		tr, err := workloadFig14(c, procs)
+		if err != nil {
+			return nil, nil, err
+		}
+		base, err := c.replayPlain(tr, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		redir, err := c.replayPlain(tr, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Fig14Row{
+			Procs:      procs,
+			BaseBW:     base.Bandwidth(),
+			RedirectBW: redir.Bandwidth(),
+		}
+		if base.Makespan > 0 {
+			row.OverheadPct = (redir.Makespan - base.Makespan) / base.Makespan * 100
+		}
+		rows = append(rows, row)
+	}
+	tb := metrics.NewTable("Fig. 14: MHA redirection overhead, IOR 4+64KB",
+		"procs", "base MB/s", "redirected MB/s", "overhead %")
+	for _, r := range rows {
+		tb.AddRow(r.Procs, r.BaseBW, r.RedirectBW, r.OverheadPct)
+	}
+	return rows, tb, nil
+}
+
+// workloadFig14 builds the Fig. 14 workload: IOR writes with mixed 4 KB
+// and 64 KB request sizes.
+func workloadFig14(c Config, procs int) (trace.Trace, error) {
+	return workload.IOR(workload.IORConfig{
+		File: "ior.dat", Op: trace.OpWrite,
+		Sizes:    []int64{4 * units.KB, 64 * units.KB},
+		Procs:    []int{procs},
+		FileSize: c.scaled(fig7FileSize) / 4,
+		Shuffle:  true, Seed: 14,
+	})
+}
+
+// replayPlain runs a trace on a fresh cluster, optionally through an
+// identity redirector (empty DRT) charging the configured lookup time.
+func (c Config) replayPlain(tr trace.Trace, redirect bool) (replay.Result, error) {
+	cluster, err := pfs.New(c.Cluster)
+	if err != nil {
+		return replay.Result{}, err
+	}
+	for _, f := range tr.Files() {
+		if _, err := cluster.CreateDefault(f); err != nil {
+			return replay.Result{}, err
+		}
+	}
+	mw := mpiio.New(cluster)
+	if redirect {
+		placement, err := reorder.Apply(cluster, layout.Plan{Scheme: layout.MHA}, reorder.Options{})
+		if err != nil {
+			return replay.Result{}, err
+		}
+		defer placement.Close()
+		mw.Redirector = reorder.NewRedirector(placement.DRT, c.RedirectLookup)
+	}
+	return replay.RunWith(mw, tr, replay.Options{Mode: c.ReplayMode})
+}
+
+// MetaOverheadRow is the analytic meta-data space computation of §V-E2.
+type MetaOverheadRow struct {
+	RequestSize int64
+	EntryBytes  int64
+	MaxEntries  int64 // per GB of storage
+	OverheadPct float64
+}
+
+// drtEntryBytes is the paper's DRT entry size: six 4-byte variables.
+const drtEntryBytes = 6 * 4
+
+// MetaOverhead reproduces the meta-data space analysis: with S GB of
+// storage and every request at the given size, the DRT holds at most
+// S/size entries of 24 bytes — 0.6 % of the data space in the worst case
+// (4 KB requests).
+func MetaOverhead(requestSizes []int64) ([]MetaOverheadRow, *metrics.Table) {
+	var rows []MetaOverheadRow
+	for _, sz := range requestSizes {
+		perGB := int64(units.GB) / sz
+		rows = append(rows, MetaOverheadRow{
+			RequestSize: sz,
+			EntryBytes:  drtEntryBytes,
+			MaxEntries:  perGB,
+			OverheadPct: float64(drtEntryBytes) / float64(sz) * 100,
+		})
+	}
+	tb := metrics.NewTable("Meta-data space overhead (§V-E2)",
+		"request size", "entry bytes", "entries/GB", "overhead %")
+	for _, r := range rows {
+		tb.AddRow(units.Bytes(r.RequestSize).String(), r.EntryBytes, r.MaxEntries,
+			fmt.Sprintf("%.3f", r.OverheadPct))
+	}
+	return rows, tb
+}

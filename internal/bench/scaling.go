@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+
+	"mhafs/internal/layout"
+	"mhafs/internal/metrics"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+	"mhafs/internal/workload"
+)
+
+// ScalingRow is one cluster size of the scaling experiment.
+type ScalingRow struct {
+	Servers int // total servers (3:1 HServer:SServer ratio)
+	Procs   int
+	BW      map[layout.Scheme]float64 // MB/s
+}
+
+// Scaling addresses the paper's future work — "evaluate MHA in a much
+// larger cluster" — by weak-scaling the Fig. 7 mixed-size IOR workload:
+// cluster sizes 8→64 servers (3:1 HDD:SSD ratio, like the paper's 6:2),
+// with the process count and total volume growing proportionally so
+// per-server load stays constant. A layout scheme that scales keeps (or
+// grows) its aggregate bandwidth per server.
+func (c Config) Scaling() ([]ScalingRow, *metrics.Table, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var rows []ScalingRow
+	for _, mul := range []int{1, 2, 4, 8} {
+		h, s := 6*mul, 2*mul
+		procs := 32 * mul
+		cc := c.withServers(h, s)
+		tr, err := workload.IOR(workload.IORConfig{
+			File: "ior.dat", Op: trace.OpWrite,
+			Sizes: []int64{128 * units.KB, 256 * units.KB},
+			Procs: []int{procs},
+			// Weak scaling: volume grows with the cluster.
+			FileSize: cc.scaled(fig7FileSize) * int64(mul),
+			Shuffle:  true, Seed: 7,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		row := ScalingRow{Servers: h + s, Procs: procs, BW: make(map[layout.Scheme]float64)}
+		for _, scheme := range []layout.Scheme{layout.DEF, layout.MHA} {
+			run, err := cc.RunScheme(scheme, tr)
+			if err != nil {
+				return nil, nil, err
+			}
+			row.BW[scheme] = run.Result.Bandwidth()
+		}
+		rows = append(rows, row)
+	}
+	tb := metrics.NewTable(
+		"Scaling (future work): weak-scaled IOR 128+256KB write, 3:1 HDD:SSD",
+		"servers", "procs", "DEF MB/s", "MHA MB/s", "MHA/DEF", "MHA MB/s per server")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.BW[layout.DEF] > 0 {
+			ratio = r.BW[layout.MHA] / r.BW[layout.DEF]
+		}
+		tb.AddRow(r.Servers, r.Procs, r.BW[layout.DEF], r.BW[layout.MHA],
+			fmt.Sprintf("%.2f", ratio),
+			fmt.Sprintf("%.1f", r.BW[layout.MHA]/float64(r.Servers)))
+	}
+	return rows, tb, nil
+}

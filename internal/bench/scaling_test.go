@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"testing"
+
+	"mhafs/internal/layout"
+)
+
+// The weak-scaling experiment must show MHA maintaining its advantage as
+// the cluster grows: MHA beats DEF at every size, and MHA's per-server
+// bandwidth does not collapse at 8x scale.
+func TestScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep is slow")
+	}
+	c := testConfig()
+	rows, tb, err := c.Scaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || tb.Rows() != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		def, mha := r.BW[layout.DEF], r.BW[layout.MHA]
+		if !(mha > def) {
+			t.Errorf("%d servers: MHA %.1f not above DEF %.1f", r.Servers, mha, def)
+		}
+	}
+	small := rows[0].BW[layout.MHA] / float64(rows[0].Servers)
+	big := rows[len(rows)-1].BW[layout.MHA] / float64(rows[len(rows)-1].Servers)
+	if big < 0.5*small {
+		t.Errorf("per-server bandwidth collapsed under scaling: %.1f -> %.1f", small, big)
+	}
+}

@@ -1,0 +1,260 @@
+// Package cluster implements Algorithm 1 of the MHA paper: iterative
+// request grouping.
+//
+// Requests are points in a two-dimensional Euclidean space (request size,
+// request concurrency). Distances are normalized per dimension by the
+// spread max{x_k} − min{x_k} (Eq. 1) so size (bytes) and concurrency
+// (process counts) compare on equal footing. The grouping is a bounded
+// k-means refinement: pick k initial centers, assign every point to its
+// nearest center, recompute centers as group means, and repeat until the
+// centers stop moving or the iteration limit (3 in the paper) is reached.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mhafs/internal/pattern"
+)
+
+// Options configures the grouping.
+type Options struct {
+	// MaxIters bounds the refinement loop; the paper uses 3.
+	MaxIters int
+	// Seed drives the deterministic pseudo-random choice of initial
+	// centers ("randomly selected R[t]" in Algorithm 1).
+	Seed int64
+}
+
+// DefaultOptions mirrors the paper: at most 3 refinement iterations.
+func DefaultOptions() Options { return Options{MaxIters: 3, Seed: 1} }
+
+// Result is the outcome of grouping.
+type Result struct {
+	// Centers are the final group centers in normalized feature space
+	// scaled back to raw units.
+	Centers []pattern.Point
+	// Assign[i] is the group index of input point i.
+	Assign []int
+	// Groups[g] lists the input indices assigned to group g. Groups are
+	// never empty: empty groups are dropped and indices compacted.
+	Groups [][]int
+	// Iters is the number of refinement iterations performed.
+	Iters int
+}
+
+// K returns the number of (non-empty) groups.
+func (r Result) K() int { return len(r.Groups) }
+
+// normalizer rescales each dimension by its spread, per Eq. 1.
+type normalizer struct {
+	minX, spanX float64
+	minY, spanY float64
+}
+
+func newNormalizer(points []pattern.Point) normalizer {
+	n := normalizer{minX: math.Inf(1), minY: math.Inf(1)}
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range points {
+		n.minX = math.Min(n.minX, p.X)
+		n.minY = math.Min(n.minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	n.spanX = maxX - n.minX
+	n.spanY = maxY - n.minY
+	// Degenerate dimensions (all points equal) contribute zero distance;
+	// a span of 1 avoids division by zero without changing the result.
+	if n.spanX == 0 {
+		n.spanX = 1
+	}
+	if n.spanY == 0 {
+		n.spanY = 1
+	}
+	return n
+}
+
+func (n normalizer) apply(p pattern.Point) pattern.Point {
+	return pattern.Point{X: (p.X - n.minX) / n.spanX, Y: (p.Y - n.minY) / n.spanY}
+}
+
+// dist2 is the squared normalized Euclidean distance of Eq. 1 (on already
+// normalized points).
+func dist2(a, b pattern.Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// Group clusters the points into at most k groups. It returns an error for
+// invalid k. If len(points) ≤ k, each point forms its own group, as in
+// Algorithm 1's base case.
+func Group(points []pattern.Point, k int, opts Options) (Result, error) {
+	if k <= 0 {
+		return Result{}, fmt.Errorf("cluster: k must be positive, got %d", k)
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = DefaultOptions().MaxIters
+	}
+	if len(points) == 0 {
+		return Result{}, nil
+	}
+	if len(points) <= k {
+		return singletonGroups(points), nil
+	}
+
+	norm := newNormalizer(points)
+	np := make([]pattern.Point, len(points))
+	for i, p := range points {
+		np[i] = norm.apply(p)
+	}
+
+	centers := initialCenters(np, k, opts.Seed)
+	assign := make([]int, len(np))
+	iters := 0
+	for ; iters < opts.MaxIters; iters++ {
+		changed := assignAll(np, centers, assign)
+		moved := recompute(np, assign, centers)
+		if !changed && !moved {
+			iters++
+			break
+		}
+	}
+
+	return compact(points, norm, centers, assign, iters), nil
+}
+
+// singletonGroups implements the i ≤ k base case: every request is its own
+// group center.
+func singletonGroups(points []pattern.Point) Result {
+	res := Result{
+		Centers: make([]pattern.Point, len(points)),
+		Assign:  make([]int, len(points)),
+		Groups:  make([][]int, len(points)),
+	}
+	for i, p := range points {
+		res.Centers[i] = p
+		res.Assign[i] = i
+		res.Groups[i] = []int{i}
+	}
+	return res
+}
+
+// initialCenters picks k distinct points pseudo-randomly (deterministic
+// under a fixed seed), preferring points with distinct coordinates so the
+// refinement starts from spread-out centers.
+func initialCenters(np []pattern.Point, k int, seed int64) []pattern.Point {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(np))
+	centers := make([]pattern.Point, 0, k)
+	seen := make(map[pattern.Point]bool, k)
+	for _, idx := range perm {
+		if !seen[np[idx]] {
+			seen[np[idx]] = true
+			centers = append(centers, np[idx])
+			if len(centers) == k {
+				return centers
+			}
+		}
+	}
+	// Fewer distinct points than k: pad with duplicates (their groups will
+	// end empty and be compacted away).
+	for _, idx := range perm {
+		centers = append(centers, np[idx])
+		if len(centers) == k {
+			break
+		}
+	}
+	return centers
+}
+
+// assignAll assigns each point to its nearest center; reports whether any
+// assignment changed.
+func assignAll(np []pattern.Point, centers []pattern.Point, assign []int) bool {
+	changed := false
+	for i, p := range np {
+		best, bestD := 0, math.Inf(1)
+		for g, c := range centers {
+			if d := dist2(p, c); d < bestD {
+				best, bestD = g, d
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			changed = true
+		}
+	}
+	return changed
+}
+
+// recompute moves each center to the mean of its group; reports whether
+// any center moved. Empty groups keep their previous center.
+func recompute(np []pattern.Point, assign []int, centers []pattern.Point) bool {
+	sums := make([]pattern.Point, len(centers))
+	counts := make([]int, len(centers))
+	for i, g := range assign {
+		sums[g].X += np[i].X
+		sums[g].Y += np[i].Y
+		counts[g]++
+	}
+	moved := false
+	for g := range centers {
+		if counts[g] == 0 {
+			continue
+		}
+		mean := pattern.Point{X: sums[g].X / float64(counts[g]), Y: sums[g].Y / float64(counts[g])}
+		if dist2(mean, centers[g]) > 1e-18 {
+			moved = true
+		}
+		centers[g] = mean
+	}
+	return moved
+}
+
+// compact drops empty groups, renumbers assignments, and denormalizes the
+// centers back to raw feature units.
+func compact(points []pattern.Point, norm normalizer, centers []pattern.Point, assign []int, iters int) Result {
+	remap := make([]int, len(centers))
+	for i := range remap {
+		remap[i] = -1
+	}
+	var res Result
+	res.Iters = iters
+	res.Assign = make([]int, len(assign))
+	for i, g := range assign {
+		if remap[g] == -1 {
+			remap[g] = len(res.Groups)
+			res.Groups = append(res.Groups, nil)
+			res.Centers = append(res.Centers, pattern.Point{
+				X: centers[g].X*norm.spanX + norm.minX,
+				Y: centers[g].Y*norm.spanY + norm.minY,
+			})
+		}
+		ng := remap[g]
+		res.Assign[i] = ng
+		res.Groups[ng] = append(res.Groups[ng], i)
+	}
+	_ = points
+	return res
+}
+
+// BoundK returns the group count to request: the number of distinct
+// feature points, capped at maxK. The paper bounds k by the region count
+// of the fixed-size region division method to limit metadata overhead.
+func BoundK(points []pattern.Point, maxK int) int {
+	if maxK <= 0 {
+		maxK = 1
+	}
+	seen := make(map[pattern.Point]bool)
+	for _, p := range points {
+		seen[p] = true
+	}
+	k := len(seen)
+	if k > maxK {
+		k = maxK
+	}
+	if k == 0 {
+		k = 1
+	}
+	return k
+}

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mhafs/internal/pattern"
+)
+
+// twoBlobs returns points forming two well-separated clusters in feature
+// space: small requests at high concurrency, large requests at low
+// concurrency.
+func twoBlobs() []pattern.Point {
+	var pts []pattern.Point
+	for i := 0; i < 10; i++ {
+		pts = append(pts, pattern.Point{X: 16384 + float64(i), Y: 32})
+	}
+	for i := 0; i < 10; i++ {
+		pts = append(pts, pattern.Point{X: 262144 + float64(i), Y: 8})
+	}
+	return pts
+}
+
+func TestGroupSeparatesBlobs(t *testing.T) {
+	res, err := Group(twoBlobs(), 2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 2 {
+		t.Fatalf("K = %d, want 2", res.K())
+	}
+	// All of the first 10 points must share a group, all of the last 10
+	// the other.
+	g0 := res.Assign[0]
+	for i := 1; i < 10; i++ {
+		if res.Assign[i] != g0 {
+			t.Fatalf("small-request point %d in group %d, want %d", i, res.Assign[i], g0)
+		}
+	}
+	g1 := res.Assign[10]
+	if g1 == g0 {
+		t.Fatal("blobs merged into one group")
+	}
+	for i := 11; i < 20; i++ {
+		if res.Assign[i] != g1 {
+			t.Fatalf("large-request point %d in group %d, want %d", i, res.Assign[i], g1)
+		}
+	}
+}
+
+func TestGroupInvalidK(t *testing.T) {
+	if _, err := Group(twoBlobs(), 0, DefaultOptions()); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Group(twoBlobs(), -2, DefaultOptions()); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestGroupEmpty(t *testing.T) {
+	res, err := Group(nil, 3, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 0 || len(res.Assign) != 0 {
+		t.Errorf("empty input should produce empty result: %+v", res)
+	}
+}
+
+func TestGroupSingletonBaseCase(t *testing.T) {
+	// Algorithm 1: if i ≤ k each request point becomes a group center.
+	pts := []pattern.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}
+	res, err := Group(pts, 5, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 2 {
+		t.Fatalf("K = %d, want 2", res.K())
+	}
+	if !reflect.DeepEqual(res.Centers, pts) {
+		t.Errorf("centers = %v, want the points themselves", res.Centers)
+	}
+	for i := range pts {
+		if res.Assign[i] != i {
+			t.Errorf("Assign[%d] = %d", i, res.Assign[i])
+		}
+	}
+}
+
+func TestGroupIdenticalPoints(t *testing.T) {
+	pts := make([]pattern.Point, 8)
+	for i := range pts {
+		pts[i] = pattern.Point{X: 64, Y: 4}
+	}
+	res, err := Group(pts, 3, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 1 {
+		t.Fatalf("identical points should collapse to 1 group, got %d", res.K())
+	}
+	if len(res.Groups[0]) != 8 {
+		t.Errorf("group size = %d, want 8", len(res.Groups[0]))
+	}
+}
+
+func TestGroupDeterministic(t *testing.T) {
+	a, _ := Group(twoBlobs(), 2, Options{MaxIters: 3, Seed: 42})
+	b, _ := Group(twoBlobs(), 2, Options{MaxIters: 3, Seed: 42})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed must give identical grouping")
+	}
+}
+
+func TestGroupIterationBound(t *testing.T) {
+	res, err := Group(twoBlobs(), 2, Options{MaxIters: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters > 3 {
+		t.Errorf("Iters = %d, exceeds the paper's bound of 3", res.Iters)
+	}
+}
+
+func TestGroupDefaultsAppliedForZeroMaxIters(t *testing.T) {
+	if _, err := Group(twoBlobs(), 2, Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Properties that must hold for any input: every point assigned to exactly
+// one non-empty group; groups partition the index set; K ≤ k.
+func TestGroupPartitionQuick(t *testing.T) {
+	f := func(raw []uint16, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := int(kRaw%8) + 1
+		pts := make([]pattern.Point, len(raw))
+		for i, v := range raw {
+			pts[i] = pattern.Point{X: float64(v%1024) * 1024, Y: float64(v % 64)}
+		}
+		res, err := Group(pts, k, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		if res.K() > max(k, 1) && len(pts) > k {
+			return false
+		}
+		seen := make(map[int]int)
+		for g, members := range res.Groups {
+			if len(members) == 0 {
+				return false // empty groups must be compacted away
+			}
+			for _, i := range members {
+				seen[i]++
+				if res.Assign[i] != g {
+					return false
+				}
+			}
+		}
+		if len(seen) != len(pts) {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundK(t *testing.T) {
+	pts := twoBlobs() // 20 distinct points
+	if got := BoundK(pts, 8); got != 8 {
+		t.Errorf("BoundK cap = %d, want 8", got)
+	}
+	if got := BoundK(pts[:3], 8); got != 3 {
+		t.Errorf("BoundK distinct = %d, want 3", got)
+	}
+	if got := BoundK(nil, 8); got != 1 {
+		t.Errorf("BoundK(nil) = %d, want 1", got)
+	}
+	if got := BoundK(pts, 0); got != 1 {
+		t.Errorf("BoundK with maxK=0 = %d, want 1", got)
+	}
+	same := []pattern.Point{{X: 1, Y: 1}, {X: 1, Y: 1}}
+	if got := BoundK(same, 8); got != 1 {
+		t.Errorf("BoundK identical = %d, want 1", got)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

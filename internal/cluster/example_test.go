@@ -1,0 +1,29 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"mhafs/internal/cluster"
+	"mhafs/internal/pattern"
+)
+
+// Algorithm 1 separates two access patterns: small requests at high
+// concurrency and large requests at low concurrency.
+func ExampleGroup() {
+	var points []pattern.Point
+	for i := 0; i < 6; i++ {
+		points = append(points, pattern.Point{X: 16384, Y: 32}) // 16KB × 32 procs
+	}
+	for i := 0; i < 6; i++ {
+		points = append(points, pattern.Point{X: 262144, Y: 8}) // 256KB × 8 procs
+	}
+	res, _ := cluster.Group(points, 2, cluster.DefaultOptions())
+	fmt.Printf("groups: %d\n", res.K())
+	for g, members := range res.Groups {
+		fmt.Printf("group %d: %d requests around %.0fB\n", g, len(members), res.Centers[g].X)
+	}
+	// Output:
+	// groups: 2
+	// group 0: 6 requests around 16384B
+	// group 1: 6 requests around 262144B
+}

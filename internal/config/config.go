@@ -1,0 +1,203 @@
+// Package config loads experiment calibration from JSON, so a deployed
+// mhabench can be matched to different hardware without recompiling. All
+// fields are optional; absent ones keep the built-in defaults documented
+// in DESIGN.md §5.
+//
+// Example:
+//
+//	{
+//	  "hdd": {"startup_us": 1500, "read_mbps": 110, "write_mbps": 110,
+//	          "seek_interference_us": 30, "seek_interference_cap_us": 2000},
+//	  "ssd": {"read_startup_us": 50, "write_startup_us": 80,
+//	          "read_mbps": 700, "write_mbps": 500},
+//	  "net": {"mbps": 117, "per_message_us": 20},
+//	  "cluster": {"hservers": 6, "sservers": 2, "mds_lookup_us": 200,
+//	              "default_stripe": "64KB"},
+//	  "planner": {"step": "4KB", "max_regions": 16},
+//	  "redirect_lookup_us": 1
+//	}
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"mhafs/internal/bench"
+	"mhafs/internal/costmodel"
+	"mhafs/internal/units"
+)
+
+// HDDJSON overrides the HDD model.
+type HDDJSON struct {
+	StartupUS             *float64 `json:"startup_us"`
+	ReadMBps              *float64 `json:"read_mbps"`
+	WriteMBps             *float64 `json:"write_mbps"`
+	SeekInterferenceUS    *float64 `json:"seek_interference_us"`
+	SeekInterferenceCapUS *float64 `json:"seek_interference_cap_us"`
+}
+
+// SSDJSON overrides the SSD model.
+type SSDJSON struct {
+	ReadStartupUS  *float64 `json:"read_startup_us"`
+	WriteStartupUS *float64 `json:"write_startup_us"`
+	ReadMBps       *float64 `json:"read_mbps"`
+	WriteMBps      *float64 `json:"write_mbps"`
+}
+
+// NetJSON overrides the network model.
+type NetJSON struct {
+	MBps         *float64 `json:"mbps"`
+	PerMessageUS *float64 `json:"per_message_us"`
+}
+
+// ClusterJSON overrides cluster shape and MDS parameters.
+type ClusterJSON struct {
+	HServers      *int     `json:"hservers"`
+	SServers      *int     `json:"sservers"`
+	MDSLookupUS   *float64 `json:"mds_lookup_us"`
+	DefaultStripe *string  `json:"default_stripe"`
+}
+
+// PlannerJSON overrides planning parameters.
+type PlannerJSON struct {
+	Step       *string `json:"step"`
+	MaxRegions *int    `json:"max_regions"`
+}
+
+// Calibration is the top-level document.
+type Calibration struct {
+	HDD              *HDDJSON     `json:"hdd"`
+	SSD              *SSDJSON     `json:"ssd"`
+	Net              *NetJSON     `json:"net"`
+	Cluster          *ClusterJSON `json:"cluster"`
+	Planner          *PlannerJSON `json:"planner"`
+	RedirectLookupUS *float64     `json:"redirect_lookup_us"`
+	Scale            *int64       `json:"scale"`
+}
+
+// Load parses the file at path.
+func Load(path string) (Calibration, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Calibration{}, fmt.Errorf("config: %w", err)
+	}
+	return Parse(data)
+}
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// Parse decodes a calibration document, rejecting unknown fields so typos
+// are caught instead of silently ignored.
+func Parse(data []byte) (Calibration, error) {
+	var c Calibration
+	dec := json.NewDecoder(bytesReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Calibration{}, fmt.Errorf("config: %w", err)
+	}
+	return c, nil
+}
+
+// Apply overlays the calibration onto a bench configuration and returns
+// the result, re-deriving the cost model so the planner and simulator
+// stay consistent. The input is not modified.
+func (c Calibration) Apply(base bench.Config) (bench.Config, error) {
+	out := base
+	us := func(v float64) float64 { return v * 1e-6 }
+
+	if h := c.HDD; h != nil {
+		m := out.Cluster.HDD
+		if h.StartupUS != nil {
+			m.ReadStartup = us(*h.StartupUS)
+			m.WriteStartup = us(*h.StartupUS)
+		}
+		if h.ReadMBps != nil {
+			m.ReadPerByte = units.PerByteFromMBps(*h.ReadMBps)
+		}
+		if h.WriteMBps != nil {
+			m.WritePerByte = units.PerByteFromMBps(*h.WriteMBps)
+		}
+		if h.SeekInterferenceUS != nil {
+			m.SeekInterference = us(*h.SeekInterferenceUS)
+		}
+		if h.SeekInterferenceCapUS != nil {
+			m.SeekInterferenceCap = us(*h.SeekInterferenceCapUS)
+		}
+		out.Cluster.HDD = m
+	}
+	if s := c.SSD; s != nil {
+		m := out.Cluster.SSD
+		if s.ReadStartupUS != nil {
+			m.ReadStartup = us(*s.ReadStartupUS)
+		}
+		if s.WriteStartupUS != nil {
+			m.WriteStartup = us(*s.WriteStartupUS)
+		}
+		if s.ReadMBps != nil {
+			m.ReadPerByte = units.PerByteFromMBps(*s.ReadMBps)
+		}
+		if s.WriteMBps != nil {
+			m.WritePerByte = units.PerByteFromMBps(*s.WriteMBps)
+		}
+		out.Cluster.SSD = m
+	}
+	if n := c.Net; n != nil {
+		m := out.Cluster.Net
+		if n.MBps != nil {
+			m.PerByte = units.PerByteFromMBps(*n.MBps)
+		}
+		if n.PerMessageUS != nil {
+			m.PerMessage = us(*n.PerMessageUS)
+		}
+		out.Cluster.Net = m
+	}
+	if cl := c.Cluster; cl != nil {
+		if cl.HServers != nil {
+			out.Cluster.HServers = *cl.HServers
+			out.Env.M = *cl.HServers
+		}
+		if cl.SServers != nil {
+			out.Cluster.SServers = *cl.SServers
+			out.Env.N = *cl.SServers
+		}
+		if cl.MDSLookupUS != nil {
+			out.Cluster.MDSLookup = us(*cl.MDSLookupUS)
+		}
+		if cl.DefaultStripe != nil {
+			b, err := units.ParseBytes(*cl.DefaultStripe)
+			if err != nil {
+				return out, fmt.Errorf("config: default_stripe: %w", err)
+			}
+			out.Cluster.DefaultStripe = int64(b)
+			out.Env.DefaultStripe = int64(b)
+		}
+	}
+	if p := c.Planner; p != nil {
+		if p.Step != nil {
+			b, err := units.ParseBytes(*p.Step)
+			if err != nil {
+				return out, fmt.Errorf("config: step: %w", err)
+			}
+			out.Env.Step = int64(b)
+		}
+		if p.MaxRegions != nil {
+			out.Env.MaxRegions = *p.MaxRegions
+		}
+	}
+	if c.RedirectLookupUS != nil {
+		out.RedirectLookup = us(*c.RedirectLookupUS)
+	}
+	if c.Scale != nil {
+		out.Scale = *c.Scale
+	}
+	// Keep the planner's cost model derived from the (possibly updated)
+	// device and network models.
+	out.Env.Params = costmodel.FromModels(out.Cluster.HDD, out.Cluster.SSD, out.Cluster.Net)
+	if err := out.Validate(); err != nil {
+		return out, fmt.Errorf("config: resulting configuration invalid: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package config
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mhafs/internal/bench"
+	"mhafs/internal/units"
+)
+
+const sample = `{
+  "hdd": {"startup_us": 2000, "read_mbps": 90, "write_mbps": 85,
+          "seek_interference_us": 50, "seek_interference_cap_us": 3000},
+  "ssd": {"read_startup_us": 40, "write_startup_us": 70,
+          "read_mbps": 900, "write_mbps": 600},
+  "net": {"mbps": 1100, "per_message_us": 5},
+  "cluster": {"hservers": 8, "sservers": 4, "mds_lookup_us": 100,
+              "default_stripe": "128KB"},
+  "planner": {"step": "8KB", "max_regions": 32},
+  "redirect_lookup_us": 2,
+  "scale": 128
+}`
+
+func TestParseAndApply(t *testing.T) {
+	c, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Apply(bench.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cluster.HServers != 8 || out.Cluster.SServers != 4 {
+		t.Errorf("cluster shape = %d/%d", out.Cluster.HServers, out.Cluster.SServers)
+	}
+	if out.Env.M != 8 || out.Env.N != 4 {
+		t.Errorf("env shape = %d/%d", out.Env.M, out.Env.N)
+	}
+	if math.Abs(out.Cluster.HDD.ReadStartup-2e-3) > 1e-12 {
+		t.Errorf("hdd startup = %v", out.Cluster.HDD.ReadStartup)
+	}
+	if math.Abs(out.Cluster.HDD.ReadPerByte.MBps()-90) > 1e-6 {
+		t.Errorf("hdd read = %v MBps", out.Cluster.HDD.ReadPerByte.MBps())
+	}
+	if math.Abs(out.Cluster.SSD.WritePerByte.MBps()-600) > 1e-6 {
+		t.Errorf("ssd write = %v MBps", out.Cluster.SSD.WritePerByte.MBps())
+	}
+	if out.Cluster.DefaultStripe != 128*units.KB || out.Env.DefaultStripe != 128*units.KB {
+		t.Errorf("default stripe = %d", out.Cluster.DefaultStripe)
+	}
+	if out.Env.Step != 8*units.KB || out.Env.MaxRegions != 32 {
+		t.Errorf("planner = step %d maxK %d", out.Env.Step, out.Env.MaxRegions)
+	}
+	if math.Abs(out.RedirectLookup-2e-6) > 1e-15 {
+		t.Errorf("redirect lookup = %v", out.RedirectLookup)
+	}
+	if out.Scale != 128 {
+		t.Errorf("scale = %d", out.Scale)
+	}
+	// The cost model must be re-derived from the new device models.
+	if math.Abs(out.Env.Params.AlphaH-2e-3) > 1e-12 {
+		t.Errorf("cost model alpha_h = %v not re-derived", out.Env.Params.AlphaH)
+	}
+	if math.Abs(out.Env.Params.SeekInterference-50e-6) > 1e-12 {
+		t.Errorf("cost model interference = %v", out.Env.Params.SeekInterference)
+	}
+}
+
+func TestPartialOverlayKeepsDefaults(t *testing.T) {
+	c, err := Parse([]byte(`{"net": {"mbps": 200}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := bench.Default()
+	out, err := c.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Cluster.Net.PerByte.MBps()-200) > 1e-6 {
+		t.Errorf("net = %v", out.Cluster.Net.PerByte.MBps())
+	}
+	if out.Cluster.Net.PerMessage != base.Cluster.Net.PerMessage {
+		t.Error("per-message default lost")
+	}
+	if out.Cluster.HDD != base.Cluster.HDD {
+		t.Error("HDD defaults lost")
+	}
+	if out.Scale != base.Scale {
+		t.Error("scale default lost")
+	}
+}
+
+func TestRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"hdd": {"startup_ms": 2}}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Parse([]byte(`{"typo": 1}`)); err == nil {
+		t.Error("unknown top-level field accepted")
+	}
+	if _, err := Parse([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestRejectsInvalidResults(t *testing.T) {
+	c, _ := Parse([]byte(`{"cluster": {"hservers": 0, "sservers": 0}}`))
+	if _, err := c.Apply(bench.Default()); err == nil {
+		t.Error("invalid resulting cluster accepted")
+	}
+	c, _ = Parse([]byte(`{"cluster": {"default_stripe": "12parsecs"}}`))
+	if _, err := c.Apply(bench.Default()); err == nil {
+		t.Error("bad stripe unit accepted")
+	}
+	c, _ = Parse([]byte(`{"planner": {"step": "oops"}}`))
+	if _, err := c.Apply(bench.Default()); err == nil {
+		t.Error("bad step unit accepted")
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scale == nil || *c.Scale != 128 {
+		t.Error("file load lost fields")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil ||
+		!strings.Contains(err.Error(), "config") {
+		t.Errorf("missing file error = %v", err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package costmodel implements the data-access cost model of the MHA paper
+// (§III-F, Table I, Eq. 2).
+//
+// The cost of a file request under a stripe pair <h, s> is the I/O time of
+// its slowest sub-request:
+//
+//	T_R(r, h, s) = max{ p_i·α_h  + s_i·(t + β_h),
+//	                    p_j·α_sr + s_j·(t + β_sr) | ∀i∈H, j∈S }
+//
+// where s_i is the accumulated sub-request size on server i, p_i the number
+// of processes with sub-requests on server i, t the unit network transfer
+// time, and α/β the per-class startup and per-byte storage times. Writes
+// (T_W) substitute the SServer write parameters α_sw/β_sw — SSDs have
+// asymmetric read/write performance. The model assumes every server offers
+// the same network bandwidth, as the paper does.
+package costmodel
+
+import (
+	"fmt"
+
+	"mhafs/internal/device"
+	"mhafs/internal/netmodel"
+	"mhafs/internal/stripe"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+// Params carries every symbol of Table I that does not describe an
+// individual request or layout: the network time t and the per-class
+// device parameters.
+type Params struct {
+	// T is the unit data network transfer time (seconds/byte).
+	T units.SecPerByte
+	// PerMessage is a fixed network overhead charged once per sub-request.
+	PerMessage float64
+
+	// HServer storage parameters (identical for reads and writes).
+	AlphaH float64
+	BetaH  units.SecPerByte
+
+	// SServer read parameters.
+	AlphaSR float64
+	BetaSR  units.SecPerByte
+
+	// SServer write parameters.
+	AlphaSW float64
+	BetaSW  units.SecPerByte
+
+	// HServer seek interference: when p requests are queued at a
+	// mechanical device, the j-th pays roughly j·SeekInterference of extra
+	// positioning time (capped at SeekInterferenceCap) — competing client
+	// streams pull the arm apart. Mirrors device.Model so the planner
+	// predicts the same queueing penalty the simulator charges.
+	SeekInterference    float64
+	SeekInterferenceCap float64
+}
+
+// FromModels derives Params from device and network models, keeping the
+// planner and the simulator in exact agreement.
+func FromModels(hdd, ssd device.Model, net netmodel.Model) Params {
+	return Params{
+		T:          net.PerByte,
+		PerMessage: net.PerMessage,
+		AlphaH:     hdd.ReadStartup,
+		BetaH:      hdd.ReadPerByte,
+		AlphaSR:    ssd.ReadStartup,
+		BetaSR:     ssd.ReadPerByte,
+		AlphaSW:    ssd.WriteStartup,
+		BetaSW:     ssd.WritePerByte,
+
+		SeekInterference:    hdd.SeekInterference,
+		SeekInterferenceCap: hdd.SeekInterferenceCap,
+	}
+}
+
+// Default returns the calibration used throughout the experiments: the
+// default HDD, SSD and GbE models.
+func Default() Params {
+	return FromModels(device.DefaultHDD(), device.DefaultSSD(), netmodel.DefaultGigE())
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.T <= 0 {
+		return fmt.Errorf("costmodel: network per-byte time must be positive")
+	}
+	if p.PerMessage < 0 {
+		return fmt.Errorf("costmodel: per-message overhead must be non-negative")
+	}
+	if p.AlphaH < 0 || p.AlphaSR < 0 || p.AlphaSW < 0 {
+		return fmt.Errorf("costmodel: negative startup time")
+	}
+	if p.BetaH <= 0 || p.BetaSR <= 0 || p.BetaSW <= 0 {
+		return fmt.Errorf("costmodel: per-byte storage time must be positive")
+	}
+	if p.SeekInterference < 0 || p.SeekInterferenceCap < 0 {
+		return fmt.Errorf("costmodel: negative seek interference")
+	}
+	return nil
+}
+
+// Homogeneous returns a copy in which SServers are given HServer
+// parameters. The AAL baseline plans with this variant: it understands
+// access patterns but is blind to server heterogeneity.
+func (p Params) Homogeneous() Params {
+	q := p
+	q.AlphaSR, q.BetaSR = p.AlphaH, p.BetaH
+	q.AlphaSW, q.BetaSW = p.AlphaH, p.BetaH
+	return q
+}
+
+// Alpha returns the startup time of a server class for an operation.
+func (p Params) Alpha(class stripe.Class, op trace.Op) float64 {
+	if class == stripe.ClassH {
+		return p.AlphaH
+	}
+	if op == trace.OpWrite {
+		return p.AlphaSW
+	}
+	return p.AlphaSR
+}
+
+// Beta returns the per-byte storage time of a server class for an
+// operation.
+func (p Params) Beta(class stripe.Class, op trace.Op) units.SecPerByte {
+	if class == stripe.ClassH {
+		return p.BetaH
+	}
+	if op == trace.OpWrite {
+		return p.BetaSW
+	}
+	return p.BetaSR
+}
+
+// SubRequestTime is one term of Eq. 2 for p processes and n accumulated
+// bytes on one server: p·α + n·(t + β), plus p per-message overheads and —
+// on HServers — the summed seek-interference penalty of draining p queued
+// requests.
+func (p Params) SubRequestTime(class stripe.Class, op trace.Op, procs int, n int64) float64 {
+	if n <= 0 || procs <= 0 {
+		return 0
+	}
+	t := float64(procs)*(p.Alpha(class, op)+p.PerMessage) +
+		(p.T + p.Beta(class, op)).Seconds(n)
+	if class == stripe.ClassH {
+		t += p.interferenceSum(procs)
+	}
+	return t
+}
+
+// interferenceSum is Σ_{j=0..p-1} min(j·si, cap): the total extra
+// positioning time of p requests arriving together at one HServer.
+func (p Params) interferenceSum(procs int) float64 {
+	si := p.SeekInterference
+	if si <= 0 || procs <= 1 {
+		return 0
+	}
+	last := procs - 1
+	if cap := p.SeekInterferenceCap; cap > 0 {
+		k := int(cap / si) // depths ≤ k are below the cap
+		if last > k {
+			return si*float64(k)*float64(k+1)/2 + float64(last-k)*cap
+		}
+	}
+	return si * float64(last) * float64(last+1) / 2
+}
+
+// RequestCost evaluates Eq. 2 for one concurrency epoch: conc similar
+// requests of the given size issued simultaneously at offsets spaced
+// stride bytes apart starting at off (similar requests are packed at
+// stride-aligned region offsets after reordering, and bulk-synchronous
+// ranks access consecutive extents). stride < size falls back to size.
+// Per-server byte volumes s_i accumulate across the epoch and p_i counts
+// the requests with at least one sub-request on server i — the paper's
+// concurrency extension of the HARL cost model. The epoch's cost is the
+// slowest server's time.
+func RequestCost(p Params, l stripe.Layout, op trace.Op, off, size, stride int64, conc int) float64 {
+	if conc < 1 {
+		conc = 1
+	}
+	if size <= 0 {
+		return 0
+	}
+	if stride < size {
+		stride = size
+	}
+	n := l.M + l.N
+	bytes := make([]int64, n)
+	procs := make([]int, n)
+	for j := 0; j < conc; j++ {
+		reqOff := off + int64(j)*stride
+		for _, sr := range l.Split(reqOff, size) {
+			i := sr.Server.Flat(l.M)
+			bytes[i] += sr.Size
+			procs[i]++
+		}
+	}
+	var worst float64
+	refs := l.Servers()
+	for i := range refs {
+		t := p.SubRequestTime(refs[i].Class, op, procs[i], bytes[i])
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// EpochRequest is one member of a set of simultaneously issued requests.
+type EpochRequest struct {
+	Op     trace.Op
+	Offset int64
+	Size   int64
+	Rank   int
+}
+
+// EpochCost evaluates Eq. 2 exactly for a set of simultaneous requests:
+// per-server byte volumes are accumulated across the epoch and p_i counts
+// the distinct ranks with sub-requests on server i. Reads and writes may
+// mix; each server's time uses the slower applicable parameters per
+// operation, summed per op class.
+func EpochCost(p Params, l stripe.Layout, reqs []EpochRequest) float64 {
+	n := l.M + l.N
+	type acc struct {
+		bytes [2]int64        // per op
+		ranks [2]map[int]bool // per op
+	}
+	accs := make([]acc, n)
+	for _, r := range reqs {
+		for _, sr := range l.Split(r.Offset, r.Size) {
+			i := sr.Server.Flat(l.M)
+			accs[i].bytes[r.Op] += sr.Size
+			if accs[i].ranks[r.Op] == nil {
+				accs[i].ranks[r.Op] = make(map[int]bool)
+			}
+			accs[i].ranks[r.Op][r.Rank] = true
+		}
+	}
+	var worst float64
+	refs := l.Servers()
+	for i, a := range accs {
+		var t float64
+		for _, op := range []trace.Op{trace.OpRead, trace.OpWrite} {
+			t += p.SubRequestTime(refs[i].Class, op, len(a.ranks[op]), a.bytes[op])
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

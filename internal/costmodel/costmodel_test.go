@@ -1,0 +1,322 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mhafs/internal/stripe"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+// simpleParams gives round numbers for hand-computable expectations:
+// network 1 µs/B with no per-message cost, HDD α=10ms β=1µs/B,
+// SSD read α=1ms β=0.1µs/B, SSD write α=2ms β=0.2µs/B.
+func simpleParams() Params {
+	return Params{
+		T:       1e-6,
+		AlphaH:  10e-3,
+		BetaH:   1e-6,
+		AlphaSR: 1e-3,
+		BetaSR:  0.1e-6,
+		AlphaSW: 2e-3,
+		BetaSW:  0.2e-6,
+	}
+}
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	good := simpleParams()
+	mutations := []func(*Params){
+		func(p *Params) { p.T = 0 },
+		func(p *Params) { p.PerMessage = -1 },
+		func(p *Params) { p.AlphaH = -1 },
+		func(p *Params) { p.AlphaSR = -1 },
+		func(p *Params) { p.AlphaSW = -1 },
+		func(p *Params) { p.BetaH = 0 },
+		func(p *Params) { p.BetaSR = 0 },
+		func(p *Params) { p.BetaSW = 0 },
+	}
+	for i, mut := range mutations {
+		p := good
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	p := simpleParams().Homogeneous()
+	if p.AlphaSR != p.AlphaH || p.AlphaSW != p.AlphaH {
+		t.Error("Homogeneous should copy HServer startup to SServers")
+	}
+	if p.BetaSR != p.BetaH || p.BetaSW != p.BetaH {
+		t.Error("Homogeneous should copy HServer per-byte to SServers")
+	}
+}
+
+func TestAlphaBetaSelection(t *testing.T) {
+	p := simpleParams()
+	if p.Alpha(stripe.ClassH, trace.OpRead) != p.AlphaH ||
+		p.Alpha(stripe.ClassH, trace.OpWrite) != p.AlphaH {
+		t.Error("HServer alpha must ignore op")
+	}
+	if p.Alpha(stripe.ClassS, trace.OpRead) != p.AlphaSR ||
+		p.Alpha(stripe.ClassS, trace.OpWrite) != p.AlphaSW {
+		t.Error("SServer alpha must select by op")
+	}
+	if p.Beta(stripe.ClassS, trace.OpRead) != p.BetaSR ||
+		p.Beta(stripe.ClassS, trace.OpWrite) != p.BetaSW {
+		t.Error("SServer beta must select by op")
+	}
+}
+
+func TestSubRequestTime(t *testing.T) {
+	p := simpleParams()
+	// HServer, 1 process, 1000 bytes: 10ms + 1000*(1µs+1µs) = 12ms.
+	got := p.SubRequestTime(stripe.ClassH, trace.OpRead, 1, 1000)
+	if math.Abs(got-0.012) > 1e-12 {
+		t.Errorf("SubRequestTime = %v, want 0.012", got)
+	}
+	// 2 processes double the startup but bytes are passed pre-accumulated.
+	got = p.SubRequestTime(stripe.ClassH, trace.OpRead, 2, 1000)
+	if math.Abs(got-0.022) > 1e-12 {
+		t.Errorf("SubRequestTime(2 procs) = %v, want 0.022", got)
+	}
+	if p.SubRequestTime(stripe.ClassH, trace.OpRead, 1, 0) != 0 {
+		t.Error("zero bytes should cost 0")
+	}
+	if p.SubRequestTime(stripe.ClassH, trace.OpRead, 0, 100) != 0 {
+		t.Error("zero processes should cost 0")
+	}
+}
+
+func TestSubRequestTimePerMessage(t *testing.T) {
+	p := simpleParams()
+	p.PerMessage = 0.001
+	got := p.SubRequestTime(stripe.ClassS, trace.OpRead, 3, 0+1)
+	want := 3*(p.AlphaSR+0.001) + (p.T + p.BetaSR).Seconds(1)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("per-message overhead not applied: %v vs %v", got, want)
+	}
+}
+
+func TestRequestCostFixedStripe(t *testing.T) {
+	p := simpleParams()
+	// 2H+2S, 64KB stripes; 256KB request splits into 4×64KB sub-requests.
+	l := stripe.Uniform(2, 2, 64*units.KB)
+	sz := int64(64 * units.KB)
+	costH := p.SubRequestTime(stripe.ClassH, trace.OpRead, 1, sz)
+	costS := p.SubRequestTime(stripe.ClassS, trace.OpRead, 1, sz)
+	got := RequestCost(p, l, trace.OpRead, 0, 256*units.KB, 0, 1)
+	if math.Abs(got-costH) > 1e-12 {
+		t.Errorf("RequestCost = %v, want HServer-bound %v", got, costH)
+	}
+	if costS >= costH {
+		t.Fatal("test premise broken: SServer should be faster")
+	}
+}
+
+// The motivating example of §II-A: with fixed stripes the HServers bound
+// the request; shifting bytes to the SServers (larger s, smaller h) must
+// reduce the cost until balance is reached.
+func TestVariedStripeBeatsFixed(t *testing.T) {
+	p := simpleParams()
+	fixed := stripe.Uniform(2, 2, 64*units.KB)
+	varied := stripe.Layout{M: 2, N: 2, H: 32 * units.KB, S: 96 * units.KB}
+	req := int64(256 * units.KB)
+	cf := RequestCost(p, fixed, trace.OpRead, 0, req, 0, 1)
+	cv := RequestCost(p, varied, trace.OpRead, 0, req, 0, 1)
+	if cv >= cf {
+		t.Errorf("varied stripes should beat fixed: %v vs %v", cv, cf)
+	}
+}
+
+func TestRequestCostSSDOnly(t *testing.T) {
+	p := simpleParams()
+	l := stripe.Layout{M: 2, N: 2, H: 0, S: 64 * units.KB}
+	got := RequestCost(p, l, trace.OpRead, 0, 128*units.KB, 0, 1)
+	want := p.SubRequestTime(stripe.ClassS, trace.OpRead, 1, 64*units.KB)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("SSD-only cost = %v, want %v", got, want)
+	}
+}
+
+func TestRequestCostWriteUsesWriteParams(t *testing.T) {
+	p := simpleParams()
+	l := stripe.Layout{M: 0, N: 1, H: 0, S: 64 * units.KB}
+	r := RequestCost(p, l, trace.OpRead, 0, 1024, 0, 1)
+	w := RequestCost(p, l, trace.OpWrite, 0, 1024, 0, 1)
+	if !(w > r) {
+		t.Errorf("SSD write cost %v should exceed read cost %v", w, r)
+	}
+}
+
+func TestRequestCostConcurrencyScales(t *testing.T) {
+	p := simpleParams()
+	l := stripe.Uniform(2, 2, 64*units.KB)
+	c1 := RequestCost(p, l, trace.OpRead, 0, 256*units.KB, 0, 1)
+	c4 := RequestCost(p, l, trace.OpRead, 0, 256*units.KB, 0, 4)
+	if math.Abs(c4-4*c1) > 1e-9 {
+		t.Errorf("concurrency 4 cost = %v, want 4×%v", c4, c1)
+	}
+	// conc < 1 is clamped to 1.
+	if got := RequestCost(p, l, trace.OpRead, 0, 256*units.KB, 0, 0); got != c1 {
+		t.Errorf("conc=0 cost = %v, want %v", got, c1)
+	}
+}
+
+func TestRequestCostZeroSize(t *testing.T) {
+	p := simpleParams()
+	l := stripe.Uniform(2, 2, 64*units.KB)
+	if got := RequestCost(p, l, trace.OpRead, 0, 0, 0, 1); got != 0 {
+		t.Errorf("zero-size cost = %v", got)
+	}
+}
+
+// Property: request cost is monotonically non-decreasing in request size.
+func TestRequestCostMonotonicQuick(t *testing.T) {
+	p := Default()
+	l := stripe.Layout{M: 6, N: 2, H: 32 * units.KB, S: 96 * units.KB}
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		cx := RequestCost(p, l, trace.OpRead, 0, x, 0, 1)
+		cy := RequestCost(p, l, trace.OpRead, 0, y, 0, 1)
+		return cx <= cy+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the cost equals the max over per-server terms computed
+// directly from Split.
+func TestRequestCostMatchesDefinitionQuick(t *testing.T) {
+	p := Default()
+	l := stripe.Layout{M: 3, N: 2, H: 16 * units.KB, S: 48 * units.KB}
+	f := func(offRaw, szRaw uint16, write bool) bool {
+		off := int64(offRaw) * 512
+		sz := int64(szRaw)%(256*units.KB) + 1
+		op := trace.OpRead
+		if write {
+			op = trace.OpWrite
+		}
+		var want float64
+		for _, sr := range l.Split(off, sz) {
+			t := p.SubRequestTime(sr.Server.Class, op, 1, sr.Size)
+			if t > want {
+				want = t
+			}
+		}
+		got := RequestCost(p, l, op, off, sz, 0, 1)
+		return math.Abs(got-want) < 1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpochCostSingleEqualsRequestCost(t *testing.T) {
+	p := simpleParams()
+	l := stripe.Uniform(2, 2, 64*units.KB)
+	req := EpochRequest{Op: trace.OpRead, Offset: 0, Size: 256 * units.KB, Rank: 0}
+	got := EpochCost(p, l, []EpochRequest{req})
+	want := RequestCost(p, l, trace.OpRead, 0, 256*units.KB, 0, 1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("EpochCost single = %v, RequestCost = %v", got, want)
+	}
+}
+
+func TestEpochCostAccumulates(t *testing.T) {
+	p := simpleParams()
+	l := stripe.Uniform(2, 2, 64*units.KB)
+	reqs := []EpochRequest{
+		{Op: trace.OpRead, Offset: 0, Size: 256 * units.KB, Rank: 0},
+		{Op: trace.OpRead, Offset: 256 * units.KB, Size: 256 * units.KB, Rank: 1},
+	}
+	got := EpochCost(p, l, reqs)
+	// Each server now holds 128KB from 2 ranks: 2α + 128KB(t+β) on HServers.
+	want := p.SubRequestTime(stripe.ClassH, trace.OpRead, 2, 128*units.KB)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("EpochCost = %v, want %v", got, want)
+	}
+}
+
+func TestEpochCostMixedOps(t *testing.T) {
+	p := simpleParams()
+	l := stripe.Layout{M: 0, N: 1, H: 0, S: 64 * units.KB}
+	reqs := []EpochRequest{
+		{Op: trace.OpRead, Offset: 0, Size: 1024, Rank: 0},
+		{Op: trace.OpWrite, Offset: 4096, Size: 1024, Rank: 1},
+	}
+	got := EpochCost(p, l, reqs)
+	want := p.SubRequestTime(stripe.ClassS, trace.OpRead, 1, 1024) +
+		p.SubRequestTime(stripe.ClassS, trace.OpWrite, 1, 1024)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("mixed-op EpochCost = %v, want %v", got, want)
+	}
+}
+
+func TestEpochCostEmpty(t *testing.T) {
+	if got := EpochCost(simpleParams(), stripe.Uniform(1, 1, 64), nil); got != 0 {
+		t.Errorf("empty epoch cost = %v", got)
+	}
+}
+
+func TestInterferenceSum(t *testing.T) {
+	p := simpleParams()
+	p.SeekInterference = 1e-3
+	p.SeekInterferenceCap = 3e-3
+	cases := []struct {
+		procs int
+		want  float64
+	}{
+		{0, 0},
+		{1, 0},                  // a lone request queues behind nobody
+		{2, 1e-3},               // second request at depth 1
+		{4, (1 + 2 + 3) * 1e-3}, // depths 1..3, all under the cap
+		{6, (1+2+3)*1e-3 /* capped depths: */ + 2*3e-3},
+	}
+	for _, c := range cases {
+		if got := p.interferenceSum(c.procs); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("interferenceSum(%d) = %v, want %v", c.procs, got, c.want)
+		}
+	}
+	p.SeekInterference = 0
+	if p.interferenceSum(10) != 0 {
+		t.Error("zero interference should cost 0")
+	}
+	p.SeekInterference = 1e-3
+	p.SeekInterferenceCap = 0 // uncapped
+	if got, want := p.interferenceSum(5), (1+2+3+4)*1e-3; math.Abs(got-want) > 1e-15 {
+		t.Errorf("uncapped = %v, want %v", got, want)
+	}
+}
+
+// Interference applies to HServers only, consistent with the devices.
+func TestInterferenceClassSelective(t *testing.T) {
+	p := simpleParams()
+	p.SeekInterference = 1e-3
+	hWith := p.SubRequestTime(stripe.ClassH, trace.OpRead, 4, 1000)
+	p2 := p
+	p2.SeekInterference = 0
+	hWithout := p2.SubRequestTime(stripe.ClassH, trace.OpRead, 4, 1000)
+	if !(hWith > hWithout) {
+		t.Error("interference not charged on HServers")
+	}
+	sWith := p.SubRequestTime(stripe.ClassS, trace.OpRead, 4, 1000)
+	sWithout := p2.SubRequestTime(stripe.ClassS, trace.OpRead, 4, 1000)
+	if sWith != sWithout {
+		t.Error("interference wrongly charged on SServers")
+	}
+}

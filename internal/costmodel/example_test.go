@@ -1,0 +1,24 @@
+package costmodel_test
+
+import (
+	"fmt"
+
+	"mhafs/internal/costmodel"
+	"mhafs/internal/stripe"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+// The paper's Fig. 1 argument in numbers: under fixed 64KB stripes a
+// 256KB request is bound by the HServers; the varied pair <32KB, 96KB>
+// rebalances it.
+func ExampleRequestCost() {
+	p := costmodel.Default()
+	fixed := stripe.Uniform(6, 2, 64*units.KB)
+	varied := stripe.Layout{M: 6, N: 2, H: 32 * units.KB, S: 96 * units.KB}
+	req := int64(384 * units.KB) // one full round of the varied layout
+	cf := costmodel.RequestCost(p, fixed, trace.OpRead, 0, req, 0, 1)
+	cv := costmodel.RequestCost(p, varied, trace.OpRead, 0, req, 0, 1)
+	fmt.Printf("varied stripes cheaper: %v\n", cv < cf)
+	// Output: varied stripes cheaper: true
+}

@@ -1,0 +1,152 @@
+// Package device models the storage media behind file servers: hard disk
+// drives (HDDs) and flash solid-state drives (SSDs).
+//
+// The MHA paper characterizes a device by a startup time α (seek plus
+// rotational latency for HDDs, controller overhead for SSDs) and a per-byte
+// transfer time β, with SSDs having distinct read and write parameters
+// (α_sr/β_sr and α_sw/β_sw in Table I). Both the analytic cost model and
+// the discrete-event simulator consume the same Model, so the planner's
+// predictions and the simulator's measurements come from one source of
+// truth — the paper achieves the same effect by calibrating its model on
+// the deployment it later measures.
+package device
+
+import (
+	"fmt"
+
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+// Kind distinguishes the two media classes of a hybrid PFS.
+type Kind uint8
+
+// Media kinds.
+const (
+	HDD Kind = iota
+	SSD
+)
+
+// String returns "hdd" or "ssd".
+func (k Kind) String() string {
+	switch k {
+	case HDD:
+		return "hdd"
+	case SSD:
+		return "ssd"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Model is a parameterized storage device.
+type Model struct {
+	Name string
+	Kind Kind
+
+	// ReadStartup and WriteStartup are the per-request startup times in
+	// seconds (α in the paper). For HDDs they are equal.
+	ReadStartup  float64
+	WriteStartup float64
+
+	// ReadPerByte and WritePerByte are the per-byte transfer times (β).
+	ReadPerByte  units.SecPerByte
+	WritePerByte units.SecPerByte
+
+	// SeekInterference models inter-stream seek thrashing on mechanical
+	// media: each request already queued at the device when a new request
+	// arrives adds this many seconds of extra positioning time, up to
+	// SeekInterferenceCap. Zero for SSDs. The paper observes the effect as
+	// "the contention among processes becomes more severe" when process
+	// counts grow (Fig. 9, Fig. 11).
+	SeekInterference    float64
+	SeekInterferenceCap float64
+}
+
+// Validate checks that all latencies are non-negative and transfer rates
+// positive.
+func (m Model) Validate() error {
+	if m.ReadStartup < 0 || m.WriteStartup < 0 {
+		return fmt.Errorf("device %s: negative startup time", m.Name)
+	}
+	if m.ReadPerByte <= 0 || m.WritePerByte <= 0 {
+		return fmt.Errorf("device %s: per-byte transfer time must be positive", m.Name)
+	}
+	if m.SeekInterference < 0 || m.SeekInterferenceCap < 0 {
+		return fmt.Errorf("device %s: negative seek interference", m.Name)
+	}
+	return nil
+}
+
+// Startup returns α for the given operation.
+func (m Model) Startup(op trace.Op) float64 {
+	if op == trace.OpWrite {
+		return m.WriteStartup
+	}
+	return m.ReadStartup
+}
+
+// PerByte returns β for the given operation.
+func (m Model) PerByte(op trace.Op) units.SecPerByte {
+	if op == trace.OpWrite {
+		return m.WritePerByte
+	}
+	return m.ReadPerByte
+}
+
+// ServiceTime returns the storage-side time to service one contiguous
+// sub-request of n bytes with an idle queue: α + n·β. Zero-byte requests
+// cost nothing (the striping layer never issues them).
+func (m Model) ServiceTime(op trace.Op, n int64) float64 {
+	return m.ServiceTimeAt(op, n, 0)
+}
+
+// ServiceTimeAt is ServiceTime with queueDepth requests already pending at
+// the device: mechanical media pay extra positioning time per competing
+// stream, capped at SeekInterferenceCap.
+func (m Model) ServiceTimeAt(op trace.Op, n int64, queueDepth int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	extra := float64(queueDepth) * m.SeekInterference
+	if m.SeekInterferenceCap > 0 && extra > m.SeekInterferenceCap {
+		extra = m.SeekInterferenceCap
+	}
+	return m.Startup(op) + extra + m.PerByte(op).Seconds(n)
+}
+
+// DefaultHDD returns a model calibrated to the paper's testbed disks:
+// 250 GB 7.2k-RPM SATA-II drives, streaming at ~110 MB/s for both reads
+// and writes. The startup time α_h is the *average* positioning cost per
+// striped sub-request, not the worst-case full-stroke seek (~8 ms): a PFS
+// server services mostly short seeks within a striped file plus queue
+// reordering, so the measured average the paper's cost model uses is on
+// the order of 1–2 ms. Competing client streams push the arm apart —
+// modeled as 30 µs of extra positioning per queued request, capped at
+// 2 ms (approaching a full-stroke seek).
+func DefaultHDD() Model {
+	return Model{
+		Name:                "sata-hdd-250g",
+		Kind:                HDD,
+		ReadStartup:         1.5e-3,
+		WriteStartup:        1.5e-3,
+		ReadPerByte:         units.PerByteFromMBps(110),
+		WritePerByte:        units.PerByteFromMBps(110),
+		SeekInterference:    30e-6,
+		SeekInterferenceCap: 2e-3,
+	}
+}
+
+// DefaultSSD returns a model calibrated to the paper's PCI-E X4 100 GB
+// SSDs: negligible positioning time (tens of microseconds of controller
+// latency) and asymmetric read/write streaming rates (~700 / ~500 MB/s).
+func DefaultSSD() Model {
+	return Model{
+		Name:         "pcie-ssd-100g",
+		Kind:         SSD,
+		ReadStartup:  50e-6,
+		WriteStartup: 80e-6,
+		ReadPerByte:  units.PerByteFromMBps(700),
+		WritePerByte: units.PerByteFromMBps(500),
+	}
+}

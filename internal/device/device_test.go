@@ -1,0 +1,126 @@
+package device
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+func TestKindString(t *testing.T) {
+	if HDD.String() != "hdd" || SSD.String() != "ssd" {
+		t.Error("Kind.String wrong")
+	}
+	if !strings.Contains(Kind(7).String(), "7") {
+		t.Error("unknown kind should embed value")
+	}
+}
+
+func TestDefaultsValid(t *testing.T) {
+	for _, m := range []Model{DefaultHDD(), DefaultSSD()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Model{
+		{Name: "x", ReadStartup: -1, WriteStartup: 0, ReadPerByte: 1, WritePerByte: 1},
+		{Name: "x", ReadStartup: 0, WriteStartup: -1, ReadPerByte: 1, WritePerByte: 1},
+		{Name: "x", ReadPerByte: 0, WritePerByte: 1},
+		{Name: "x", ReadPerByte: 1, WritePerByte: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestStartupPerByteSelection(t *testing.T) {
+	m := Model{
+		ReadStartup: 1, WriteStartup: 2,
+		ReadPerByte: 3, WritePerByte: 4,
+	}
+	if m.Startup(trace.OpRead) != 1 || m.Startup(trace.OpWrite) != 2 {
+		t.Error("Startup selection wrong")
+	}
+	if m.PerByte(trace.OpRead) != 3 || m.PerByte(trace.OpWrite) != 4 {
+		t.Error("PerByte selection wrong")
+	}
+}
+
+func TestServiceTime(t *testing.T) {
+	m := Model{
+		ReadStartup: 0.010, WriteStartup: 0.020,
+		ReadPerByte:  units.PerByteFromMBps(100),
+		WritePerByte: units.PerByteFromMBps(50),
+	}
+	// 100MB read: 10ms + 1s.
+	if got := m.ServiceTime(trace.OpRead, 100*units.MB); math.Abs(got-1.010) > 1e-9 {
+		t.Errorf("read ServiceTime = %v, want 1.010", got)
+	}
+	// 100MB write: 20ms + 2s.
+	if got := m.ServiceTime(trace.OpWrite, 100*units.MB); math.Abs(got-2.020) > 1e-9 {
+		t.Errorf("write ServiceTime = %v, want 2.020", got)
+	}
+	if m.ServiceTime(trace.OpRead, 0) != 0 {
+		t.Error("zero-byte request should cost 0")
+	}
+	if m.ServiceTime(trace.OpRead, -5) != 0 {
+		t.Error("negative request should cost 0")
+	}
+}
+
+// SSD must be strictly faster than HDD for any positive request size under
+// the default calibration — this is the premise of the whole paper.
+func TestSSDFasterThanHDDQuick(t *testing.T) {
+	h, s := DefaultHDD(), DefaultSSD()
+	f := func(kb uint16, write bool) bool {
+		n := (int64(kb) + 1) * units.KB
+		op := trace.OpRead
+		if write {
+			op = trace.OpWrite
+		}
+		return s.ServiceTime(op, n) < h.ServiceTime(op, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Service time must be monotonic in the request size.
+func TestServiceTimeMonotonicQuick(t *testing.T) {
+	m := DefaultHDD()
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.ServiceTime(trace.OpRead, x) <= m.ServiceTime(trace.OpRead, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSSDAsymmetry(t *testing.T) {
+	s := DefaultSSD()
+	n := int64(1 * units.MB)
+	if !(s.ServiceTime(trace.OpWrite, n) > s.ServiceTime(trace.OpRead, n)) {
+		t.Error("SSD writes should be slower than reads")
+	}
+}
+
+func TestHDDSymmetry(t *testing.T) {
+	h := DefaultHDD()
+	n := int64(1 * units.MB)
+	r, w := h.ServiceTime(trace.OpRead, n), h.ServiceTime(trace.OpWrite, n)
+	if math.Abs(r-w) > 1e-12 {
+		t.Errorf("HDD read/write should be symmetric: %v vs %v", r, w)
+	}
+}

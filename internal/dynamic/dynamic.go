@@ -1,0 +1,200 @@
+// Package dynamic implements the MHA paper's stated future work: "dynamic
+// approaches to further improve the performance of those applications with
+// unpredictable patterns".
+//
+// The static MHA pipeline assumes subsequent runs repeat the profiled
+// pattern. The dynamic Manager instead watches the live trace: it keeps a
+// compact histogram of the access pattern the current plan was built for,
+// measures the divergence of a sliding window of recent requests against
+// it, and triggers a re-optimization — a new generation of regions,
+// migrated from the previous generation's locations — when the divergence
+// crosses a threshold.
+package dynamic
+
+import (
+	"fmt"
+	"math"
+
+	"mhafs/internal/layout"
+	"mhafs/internal/trace"
+)
+
+// histogram is a normalized distribution over (op, log2-size) buckets —
+// the same features the grouping phase clusters on, cheap to compare.
+type histogram map[int]float64
+
+func bucketOf(r trace.Record) int {
+	b := 0
+	if r.Size > 0 {
+		b = int(math.Log2(float64(r.Size)))
+	}
+	if b > 62 {
+		b = 62
+	}
+	return int(r.Op)*64 + b
+}
+
+func histOf(tr trace.Trace) histogram {
+	h := make(histogram)
+	if len(tr) == 0 {
+		return h
+	}
+	w := 1.0 / float64(len(tr))
+	for _, r := range tr {
+		h[bucketOf(r)] += w
+	}
+	return h
+}
+
+// distance is half the L1 distance between two normalized histograms —
+// 0 for identical distributions, 1 for disjoint ones.
+func distance(a, b histogram) float64 {
+	var d float64
+	for k, av := range a {
+		bv := b[k]
+		d += math.Abs(av - bv)
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			d += bv
+		}
+	}
+	return d / 2
+}
+
+// Detector scores pattern drift against a baseline trace.
+type Detector struct {
+	base histogram
+}
+
+// NewDetector captures the baseline distribution.
+func NewDetector(baseline trace.Trace) *Detector {
+	return &Detector{base: histOf(baseline)}
+}
+
+// Divergence returns the drift of the recent window in [0, 1].
+func (d *Detector) Divergence(recent trace.Trace) float64 {
+	if len(recent) == 0 {
+		return 0
+	}
+	return distance(d.base, histOf(recent))
+}
+
+// Policy tunes the manager.
+type Policy struct {
+	// Window is how many of the most recent requests are compared against
+	// the baseline.
+	Window int
+	// Threshold is the divergence (0–1) that triggers re-optimization.
+	Threshold float64
+	// MinNewRecords throttles re-optimization: at least this many requests
+	// must have arrived since the last plan.
+	MinNewRecords int
+}
+
+// DefaultPolicy: compare the last 256 requests, re-optimize at 30% drift,
+// no more often than every 256 requests.
+func DefaultPolicy() Policy {
+	return Policy{Window: 256, Threshold: 0.3, MinNewRecords: 256}
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	if p.Window <= 0 {
+		return fmt.Errorf("dynamic: window must be positive")
+	}
+	if p.Threshold <= 0 || p.Threshold > 1 {
+		return fmt.Errorf("dynamic: threshold must be in (0, 1]")
+	}
+	if p.MinNewRecords < 0 {
+		return fmt.Errorf("dynamic: negative MinNewRecords")
+	}
+	return nil
+}
+
+// Target is the system under management. mhafs.System satisfies it.
+type Target interface {
+	// Trace returns the cumulative collected trace.
+	Trace() trace.Trace
+	// RawTrace returns the collected trace in issue order.
+	RawTrace() trace.Trace
+	// Optimize (re-)plans and applies the scheme using the given trace.
+	Optimize(scheme layout.Scheme, tr trace.Trace) error
+}
+
+// Manager drives divergence-triggered re-optimization.
+type Manager struct {
+	target  Target
+	scheme  layout.Scheme
+	policy  Policy
+	det     *Detector
+	lastLen int
+	reopts  int
+}
+
+// NewManager builds a manager; call Check periodically (e.g. after each
+// I/O phase).
+func NewManager(target Target, scheme layout.Scheme, policy Policy) (*Manager, error) {
+	if target == nil {
+		return nil, fmt.Errorf("dynamic: nil target")
+	}
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	return &Manager{target: target, scheme: scheme, policy: policy}, nil
+}
+
+// Reoptimizations returns how many re-plans the manager has triggered
+// (including the initial plan).
+func (m *Manager) Reoptimizations() int { return m.reopts }
+
+// Check inspects the live trace; it plans initially once enough requests
+// exist, and re-plans when the recent window diverges from the baseline.
+// It returns whether a (re-)optimization happened and the divergence that
+// was observed.
+func (m *Manager) Check() (bool, float64, error) {
+	raw := m.target.RawTrace()
+	if m.det == nil {
+		// Initial plan: wait for a full window of observations.
+		if len(raw) < m.policy.Window {
+			return false, 0, nil
+		}
+		if err := m.optimize(raw); err != nil {
+			return false, 0, err
+		}
+		return true, 0, nil
+	}
+	if len(raw)-m.lastLen < m.policy.MinNewRecords {
+		return false, 0, nil
+	}
+	recent := raw
+	if len(recent) > m.policy.Window {
+		recent = recent[len(recent)-m.policy.Window:]
+	}
+	div := m.det.Divergence(recent)
+	if div <= m.policy.Threshold {
+		return false, div, nil
+	}
+	if err := m.optimize(raw); err != nil {
+		return false, div, err
+	}
+	return true, div, nil
+}
+
+// optimize re-plans on the cumulative trace (so every previously mapped
+// extent stays reachable) and re-baselines the detector on the most
+// recent window — the pattern that is active now, which future windows
+// are compared against.
+func (m *Manager) optimize(raw trace.Trace) error {
+	if err := m.target.Optimize(m.scheme, m.target.Trace()); err != nil {
+		return err
+	}
+	base := raw
+	if len(base) > m.policy.Window {
+		base = base[len(base)-m.policy.Window:]
+	}
+	m.det = NewDetector(base)
+	m.lastLen = len(raw)
+	m.reopts++
+	return nil
+}

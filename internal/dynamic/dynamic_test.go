@@ -1,0 +1,179 @@
+package dynamic
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mhafs/internal/layout"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+func uniformTrace(n int, size int64, op trace.Op) trace.Trace {
+	var tr trace.Trace
+	for i := 0; i < n; i++ {
+		tr = append(tr, trace.Record{
+			Rank: i % 8, File: "f", Op: op,
+			Offset: int64(i) * size, Size: size, Time: float64(i),
+		})
+	}
+	return tr
+}
+
+func TestDetectorIdenticalDistributions(t *testing.T) {
+	tr := uniformTrace(100, 64*units.KB, trace.OpWrite)
+	d := NewDetector(tr)
+	if got := d.Divergence(tr); got > 1e-12 {
+		t.Errorf("identical distributions diverge by %v", got)
+	}
+	if got := d.Divergence(nil); got != 0 {
+		t.Errorf("empty window divergence = %v", got)
+	}
+}
+
+func TestDetectorDisjointDistributions(t *testing.T) {
+	base := uniformTrace(100, 64*units.KB, trace.OpWrite)
+	other := uniformTrace(100, 1*units.MB, trace.OpRead)
+	d := NewDetector(base)
+	if got := d.Divergence(other); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("disjoint distributions diverge by %v, want 1", got)
+	}
+}
+
+func TestDetectorPartialDrift(t *testing.T) {
+	base := uniformTrace(100, 64*units.KB, trace.OpWrite)
+	// Half the window keeps the old pattern, half moves to a new size.
+	mixed := append(uniformTrace(50, 64*units.KB, trace.OpWrite),
+		uniformTrace(50, 4*units.MB, trace.OpWrite)...)
+	d := NewDetector(base)
+	got := d.Divergence(mixed)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("half-drifted divergence = %v, want 0.5", got)
+	}
+}
+
+func TestDetectorOpSensitivity(t *testing.T) {
+	// Same sizes, different operation: SSDs are read/write asymmetric, so
+	// op drift matters.
+	base := uniformTrace(100, 64*units.KB, trace.OpWrite)
+	reads := uniformTrace(100, 64*units.KB, trace.OpRead)
+	if got := NewDetector(base).Divergence(reads); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("op flip divergence = %v, want 1", got)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Policy{
+		{Window: 0, Threshold: 0.5},
+		{Window: 10, Threshold: 0},
+		{Window: 10, Threshold: 1.5},
+		{Window: 10, Threshold: 0.5, MinNewRecords: -1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad policy %d accepted", i)
+		}
+	}
+}
+
+// fakeTarget records Optimize calls and serves a mutable trace.
+type fakeTarget struct {
+	tr        trace.Trace
+	optimized []layout.Scheme
+	failNext  bool
+}
+
+func (f *fakeTarget) Trace() trace.Trace    { return f.tr.Clone() }
+func (f *fakeTarget) RawTrace() trace.Trace { return f.tr.Clone() }
+func (f *fakeTarget) Optimize(s layout.Scheme, tr trace.Trace) error {
+	if f.failNext {
+		f.failNext = false
+		return fmt.Errorf("boom")
+	}
+	f.optimized = append(f.optimized, s)
+	return nil
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	ft := &fakeTarget{}
+	pol := Policy{Window: 10, Threshold: 0.3, MinNewRecords: 10}
+	m, err := NewManager(ft, layout.MHA, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Too few observations: no plan yet.
+	ft.tr = uniformTrace(5, 64*units.KB, trace.OpWrite)
+	if did, _, _ := m.Check(); did {
+		t.Fatal("planned before a full window")
+	}
+
+	// Enough observations: initial plan.
+	ft.tr = uniformTrace(20, 64*units.KB, trace.OpWrite)
+	did, _, err := m.Check()
+	if err != nil || !did {
+		t.Fatalf("initial plan: did=%v err=%v", did, err)
+	}
+	if m.Reoptimizations() != 1 || len(ft.optimized) != 1 {
+		t.Fatalf("reopts = %d", m.Reoptimizations())
+	}
+
+	// Throttle: drifted records arrive, but fewer than MinNewRecords since
+	// the plan — ignored.
+	ft.tr = append(ft.tr, uniformTrace(5, 4*units.MB, trace.OpRead)...)
+	if did, _, _ := m.Check(); did {
+		t.Fatal("re-planned despite MinNewRecords throttle")
+	}
+
+	// Same pattern continues: enough new records, no drift, no re-plan.
+	ft.tr = uniformTrace(40, 64*units.KB, trace.OpWrite)
+	did, div, _ := m.Check()
+	if did || div > 1e-9 {
+		t.Fatalf("stable pattern re-planned (div=%v)", div)
+	}
+
+	// Full drift beyond the threshold: re-plan.
+	ft.tr = append(ft.tr, uniformTrace(20, 4*units.MB, trace.OpRead)...)
+	did, div, err = m.Check()
+	if err != nil || !did {
+		t.Fatalf("drift not detected: did=%v div=%v err=%v", did, div, err)
+	}
+	if div <= pol.Threshold {
+		t.Errorf("divergence %v should exceed threshold", div)
+	}
+	if m.Reoptimizations() != 2 {
+		t.Errorf("reopts = %d, want 2", m.Reoptimizations())
+	}
+
+	// After re-baselining on the new window, the new pattern is stable.
+	ft.tr = append(ft.tr, uniformTrace(30, 4*units.MB, trace.OpRead)...)
+	if did, div, _ := m.Check(); did {
+		t.Fatalf("re-planned on the new baseline (div=%v)", div)
+	}
+}
+
+func TestManagerErrors(t *testing.T) {
+	if _, err := NewManager(nil, layout.MHA, DefaultPolicy()); err == nil {
+		t.Error("nil target accepted")
+	}
+	if _, err := NewManager(&fakeTarget{}, layout.MHA, Policy{}); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	ft := &fakeTarget{tr: uniformTrace(20, 64*units.KB, trace.OpWrite), failNext: true}
+	m, _ := NewManager(ft, layout.MHA, Policy{Window: 10, Threshold: 0.3})
+	if _, _, err := m.Check(); err == nil {
+		t.Error("Optimize failure not propagated")
+	}
+	// A failed optimize must not advance the baseline.
+	if m.Reoptimizations() != 0 {
+		t.Error("failed optimize counted")
+	}
+	// Retry succeeds.
+	if did, _, err := m.Check(); err != nil || !did {
+		t.Errorf("retry: did=%v err=%v", did, err)
+	}
+}

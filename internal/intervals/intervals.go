@@ -1,0 +1,121 @@
+// Package intervals provides a set of disjoint half-open int64 intervals
+// [start, end).
+//
+// The MHA Data Reorganizer uses it to track which extents of an original
+// file have already been claimed by a region: overlapping requests may be
+// clustered into different groups, but each byte migrates exactly once —
+// to the region of the first group that claims it.
+package intervals
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a half-open range [Start, End).
+type Interval struct {
+	Start, End int64
+}
+
+// Len returns the interval length.
+func (iv Interval) Len() int64 { return iv.End - iv.Start }
+
+// Set is a collection of disjoint, sorted, non-adjacent intervals. The
+// zero value is an empty set.
+type Set struct {
+	ivs []Interval // sorted by Start; no overlaps; adjacent runs merged
+}
+
+// Len returns the number of disjoint intervals.
+func (s *Set) Len() int { return len(s.ivs) }
+
+// Total returns the number of covered integers.
+func (s *Set) Total() int64 {
+	var n int64
+	for _, iv := range s.ivs {
+		n += iv.Len()
+	}
+	return n
+}
+
+// Intervals returns a copy of the intervals in order.
+func (s *Set) Intervals() []Interval {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return out
+}
+
+// Contains reports whether every point of [start, end) is covered.
+func (s *Set) Contains(start, end int64) bool {
+	if start >= end {
+		return true
+	}
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > start })
+	return i < len(s.ivs) && s.ivs[i].Start <= start && s.ivs[i].End >= end
+}
+
+// Overlaps reports whether any point of [start, end) is covered.
+func (s *Set) Overlaps(start, end int64) bool {
+	if start >= end {
+		return false
+	}
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > start })
+	return i < len(s.ivs) && s.ivs[i].Start < end
+}
+
+// Add inserts [start, end), merging with existing intervals.
+func (s *Set) Add(start, end int64) {
+	if start > end {
+		panic(fmt.Sprintf("intervals: inverted interval [%d,%d)", start, end))
+	}
+	if start == end {
+		return
+	}
+	// Find insertion window: all intervals overlapping or adjacent.
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End >= start })
+	j := i
+	for j < len(s.ivs) && s.ivs[j].Start <= end {
+		j++
+	}
+	if i < j {
+		if s.ivs[i].Start < start {
+			start = s.ivs[i].Start
+		}
+		if s.ivs[j-1].End > end {
+			end = s.ivs[j-1].End
+		}
+	}
+	merged := append(s.ivs[:i:i], Interval{start, end})
+	s.ivs = append(merged, s.ivs[j:]...)
+}
+
+// Gaps returns the uncovered sub-ranges of [start, end), in order.
+func (s *Set) Gaps(start, end int64) []Interval {
+	if start >= end {
+		return nil
+	}
+	var out []Interval
+	pos := start
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > start })
+	for ; i < len(s.ivs) && s.ivs[i].Start < end; i++ {
+		iv := s.ivs[i]
+		if iv.Start > pos {
+			out = append(out, Interval{pos, iv.Start})
+		}
+		if iv.End > pos {
+			pos = iv.End
+		}
+	}
+	if pos < end {
+		out = append(out, Interval{pos, end})
+	}
+	return out
+}
+
+// Claim adds [start, end) and returns the sub-ranges that were NOT
+// previously covered — the pieces the caller now owns.
+func (s *Set) Claim(start, end int64) []Interval {
+	gaps := s.Gaps(start, end)
+	s.Add(start, end)
+	return gaps
+}

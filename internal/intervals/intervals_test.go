@@ -1,0 +1,197 @@
+package intervals
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndMerge(t *testing.T) {
+	var s Set
+	s.Add(10, 20)
+	s.Add(30, 40)
+	if s.Len() != 2 || s.Total() != 20 {
+		t.Fatalf("Len=%d Total=%d", s.Len(), s.Total())
+	}
+	s.Add(20, 30) // bridges the two
+	if s.Len() != 1 || s.Total() != 30 {
+		t.Fatalf("after bridge: Len=%d Total=%d %v", s.Len(), s.Total(), s.Intervals())
+	}
+	if got := s.Intervals(); !reflect.DeepEqual(got, []Interval{{10, 40}}) {
+		t.Errorf("intervals = %v", got)
+	}
+}
+
+func TestAddOverlapVariants(t *testing.T) {
+	cases := []struct {
+		adds [][2]int64
+		want []Interval
+	}{
+		{[][2]int64{{0, 10}, {5, 15}}, []Interval{{0, 15}}},
+		{[][2]int64{{5, 15}, {0, 10}}, []Interval{{0, 15}}},
+		{[][2]int64{{0, 100}, {10, 20}}, []Interval{{0, 100}}},
+		{[][2]int64{{10, 20}, {0, 100}}, []Interval{{0, 100}}},
+		{[][2]int64{{0, 10}, {20, 30}, {40, 50}, {5, 45}}, []Interval{{0, 50}}},
+		{[][2]int64{{0, 10}, {10, 20}}, []Interval{{0, 20}}}, // adjacency merges
+	}
+	for i, c := range cases {
+		var s Set
+		for _, a := range c.adds {
+			s.Add(a[0], a[1])
+		}
+		if got := s.Intervals(); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("case %d: %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestAddEmptyAndPanic(t *testing.T) {
+	var s Set
+	s.Add(5, 5)
+	if s.Len() != 0 {
+		t.Error("empty add should be a no-op")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted interval should panic")
+		}
+	}()
+	s.Add(10, 5)
+}
+
+func TestContainsOverlaps(t *testing.T) {
+	var s Set
+	s.Add(10, 20)
+	s.Add(30, 40)
+	if !s.Contains(10, 20) || !s.Contains(12, 18) || !s.Contains(15, 15) {
+		t.Error("Contains false negative")
+	}
+	if s.Contains(5, 15) || s.Contains(15, 25) || s.Contains(20, 30) || s.Contains(25, 35) {
+		t.Error("Contains false positive")
+	}
+	if !s.Overlaps(5, 15) || !s.Overlaps(15, 25) || !s.Overlaps(35, 100) {
+		t.Error("Overlaps false negative")
+	}
+	if s.Overlaps(20, 30) || s.Overlaps(0, 10) || s.Overlaps(40, 50) || s.Overlaps(7, 7) {
+		t.Error("Overlaps false positive")
+	}
+}
+
+func TestGaps(t *testing.T) {
+	var s Set
+	s.Add(10, 20)
+	s.Add(30, 40)
+	cases := []struct {
+		start, end int64
+		want       []Interval
+	}{
+		{0, 50, []Interval{{0, 10}, {20, 30}, {40, 50}}},
+		{10, 40, []Interval{{20, 30}}},
+		{12, 18, nil},
+		{0, 5, []Interval{{0, 5}}},
+		{45, 60, []Interval{{45, 60}}},
+		{20, 30, []Interval{{20, 30}}},
+		{15, 35, []Interval{{20, 30}}},
+		{5, 5, nil},
+	}
+	for i, c := range cases {
+		if got := s.Gaps(c.start, c.end); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("case %d: Gaps(%d,%d) = %v, want %v", i, c.start, c.end, got, c.want)
+		}
+	}
+}
+
+func TestClaim(t *testing.T) {
+	var s Set
+	got := s.Claim(0, 100)
+	if !reflect.DeepEqual(got, []Interval{{0, 100}}) {
+		t.Errorf("first claim = %v", got)
+	}
+	got = s.Claim(50, 150)
+	if !reflect.DeepEqual(got, []Interval{{100, 150}}) {
+		t.Errorf("second claim = %v", got)
+	}
+	if s.Claim(0, 150) != nil {
+		t.Error("fully-covered claim should return nothing")
+	}
+	if !s.Contains(0, 150) {
+		t.Error("claims not recorded")
+	}
+}
+
+// Property: Set behaves identically to a naive boolean-array model.
+func TestSetMatchesModelQuick(t *testing.T) {
+	const span = 256
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Set
+		model := make([]bool, span)
+		for op := 0; op < int(nOps%20)+1; op++ {
+			a := rng.Int63n(span)
+			b := a + rng.Int63n(span-a)
+			s.Add(a, b)
+			for x := a; x < b; x++ {
+				model[x] = true
+			}
+		}
+		// Compare Total.
+		var want int64
+		for _, v := range model {
+			if v {
+				want++
+			}
+		}
+		if s.Total() != want {
+			return false
+		}
+		// Compare Contains/Overlaps/Gaps on random probes.
+		for probe := 0; probe < 20; probe++ {
+			a := rng.Int63n(span)
+			b := a + rng.Int63n(span-a)
+			wantContains, wantOverlaps := true, false
+			for x := a; x < b; x++ {
+				if model[x] {
+					wantOverlaps = true
+				} else {
+					wantContains = false
+				}
+			}
+			if s.Contains(a, b) != wantContains || s.Overlaps(a, b) != wantOverlaps {
+				return false
+			}
+			var gapTotal int64
+			for _, g := range s.Gaps(a, b) {
+				for x := g.Start; x < g.End; x++ {
+					if model[x] {
+						return false // gap covering a set point
+					}
+					gapTotal++
+				}
+			}
+			var wantGap int64
+			for x := a; x < b; x++ {
+				if !model[x] {
+					wantGap++
+				}
+			}
+			if gapTotal != wantGap {
+				return false
+			}
+		}
+		// Invariants: sorted, disjoint, non-adjacent.
+		ivs := s.Intervals()
+		for i := range ivs {
+			if ivs[i].Start >= ivs[i].End {
+				return false
+			}
+			if i > 0 && ivs[i-1].End >= ivs[i].Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package iosig is the I/O Collector of the MHA tracing phase — the
+// repository's stand-in for the IOSIG profiling library.
+//
+// The collector hooks the middleware's file operations during the
+// application's first run and records process ID, MPI rank, file
+// descriptor, request type, file offset, request size and time stamp. As
+// the paper prescribes, the trace handed to the reordering phase is sorted
+// ascending by offset; the raw issue-order trace remains available for
+// replay and concurrency analysis.
+package iosig
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"mhafs/internal/trace"
+)
+
+// Clock supplies time stamps; in simulations it is the engine's virtual
+// clock.
+type Clock func() float64
+
+// Collector accumulates trace records. It is safe for concurrent use:
+// the paper's applications run one tracer shared by many processes.
+type Collector struct {
+	mu      sync.Mutex
+	clock   Clock
+	records trace.Trace
+	enabled bool
+}
+
+// NewCollector creates an enabled collector using the given clock.
+func NewCollector(clock Clock) *Collector {
+	if clock == nil {
+		panic("iosig: nil clock")
+	}
+	return &Collector{clock: clock, enabled: true}
+}
+
+// Enable turns recording on.
+func (c *Collector) Enable() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enabled = true
+}
+
+// Disable turns recording off; Record calls become no-ops (the profiling
+// overhead disappears after the first run).
+func (c *Collector) Disable() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enabled = false
+}
+
+// Enabled reports the recording state.
+func (c *Collector) Enabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enabled
+}
+
+// Record captures one file operation at the current clock time.
+func (c *Collector) Record(pid, rank, fd int, file string, op trace.Op, off, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.enabled {
+		return
+	}
+	c.records = append(c.records, trace.Record{
+		PID: pid, Rank: rank, FD: fd, File: file,
+		Op: op, Offset: off, Size: size, Time: c.clock(),
+	})
+}
+
+// Len returns the number of records captured.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.records)
+}
+
+// RawTrace returns a copy of the records in capture (issue) order.
+func (c *Collector) RawTrace() trace.Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.records.Clone()
+}
+
+// Trace returns a copy sorted ascending by offset, the order the paper's
+// layout-optimization phases consume.
+func (c *Collector) Trace() trace.Trace {
+	t := c.RawTrace()
+	t.SortByOffset()
+	return t
+}
+
+// Reset discards all captured records.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.records = nil
+}
+
+// Dump writes the offset-sorted trace to w in the text trace format.
+func (c *Collector) Dump(w io.Writer) error {
+	return trace.Write(w, c.Trace())
+}
+
+// DumpPerRank writes one trace file per MPI rank into dir, named
+// "iosig.rank.<n>.txt" — the on-disk layout the IOSIG library produces
+// ("records this information in several trace files"). Each file holds the
+// rank's records in issue order.
+func (c *Collector) DumpPerRank(dir string) error {
+	raw := c.RawTrace()
+	perRank := make(map[int]trace.Trace)
+	for _, r := range raw {
+		perRank[r.Rank] = append(perRank[r.Rank], r)
+	}
+	for rank, tr := range perRank {
+		path := filepath.Join(dir, fmt.Sprintf("iosig.rank.%d.txt", rank))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("iosig: %w", err)
+		}
+		if err := trace.Write(f, tr); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("iosig: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadDir merges every per-rank trace file in dir (as written by
+// DumpPerRank) into one trace sorted by offset, the order the layout
+// phases consume.
+func ReadDir(dir string) (trace.Trace, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "iosig.rank.*.txt"))
+	if err != nil {
+		return nil, fmt.Errorf("iosig: %w", err)
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("iosig: no per-rank trace files in %s", dir)
+	}
+	sort.Strings(matches)
+	var merged trace.Trace
+	for _, path := range matches {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("iosig: %w", err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("iosig: %s: %w", path, err)
+		}
+		merged = append(merged, tr...)
+	}
+	merged.SortByOffset()
+	return merged, nil
+}

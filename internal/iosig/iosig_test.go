@@ -1,0 +1,154 @@
+package iosig
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"mhafs/internal/trace"
+)
+
+func TestRecordAndTrace(t *testing.T) {
+	now := 0.0
+	c := NewCollector(func() float64 { return now })
+	c.Record(100, 0, 3, "f", trace.OpWrite, 4096, 64)
+	now = 1.0
+	c.Record(101, 1, 3, "f", trace.OpRead, 0, 16)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	raw := c.RawTrace()
+	if raw[0].Offset != 4096 || raw[1].Offset != 0 {
+		t.Error("RawTrace must preserve issue order")
+	}
+	if raw[0].Time != 0.0 || raw[1].Time != 1.0 {
+		t.Error("clock not consulted per record")
+	}
+	sorted := c.Trace()
+	if sorted[0].Offset != 0 || sorted[1].Offset != 4096 {
+		t.Error("Trace must sort by offset")
+	}
+}
+
+func TestNilClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for nil clock")
+		}
+	}()
+	NewCollector(nil)
+}
+
+func TestEnableDisable(t *testing.T) {
+	c := NewCollector(func() float64 { return 0 })
+	if !c.Enabled() {
+		t.Error("collector should start enabled")
+	}
+	c.Disable()
+	c.Record(0, 0, 0, "f", trace.OpRead, 0, 1)
+	if c.Len() != 0 {
+		t.Error("disabled collector recorded")
+	}
+	c.Enable()
+	c.Record(0, 0, 0, "f", trace.OpRead, 0, 1)
+	if c.Len() != 1 {
+		t.Error("re-enabled collector did not record")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCollector(func() float64 { return 0 })
+	c.Record(0, 0, 0, "f", trace.OpRead, 0, 1)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestRawTraceIsCopy(t *testing.T) {
+	c := NewCollector(func() float64 { return 0 })
+	c.Record(0, 0, 0, "f", trace.OpRead, 0, 1)
+	raw := c.RawTrace()
+	raw[0].Offset = 999
+	if c.RawTrace()[0].Offset == 999 {
+		t.Error("RawTrace must return a copy")
+	}
+}
+
+func TestDump(t *testing.T) {
+	c := NewCollector(func() float64 { return 0.25 })
+	c.Record(7, 3, 5, "data.bin", trace.OpWrite, 128, 64)
+	var buf bytes.Buffer
+	if err := c.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "data.bin") || !strings.Contains(out, "write") {
+		t.Errorf("dump missing fields:\n%s", out)
+	}
+	back, err := trace.Read(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Rank != 3 || back[0].Size != 64 {
+		t.Errorf("round trip wrong: %+v", back)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	c := NewCollector(func() float64 { return 0 })
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Record(rank, rank, 3, "f", trace.OpRead, int64(i), 1)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if c.Len() != 800 {
+		t.Errorf("Len = %d, want 800", c.Len())
+	}
+}
+
+func TestDumpPerRankAndReadDir(t *testing.T) {
+	c := NewCollector(func() float64 { return 0.5 })
+	for i := 0; i < 12; i++ {
+		c.Record(1000+i%3, i%3, 3, "f", trace.OpWrite, int64(i)*4096, 4096)
+	}
+	dir := t.TempDir()
+	if err := c.DumpPerRank(dir); err != nil {
+		t.Fatal(err)
+	}
+	// One file per rank.
+	for rank := 0; rank < 3; rank++ {
+		if _, err := os.Stat(filepath.Join(dir, "iosig.rank."+strconv.Itoa(rank)+".txt")); err != nil {
+			t.Errorf("rank %d file missing: %v", rank, err)
+		}
+	}
+	merged, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 12 {
+		t.Fatalf("merged %d records", len(merged))
+	}
+	// Merged trace is offset-sorted (the reordering phase's input order).
+	for i := 1; i < len(merged); i++ {
+		if merged[i-1].Offset > merged[i].Offset {
+			t.Fatal("merged trace not offset-sorted")
+		}
+	}
+}
+
+func TestReadDirEmpty(t *testing.T) {
+	if _, err := ReadDir(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package kvstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkPut(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "kv.log"), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s, _ := Open("", Options{})
+	defer s.Close()
+	for i := 0; i < 1024; i++ {
+		s.Put([]byte(fmt.Sprintf("key-%d", i)), []byte("value"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get([]byte(fmt.Sprintf("key-%d", i%1024))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

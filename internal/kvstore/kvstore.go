@@ -1,0 +1,347 @@
+// Package kvstore is a small embedded key-value store, the repository's
+// substitute for the Berkeley DB the MHA paper uses to hold its Data
+// Reordering Table (DRT) and Region Stripe Table (RST).
+//
+// Like the paper's configuration it behaves as a persistent hash table of
+// key→value records. Durability follows the paper's requirement that
+// "changes to the reordering entries in memory are synchronously written
+// to the storage in order to survive power failures": every mutation is
+// appended to a write-ahead log and, when Sync mode is on, fsync'd before
+// the call returns. Opening a store replays the log, tolerating a torn
+// final record (the log is checksummed per record).
+//
+// A store may also be purely in-memory (empty path) for simulations and
+// tests.
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("kvstore: store is closed")
+
+const (
+	opPut byte = 1
+	opDel byte = 2
+)
+
+// maxRecordLen guards against corrupt length fields during replay.
+const maxRecordLen = 64 << 20
+
+// Options configures a store.
+type Options struct {
+	// Sync forces an fsync after every mutation (the paper's synchronous
+	// write-through). Ignored for in-memory stores.
+	Sync bool
+}
+
+// Store is a hash-indexed, log-backed key-value store. All methods are
+// safe for concurrent use — the DRT is "frequently accessed by the
+// Redirector and shared by multiple processes".
+type Store struct {
+	mu     sync.RWMutex
+	table  map[string][]byte
+	file   *os.File
+	writer *bufio.Writer
+	opts   Options
+	closed bool
+	path   string
+	puts   uint64 // statistics: applied puts (including overwrites)
+	dels   uint64
+}
+
+// Open opens (creating if necessary) the store at path, replaying its log.
+// An empty path yields a volatile in-memory store.
+func Open(path string, opts Options) (*Store, error) {
+	s := &Store{table: make(map[string][]byte), opts: opts, path: path}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open %s: %w", path, err)
+	}
+	if err := s.replay(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Position at the valid end (replay may have stopped at a torn tail).
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: seek %s: %w", path, err)
+	}
+	s.file = f
+	s.writer = bufio.NewWriter(f)
+	return s, nil
+}
+
+// replay loads the log into the in-memory table. A corrupt or truncated
+// record ends the replay (the tail is discarded, matching WAL semantics);
+// everything before it is kept. The file is truncated at the last valid
+// record so subsequent appends do not interleave with garbage.
+func (s *Store) replay(f *os.File) error {
+	r := bufio.NewReader(f)
+	var valid int64
+	for {
+		rec, n, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn tail: truncate and stop.
+			if terr := f.Truncate(valid); terr != nil {
+				return fmt.Errorf("kvstore: truncate torn log: %w", terr)
+			}
+			break
+		}
+		valid += n
+		switch rec.op {
+		case opPut:
+			s.table[string(rec.key)] = rec.val
+			s.puts++
+		case opDel:
+			delete(s.table, string(rec.key))
+			s.dels++
+		}
+	}
+	return nil
+}
+
+type record struct {
+	op  byte
+	key []byte
+	val []byte
+}
+
+// readRecord decodes one log record: op(1) keyLen(4) valLen(4) key val
+// crc32(4, over everything before it). Returns io.EOF cleanly at end.
+func readRecord(r *bufio.Reader) (record, int64, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return record{}, 0, io.EOF
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return record{}, 0, fmt.Errorf("kvstore: short header: %w", err)
+	}
+	op := hdr[0]
+	kl := binary.LittleEndian.Uint32(hdr[1:5])
+	vl := binary.LittleEndian.Uint32(hdr[5:9])
+	if op != opPut && op != opDel {
+		return record{}, 0, fmt.Errorf("kvstore: bad op %d", op)
+	}
+	if kl > maxRecordLen || vl > maxRecordLen {
+		return record{}, 0, fmt.Errorf("kvstore: record too large (%d/%d)", kl, vl)
+	}
+	body := make([]byte, int(kl)+int(vl)+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return record{}, 0, fmt.Errorf("kvstore: short body: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(body[:kl+vl])
+	want := binary.LittleEndian.Uint32(body[kl+vl:])
+	if crc.Sum32() != want {
+		return record{}, 0, fmt.Errorf("kvstore: checksum mismatch")
+	}
+	rec := record{op: op, key: body[:kl], val: body[kl : kl+vl]}
+	return rec, int64(9 + len(body)), nil
+}
+
+// appendRecord writes one record to the log and optionally syncs.
+func (s *Store) appendRecord(op byte, key, val []byte) error {
+	if s.file == nil {
+		return nil // in-memory store
+	}
+	var hdr [9]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(val)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(key)
+	crc.Write(val)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	for _, b := range [][]byte{hdr[:], key, val, sum[:]} {
+		if _, err := s.writer.Write(b); err != nil {
+			return fmt.Errorf("kvstore: append: %w", err)
+		}
+	}
+	if err := s.writer.Flush(); err != nil {
+		return fmt.Errorf("kvstore: flush: %w", err)
+	}
+	if s.opts.Sync {
+		if err := s.file.Sync(); err != nil {
+			return fmt.Errorf("kvstore: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Put stores key→value. The value is copied.
+func (s *Store) Put(key, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(key) == 0 {
+		return fmt.Errorf("kvstore: empty key")
+	}
+	if err := s.appendRecord(opPut, key, val); err != nil {
+		return err
+	}
+	v := make([]byte, len(val))
+	copy(v, val)
+	s.table[string(key)] = v
+	s.puts++
+	return nil
+}
+
+// Get returns a copy of the value for key, or ErrNotFound.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	v, ok := s.table[string(key)]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// Has reports whether key exists.
+func (s *Store) Has(key []byte) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.table[string(key)]
+	return ok
+}
+
+// Delete removes key; deleting a missing key is not an error.
+func (s *Store) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.table[string(key)]; !ok {
+		return nil
+	}
+	if err := s.appendRecord(opDel, key, nil); err != nil {
+		return err
+	}
+	delete(s.table, string(key))
+	s.dels++
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.table)
+}
+
+// ForEach calls fn for every key/value pair; iteration order is
+// unspecified. fn must not mutate the store. Returning false stops early.
+func (s *Store) ForEach(fn func(key, val []byte) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k, v := range s.table {
+		if !fn([]byte(k), v) {
+			return
+		}
+	}
+}
+
+// Compact rewrites the log to contain only live records, reclaiming space
+// from overwrites and deletions.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.file == nil {
+		return nil
+	}
+	tmpPath := s.path + ".compact"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("kvstore: compact: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	old := s.writer
+	oldFile := s.file
+	s.writer, s.file = w, tmp
+	for k, v := range s.table {
+		if err := s.appendRecord(opPut, []byte(k), v); err != nil {
+			s.writer, s.file = old, oldFile
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		s.writer, s.file = old, oldFile
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("kvstore: compact flush: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		s.writer, s.file = old, oldFile
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("kvstore: compact sync: %w", err)
+	}
+	oldFile.Close()
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		return fmt.Errorf("kvstore: compact rename: %w", err)
+	}
+	return nil
+}
+
+// Stats reports operation counters.
+func (s *Store) Stats() (puts, dels uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.puts, s.dels
+}
+
+// Close flushes and closes the store. Further operations return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.file == nil {
+		return nil
+	}
+	if err := s.writer.Flush(); err != nil {
+		s.file.Close()
+		return fmt.Errorf("kvstore: close flush: %w", err)
+	}
+	if err := s.file.Sync(); err != nil {
+		s.file.Close()
+		return fmt.Errorf("kvstore: close sync: %w", err)
+	}
+	return s.file.Close()
+}

@@ -1,0 +1,373 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T, opts Options) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "kv.log")
+	s, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	defer s.Close()
+
+	if err := s.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get([]byte("k1"))
+	if err != nil || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if !s.Has([]byte("k1")) || s.Has([]byte("nope")) {
+		t.Error("Has wrong")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if err := s.Delete([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get([]byte("k1")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after delete = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete([]byte("absent")); err != nil {
+		t.Errorf("deleting missing key should be a no-op, got %v", err)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	defer s.Close()
+	if err := s.Put(nil, []byte("v")); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	defer s.Close()
+	s.Put([]byte("k"), []byte("a"))
+	s.Put([]byte("k"), []byte("b"))
+	got, _ := s.Get([]byte("k"))
+	if !bytes.Equal(got, []byte("b")) {
+		t.Errorf("overwrite: got %q", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len after overwrite = %d", s.Len())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	defer s.Close()
+	s.Put([]byte("k"), []byte("val"))
+	v, _ := s.Get([]byte("k"))
+	v[0] = 'X'
+	again, _ := s.Get([]byte("k"))
+	if !bytes.Equal(again, []byte("val")) {
+		t.Error("Get must return a copy")
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	defer s.Close()
+	val := []byte("val")
+	s.Put([]byte("k"), val)
+	val[0] = 'X'
+	got, _ := s.Get([]byte("k"))
+	if !bytes.Equal(got, []byte("val")) {
+		t.Error("Put must copy the value")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.log")
+	s, err := Open(path, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("key-%03d", i))
+		if err := s.Put(k, []byte(fmt.Sprintf("val-%d", i*i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete([]byte("key-050"))
+	s.Put([]byte("key-051"), []byte("updated"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 99 {
+		t.Errorf("Len after reopen = %d, want 99", s2.Len())
+	}
+	if s2.Has([]byte("key-050")) {
+		t.Error("deleted key resurrected")
+	}
+	got, _ := s2.Get([]byte("key-051"))
+	if !bytes.Equal(got, []byte("updated")) {
+		t.Errorf("key-051 = %q", got)
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.log")
+	s, _ := Open(path, Options{})
+	s.Put([]byte("good"), []byte("value"))
+	s.Close()
+
+	// Append garbage simulating a torn write.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.Write([]byte{opPut, 5, 0, 0, 0, 5, 0}) // truncated header+body
+	f.Close()
+
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer s2.Close()
+	if !s2.Has([]byte("good")) {
+		t.Error("valid prefix lost")
+	}
+	if s2.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s2.Len())
+	}
+	// The store must continue to accept writes and persist them.
+	if err := s2.Put([]byte("after"), []byte("tear")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if !s3.Has([]byte("after")) || !s3.Has([]byte("good")) {
+		t.Error("post-tear writes not durable")
+	}
+}
+
+func TestChecksumCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.log")
+	s, _ := Open(path, Options{})
+	s.Put([]byte("aa"), []byte("bb"))
+	s.Put([]byte("cc"), []byte("dd"))
+	s.Close()
+
+	// Flip a byte inside the second record's value.
+	data, _ := os.ReadFile(path)
+	data[len(data)-5] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.Has([]byte("aa")) {
+		t.Error("first record lost")
+	}
+	if s2.Has([]byte("cc")) {
+		t.Error("corrupt record accepted")
+	}
+}
+
+func TestInMemoryStore(t *testing.T) {
+	s, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Errorf("Compact on in-memory store: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedOperations(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	s.Close()
+	if err := s.Put([]byte("k"), nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put on closed = %v", err)
+	}
+	if _, err := s.Get([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get on closed = %v", err)
+	}
+	if err := s.Delete([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Delete on closed = %v", err)
+	}
+	if err := s.Compact(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Compact on closed = %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double Close = %v", err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		s.Put([]byte(fmt.Sprintf("k%d", i)), []byte{byte(i)})
+	}
+	n := 0
+	s.ForEach(func(k, v []byte) bool { n++; return true })
+	if n != 10 {
+		t.Errorf("ForEach visited %d", n)
+	}
+	n = 0
+	s.ForEach(func(k, v []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.log")
+	s, _ := Open(path, Options{})
+	for i := 0; i < 50; i++ {
+		s.Put([]byte("hot"), []byte(fmt.Sprintf("v%d", i)))
+	}
+	s.Put([]byte("cold"), []byte("x"))
+	s.Delete([]byte("cold"))
+	before, _ := os.Stat(path)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Store remains usable after compaction.
+	if err := s.Put([]byte("post"), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Errorf("compact did not shrink log: %d -> %d", before.Size(), after.Size())
+	}
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, _ := s2.Get([]byte("hot"))
+	if !bytes.Equal(got, []byte("v49")) {
+		t.Errorf("hot = %q after compact+reopen", got)
+	}
+	if !s2.Has([]byte("post")) {
+		t.Error("post-compact write lost")
+	}
+	if s2.Has([]byte("cold")) {
+		t.Error("deleted key present after compact")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	defer s.Close()
+	s.Put([]byte("a"), nil)
+	s.Put([]byte("a"), nil)
+	s.Delete([]byte("a"))
+	puts, dels := s.Stats()
+	if puts != 2 || dels != 1 {
+		t.Errorf("Stats = %d,%d, want 2,1", puts, dels)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := []byte(fmt.Sprintf("w%d-k%d", w, i))
+				if err := s.Put(k, k); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 8*50 {
+		t.Errorf("Len = %d, want 400", s.Len())
+	}
+}
+
+// Property: for any sequence of puts, reopening yields exactly the final
+// mapping.
+func TestDurabilityQuick(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(keys []uint8, vals []uint8) bool {
+		i++
+		path := filepath.Join(dir, fmt.Sprintf("kv-%d.log", i))
+		s, err := Open(path, Options{})
+		if err != nil {
+			return false
+		}
+		want := make(map[string][]byte)
+		for j, k := range keys {
+			key := []byte{k + 1} // non-empty
+			var val []byte
+			if j < len(vals) {
+				val = []byte{vals[j]}
+			}
+			if s.Put(key, val) != nil {
+				return false
+			}
+			want[string(key)] = val
+		}
+		s.Close()
+		s2, err := Open(path, Options{})
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		if s2.Len() != len(want) {
+			return false
+		}
+		ok := true
+		s2.ForEach(func(k, v []byte) bool {
+			w, exists := want[string(k)]
+			if !exists || !bytes.Equal(v, w) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package layout
+
+import (
+	"testing"
+
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+func BenchmarkRSSD(b *testing.B) {
+	env := DefaultEnv()
+	reqs := []Req{
+		{Op: trace.OpRead, Size: 128 * units.KB, Conc: 32, Weight: 100},
+		{Op: trace.OpWrite, Size: 256 * units.KB, Conc: 32, Weight: 100},
+		{Op: trace.OpRead, Size: 16 * units.KB, Conc: 8, Weight: 100},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RSSD(reqs, env)
+	}
+}
+
+func BenchmarkMHAPlan(b *testing.B) {
+	env := DefaultEnv()
+	var tr trace.Trace
+	off := int64(0)
+	for loop := 0; loop < 16; loop++ {
+		for r := 0; r < 8; r++ {
+			tr = append(tr, trace.Record{Rank: r, File: "f", Op: trace.OpRead,
+				Offset: off, Size: 16 * units.KB, Time: float64(loop)})
+			off += 16 * units.KB
+		}
+		for r := 0; r < 2; r++ {
+			tr = append(tr, trace.Record{Rank: r, File: "f", Op: trace.OpRead,
+				Offset: off, Size: 256 * units.KB, Time: float64(loop) + 0.5})
+			off += 256 * units.KB
+		}
+	}
+	planner, _ := NewPlanner(MHA)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Plan(tr, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

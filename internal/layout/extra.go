@@ -1,0 +1,211 @@
+package layout
+
+import (
+	"sort"
+
+	"mhafs/internal/costmodel"
+	"mhafs/internal/pattern"
+	"mhafs/internal/region"
+	"mhafs/internal/stripe"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+// Two additional schemes from the paper's related-work discussion (§VI),
+// implemented so the comparison can be extended beyond the paper's four:
+//
+//   - CARL ("A Cost-Aware Region-Level Data Placement Scheme for Hybrid
+//     Parallel I/O Systems", the authors' earlier work): file regions with
+//     the highest access costs are placed *only* on SSD servers, the rest
+//     only on HDD servers. The paper criticizes it: "this may compromise
+//     I/O performance because I/O parallelism on all servers may not be
+//     fully utilized."
+//   - HAS ("Heterogeneity-Aware Selective Data Layout Scheme"): each
+//     region selects the best-fitting of three typical layout candidates —
+//     1-DH (HServers only), 1-DV (SServers only), 2-D (all servers) —
+//     scored by the cost model.
+//
+// Both are region-level (no data reordering) and are not part of
+// AllSchemes (the paper's comparison); use ExtendedSchemes for the long
+// list.
+
+// Extra schemes, continuing the Scheme enumeration.
+const (
+	CARL Scheme = iota + 4
+	HAS
+)
+
+// ExtendedSchemes lists every implemented scheme: the paper's four plus
+// the related-work baselines.
+func ExtendedSchemes() []Scheme { return []Scheme{DEF, AAL, CARL, HAS, HARL, MHA} }
+
+// carlSSDFraction is the share of region bytes CARL may promote to the
+// SServers — a stand-in for the limited SSD capacity that motivates
+// cost-ranked selection (the paper's testbed SSDs are 100 GB against
+// 250 GB disks).
+const carlSSDFraction = 0.25
+
+// carlPlanner implements the CARL baseline.
+type carlPlanner struct{}
+
+func (carlPlanner) Scheme() Scheme { return CARL }
+
+func (carlPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
+	if err := env.Validate(); err != nil {
+		return Plan{}, err
+	}
+	p := Plan{Scheme: CARL}
+	spans := fileSpan(tr)
+	ann := pattern.Annotate(tr, env.EpochWindow)
+	byFile := make(map[string][]annotatedRecord)
+	for _, a := range ann {
+		byFile[a.File] = append(byFile[a.File], a)
+	}
+	hddOnly := stripe.Layout{M: env.M, N: env.N, H: env.DefaultStripe, S: 0}
+	ssdOnly := stripe.Layout{M: env.M, N: env.N, H: 0, S: env.DefaultStripe}
+	if env.M == 0 {
+		hddOnly = ssdOnly
+	}
+	if env.N == 0 {
+		ssdOnly = hddOnly
+	}
+	for _, f := range sortedFiles(tr) {
+		size := spans[f]
+		var rmax int64
+		for _, a := range byFile[f] {
+			if a.Size > rmax {
+				rmax = a.Size
+			}
+		}
+		width := regionWidth(size, rmax, env)
+		nRegions := int(units.CeilDiv(size, width))
+		buckets := make([][]annotatedRecord, nRegions)
+		for _, a := range byFile[f] {
+			i := int(a.Offset / width)
+			if i >= nRegions {
+				i = nRegions - 1
+			}
+			buckets[i] = append(buckets[i], a)
+		}
+		// Rank regions by their access cost under the baseline (HDD-only)
+		// placement; the costliest go to the SServers until the capacity
+		// fraction is spent.
+		scores := make([]regionScore, nRegions)
+		costOf := make([]float64, nRegions)
+		for i, bucket := range buckets {
+			var cost float64
+			for _, r := range AggregateReqs(ReqsFromAnnotated(bucket)) {
+				cost += costmodel.RequestCost(env.Params, hddOnly, r.Op, 0, r.Size,
+					units.RoundUp(r.Size, env.Step), r.Conc) * float64(r.Weight)
+			}
+			scores[i] = regionScore{idx: i, cost: cost}
+			costOf[i] = cost
+		}
+		sort.Slice(scores, func(a, b int) bool { return scores[a].cost > scores[b].cost })
+		budget := int64(float64(size) * carlSSDFraction)
+		onSSD := make(map[int]bool)
+		for _, sc := range scores {
+			start := int64(sc.idx) * width
+			length := units.Min(width, size-start)
+			if sc.cost <= 0 || length > budget {
+				continue
+			}
+			onSSD[sc.idx] = true
+			budget -= length
+		}
+		for i := 0; i < nRegions; i++ {
+			start := int64(i) * width
+			length := units.Min(width, size-start)
+			l := hddOnly
+			if onSSD[i] {
+				l = ssdOnly
+			}
+			name := RegionName(CARL, env.Tag, f, i)
+			p.Regions = append(p.Regions, RegionPlan{
+				File: name, Layout: l, Size: length, Cost: costOf[i],
+			})
+			p.Mappings = append(p.Mappings, region.Mapping{
+				OFile: f, OOffset: start, RFile: name, ROffset: 0, Length: length,
+			})
+		}
+	}
+	return p, nil
+}
+
+// regionScore pairs a region index with its modeled access cost.
+type regionScore struct {
+	idx  int
+	cost float64
+}
+
+// hasPlanner implements the HAS baseline: per region, the cheapest of
+// 1-DH, 1-DV and 2-D.
+type hasPlanner struct{}
+
+func (hasPlanner) Scheme() Scheme { return HAS }
+
+func (hasPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
+	if err := env.Validate(); err != nil {
+		return Plan{}, err
+	}
+	p := Plan{Scheme: HAS}
+	spans := fileSpan(tr)
+	ann := pattern.Annotate(tr, env.EpochWindow)
+	byFile := make(map[string][]annotatedRecord)
+	for _, a := range ann {
+		byFile[a.File] = append(byFile[a.File], a)
+	}
+	var candidates []stripe.Layout
+	if env.M > 0 {
+		candidates = append(candidates, stripe.Layout{M: env.M, N: env.N, H: env.DefaultStripe, S: 0}) // 1-DH
+	}
+	if env.N > 0 {
+		candidates = append(candidates, stripe.Layout{M: env.M, N: env.N, H: 0, S: env.DefaultStripe}) // 1-DV
+	}
+	if env.M > 0 && env.N > 0 {
+		candidates = append(candidates, stripe.Uniform(env.M, env.N, env.DefaultStripe)) // 2-D
+	}
+	for _, f := range sortedFiles(tr) {
+		size := spans[f]
+		var rmax int64
+		for _, a := range byFile[f] {
+			if a.Size > rmax {
+				rmax = a.Size
+			}
+		}
+		width := regionWidth(size, rmax, env)
+		nRegions := int(units.CeilDiv(size, width))
+		buckets := make([][]annotatedRecord, nRegions)
+		for _, a := range byFile[f] {
+			i := int(a.Offset / width)
+			if i >= nRegions {
+				i = nRegions - 1
+			}
+			buckets[i] = append(buckets[i], a)
+		}
+		for i := 0; i < nRegions; i++ {
+			start := int64(i) * width
+			length := units.Min(width, size-start)
+			reqs := AggregateReqs(ReqsFromAnnotated(buckets[i]))
+			best, bestCost := candidates[0], 0.0
+			for ci, cand := range candidates {
+				var cost float64
+				for _, r := range reqs {
+					cost += costmodel.RequestCost(env.Params, cand, r.Op, 0, r.Size,
+						units.RoundUp(r.Size, env.Step), r.Conc) * float64(r.Weight)
+				}
+				if ci == 0 || cost < bestCost {
+					best, bestCost = cand, cost
+				}
+			}
+			name := RegionName(HAS, env.Tag, f, i)
+			p.Regions = append(p.Regions, RegionPlan{
+				File: name, Layout: best, Size: length, Cost: bestCost,
+			})
+			p.Mappings = append(p.Mappings, region.Mapping{
+				OFile: f, OOffset: start, RFile: name, ROffset: 0, Length: length,
+			})
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,125 @@
+package layout
+
+import (
+	"testing"
+
+	"mhafs/internal/stripe"
+	"mhafs/internal/units"
+)
+
+func TestExtendedSchemesRegistry(t *testing.T) {
+	if len(ExtendedSchemes()) != 6 {
+		t.Fatalf("ExtendedSchemes = %v", ExtendedSchemes())
+	}
+	for _, s := range []Scheme{CARL, HAS} {
+		if _, err := NewPlanner(s); err != nil {
+			t.Errorf("NewPlanner(%v): %v", s, err)
+		}
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v failed", s)
+		}
+	}
+}
+
+func TestCARLPlanSelectivePlacement(t *testing.T) {
+	env := testEnv()
+	env.MaxRegions = 8
+	p := planFor(t, CARL, mixedTrace(), env)
+	if len(p.Regions) == 0 {
+		t.Fatal("no regions")
+	}
+	var ssdRegions, hddRegions int
+	for _, r := range p.Regions {
+		switch {
+		case r.Layout.H == 0 && r.Layout.S > 0:
+			ssdRegions++
+		case r.Layout.S == 0 && r.Layout.H > 0:
+			hddRegions++
+		default:
+			t.Errorf("CARL region %s uses both classes: %v", r.File, r.Layout)
+		}
+	}
+	if ssdRegions == 0 {
+		t.Error("CARL promoted no regions to the SServers")
+	}
+	if hddRegions == 0 {
+		t.Error("CARL must leave low-cost regions on the HServers (capacity bound)")
+	}
+	// The capacity bound: promoted bytes within the fraction (plus one
+	// region of slack for rounding).
+	var ssdBytes, total int64
+	for _, r := range p.Regions {
+		total += r.Size
+		if r.Layout.H == 0 {
+			ssdBytes += r.Size
+		}
+	}
+	if float64(ssdBytes) > carlSSDFraction*float64(total)+float64(total)/float64(len(p.Regions)) {
+		t.Errorf("CARL promoted %d of %d bytes, beyond the capacity fraction", ssdBytes, total)
+	}
+}
+
+func TestHASSelectsPerRegionCandidates(t *testing.T) {
+	env := testEnv()
+	env.MaxRegions = 8
+	p := planFor(t, HAS, mixedTrace(), env)
+	def := env.DefaultStripe
+	seen := map[string]bool{}
+	for _, r := range p.Regions {
+		l := r.Layout
+		switch {
+		case l.H == def && l.S == 0:
+			seen["1-DH"] = true
+		case l.H == 0 && l.S == def:
+			seen["1-DV"] = true
+		case l.H == def && l.S == def:
+			seen["2-D"] = true
+		default:
+			t.Errorf("HAS region %s uses a non-candidate layout %v", r.File, l)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no regions planned")
+	}
+}
+
+// On a small-request workload HAS must choose 1-DV (SServers) — the
+// heterogeneity-aware selection the scheme is named for.
+func TestHASSmallRequestsPickSSD(t *testing.T) {
+	env := testEnv()
+	var tr []struct{}
+	_ = tr
+	small := mixedTrace()[:8] // the 16KB requests only
+	p := planFor(t, HAS, small, env)
+	for _, r := range p.Regions {
+		if r.Layout.H != 0 {
+			t.Errorf("small-request region %s not SServer-only: %v", r.File, r.Layout)
+		}
+	}
+}
+
+func TestExtraSchemesSingleClassClusters(t *testing.T) {
+	env := testEnv()
+	env.N = 0
+	for _, s := range []Scheme{CARL, HAS} {
+		p := planFor(t, s, mixedTrace(), env)
+		for _, r := range p.Regions {
+			if r.Layout.N != 0 || r.Layout.H == 0 {
+				t.Errorf("%v region on HServer-only cluster: %v", s, r.Layout)
+			}
+		}
+	}
+	env = testEnv()
+	env.M = 0
+	for _, s := range []Scheme{CARL, HAS} {
+		p := planFor(t, s, mixedTrace(), env)
+		for _, r := range p.Regions {
+			if r.Layout.M != 0 || r.Layout.S == 0 {
+				t.Errorf("%v region on SServer-only cluster: %v", s, r.Layout)
+			}
+		}
+	}
+	_ = stripe.Layout{}
+	_ = units.KB
+}

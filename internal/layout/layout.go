@@ -1,0 +1,238 @@
+// Package layout contains the data-layout planners compared in the MHA
+// paper:
+//
+//   - DEF  — the default fixed-size striping (64 KB on every server);
+//   - AAL  — application-aware layout: a single optimized stripe size
+//     chosen from the access pattern, blind to server heterogeneity;
+//   - HARL — heterogeneity-aware region-level layout: fixed-width logical
+//     file regions, each with an RSSD-optimized <h, s> stripe pair, no
+//     data reordering (the authors' prior work);
+//   - MHA  — migratory heterogeneity-aware layout: requests clustered by
+//     (size, concurrency), each group's data migrated into its own region,
+//     each region given an RSSD-optimized stripe pair.
+//
+// A planner consumes an I/O trace and produces a Plan: the set of region
+// files with their layouts plus the DRT mappings that relocate original
+// extents into regions. DEF and AAL plans have identity mappings (the
+// region is the original file); HARL and MHA plans carve files into
+// regions.
+package layout
+
+import (
+	"fmt"
+
+	"mhafs/internal/costmodel"
+	"mhafs/internal/region"
+	"mhafs/internal/stripe"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+// Scheme enumerates the four planners.
+type Scheme uint8
+
+// The compared schemes.
+const (
+	DEF Scheme = iota
+	AAL
+	HARL
+	MHA
+)
+
+// String returns the paper's abbreviation.
+func (s Scheme) String() string {
+	switch s {
+	case DEF:
+		return "DEF"
+	case AAL:
+		return "AAL"
+	case HARL:
+		return "HARL"
+	case MHA:
+		return "MHA"
+	case CARL:
+		return "CARL"
+	case HAS:
+		return "HAS"
+	default:
+		return fmt.Sprintf("scheme(%d)", uint8(s))
+	}
+}
+
+// ParseScheme parses a scheme name (case-sensitive, as printed).
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "DEF", "def":
+		return DEF, nil
+	case "AAL", "aal":
+		return AAL, nil
+	case "HARL", "harl":
+		return HARL, nil
+	case "MHA", "mha":
+		return MHA, nil
+	case "CARL", "carl":
+		return CARL, nil
+	case "HAS", "has":
+		return HAS, nil
+	default:
+		return 0, fmt.Errorf("layout: unknown scheme %q", s)
+	}
+}
+
+// AllSchemes lists the schemes in the paper's comparison order.
+func AllSchemes() []Scheme { return []Scheme{DEF, AAL, HARL, MHA} }
+
+// Env is the planning environment: cluster shape, cost-model calibration
+// and search parameters.
+type Env struct {
+	M int // HServers
+	N int // SServers
+
+	Params costmodel.Params
+
+	// DefaultStripe is DEF's fixed stripe size (64 KB in the paper).
+	DefaultStripe int64
+
+	// Step is the stripe-size search granularity of Algorithm 2 (4 KB in
+	// the paper, user-configurable).
+	Step int64
+
+	// MaxRegions bounds both HARL's region count and MHA's group count k
+	// ("the number of the groups is bounded by the number of the
+	// fixed-size region division method").
+	MaxRegions int
+
+	// EpochWindow is the concurrency-detection window (seconds).
+	EpochWindow float64
+
+	// Seed drives the pseudo-random initial centers of Algorithm 1.
+	Seed int64
+
+	// Tag distinguishes plan generations: when non-empty it is embedded in
+	// every region file name, so re-optimization (the paper's future-work
+	// dynamic mode) can place a new generation of regions alongside the
+	// previous one before retiring it.
+	Tag string
+}
+
+// DefaultEnv mirrors the paper's experimental setup: 6 HServers, 2
+// SServers, 64 KB default stripes, 4 KB search step, at most 16 regions.
+func DefaultEnv() Env {
+	return Env{
+		M:             6,
+		N:             2,
+		Params:        costmodel.Default(),
+		DefaultStripe: 64 * units.KB,
+		Step:          4 * units.KB,
+		MaxRegions:    16,
+		EpochWindow:   1e-3,
+		Seed:          1,
+	}
+}
+
+// Validate checks the environment.
+func (e Env) Validate() error {
+	if e.M < 0 || e.N < 0 || e.M+e.N == 0 {
+		return fmt.Errorf("layout: need at least one server (M=%d N=%d)", e.M, e.N)
+	}
+	if e.DefaultStripe <= 0 {
+		return fmt.Errorf("layout: default stripe must be positive")
+	}
+	if e.Step <= 0 {
+		return fmt.Errorf("layout: search step must be positive")
+	}
+	if e.MaxRegions <= 0 {
+		return fmt.Errorf("layout: MaxRegions must be positive")
+	}
+	if e.EpochWindow < 0 {
+		return fmt.Errorf("layout: negative epoch window")
+	}
+	return e.Params.Validate()
+}
+
+// RegionPlan is one region file with its optimized layout.
+type RegionPlan struct {
+	File   string
+	Layout stripe.Layout
+	// Size is the region's byte length (0 if unknown, e.g. DEF/AAL
+	// identity regions sized by the original file).
+	Size int64
+	// Cost is the planner's predicted total access cost for the requests
+	// served by this region (model seconds); informational.
+	Cost float64
+}
+
+// Plan is a planner's output.
+type Plan struct {
+	Scheme  Scheme
+	Regions []RegionPlan
+	// Mappings relocate original extents into regions; empty when regions
+	// are the original files themselves.
+	Mappings []region.Mapping
+}
+
+// Validate checks plan consistency: every mapping references a planned
+// region and mappings never overlap in the original space (checked by the
+// DRT on application).
+func (p Plan) Validate() error {
+	known := make(map[string]bool, len(p.Regions))
+	for _, r := range p.Regions {
+		if r.File == "" {
+			return fmt.Errorf("layout: region with empty name")
+		}
+		if err := r.Layout.Validate(); err != nil {
+			return fmt.Errorf("layout: region %s: %w", r.File, err)
+		}
+		if known[r.File] {
+			return fmt.Errorf("layout: duplicate region %s", r.File)
+		}
+		known[r.File] = true
+	}
+	for _, m := range p.Mappings {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		if !known[m.RFile] {
+			return fmt.Errorf("layout: mapping targets unknown region %s", m.RFile)
+		}
+	}
+	return nil
+}
+
+// Planner turns a trace into a plan.
+type Planner interface {
+	// Scheme identifies the planner.
+	Scheme() Scheme
+	// Plan analyzes the trace (all files it touches) and returns the
+	// placement plan.
+	Plan(tr trace.Trace, env Env) (Plan, error)
+}
+
+// NewPlanner constructs the planner for a scheme.
+func NewPlanner(s Scheme) (Planner, error) {
+	switch s {
+	case DEF:
+		return defPlanner{}, nil
+	case AAL:
+		return aalPlanner{}, nil
+	case HARL:
+		return harlPlanner{}, nil
+	case MHA:
+		return mhaPlanner{}, nil
+	case CARL:
+		return carlPlanner{}, nil
+	case HAS:
+		return hasPlanner{}, nil
+	default:
+		return nil, fmt.Errorf("layout: unknown scheme %d", s)
+	}
+}
+
+// RegionName builds the canonical region file name for a scheme; tag (the
+// plan generation) may be empty.
+func RegionName(scheme Scheme, tag, oFile string, idx int) string {
+	if tag == "" {
+		return fmt.Sprintf("%s.%s.r%d", oFile, scheme, idx)
+	}
+	return fmt.Sprintf("%s.%s.%s.r%d", oFile, scheme, tag, idx)
+}

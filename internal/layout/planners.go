@@ -1,0 +1,366 @@
+package layout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mhafs/internal/cluster"
+	"mhafs/internal/costmodel"
+	"mhafs/internal/intervals"
+	"mhafs/internal/pattern"
+	"mhafs/internal/region"
+	"mhafs/internal/stripe"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+// annotatedRecord aliases the pattern package's annotated record for local
+// brevity.
+type annotatedRecord = pattern.Annotated
+
+// fileSpan returns one past the highest byte accessed per file.
+func fileSpan(tr trace.Trace) map[string]int64 {
+	spans := make(map[string]int64)
+	for _, r := range tr {
+		if end := r.End(); end > spans[r.File] {
+			spans[r.File] = end
+		}
+	}
+	return spans
+}
+
+// sortedFiles returns the trace's files in deterministic order.
+func sortedFiles(tr trace.Trace) []string { return tr.Files() }
+
+// ---------------------------------------------------------------------------
+// DEF
+
+// defPlanner is the default layout: the whole file striped with the fixed
+// default stripe size over every server. No reordering, no per-file
+// optimization.
+type defPlanner struct{}
+
+func (defPlanner) Scheme() Scheme { return DEF }
+
+func (defPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
+	if err := env.Validate(); err != nil {
+		return Plan{}, err
+	}
+	p := Plan{Scheme: DEF}
+	spans := fileSpan(tr)
+	for _, f := range sortedFiles(tr) {
+		p.Regions = append(p.Regions, RegionPlan{
+			File:   f,
+			Layout: stripe.Uniform(env.M, env.N, env.DefaultStripe),
+			Size:   spans[f],
+		})
+	}
+	return p, nil
+}
+
+// ---------------------------------------------------------------------------
+// AAL
+
+// aalPlanner is the application-aware layout: it searches a single uniform
+// stripe size per file that minimizes the modeled access cost, but scores
+// candidates with homogeneous server parameters — it sees the access
+// pattern while remaining blind to the HServer/SServer performance gap,
+// like the adaptive-stripe prior work the paper compares against.
+type aalPlanner struct{}
+
+func (aalPlanner) Scheme() Scheme { return AAL }
+
+func (aalPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
+	if err := env.Validate(); err != nil {
+		return Plan{}, err
+	}
+	homog := env.Params.Homogeneous()
+	p := Plan{Scheme: AAL}
+	spans := fileSpan(tr)
+	ann := pattern.Annotate(tr, env.EpochWindow)
+	byFile := make(map[string][]annotatedRecord)
+	for _, a := range ann {
+		byFile[a.File] = append(byFile[a.File], a)
+	}
+	for _, f := range sortedFiles(tr) {
+		reqs := AggregateReqs(ReqsFromAnnotated(byFile[f]))
+		l, cost := bestUniformStripe(reqs, env, homog)
+		// The whole file is restriped into one region file with the
+		// optimized uniform stripe; a single identity mapping redirects
+		// every access there.
+		name := RegionName(AAL, env.Tag, f, 0)
+		p.Regions = append(p.Regions, RegionPlan{File: name, Layout: l, Size: spans[f], Cost: cost})
+		if spans[f] > 0 {
+			p.Mappings = append(p.Mappings, region.Mapping{
+				OFile: f, OOffset: 0, RFile: name, ROffset: 0, Length: spans[f],
+			})
+		}
+	}
+	return p, nil
+}
+
+// bestUniformStripe searches uniform stripe sizes with the given model
+// parameters, using the same adaptive bound policy as RSSD.
+func bestUniformStripe(reqs []Req, env Env, params costmodel.Params) (stripe.Layout, float64) {
+	step := env.Step
+	var rmax int64
+	for _, r := range reqs {
+		if r.Size > rmax {
+			rmax = r.Size
+		}
+	}
+	if rmax == 0 {
+		return stripe.Uniform(env.M, env.N, env.DefaultStripe), 0
+	}
+	var bound int64
+	if rmax < int64(env.M+env.N)*64*units.KB {
+		bound = rmax
+	} else {
+		bound = rmax / int64(env.M+env.N)
+	}
+	if bound < step {
+		bound = step
+	}
+	bestCost := math.Inf(1)
+	var best stripe.Layout
+	for c := step; c <= bound; c += step {
+		l := stripe.Uniform(env.M, env.N, c)
+		var cost float64
+		for _, r := range reqs {
+			cost += costmodel.RequestCost(params, l, r.Op, 0, r.Size, units.RoundUp(r.Size, step), r.Conc) * float64(r.Weight)
+		}
+		const tieEps = 1e-12
+		if cost < bestCost-tieEps ||
+			(cost <= bestCost+tieEps && l.H+l.S > best.H+best.S) {
+			bestCost, best = cost, l
+		}
+	}
+	return best, bestCost
+}
+
+// ---------------------------------------------------------------------------
+// HARL
+
+// harlPlanner is the heterogeneity-aware region-level layout of the
+// authors' prior work: the file is divided into fixed-width logical
+// regions and each region's inherent requests drive one RSSD search. Data
+// is not migrated — each region is the corresponding slice of the original
+// file, placed contiguously as its own physical region file.
+type harlPlanner struct{}
+
+func (harlPlanner) Scheme() Scheme { return HARL }
+
+func (harlPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
+	if err := env.Validate(); err != nil {
+		return Plan{}, err
+	}
+	p := Plan{Scheme: HARL}
+	spans := fileSpan(tr)
+	ann := pattern.Annotate(tr, env.EpochWindow)
+	byFile := make(map[string][]annotatedRecord)
+	for _, a := range ann {
+		byFile[a.File] = append(byFile[a.File], a)
+	}
+	for _, f := range sortedFiles(tr) {
+		size := spans[f]
+		fileTrace := byFile[f]
+		var rmax int64
+		for _, a := range fileTrace {
+			if a.Size > rmax {
+				rmax = a.Size
+			}
+		}
+		width := regionWidth(size, rmax, env)
+		nRegions := int(units.CeilDiv(size, width))
+		// Bucket requests by the region containing their start offset.
+		buckets := make([][]annotatedRecord, nRegions)
+		for _, a := range byFile[f] {
+			i := int(a.Offset / width)
+			if i >= nRegions {
+				i = nRegions - 1
+			}
+			buckets[i] = append(buckets[i], a)
+		}
+		for i := 0; i < nRegions; i++ {
+			start := int64(i) * width
+			length := units.Min(width, size-start)
+			res := RSSD(ReqsFromAnnotated(buckets[i]), env)
+			name := RegionName(HARL, env.Tag, f, i)
+			p.Regions = append(p.Regions, RegionPlan{
+				File: name, Layout: res.Layout, Size: length, Cost: res.Cost,
+			})
+			p.Mappings = append(p.Mappings, region.Mapping{
+				OFile: f, OOffset: start, RFile: name, ROffset: 0, Length: length,
+			})
+		}
+	}
+	return p, nil
+}
+
+// regionWidth derives HARL's fixed region width: the file split into at
+// most MaxRegions slices, but never finer than twice the largest request —
+// a region smaller than a request would fragment every request across
+// region boundaries, which region-level layouts must avoid.
+func regionWidth(fileSize, rmax int64, env Env) int64 {
+	w := units.CeilDiv(fileSize, int64(env.MaxRegions))
+	w = units.Max(w, 2*rmax)
+	w = units.RoundUp(units.Max(w, 1), env.Step)
+	return w
+}
+
+// ---------------------------------------------------------------------------
+// MHA
+
+// mhaPlanner implements the paper's contribution: cluster requests by
+// (size, concurrency) with Algorithm 1, migrate each group's extents into
+// a packed region ordered by original offset, and give each region an
+// RSSD-optimized stripe pair.
+//
+// Overlapping extents claimed by an earlier group are not re-migrated —
+// the DRT redirects any request that touches them to the earlier region.
+// Requests whose bytes were claimed elsewhere are *adopted* by the owning
+// region for stripe optimization, so a region's layout accounts for every
+// request it will actually serve (e.g. reads that re-visit extents packed
+// by the write group).
+type mhaPlanner struct{}
+
+func (mhaPlanner) Scheme() Scheme { return MHA }
+
+// ownedPieces records which byte ranges of the original file a group
+// claimed for one record.
+type ownedPieces struct {
+	rec    annotatedRecord
+	pieces []intervals.Interval
+}
+
+func (mhaPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
+	if err := env.Validate(); err != nil {
+		return Plan{}, err
+	}
+	p := Plan{Scheme: MHA}
+	ann := pattern.Annotate(tr, env.EpochWindow)
+	byFile := make(map[string][]annotatedRecord)
+	for _, a := range ann {
+		byFile[a.File] = append(byFile[a.File], a)
+	}
+	for _, f := range sortedFiles(tr) {
+		recs := byFile[f]
+		pts := pattern.Points(recs)
+		k := cluster.BoundK(pts, env.MaxRegions)
+		res, err := cluster.Group(pts, k, cluster.Options{MaxIters: 3, Seed: env.Seed})
+		if err != nil {
+			return Plan{}, fmt.Errorf("layout: mha grouping %s: %w", f, err)
+		}
+
+		// Phase A: claim extents group by group, remembering per-record
+		// ownership. An ownership interval list (non-overlapping by
+		// construction) maps original offsets back to the owning group.
+		var claimed intervals.Set
+		type ownIv struct {
+			start, end int64
+			group      int
+		}
+		var owners []ownIv
+		owned := make([][]ownedPieces, res.K())
+		for g, members := range res.Groups {
+			group := make([]annotatedRecord, len(members))
+			for i, idx := range members {
+				group[i] = recs[idx]
+			}
+			// "Requests identified to be similar are located together,
+			// ordered by their offsets within the original file."
+			sort.Slice(group, func(i, j int) bool { return group[i].Offset < group[j].Offset })
+			for _, r := range group {
+				pieces := claimed.Claim(r.Offset, r.End())
+				owned[g] = append(owned[g], ownedPieces{rec: r, pieces: pieces})
+				for _, piece := range pieces {
+					owners = append(owners, ownIv{piece.Start, piece.End, g})
+				}
+			}
+		}
+		sort.Slice(owners, func(i, j int) bool { return owners[i].start < owners[j].start })
+		ownerOf := func(off int64) int {
+			i := sort.Search(len(owners), func(i int) bool { return owners[i].end > off })
+			if i < len(owners) && owners[i].start <= off {
+				return owners[i].group
+			}
+			return -1
+		}
+
+		// Phase B: per region, optimize the stripe pair over every request
+		// the region will serve (its own plus adopted), then pack its
+		// owned pieces with concurrency epochs aligned to stripe-round
+		// boundaries of the chosen layout — every epoch starts at round
+		// phase 0, the situation the cost model scores. HARL cannot do
+		// this (its regions keep the file's inherent order); the alignment
+		// is a benefit data migration uniquely enables.
+		serves := make([][]annotatedRecord, res.K())
+		for _, members := range res.Groups {
+			for _, idx := range members {
+				r := recs[idx]
+				if owner := ownerOf(r.Offset); owner >= 0 {
+					serves[owner] = append(serves[owner], r)
+				}
+			}
+		}
+		for g := range res.Groups {
+			var hasBytes bool
+			for _, op := range owned[g] {
+				if len(op.pieces) > 0 {
+					hasBytes = true
+					break
+				}
+			}
+			if !hasBytes {
+				// Every extent of this group was claimed by an earlier
+				// group; no region needed — the DRT redirects there.
+				continue
+			}
+			rssd := RSSD(ReqsFromAnnotated(serves[g]), env)
+			round := rssd.Layout.RoundLength()
+
+			name := RegionName(MHA, env.Tag, f, g)
+			var cursor int64
+			var mappings []region.Mapping
+			prevEpoch := -1
+			for _, op := range owned[g] {
+				if len(op.pieces) == 0 {
+					continue
+				}
+				if op.rec.Epoch != prevEpoch {
+					cursor = units.RoundUp(cursor, round)
+					prevEpoch = op.rec.Epoch
+				} else {
+					// Requests stay stripe-aligned after migration (the
+					// region file is sparse in the gaps).
+					cursor = units.RoundUp(cursor, env.Step)
+				}
+				for _, piece := range op.pieces {
+					m := region.Mapping{
+						OFile: f, OOffset: piece.Start,
+						RFile: name, ROffset: cursor, Length: piece.End - piece.Start,
+					}
+					if n := len(mappings); n > 0 && mergeable(mappings[n-1], m) {
+						mappings[n-1].Length += m.Length
+					} else {
+						mappings = append(mappings, m)
+					}
+					cursor += piece.End - piece.Start
+				}
+			}
+			p.Regions = append(p.Regions, RegionPlan{
+				File: name, Layout: rssd.Layout, Size: cursor, Cost: rssd.Cost,
+			})
+			p.Mappings = append(p.Mappings, mappings...)
+		}
+	}
+	return p, nil
+}
+
+// mergeable reports whether b directly extends a in both the original and
+// the region address spaces.
+func mergeable(a, b region.Mapping) bool {
+	return a.OFile == b.OFile && a.RFile == b.RFile &&
+		a.OEnd() == b.OOffset && a.ROffset+a.Length == b.ROffset
+}

@@ -1,0 +1,368 @@
+package layout
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"mhafs/internal/intervals"
+	"mhafs/internal/region"
+	"mhafs/internal/stripe"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+// mixedTrace builds a heterogeneous trace over one 4 MB file: interleaved
+// 16 KB requests at concurrency 8 and 256 KB requests at concurrency 2,
+// the paper's motivating scenario.
+func mixedTrace() trace.Trace {
+	var tr trace.Trace
+	off := int64(0)
+	tstamp := 0.0
+	for loop := 0; loop < 8; loop++ {
+		for r := 0; r < 8; r++ {
+			tr = append(tr, trace.Record{
+				Rank: r, File: "app.dat", Op: trace.OpRead,
+				Offset: off, Size: 16 * units.KB, Time: tstamp,
+			})
+			off += 16 * units.KB
+		}
+		tstamp += 1.0
+		for r := 0; r < 2; r++ {
+			tr = append(tr, trace.Record{
+				Rank: r, File: "app.dat", Op: trace.OpRead,
+				Offset: off, Size: 256 * units.KB, Time: tstamp,
+			})
+			off += 256 * units.KB
+		}
+		tstamp += 1.0
+	}
+	return tr
+}
+
+func TestSchemeStringParse(t *testing.T) {
+	for _, s := range AllSchemes() {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v failed: %v %v", s, got, err)
+		}
+		low, err := ParseScheme(strings.ToLower(s.String()))
+		if err != nil || low != s {
+			t.Errorf("lowercase parse %v failed", s)
+		}
+	}
+	if _, err := ParseScheme("XYZ"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if !strings.Contains(Scheme(9).String(), "9") {
+		t.Error("unknown scheme String should embed value")
+	}
+}
+
+func TestNewPlanner(t *testing.T) {
+	for _, s := range AllSchemes() {
+		p, err := NewPlanner(s)
+		if err != nil {
+			t.Fatalf("NewPlanner(%v): %v", s, err)
+		}
+		if p.Scheme() != s {
+			t.Errorf("planner scheme = %v, want %v", p.Scheme(), s)
+		}
+	}
+	if _, err := NewPlanner(Scheme(99)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestEnvValidate(t *testing.T) {
+	if err := DefaultEnv().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	muts := []func(*Env){
+		func(e *Env) { e.M, e.N = 0, 0 },
+		func(e *Env) { e.M = -1 },
+		func(e *Env) { e.DefaultStripe = 0 },
+		func(e *Env) { e.Step = 0 },
+		func(e *Env) { e.MaxRegions = 0 },
+		func(e *Env) { e.EpochWindow = -1 },
+		func(e *Env) { e.Params.T = 0 },
+	}
+	for i, m := range muts {
+		e := DefaultEnv()
+		m(&e)
+		if err := e.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func planFor(t *testing.T, s Scheme, tr trace.Trace, env Env) Plan {
+	t.Helper()
+	pl, err := NewPlanner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pl.Plan(tr, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("%v plan invalid: %v", s, err)
+	}
+	return p
+}
+
+func TestDEFPlan(t *testing.T) {
+	env := testEnv()
+	p := planFor(t, DEF, mixedTrace(), env)
+	if len(p.Regions) != 1 || len(p.Mappings) != 0 {
+		t.Fatalf("DEF plan = %d regions, %d mappings", len(p.Regions), len(p.Mappings))
+	}
+	r := p.Regions[0]
+	if r.File != "app.dat" {
+		t.Errorf("region file = %s", r.File)
+	}
+	if r.Layout != stripe.Uniform(env.M, env.N, env.DefaultStripe) {
+		t.Errorf("DEF layout = %v", r.Layout)
+	}
+	if r.Size != mixedTrace().FilterFile("app.dat").MaxSize()+0 && r.Size <= 0 {
+		t.Errorf("region size = %d", r.Size)
+	}
+}
+
+func TestAALPlanUniformStripes(t *testing.T) {
+	env := testEnv()
+	p := planFor(t, AAL, mixedTrace(), env)
+	if len(p.Regions) != 1 || len(p.Mappings) != 1 {
+		t.Fatalf("AAL plan shape wrong: %d regions, %d mappings", len(p.Regions), len(p.Mappings))
+	}
+	m := p.Mappings[0]
+	if m.OFile != "app.dat" || m.OOffset != 0 || m.ROffset != 0 || m.RFile != p.Regions[0].File {
+		t.Errorf("AAL mapping = %+v", m)
+	}
+	l := p.Regions[0].Layout
+	if l.H != l.S {
+		t.Errorf("AAL must use uniform stripes, got %v", l)
+	}
+	if l.H == 0 {
+		t.Errorf("AAL stripe must be positive: %v", l)
+	}
+}
+
+func TestHARLPlanCoversFile(t *testing.T) {
+	env := testEnv()
+	env.MaxRegions = 4
+	tr := mixedTrace()
+	p := planFor(t, HARL, tr, env)
+	if len(p.Regions) == 0 || len(p.Regions) > env.MaxRegions {
+		t.Fatalf("HARL regions = %d", len(p.Regions))
+	}
+	if len(p.Mappings) != len(p.Regions) {
+		t.Fatalf("HARL should map one extent per region")
+	}
+	// Mappings must tile [0, span) without gaps.
+	span := tr.FilterFile("app.dat")[len(tr)-1].End()
+	var cov intervals.Set
+	for _, m := range p.Mappings {
+		if m.OFile != "app.dat" || m.ROffset != 0 {
+			t.Errorf("unexpected mapping %+v", m)
+		}
+		cov.Add(m.OOffset, m.OEnd())
+	}
+	if !cov.Contains(0, span) {
+		t.Errorf("HARL mappings do not cover the file: %v of %d", cov.Intervals(), span)
+	}
+	// Regions hold varied stripe pairs (heterogeneity-aware).
+	for _, r := range p.Regions {
+		if r.Layout.M != env.M || r.Layout.N != env.N {
+			t.Errorf("region layout server counts wrong: %v", r.Layout)
+		}
+	}
+}
+
+func TestMHAPlanGroupsAndMappings(t *testing.T) {
+	env := testEnv()
+	tr := mixedTrace()
+	p := planFor(t, MHA, tr, env)
+	// Two distinct (size, concurrency) patterns → two regions.
+	if len(p.Regions) != 2 {
+		t.Fatalf("MHA regions = %d, want 2", len(p.Regions))
+	}
+	// All traced bytes must be mapped exactly once.
+	var cov intervals.Set
+	var mappedBytes int64
+	for _, m := range p.Mappings {
+		if cov.Overlaps(m.OOffset, m.OEnd()) {
+			t.Fatalf("mapping overlap at %+v", m)
+		}
+		cov.Add(m.OOffset, m.OEnd())
+		mappedBytes += m.Length
+	}
+	span := int64(0)
+	for _, r := range tr {
+		if r.End() > span {
+			span = r.End()
+		}
+	}
+	if mappedBytes != span {
+		t.Errorf("mapped %d bytes, trace spans %d", mappedBytes, span)
+	}
+	// Region sizes must equal the bytes mapped into them.
+	perRegion := make(map[string]int64)
+	for _, m := range p.Mappings {
+		perRegion[m.RFile] += m.Length
+	}
+	for _, r := range p.Regions {
+		if perRegion[r.File] != r.Size {
+			t.Errorf("region %s size %d != mapped %d", r.File, r.Size, perRegion[r.File])
+		}
+	}
+	// The two regions must have different layouts: one serves 16KB×8
+	// requests, the other 256KB×2.
+	if p.Regions[0].Layout == p.Regions[1].Layout {
+		t.Errorf("MHA regions share a layout %v; heterogeneity lost", p.Regions[0].Layout)
+	}
+}
+
+func TestMHARegionPackingIsAlignedAndOrdered(t *testing.T) {
+	env := testEnv()
+	p := planFor(t, MHA, mixedTrace(), env)
+	// Within each region, mappings sorted by OOffset must land at
+	// monotonically increasing, step-aligned region offsets (packed in
+	// original-offset order, aligned so requests stay stripe-aligned).
+	byRegion := make(map[string][]int)
+	for i, m := range p.Mappings {
+		byRegion[m.RFile] = append(byRegion[m.RFile], i)
+	}
+	for rf, idxs := range byRegion {
+		ms := make([]int, len(idxs))
+		copy(ms, idxs)
+		sort.Slice(ms, func(a, b int) bool {
+			return p.Mappings[ms[a]].OOffset < p.Mappings[ms[b]].OOffset
+		})
+		var cursor int64
+		for _, i := range ms {
+			m := p.Mappings[i]
+			if m.ROffset < cursor {
+				t.Fatalf("region %s: mapping %+v overlaps previous extent end %d", rf, m, cursor)
+			}
+			if m.ROffset%env.Step != 0 {
+				t.Fatalf("region %s: mapping %+v not step-aligned", rf, m)
+			}
+			if m.ROffset-cursor >= env.Step {
+				t.Fatalf("region %s: mapping %+v leaves a gap beyond one step after %d", rf, m, cursor)
+			}
+			cursor = m.ROffset + m.Length
+		}
+	}
+}
+
+func TestMHAUniformPatternSingleRegion(t *testing.T) {
+	// Uniform access pattern: MHA degrades to a single group (and thus
+	// matches HARL's behaviour, as the paper observes for IOR-16KB).
+	var tr trace.Trace
+	for i := 0; i < 32; i++ {
+		tr = append(tr, trace.Record{
+			Rank: i % 8, File: "u.dat", Op: trace.OpRead,
+			Offset: int64(i) * 64 * units.KB, Size: 64 * units.KB,
+			Time: float64(i / 8),
+		})
+	}
+	env := testEnv()
+	p := planFor(t, MHA, tr, env)
+	if len(p.Regions) != 1 {
+		t.Errorf("uniform pattern should yield 1 region, got %d", len(p.Regions))
+	}
+}
+
+func TestMHAOverlappingRequestsClaimOnce(t *testing.T) {
+	// The same extent read repeatedly with two patterns: bytes must be
+	// migrated exactly once.
+	var tr trace.Trace
+	for loop := 0; loop < 4; loop++ {
+		tr = append(tr, trace.Record{
+			Rank: 0, File: "o.dat", Op: trace.OpRead,
+			Offset: 0, Size: 128 * units.KB, Time: float64(loop),
+		})
+		for r := 0; r < 8; r++ {
+			tr = append(tr, trace.Record{
+				Rank: r, File: "o.dat", Op: trace.OpRead,
+				Offset: int64(r) * 8 * units.KB, Size: 8 * units.KB,
+				Time: float64(loop) + 0.5,
+			})
+		}
+	}
+	env := testEnv()
+	p := planFor(t, MHA, tr, env)
+	var cov intervals.Set
+	for _, m := range p.Mappings {
+		if cov.Overlaps(m.OOffset, m.OEnd()) {
+			t.Fatalf("byte migrated twice: %+v", m)
+		}
+		cov.Add(m.OOffset, m.OEnd())
+	}
+	if !cov.Contains(0, 128*units.KB) {
+		t.Error("accessed bytes left unmapped")
+	}
+}
+
+func TestPlannersMultiFile(t *testing.T) {
+	var tr trace.Trace
+	for f := 0; f < 3; f++ {
+		name := string(rune('a'+f)) + ".dat"
+		for i := 0; i < 8; i++ {
+			tr = append(tr, trace.Record{
+				Rank: i, File: name, Op: trace.OpWrite,
+				Offset: int64(i) * 32 * units.KB, Size: 32 * units.KB,
+				Time: float64(i / 4),
+			})
+		}
+	}
+	env := testEnv()
+	for _, s := range AllSchemes() {
+		p := planFor(t, s, tr, env)
+		files := make(map[string]bool)
+		for _, r := range p.Regions {
+			root := strings.SplitN(r.File, ".", 2)[0]
+			files[root+".dat"] = true
+		}
+		for _, want := range []string{"a.dat", "b.dat", "c.dat"} {
+			if !files[want] {
+				t.Errorf("%v plan missing regions for %s", s, want)
+			}
+		}
+	}
+}
+
+func TestPlanValidateRejects(t *testing.T) {
+	bad := Plan{Regions: []RegionPlan{{File: ""}}}
+	if bad.Validate() == nil {
+		t.Error("empty region name accepted")
+	}
+	bad = Plan{Regions: []RegionPlan{{File: "r", Layout: stripe.Layout{}}}}
+	if bad.Validate() == nil {
+		t.Error("invalid layout accepted")
+	}
+	l := stripe.Uniform(1, 1, 64)
+	bad = Plan{Regions: []RegionPlan{{File: "r", Layout: l}, {File: "r", Layout: l}}}
+	if bad.Validate() == nil {
+		t.Error("duplicate region accepted")
+	}
+}
+
+func TestPlanValidateUnknownRegionMapping(t *testing.T) {
+	l := stripe.Uniform(1, 1, 64)
+	p := Plan{
+		Regions: []RegionPlan{{File: "r0", Layout: l}},
+		Mappings: []region.Mapping{
+			{OFile: "f", OOffset: 0, RFile: "rX", ROffset: 0, Length: 10},
+		},
+	}
+	if p.Validate() == nil {
+		t.Error("mapping to unknown region accepted")
+	}
+	p.Mappings[0] = region.Mapping{OFile: "f", OOffset: 0, RFile: "r0", ROffset: 0, Length: 0}
+	if p.Validate() == nil {
+		t.Error("invalid mapping accepted")
+	}
+}

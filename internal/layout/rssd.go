@@ -1,0 +1,172 @@
+package layout
+
+import (
+	"math"
+
+	"mhafs/internal/costmodel"
+	"mhafs/internal/stripe"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+// Req is one request presented to the stripe-size search: operation,
+// size, and the concurrency with which similar requests are issued.
+// Requests with identical features are aggregated by Weight.
+type Req struct {
+	Op     trace.Op
+	Size   int64
+	Conc   int
+	Weight int
+}
+
+// AggregateReqs collapses requests with identical (op, size, concurrency)
+// into weighted entries. Algorithm 2 sums a cost per request; identical
+// requests contribute identical terms, so aggregation changes nothing but
+// removes a factor of the region's request count from the search.
+func AggregateReqs(reqs []Req) []Req {
+	type key struct {
+		op   trace.Op
+		size int64
+		conc int
+	}
+	idx := make(map[key]int)
+	var out []Req
+	for _, r := range reqs {
+		w := r.Weight
+		if w <= 0 {
+			w = 1
+		}
+		k := key{r.Op, r.Size, r.Conc}
+		if i, ok := idx[k]; ok {
+			out[i].Weight += w
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, Req{Op: r.Op, Size: r.Size, Conc: r.Conc, Weight: w})
+	}
+	return out
+}
+
+// RSSDResult reports the chosen stripe pair and its predicted cost.
+type RSSDResult struct {
+	Layout stripe.Layout
+	Cost   float64 // total model cost of all (weighted) requests
+	Tried  int     // number of <h, s> candidates evaluated
+}
+
+// RSSD implements Algorithm 2 (Region Stripe Size Determination): search
+// stripe pairs <h, s> in 'step' increments and pick the pair minimizing
+// the summed access cost of the region's requests under the cost model.
+//
+// Bounds follow the paper's adaptive policy: if the maximal request size
+// r_max is smaller than (M+N)·64 KB, both bounds are r_max (more
+// candidates, bounded search space); otherwise B_h = r_max/M and
+// B_s = r_max/N, which pushes every server to participate in large
+// requests. h starts at 0 — the degenerate SServer-only placement is a
+// legal outcome. s starts at h+step so SServers always take at least as
+// large a stripe as the slower HServers.
+//
+// Costs are evaluated at region-relative offset 0 for every request: after
+// migration a region's requests are packed from its start, and the
+// round-robin layout makes the cost of a request depend on its size far
+// more than on its round phase. This keeps the search free of per-offset
+// terms, exactly like the paper's "simple arithmetic operations".
+func RSSD(reqs []Req, env Env) RSSDResult {
+	step := env.Step
+	if step <= 0 {
+		step = 4 * units.KB
+	}
+	agg := AggregateReqs(reqs)
+	var rmax int64
+	for _, r := range agg {
+		if r.Size > rmax {
+			rmax = r.Size
+		}
+	}
+	if rmax == 0 {
+		// No requests: any valid layout will do; use the default stripes.
+		return RSSDResult{Layout: stripe.Uniform(env.M, env.N, env.DefaultStripe)}
+	}
+
+	var bh, bs int64
+	if rmax < int64(env.M+env.N)*64*units.KB {
+		bh, bs = rmax, rmax
+	} else {
+		bh, bs = rmax, rmax
+		if env.M > 0 {
+			bh = rmax / int64(env.M)
+		}
+		if env.N > 0 {
+			bs = rmax / int64(env.N)
+		}
+	}
+	// Guarantee at least the candidate <0, step> (or <step, 0> for
+	// HServer-only clusters) exists even for requests smaller than one
+	// step.
+	if bs < step {
+		bs = step
+	}
+	if bh < step {
+		bh = step
+	}
+	if env.M == 0 {
+		bh = 0
+	}
+
+	best := RSSDResult{Cost: math.Inf(1)}
+	evaluate := func(l stripe.Layout) {
+		var cost float64
+		for _, r := range agg {
+			// Requests sit at step-aligned packed offsets in their region.
+			stride := units.RoundUp(r.Size, step)
+			cost += costmodel.RequestCost(env.Params, l, r.Op, 0, r.Size, stride, r.Conc) * float64(r.Weight)
+		}
+		best.Tried++
+		// Strictly cheaper wins; exact ties prefer larger stripes (fewer
+		// sub-requests per request at unaligned offsets).
+		const tieEps = 1e-12
+		if cost < best.Cost-tieEps ||
+			(cost <= best.Cost+tieEps && l.H+l.S > best.Layout.H+best.Layout.S) {
+			best.Cost = cost
+			best.Layout = l
+		}
+	}
+	for h := int64(0); h <= bh; h += step {
+		if env.N == 0 {
+			// Homogeneous HServer-only cluster: only <h, 0> candidates.
+			if h > 0 {
+				evaluate(stripe.Layout{M: env.M, N: 0, H: h, S: 0})
+			}
+			continue
+		}
+		for s := h + step; s <= bs; s += step {
+			evaluate(stripe.Layout{M: env.M, N: env.N, H: h, S: s})
+		}
+	}
+	// Grid completion beyond the paper's s > h constraint: also evaluate
+	// uniform pairs <c, c>. For large requests at high concurrency the
+	// cost model itself can prefer a uniform stripe of one request size —
+	// each request lands whole on a single server, paying one startup
+	// instead of one per involved server — and excluding those candidates
+	// would let the heterogeneity-oblivious AAL baseline beat the
+	// heterogeneity-aware schemes on uniform large-request workloads.
+	if env.M > 0 && env.N > 0 {
+		for c := step; c <= units.Max(bh, bs); c += step {
+			evaluate(stripe.Uniform(env.M, env.N, c))
+		}
+	}
+	if math.IsInf(best.Cost, 1) {
+		// Degenerate search space; fall back to the default stripes.
+		return RSSDResult{Layout: stripe.Uniform(env.M, env.N, env.DefaultStripe)}
+	}
+	return best
+}
+
+// ReqsFromAnnotated converts annotated trace records to search requests.
+func ReqsFromAnnotated(recs []annotatedRecord) []Req {
+	out := make([]Req, len(recs))
+	for i, r := range recs {
+		out[i] = Req{Op: r.Op, Size: r.Size, Conc: r.Concurrency, Weight: 1}
+	}
+	return out
+}

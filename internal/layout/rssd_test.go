@@ -1,0 +1,200 @@
+package layout
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mhafs/internal/costmodel"
+	"mhafs/internal/stripe"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+func testEnv() Env {
+	e := DefaultEnv()
+	e.M, e.N = 2, 2
+	return e
+}
+
+func TestAggregateReqs(t *testing.T) {
+	reqs := []Req{
+		{Op: trace.OpRead, Size: 64, Conc: 4},
+		{Op: trace.OpRead, Size: 64, Conc: 4},
+		{Op: trace.OpRead, Size: 64, Conc: 4, Weight: 3},
+		{Op: trace.OpWrite, Size: 64, Conc: 4},
+		{Op: trace.OpRead, Size: 128, Conc: 4},
+		{Op: trace.OpRead, Size: 64, Conc: 2},
+	}
+	agg := AggregateReqs(reqs)
+	if len(agg) != 4 {
+		t.Fatalf("aggregated to %d entries: %+v", len(agg), agg)
+	}
+	if agg[0].Weight != 5 {
+		t.Errorf("first entry weight = %d, want 5", agg[0].Weight)
+	}
+	var total int
+	for _, r := range agg {
+		total += r.Weight
+	}
+	if total != 8 {
+		t.Errorf("total weight = %d, want 8", total)
+	}
+}
+
+func TestRSSDEmptyFallsBackToDefault(t *testing.T) {
+	env := testEnv()
+	res := RSSD(nil, env)
+	if res.Layout != stripe.Uniform(2, 2, env.DefaultStripe) {
+		t.Errorf("empty RSSD layout = %v", res.Layout)
+	}
+}
+
+func TestRSSDStripesRespectHeterogeneity(t *testing.T) {
+	env := testEnv()
+	// Large uniform requests: the optimal pair must give SServers larger
+	// stripes than HServers (SSDs are faster).
+	reqs := []Req{{Op: trace.OpRead, Size: 1 * units.MB, Conc: 1, Weight: 10}}
+	res := RSSD(reqs, env)
+	if err := res.Layout.Validate(); err != nil {
+		t.Fatalf("invalid layout: %v", err)
+	}
+	if !(res.Layout.S > res.Layout.H) {
+		t.Errorf("SServer stripe %d should exceed HServer stripe %d", res.Layout.S, res.Layout.H)
+	}
+	if res.Tried == 0 {
+		t.Error("no candidates evaluated")
+	}
+}
+
+func TestRSSDSmallRequestsPreferSSD(t *testing.T) {
+	env := testEnv()
+	// Tiny requests: HDD startup dominates; expect h = 0 (SServer-only),
+	// the degenerate placement Algorithm 2 explicitly allows.
+	reqs := []Req{{Op: trace.OpRead, Size: 4 * units.KB, Conc: 1, Weight: 100}}
+	res := RSSD(reqs, env)
+	if res.Layout.H != 0 {
+		t.Errorf("tiny requests should land on SServers only; got %v", res.Layout)
+	}
+}
+
+func TestRSSDBeatsDefaultLayout(t *testing.T) {
+	env := testEnv()
+	reqs := []Req{
+		{Op: trace.OpRead, Size: 128 * units.KB, Conc: 4, Weight: 50},
+		{Op: trace.OpRead, Size: 256 * units.KB, Conc: 4, Weight: 50},
+	}
+	res := RSSD(reqs, env)
+	defCost := 0.0
+	defLayout := stripe.Uniform(env.M, env.N, env.DefaultStripe)
+	for _, r := range AggregateReqs(reqs) {
+		defCost += costmodel.RequestCost(env.Params, defLayout, r.Op, 0, r.Size, 0, r.Conc) * float64(r.Weight)
+	}
+	if !(res.Cost < defCost) {
+		t.Errorf("RSSD cost %v should beat DEF cost %v", res.Cost, defCost)
+	}
+}
+
+func TestRSSDAdaptiveBounds(t *testing.T) {
+	env := testEnv()
+	// r_max >= (M+N)*64KB triggers the divided bounds; the chosen stripes
+	// must respect them.
+	big := int64(env.M+env.N) * 64 * units.KB * 2 // 512KB
+	res := RSSD([]Req{{Op: trace.OpRead, Size: big, Conc: 1}}, env)
+	if res.Layout.H > big/int64(env.M) {
+		t.Errorf("H=%d exceeds bound %d", res.Layout.H, big/int64(env.M))
+	}
+	if res.Layout.S > big/int64(env.N) {
+		t.Errorf("S=%d exceeds bound %d", res.Layout.S, big/int64(env.N))
+	}
+}
+
+func TestRSSDSubStepRequests(t *testing.T) {
+	env := testEnv()
+	// 16-byte requests (LANL's small record): bounds are below one step;
+	// the guard must still produce a valid candidate.
+	res := RSSD([]Req{{Op: trace.OpWrite, Size: 16, Conc: 8, Weight: 10}}, env)
+	if err := res.Layout.Validate(); err != nil {
+		t.Fatalf("invalid layout for sub-step requests: %v", err)
+	}
+	if res.Layout.H != 0 || res.Layout.S != env.Step {
+		t.Errorf("expected <0, step> for 16-byte requests, got %v", res.Layout)
+	}
+}
+
+func TestRSSDWriteAwareness(t *testing.T) {
+	env := testEnv()
+	// SSD writes are slower than reads; the write-optimal SServer stripe
+	// must not exceed the read-optimal one (reads shift more to SSDs).
+	read := RSSD([]Req{{Op: trace.OpRead, Size: 512 * units.KB, Conc: 1, Weight: 10}}, env)
+	write := RSSD([]Req{{Op: trace.OpWrite, Size: 512 * units.KB, Conc: 1, Weight: 10}}, env)
+	rRatio := float64(read.Layout.S) / float64(read.Layout.S+read.Layout.H)
+	wRatio := float64(write.Layout.S) / float64(write.Layout.S+write.Layout.H)
+	if wRatio > rRatio+1e-9 {
+		t.Errorf("write plan shifts more to SSD than read plan: read %v write %v", read.Layout, write.Layout)
+	}
+}
+
+func TestRSSDNoSServers(t *testing.T) {
+	env := testEnv()
+	env.N = 0
+	res := RSSD([]Req{{Op: trace.OpRead, Size: 256 * units.KB, Conc: 1}}, env)
+	if err := res.Layout.Validate(); err != nil {
+		t.Fatalf("HServer-only layout invalid: %v", err)
+	}
+	if res.Layout.N != 0 || res.Layout.H == 0 {
+		t.Errorf("layout = %v", res.Layout)
+	}
+}
+
+func TestRSSDNoHServers(t *testing.T) {
+	env := testEnv()
+	env.M = 0
+	res := RSSD([]Req{{Op: trace.OpRead, Size: 256 * units.KB, Conc: 1}}, env)
+	if err := res.Layout.Validate(); err != nil {
+		t.Fatalf("SServer-only layout invalid: %v", err)
+	}
+	if res.Layout.H != 0 || res.Layout.S == 0 {
+		t.Errorf("layout = %v", res.Layout)
+	}
+}
+
+// Property: the RSSD result never costs more than the default layout or
+// any probed candidate (optimality within the searched grid).
+func TestRSSDGridOptimalQuick(t *testing.T) {
+	env := testEnv()
+	env.Step = 16 * units.KB // coarser grid keeps the check fast
+	f := func(szRaw uint16, concRaw, opRaw uint8) bool {
+		size := (int64(szRaw)%512 + 1) * units.KB
+		conc := int(concRaw%16) + 1
+		op := trace.OpRead
+		if opRaw%2 == 1 {
+			op = trace.OpWrite
+		}
+		reqs := []Req{{Op: op, Size: size, Conc: conc}}
+		res := RSSD(reqs, env)
+		// Re-evaluate the chosen layout; must match reported cost.
+		got := costmodel.RequestCost(env.Params, res.Layout, op, 0, size, units.RoundUp(size, env.Step), conc)
+		if math.Abs(got-res.Cost) > 1e-12 {
+			return false
+		}
+		// Probe a few grid candidates within RSSD's adaptive bounds; none
+		// may beat the result.
+		bh, bs := size, size
+		if size >= int64(env.M+env.N)*64*units.KB {
+			bh, bs = size/int64(env.M), size/int64(env.N)
+		}
+		for h := int64(0); h <= bh; h += env.Step * 4 {
+			for s := h + env.Step; s <= bs; s += env.Step * 4 {
+				l := stripe.Layout{M: env.M, N: env.N, H: h, S: s}
+				if costmodel.RequestCost(env.Params, l, op, 0, size, units.RoundUp(size, env.Step), conc) < res.Cost-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

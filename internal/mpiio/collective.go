@@ -1,0 +1,254 @@
+package mpiio
+
+import (
+	"fmt"
+	"sort"
+
+	"mhafs/internal/sim"
+	"mhafs/internal/trace"
+)
+
+// Collective (two-phase) I/O, the optimization MPI-IO applies when many
+// ranks access interleaved pieces of a shared file together: instead of
+// each rank issuing its own small, non-contiguous request, the pieces are
+// exchanged over the interconnect so that a few aggregator ranks issue
+// large contiguous file-domain requests. The MHA paper's middleware sits
+// exactly at this layer (its BTIO runs use the MPI-IO library); collective
+// operations flow through the same tracing and redirection hooks as
+// independent ones.
+
+// Piece is one rank's contribution to a collective operation.
+type Piece struct {
+	Rank   int
+	Offset int64
+	// Data is the payload for writes; for reads it is the destination
+	// buffer, filled at completion.
+	Data []byte
+}
+
+// CollectiveOptions tunes the two-phase exchange.
+type CollectiveOptions struct {
+	// Aggregators is the number of ranks issuing file-domain requests
+	// (MPI-IO's cb_nodes). 0 selects one aggregator per four pieces,
+	// at least one.
+	Aggregators int
+}
+
+func (o CollectiveOptions) aggregators(pieces int) int {
+	a := o.Aggregators
+	if a <= 0 {
+		a = (pieces + 3) / 4
+	}
+	if a < 1 {
+		a = 1
+	}
+	if a > pieces {
+		a = pieces
+	}
+	return a
+}
+
+// CollectiveWrite performs a two-phase collective write of the pieces to
+// the named file. Pieces must not overlap. done (optional) receives the
+// virtual completion time of the slowest file-domain request. The shuffle
+// phase charges each aggregator the network time of the bytes it gathers.
+func (m *Middleware) CollectiveWrite(name string, pieces []Piece, opts CollectiveOptions, done func(end float64)) error {
+	return m.collective(trace.OpWrite, name, pieces, opts, done)
+}
+
+// CollectiveRead performs a two-phase collective read: aggregators read
+// contiguous file domains and scatter the bytes back into the pieces'
+// buffers (filled when done runs).
+func (m *Middleware) CollectiveRead(name string, pieces []Piece, opts CollectiveOptions, done func(end float64)) error {
+	return m.collective(trace.OpRead, name, pieces, opts, done)
+}
+
+// domain is one aggregator's contiguous file range with the piece slices
+// that fall into it.
+type domain struct {
+	start, end int64
+	pieces     []Piece
+}
+
+func (m *Middleware) collective(op trace.Op, name string, pieces []Piece, opts CollectiveOptions, done func(end float64)) error {
+	if len(pieces) == 0 {
+		if done != nil {
+			m.Cluster.Eng.Schedule(0, func() { done(m.Cluster.Eng.Now()) })
+		}
+		return nil
+	}
+	sorted := make([]Piece, len(pieces))
+	copy(sorted, pieces)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Offset < sorted[j].Offset })
+	for i, p := range sorted {
+		if p.Offset < 0 {
+			return fmt.Errorf("mpiio: collective piece with negative offset %d", p.Offset)
+		}
+		if len(p.Data) == 0 {
+			return fmt.Errorf("mpiio: collective piece with empty buffer at offset %d", p.Offset)
+		}
+		if i > 0 && sorted[i-1].Offset+int64(len(sorted[i-1].Data)) > p.Offset {
+			return fmt.Errorf("mpiio: collective pieces overlap at offset %d", p.Offset)
+		}
+	}
+	// Record the logical per-rank requests (the application's view).
+	if c := m.Collector; c != nil {
+		for _, p := range sorted {
+			c.Record(1000+p.Rank, p.Rank, 3, name, op, p.Offset, int64(len(p.Data)))
+		}
+	}
+
+	// Partition pieces into contiguous file domains, one per aggregator,
+	// balancing piece counts (MPI-IO divides the accessed range; dividing
+	// the piece list keeps domains contiguous because pieces are sorted).
+	nAgg := opts.aggregators(len(sorted))
+	domains := make([]domain, 0, nAgg)
+	per := (len(sorted) + nAgg - 1) / nAgg
+	for i := 0; i < len(sorted); i += per {
+		j := i + per
+		if j > len(sorted) {
+			j = len(sorted)
+		}
+		d := domain{
+			start:  sorted[i].Offset,
+			end:    sorted[j-1].Offset + int64(len(sorted[j-1].Data)),
+			pieces: sorted[i:j],
+		}
+		domains = append(domains, d)
+	}
+
+	eng := m.Cluster.Eng
+	latest := new(float64)
+	barrier := sim.NewBarrier(len(domains), func() {
+		if done != nil {
+			done(*latest)
+		}
+	})
+	arrive := func(end float64) {
+		if end > *latest {
+			*latest = end
+		}
+		barrier.Arrive()
+	}
+
+	for _, d := range domains {
+		d := d
+		// Phase 1: shuffle — the aggregator exchanges every byte of its
+		// domain with the owning ranks over the interconnect (one message
+		// per remote piece). Pieces already owned by the aggregator rank
+		// (the first piece's rank, by convention) move for free.
+		aggRank := d.pieces[0].Rank
+		var shuffle float64
+		for _, p := range d.pieces[1:] {
+			if p.Rank != aggRank {
+				shuffle += m.Cluster.Config().Net.TransferTime(int64(len(p.Data)))
+			}
+		}
+		eng.Schedule(shuffle, func() {
+			if op == trace.OpWrite {
+				m.collectiveWriteDomain(name, aggRank, d, arrive)
+			} else {
+				m.collectiveReadDomain(name, aggRank, d, arrive)
+			}
+		})
+	}
+	return nil
+}
+
+// collectiveWriteDomain gathers the domain's pieces into one buffer (gaps
+// between pieces are preserved by issuing per-gap-free runs) and writes.
+func (m *Middleware) collectiveWriteDomain(name string, aggRank int, d domain, arrive func(end float64)) {
+	// Issue one request per gap-free run; the domain completes when the
+	// slowest run completes.
+	runs := contiguousRuns(d.pieces)
+	latest := new(float64)
+	left := len(runs)
+	for _, run := range runs {
+		buf := make([]byte, 0, run.end-run.start)
+		for _, p := range run.pieces {
+			buf = append(buf, p.Data...)
+		}
+		h := &FileHandle{mw: m, name: name, rank: aggRank, pid: 1000 + aggRank, fd: 3}
+		err := h.issueUntraced(trace.OpWrite, run.start, buf, func(end float64) {
+			if end > *latest {
+				*latest = end
+			}
+			left--
+			if left == 0 {
+				arrive(*latest)
+			}
+		})
+		if err != nil {
+			// Structural errors were validated up front; surface loudly.
+			panic(fmt.Sprintf("mpiio: collective domain write: %v", err))
+		}
+	}
+}
+
+// collectiveReadDomain reads each gap-free run contiguously and scatters
+// the bytes back into the pieces' buffers.
+func (m *Middleware) collectiveReadDomain(name string, aggRank int, d domain, arrive func(end float64)) {
+	runs := contiguousRuns(d.pieces)
+	latest := new(float64)
+	left := len(runs)
+	for _, run := range runs {
+		run := run
+		buf := make([]byte, run.end-run.start)
+		h := &FileHandle{mw: m, name: name, rank: aggRank, pid: 1000 + aggRank, fd: 3}
+		err := h.issueUntraced(trace.OpRead, run.start, buf, func(end float64) {
+			var cursor int64
+			for _, p := range run.pieces {
+				off := p.Offset - run.start
+				copy(p.Data, buf[off:off+int64(len(p.Data))])
+				cursor += int64(len(p.Data))
+			}
+			if end > *latest {
+				*latest = end
+			}
+			left--
+			if left == 0 {
+				arrive(*latest)
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("mpiio: collective domain read: %v", err))
+		}
+	}
+}
+
+// run is a gap-free stretch of pieces.
+type pieceRun struct {
+	start, end int64
+	pieces     []Piece
+}
+
+// contiguousRuns groups sorted pieces into maximal gap-free runs.
+func contiguousRuns(pieces []Piece) []pieceRun {
+	var runs []pieceRun
+	cur := pieceRun{start: pieces[0].Offset, end: pieces[0].Offset, pieces: nil}
+	for _, p := range pieces {
+		if p.Offset != cur.end {
+			if len(cur.pieces) > 0 {
+				runs = append(runs, cur)
+			}
+			cur = pieceRun{start: p.Offset, end: p.Offset}
+		}
+		cur.pieces = append(cur.pieces, p)
+		cur.end += int64(len(p.Data))
+	}
+	if len(cur.pieces) > 0 {
+		runs = append(runs, cur)
+	}
+	return runs
+}
+
+// issueUntraced is issue without collector recording (collective
+// operations record the logical per-rank pieces, not the aggregated
+// file-domain requests).
+func (h *FileHandle) issueUntraced(op trace.Op, off int64, buf []byte, done func(end float64)) error {
+	saved := h.mw.Collector
+	h.mw.Collector = nil
+	err := h.issue(op, off, buf, done)
+	h.mw.Collector = saved
+	return err
+}

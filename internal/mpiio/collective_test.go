@@ -1,0 +1,237 @@
+package mpiio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mhafs/internal/iosig"
+	"mhafs/internal/pfs"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+func newTestCollector(c *pfs.Cluster) *iosig.Collector {
+	return iosig.NewCollector(c.Eng.Now)
+}
+
+// interleavedPieces builds the classic collective pattern: ranks own
+// alternating small chunks of a shared extent.
+func interleavedPieces(ranks, rounds int, chunk int64, rng *rand.Rand) ([]Piece, []byte) {
+	total := int64(ranks*rounds) * chunk
+	data := make([]byte, total)
+	rng.Read(data)
+	var pieces []Piece
+	for round := 0; round < rounds; round++ {
+		for r := 0; r < ranks; r++ {
+			off := (int64(round)*int64(ranks) + int64(r)) * chunk
+			pieces = append(pieces, Piece{
+				Rank: r, Offset: off, Data: data[off : off+chunk],
+			})
+		}
+	}
+	return pieces, data
+}
+
+func TestCollectiveWriteIntegrity(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	rng := rand.New(rand.NewSource(21))
+	pieces, data := interleavedPieces(8, 4, 16*units.KB, rng)
+
+	var end float64
+	if err := mw.CollectiveWrite("f", pieces, CollectiveOptions{}, func(e float64) { end = e }); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+	if end <= 0 {
+		t.Fatal("collective write did not complete")
+	}
+
+	h, _ := mw.Open("f", 0)
+	buf := make([]byte, len(data))
+	if _, err := h.ReadAtSync(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("collective write corrupted data")
+	}
+}
+
+func TestCollectiveReadIntegrity(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	rng := rand.New(rand.NewSource(22))
+	data := make([]byte, 512*units.KB)
+	rng.Read(data)
+	h, _ := mw.Open("f", 0)
+	if _, err := h.WriteAtSync(data, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var pieces []Piece
+	chunk := int64(8 * units.KB)
+	for i := int64(0); i < int64(len(data))/chunk; i++ {
+		pieces = append(pieces, Piece{
+			Rank: int(i % 8), Offset: i * chunk, Data: make([]byte, chunk),
+		})
+	}
+	done := false
+	if err := mw.CollectiveRead("f", pieces, CollectiveOptions{Aggregators: 4}, func(float64) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+	if !done {
+		t.Fatal("collective read did not complete")
+	}
+	for _, p := range pieces {
+		if !bytes.Equal(p.Data, data[p.Offset:p.Offset+chunk]) {
+			t.Fatalf("piece at %d corrupted", p.Offset)
+		}
+	}
+}
+
+// Collective aggregation must beat independent interleaved small writes:
+// the aggregators issue a few large contiguous requests instead of many
+// tiny striped ones.
+func TestCollectiveBeatsIndependent(t *testing.T) {
+	chunk := int64(4 * units.KB)
+	const ranks, rounds = 8, 16
+	rng := rand.New(rand.NewSource(23))
+
+	// Independent: every rank issues its own small writes sequentially.
+	cInd := testCluster(t)
+	mwInd := New(cInd)
+	pieces, _ := interleavedPieces(ranks, rounds, chunk, rng)
+	handles := make(map[int]*FileHandle)
+	perRank := make(map[int][]Piece)
+	for _, p := range pieces {
+		perRank[p.Rank] = append(perRank[p.Rank], p)
+	}
+	var latest float64
+	for r := 0; r < ranks; r++ {
+		h, _ := mwInd.Open("f", r)
+		handles[r] = h
+		ps := perRank[r]
+		var issueNext func(i int)
+		issueNext = func(i int) {
+			if i >= len(ps) {
+				return
+			}
+			h.WriteAt(ps[i].Data, ps[i].Offset, func(end float64) {
+				if end > latest {
+					latest = end
+				}
+				issueNext(i + 1)
+			})
+		}
+		issueNext(0)
+	}
+	cInd.Eng.Run()
+	independent := latest
+
+	// Collective: same pieces, two-phase.
+	cCol := testCluster(t)
+	mwCol := New(cCol)
+	var colEnd float64
+	if err := mwCol.CollectiveWrite("f", pieces, CollectiveOptions{Aggregators: 2}, func(e float64) { colEnd = e }); err != nil {
+		t.Fatal(err)
+	}
+	cCol.Eng.Run()
+
+	if !(colEnd < independent) {
+		t.Errorf("collective %.6fs should beat independent %.6fs", colEnd, independent)
+	}
+}
+
+func TestCollectiveRecordsLogicalRequests(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	col := newTestCollector(c)
+	mw.Collector = col
+	pieces, _ := interleavedPieces(4, 2, 4*units.KB, rand.New(rand.NewSource(3)))
+	if err := mw.CollectiveWrite("f", pieces, CollectiveOptions{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+	raw := col.RawTrace()
+	if len(raw) != len(pieces) {
+		t.Fatalf("recorded %d, want %d logical requests", len(raw), len(pieces))
+	}
+	for _, r := range raw {
+		if r.Op != trace.OpWrite || r.Size != 4*units.KB {
+			t.Errorf("record = %+v", r)
+		}
+	}
+}
+
+func TestCollectiveValidation(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	// Empty set completes immediately.
+	done := false
+	mw.CollectiveWrite("f", nil, CollectiveOptions{}, func(float64) { done = true })
+	c.Eng.Run()
+	if !done {
+		t.Error("empty collective did not complete")
+	}
+	bad := [][]Piece{
+		{{Rank: 0, Offset: -1, Data: []byte{1}}},
+		{{Rank: 0, Offset: 0, Data: nil}},
+		{{Rank: 0, Offset: 0, Data: []byte{1, 2}}, {Rank: 1, Offset: 1, Data: []byte{3}}},
+	}
+	for i, ps := range bad {
+		if err := mw.CollectiveWrite("f", ps, CollectiveOptions{}, nil); err == nil {
+			t.Errorf("bad piece set %d accepted", i)
+		}
+	}
+}
+
+func TestCollectiveAggregatorDefaults(t *testing.T) {
+	o := CollectiveOptions{}
+	if got := o.aggregators(16); got != 4 {
+		t.Errorf("default aggregators(16) = %d, want 4", got)
+	}
+	if got := o.aggregators(1); got != 1 {
+		t.Errorf("aggregators(1) = %d", got)
+	}
+	o.Aggregators = 99
+	if got := o.aggregators(5); got != 5 {
+		t.Errorf("aggregators capped = %d, want 5", got)
+	}
+}
+
+// Gaps between pieces must not be written (sparse collective).
+func TestCollectiveWithGaps(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	h, _ := mw.Open("f", 0)
+	// Pre-fill a region that falls into a gap.
+	guard := bytes.Repeat([]byte{0xEE}, 4096)
+	if _, err := h.WriteAtSync(guard, 8192); err != nil {
+		t.Fatal(err)
+	}
+	pieces := []Piece{
+		{Rank: 0, Offset: 0, Data: bytes.Repeat([]byte{0x11}, 4096)},
+		{Rank: 1, Offset: 16384, Data: bytes.Repeat([]byte{0x22}, 4096)},
+	}
+	if err := mw.CollectiveWrite("f", pieces, CollectiveOptions{Aggregators: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+	got := make([]byte, 4096)
+	if _, err := h.ReadAtSync(got, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, guard) {
+		t.Fatal("collective write clobbered the gap between pieces")
+	}
+	h.ReadAtSync(got, 0)
+	if got[0] != 0x11 {
+		t.Error("first piece missing")
+	}
+	h.ReadAtSync(got, 16384)
+	if got[0] != 0x22 {
+		t.Error("second piece missing")
+	}
+}

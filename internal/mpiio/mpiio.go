@@ -1,0 +1,212 @@
+// Package mpiio is the miniature MPI-IO-like middleware layer through
+// which applications access the simulated parallel file system.
+//
+// It is the repository's analogue of the paper's modified MPICH2 library:
+// the tracing hook (I/O Collector) records every request during a
+// profiling run, and the redirection hook translates request extents
+// through the Data Reordering Table before forwarding the operations to
+// the underlying servers — transparently to the application, which only
+// sees Open/ReadAt/WriteAt/Close on the original file names.
+package mpiio
+
+import (
+	"fmt"
+
+	"mhafs/internal/iosig"
+	"mhafs/internal/pfs"
+	"mhafs/internal/reorder"
+	"mhafs/internal/sim"
+	"mhafs/internal/trace"
+)
+
+// Middleware binds a cluster with the optional tracing and redirection
+// hooks.
+type Middleware struct {
+	Cluster *pfs.Cluster
+
+	// Collector, when non-nil and enabled, records every ReadAt/WriteAt
+	// (the tracing phase).
+	Collector *iosig.Collector
+
+	// Redirector, when non-nil, translates extents through the DRT (the
+	// redirection phase) and charges its lookup latency per request.
+	Redirector *reorder.Redirector
+
+	// AutoCreate makes WriteAt/ReadAt create missing target files with the
+	// cluster default layout, like a PFS creating files on first write.
+	AutoCreate bool
+
+	nextFD int
+}
+
+// New creates a middleware over the cluster with no hooks installed.
+func New(c *pfs.Cluster) *Middleware {
+	if c == nil {
+		panic("mpiio: nil cluster")
+	}
+	return &Middleware{Cluster: c, AutoCreate: true}
+}
+
+// FileHandle is one rank's open file, analogous to an MPI_File.
+type FileHandle struct {
+	mw   *Middleware
+	name string
+	rank int
+	pid  int
+	fd   int
+}
+
+// Open opens name for the given rank, charging one MDS lookup in virtual
+// time. The target must exist unless AutoCreate is set.
+func (m *Middleware) Open(name string, rank int) (*FileHandle, error) {
+	if _, ok := m.Cluster.Lookup(name); !ok {
+		if !m.AutoCreate {
+			return nil, fmt.Errorf("mpiio: open %q: no such file", name)
+		}
+		if _, err := m.Cluster.CreateDefault(name); err != nil {
+			return nil, err
+		}
+	}
+	m.nextFD++
+	h := &FileHandle{mw: m, name: name, rank: rank, pid: 1000 + rank, fd: m.nextFD}
+	// Charge the MDS lookup asynchronously; the first data operation will
+	// queue behind it only through the MDS resource, matching a real open.
+	if err := m.Cluster.OpenHandle(name, nil); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Name returns the logical (original) file name the handle refers to.
+func (h *FileHandle) Name() string { return h.name }
+
+// Rank returns the MPI rank owning the handle.
+func (h *FileHandle) Rank() int { return h.rank }
+
+// targetOp issues one operation against a (possibly redirected) target
+// file, creating it if permitted.
+func (h *FileHandle) targetFile(name string) (*pfs.File, error) {
+	f, ok := h.mw.Cluster.Lookup(name)
+	if ok {
+		return f, nil
+	}
+	if !h.mw.AutoCreate {
+		return nil, fmt.Errorf("mpiio: target %q does not exist", name)
+	}
+	return h.mw.Cluster.CreateDefault(name)
+}
+
+// WriteAt schedules a write of data at offset off in the logical file.
+// done (optional) receives the virtual completion time of the slowest
+// piece. The caller drives the simulation engine.
+func (h *FileHandle) WriteAt(data []byte, off int64, done func(end float64)) error {
+	return h.issue(trace.OpWrite, off, data, done)
+}
+
+// ReadAt schedules a read into buf from offset off; buf is populated when
+// done runs.
+func (h *FileHandle) ReadAt(buf []byte, off int64, done func(end float64)) error {
+	return h.issue(trace.OpRead, off, buf, done)
+}
+
+func (h *FileHandle) issue(op trace.Op, off int64, buf []byte, done func(end float64)) error {
+	if off < 0 {
+		return fmt.Errorf("mpiio: negative offset %d", off)
+	}
+	n := int64(len(buf))
+	eng := h.mw.Cluster.Eng
+	if c := h.mw.Collector; c != nil && n > 0 {
+		c.Record(h.pid, h.rank, h.fd, h.name, op, off, n)
+	}
+	if n == 0 {
+		if done != nil {
+			eng.Schedule(0, func() { done(eng.Now()) })
+		}
+		return nil
+	}
+
+	r := h.mw.Redirector
+	if r == nil {
+		f, err := h.targetFile(h.name)
+		if err != nil {
+			return err
+		}
+		return h.forward(op, f, off, buf, done)
+	}
+
+	// Redirection: charge the DRT lookup, then forward each piece.
+	targets := r.Resolve(h.name, off, n)
+	type piece struct {
+		f    *pfs.File
+		off  int64
+		data []byte
+	}
+	pieces := make([]piece, 0, len(targets))
+	var cursor int64
+	for _, tg := range targets {
+		f, err := h.targetFile(tg.File)
+		if err != nil {
+			return err
+		}
+		pieces = append(pieces, piece{f: f, off: tg.Offset, data: buf[cursor : cursor+tg.Size]})
+		cursor += tg.Size
+	}
+	if cursor != n {
+		return fmt.Errorf("mpiio: redirection covered %d of %d bytes", cursor, n)
+	}
+	eng.Schedule(r.LookupTime, func() {
+		latest := new(float64)
+		barrier := sim.NewBarrier(len(pieces), func() {
+			if done != nil {
+				done(*latest)
+			}
+		})
+		arrive := func(end float64) {
+			if end > *latest {
+				*latest = end
+			}
+			barrier.Arrive()
+		}
+		for _, p := range pieces {
+			// Errors cannot occur here: extents were validated above.
+			if op == trace.OpWrite {
+				_ = h.mw.Cluster.Write(p.f, p.off, p.data, arrive)
+			} else {
+				_ = h.mw.Cluster.Read(p.f, p.off, p.data, arrive)
+			}
+		}
+	})
+	return nil
+}
+
+// forward issues a non-redirected operation.
+func (h *FileHandle) forward(op trace.Op, f *pfs.File, off int64, buf []byte, done func(end float64)) error {
+	if op == trace.OpWrite {
+		return h.mw.Cluster.Write(f, off, buf, done)
+	}
+	return h.mw.Cluster.Read(f, off, buf, done)
+}
+
+// WriteAtSync writes and runs the engine to completion (single-threaded
+// convenience).
+func (h *FileHandle) WriteAtSync(data []byte, off int64) (float64, error) {
+	var end float64
+	if err := h.WriteAt(data, off, func(t float64) { end = t }); err != nil {
+		return 0, err
+	}
+	h.mw.Cluster.Eng.Run()
+	return end, nil
+}
+
+// ReadAtSync reads and runs the engine to completion.
+func (h *FileHandle) ReadAtSync(buf []byte, off int64) (float64, error) {
+	var end float64
+	if err := h.ReadAt(buf, off, func(t float64) { end = t }); err != nil {
+		return 0, err
+	}
+	h.mw.Cluster.Eng.Run()
+	return end, nil
+}
+
+// Close is currently a metadata no-op, present for API fidelity.
+func (h *FileHandle) Close() error { return nil }

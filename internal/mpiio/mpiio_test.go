@@ -1,0 +1,269 @@
+package mpiio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mhafs/internal/iosig"
+	"mhafs/internal/layout"
+	"mhafs/internal/pfs"
+	"mhafs/internal/region"
+	"mhafs/internal/reorder"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+func testCluster(t *testing.T) *pfs.Cluster {
+	t.Helper()
+	cfg := pfs.DefaultConfig()
+	cfg.HServers, cfg.SServers = 2, 2
+	c, err := pfs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestOpenAutoCreate(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	h, err := mw.Open("new.dat", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "new.dat" || h.Rank() != 0 {
+		t.Errorf("handle = %s/%d", h.Name(), h.Rank())
+	}
+	if _, ok := c.Lookup("new.dat"); !ok {
+		t.Error("AutoCreate did not create the file")
+	}
+	mw.AutoCreate = false
+	if _, err := mw.Open("other.dat", 0); err == nil {
+		t.Error("open of missing file without AutoCreate accepted")
+	}
+	if err := h.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestWriteReadRoundTripNoRedirect(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	h, _ := mw.Open("f", 0)
+	data := make([]byte, 300*units.KB)
+	rand.New(rand.NewSource(1)).Read(data)
+	if _, err := h.WriteAtSync(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if _, err := h.ReadAtSync(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("round trip corrupted data")
+	}
+}
+
+func TestNegativeOffsetRejected(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	h, _ := mw.Open("f", 0)
+	if err := h.WriteAt([]byte{1}, -1, nil); err == nil {
+		t.Error("negative write offset accepted")
+	}
+	if err := h.ReadAt(make([]byte, 1), -1, nil); err == nil {
+		t.Error("negative read offset accepted")
+	}
+}
+
+func TestZeroLengthOps(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	h, _ := mw.Open("f", 0)
+	var n int
+	h.WriteAt(nil, 0, func(float64) { n++ })
+	h.ReadAt(nil, 0, func(float64) { n++ })
+	c.Eng.Run()
+	if n != 2 {
+		t.Errorf("zero-length completions = %d", n)
+	}
+}
+
+func TestCollectorHook(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	col := iosig.NewCollector(c.Eng.Now)
+	mw.Collector = col
+	h, _ := mw.Open("f", 3)
+	h.WriteAtSync(make([]byte, 64*units.KB), 128*units.KB)
+	h.ReadAtSync(make([]byte, 32*units.KB), 0)
+	raw := col.RawTrace()
+	if len(raw) != 2 {
+		t.Fatalf("collected %d records", len(raw))
+	}
+	w := raw[0]
+	if w.Op != trace.OpWrite || w.Offset != 128*units.KB || w.Size != 64*units.KB ||
+		w.Rank != 3 || w.File != "f" {
+		t.Errorf("write record = %+v", w)
+	}
+	if raw[1].Op != trace.OpRead {
+		t.Errorf("read record = %+v", raw[1])
+	}
+	// Zero-length operations must not be recorded.
+	h.WriteAt(nil, 0, nil)
+	c.Eng.Run()
+	if col.Len() != 2 {
+		t.Error("zero-length op recorded")
+	}
+}
+
+// End-to-end MHA path: trace a run, plan, apply with migration, then read
+// through the redirector and verify both data integrity and that region
+// files (not the original) served the requests.
+func TestRedirectedReadIntegrity(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	h, _ := mw.Open("app.dat", 0)
+
+	// Build the original data and a heterogeneous trace.
+	var tr trace.Trace
+	span := int64(0)
+	for loop := 0; loop < 4; loop++ {
+		for r := 0; r < 8; r++ {
+			tr = append(tr, trace.Record{Rank: r, File: "app.dat", Op: trace.OpRead,
+				Offset: span, Size: 16 * units.KB, Time: float64(loop)})
+			span += 16 * units.KB
+		}
+		for r := 0; r < 2; r++ {
+			tr = append(tr, trace.Record{Rank: r, File: "app.dat", Op: trace.OpRead,
+				Offset: span, Size: 256 * units.KB, Time: float64(loop) + 0.5})
+			span += 256 * units.KB
+		}
+	}
+	data := make([]byte, span)
+	rand.New(rand.NewSource(5)).Read(data)
+	orig, _ := c.Lookup("app.dat")
+	reorder.RawWrite(c, orig, 0, data)
+
+	env := layout.DefaultEnv()
+	env.M, env.N = 2, 2
+	pl, _ := layout.NewPlanner(layout.MHA)
+	plan, err := pl.Plan(tr, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement, err := reorder.Apply(c, plan, reorder.Options{Migrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer placement.Close()
+	mw.Redirector = reorder.NewRedirector(placement.DRT, 5e-6)
+
+	// Replay every traced read through the middleware and verify bytes.
+	for _, r := range tr {
+		buf := make([]byte, r.Size)
+		if _, err := h.ReadAtSync(buf, r.Offset); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, data[r.Offset:r.End()]) {
+			t.Fatalf("redirected read at %d corrupted data", r.Offset)
+		}
+	}
+	if mw.Redirector.Lookups() != uint64(len(tr)) {
+		t.Errorf("lookups = %d, want %d", mw.Redirector.Lookups(), len(tr))
+	}
+}
+
+// A request spanning two regions must be split and reassembled correctly.
+func TestRedirectedSpanningRequest(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	h, _ := mw.Open("f", 0)
+
+	data := make([]byte, 128*units.KB)
+	rand.New(rand.NewSource(6)).Read(data)
+	orig, _ := c.Lookup("f")
+	reorder.RawWrite(c, orig, 0, data)
+
+	// Hand-build a placement splitting the file at 64KB into two regions.
+	plan := layout.Plan{
+		Scheme: layout.MHA,
+		Regions: []layout.RegionPlan{
+			{File: "f.r0", Layout: c.DefaultLayout(), Size: 64 * units.KB},
+			{File: "f.r1", Layout: c.DefaultLayout(), Size: 64 * units.KB},
+		},
+	}
+	plan.Mappings = append(plan.Mappings,
+		regionMapping("f", 0, "f.r0", 0, 64*units.KB),
+		regionMapping("f", 64*units.KB, "f.r1", 0, 64*units.KB),
+	)
+	placement, err := reorder.Apply(c, plan, reorder.Options{Migrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer placement.Close()
+	mw.Redirector = reorder.NewRedirector(placement.DRT, 0)
+
+	buf := make([]byte, 100*units.KB)
+	if _, err := h.ReadAtSync(buf, 10*units.KB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[10*units.KB:110*units.KB]) {
+		t.Fatal("spanning redirected read corrupted data")
+	}
+
+	// Redirected write across the boundary, then verify via raw reads.
+	newData := make([]byte, 80*units.KB)
+	rand.New(rand.NewSource(7)).Read(newData)
+	if _, err := h.WriteAtSync(newData, 30*units.KB); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[30*units.KB:], newData)
+	r0, _ := c.Lookup("f.r0")
+	r1, _ := c.Lookup("f.r1")
+	got := make([]byte, 64*units.KB)
+	reorder.RawRead(c, r0, 0, got)
+	if !bytes.Equal(got, data[:64*units.KB]) {
+		t.Fatal("region r0 bytes wrong after redirected write")
+	}
+	reorder.RawRead(c, r1, 0, got)
+	if !bytes.Equal(got, data[64*units.KB:]) {
+		t.Fatal("region r1 bytes wrong after redirected write")
+	}
+}
+
+func TestRedirectionLookupLatencyCharged(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	h, _ := mw.Open("f", 0)
+	// Identity redirection (empty DRT): requests go to the original file
+	// but still pay the lookup — the Fig. 14 experiment.
+	placement, err := reorder.Apply(c, layout.Plan{Scheme: layout.MHA}, reorder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer placement.Close()
+
+	const lookup = 1e-3
+	data := make([]byte, 64*units.KB)
+	endNo, err := h.WriteAtSync(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := c.Eng.Now()
+	mw.Redirector = reorder.NewRedirector(placement.DRT, lookup)
+	endYes, err := h.WriteAtSync(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := (endYes - base) - endNo
+	if math.Abs(got-lookup) > 1e-9 {
+		t.Errorf("redirection overhead = %v, want %v", got, lookup)
+	}
+}
+
+func regionMapping(of string, oo int64, rf string, ro, n int64) region.Mapping {
+	return region.Mapping{OFile: of, OOffset: oo, RFile: rf, ROffset: ro, Length: n}
+}

@@ -1,0 +1,146 @@
+package mpiio
+
+import (
+	"fmt"
+
+	"mhafs/internal/sim"
+)
+
+// Data sieving, MPI-IO's other classic access optimization: a strided
+// (regularly non-contiguous) read of many small blocks is served by one
+// large contiguous read covering the holes, from which the requested
+// blocks are sieved out. Profitable when the per-request overhead of many
+// small reads exceeds the cost of transferring the hole bytes.
+
+// Strided describes a regular non-contiguous access: Count blocks of
+// BlockLen bytes, the starts Stride bytes apart, beginning at Offset.
+type Strided struct {
+	Offset   int64
+	BlockLen int64
+	Stride   int64
+	Count    int
+}
+
+// Validate checks the access shape.
+func (s Strided) Validate() error {
+	if s.Offset < 0 {
+		return fmt.Errorf("mpiio: strided offset %d negative", s.Offset)
+	}
+	if s.BlockLen <= 0 {
+		return fmt.Errorf("mpiio: strided block length %d must be positive", s.BlockLen)
+	}
+	if s.Stride < s.BlockLen {
+		return fmt.Errorf("mpiio: stride %d smaller than block length %d", s.Stride, s.BlockLen)
+	}
+	if s.Count <= 0 {
+		return fmt.Errorf("mpiio: strided count %d must be positive", s.Count)
+	}
+	return nil
+}
+
+// Span returns the contiguous extent covering the whole access.
+func (s Strided) Span() int64 {
+	return int64(s.Count-1)*s.Stride + s.BlockLen
+}
+
+// Bytes returns the useful bytes (the blocks, excluding holes).
+func (s Strided) Bytes() int64 { return int64(s.Count) * s.BlockLen }
+
+// SievingOptions tunes ReadStrided.
+type SievingOptions struct {
+	// Disable forces per-block reads (no sieving), for comparison.
+	Disable bool
+	// MaxWaste caps the hole fraction (0–1) up to which sieving is used;
+	// denser holes fall back to per-block reads. 0 selects the default
+	// of 0.75 (sieve when at least a quarter of the covering read is
+	// useful data).
+	MaxWaste float64
+}
+
+func (o SievingOptions) maxWaste() float64 {
+	if o.MaxWaste <= 0 || o.MaxWaste > 1 {
+		return 0.75
+	}
+	return o.MaxWaste
+}
+
+// ReadStrided reads the strided blocks into buf (length Count×BlockLen,
+// blocks concatenated). With sieving enabled and the hole fraction within
+// bounds, one covering contiguous read is issued and the blocks are
+// sieved out; otherwise each block is read individually (still through
+// the redirector). done receives the virtual completion time.
+func (h *FileHandle) ReadStrided(st Strided, buf []byte, opts SievingOptions, done func(end float64)) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	if int64(len(buf)) != st.Bytes() {
+		return fmt.Errorf("mpiio: strided buffer %d bytes, want %d", len(buf), st.Bytes())
+	}
+	waste := 1 - float64(st.Bytes())/float64(st.Span())
+	if !opts.Disable && waste <= opts.maxWaste() {
+		// Sieve: one covering read, then scatter the blocks.
+		cover := make([]byte, st.Span())
+		return h.ReadAt(cover, st.Offset, func(end float64) {
+			for i := 0; i < st.Count; i++ {
+				src := int64(i) * st.Stride
+				dst := int64(i) * st.BlockLen
+				copy(buf[dst:dst+st.BlockLen], cover[src:src+st.BlockLen])
+			}
+			if done != nil {
+				done(end)
+			}
+		})
+	}
+	// Per-block fallback.
+	latest := new(float64)
+	barrier := sim.NewBarrier(st.Count, func() {
+		if done != nil {
+			done(*latest)
+		}
+	})
+	for i := 0; i < st.Count; i++ {
+		dst := buf[int64(i)*st.BlockLen : int64(i+1)*st.BlockLen]
+		err := h.ReadAt(dst, st.Offset+int64(i)*st.Stride, func(end float64) {
+			if end > *latest {
+				*latest = end
+			}
+			barrier.Arrive()
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteStrided writes the blocks of buf at the strided positions. Writes
+// cannot sieve blindly (the holes must not be clobbered), so a
+// read-modify-write would be required; like ROMIO with atomicity off, the
+// implementation simply issues per-block writes.
+func (h *FileHandle) WriteStrided(st Strided, buf []byte, done func(end float64)) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	if int64(len(buf)) != st.Bytes() {
+		return fmt.Errorf("mpiio: strided buffer %d bytes, want %d", len(buf), st.Bytes())
+	}
+	latest := new(float64)
+	barrier := sim.NewBarrier(st.Count, func() {
+		if done != nil {
+			done(*latest)
+		}
+	})
+	for i := 0; i < st.Count; i++ {
+		src := buf[int64(i)*st.BlockLen : int64(i+1)*st.BlockLen]
+		err := h.WriteAt(src, st.Offset+int64(i)*st.Stride, func(end float64) {
+			if end > *latest {
+				*latest = end
+			}
+			barrier.Arrive()
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package mpiio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mhafs/internal/units"
+)
+
+func TestStridedValidate(t *testing.T) {
+	good := Strided{Offset: 0, BlockLen: 4096, Stride: 8192, Count: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Span() != 3*8192+4096 {
+		t.Errorf("Span = %d", good.Span())
+	}
+	if good.Bytes() != 4*4096 {
+		t.Errorf("Bytes = %d", good.Bytes())
+	}
+	bad := []Strided{
+		{Offset: -1, BlockLen: 1, Stride: 1, Count: 1},
+		{Offset: 0, BlockLen: 0, Stride: 1, Count: 1},
+		{Offset: 0, BlockLen: 8, Stride: 4, Count: 1},
+		{Offset: 0, BlockLen: 1, Stride: 1, Count: 0},
+	}
+	for i, st := range bad {
+		if st.Validate() == nil {
+			t.Errorf("bad strided %d accepted", i)
+		}
+	}
+}
+
+func TestReadStridedSievedIntegrity(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	h, _ := mw.Open("f", 0)
+	data := make([]byte, 1*units.MB)
+	rand.New(rand.NewSource(31)).Read(data)
+	if _, err := h.WriteAtSync(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := Strided{Offset: 512, BlockLen: 3000, Stride: 10000, Count: 50}
+	buf := make([]byte, st.Bytes())
+	var end float64
+	if err := h.ReadStrided(st, buf, SievingOptions{}, func(e float64) { end = e }); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+	if end <= 0 {
+		t.Fatal("strided read did not complete")
+	}
+	for i := 0; i < st.Count; i++ {
+		want := data[st.Offset+int64(i)*st.Stride : st.Offset+int64(i)*st.Stride+st.BlockLen]
+		got := buf[int64(i)*st.BlockLen : int64(i+1)*st.BlockLen]
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d corrupted", i)
+		}
+	}
+}
+
+func TestReadStridedFallbackIntegrity(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	h, _ := mw.Open("f", 0)
+	data := make([]byte, 1*units.MB)
+	rand.New(rand.NewSource(32)).Read(data)
+	h.WriteAtSync(data, 0)
+	// Sparse access (waste ≈ 96%) falls back to per-block reads.
+	st := Strided{Offset: 0, BlockLen: 1024, Stride: 32768, Count: 30}
+	buf := make([]byte, st.Bytes())
+	if err := h.ReadStrided(st, buf, SievingOptions{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+	for i := 0; i < st.Count; i++ {
+		want := data[int64(i)*st.Stride : int64(i)*st.Stride+st.BlockLen]
+		if !bytes.Equal(buf[int64(i)*st.BlockLen:int64(i+1)*st.BlockLen], want) {
+			t.Fatalf("block %d corrupted", i)
+		}
+	}
+}
+
+// Sieving must beat per-block reads for dense strided access.
+func TestSievingFasterThanPerBlock(t *testing.T) {
+	run := func(disable bool) float64 {
+		c := testCluster(t)
+		mw := New(c)
+		h, _ := mw.Open("f", 0)
+		h.WriteAtSync(make([]byte, 2*units.MB), 0)
+		st := Strided{Offset: 0, BlockLen: 6 * 1024, Stride: 8 * 1024, Count: 128}
+		buf := make([]byte, st.Bytes())
+		var end float64
+		if err := h.ReadStrided(st, buf, SievingOptions{Disable: disable}, func(e float64) { end = e }); err != nil {
+			t.Fatal(err)
+		}
+		c.Eng.Run()
+		return end
+	}
+	sieved := run(false)
+	perBlock := run(true)
+	if !(sieved < perBlock) {
+		t.Errorf("sieving %.6f should beat per-block %.6f", sieved, perBlock)
+	}
+}
+
+func TestWriteStridedIntegrity(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	h, _ := mw.Open("f", 0)
+	// Guard bytes in the holes.
+	guard := bytes.Repeat([]byte{0xEE}, 64*1024)
+	h.WriteAtSync(guard, 0)
+
+	st := Strided{Offset: 0, BlockLen: 1000, Stride: 4096, Count: 10}
+	payload := make([]byte, st.Bytes())
+	rand.New(rand.NewSource(33)).Read(payload)
+	if err := h.WriteStrided(st, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+	full := make([]byte, 64*1024)
+	h.ReadAtSync(full, 0)
+	for i := 0; i < st.Count; i++ {
+		off := int64(i) * st.Stride
+		if !bytes.Equal(full[off:off+1000], payload[int64(i)*1000:int64(i+1)*1000]) {
+			t.Fatalf("block %d not written", i)
+		}
+		// Hole after the block must be untouched.
+		if full[off+1000] != 0xEE {
+			t.Fatalf("hole after block %d clobbered", i)
+		}
+	}
+}
+
+func TestStridedBufferSizeChecked(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	h, _ := mw.Open("f", 0)
+	st := Strided{Offset: 0, BlockLen: 100, Stride: 200, Count: 3}
+	if err := h.ReadStrided(st, make([]byte, 10), SievingOptions{}, nil); err == nil {
+		t.Error("short read buffer accepted")
+	}
+	if err := h.WriteStrided(st, make([]byte, 10), nil); err == nil {
+		t.Error("short write buffer accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mhafs/internal/units"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := DefaultGigE().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if err := (Model{PerByte: 0}).Validate(); err == nil {
+		t.Error("zero per-byte accepted")
+	}
+	if err := (Model{PerByte: 1, PerMessage: -1}).Validate(); err == nil {
+		t.Error("negative per-message accepted")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	m := Model{PerByte: units.PerByteFromMBps(100), PerMessage: 0.001}
+	// 100MB at 100MB/s plus 1ms setup.
+	if got := m.TransferTime(100 * units.MB); math.Abs(got-1.001) > 1e-9 {
+		t.Errorf("TransferTime = %v, want 1.001", got)
+	}
+	if m.TransferTime(0) != 0 || m.TransferTime(-1) != 0 {
+		t.Error("non-positive sizes should cost 0")
+	}
+}
+
+func TestTransferTimeMonotonicQuick(t *testing.T) {
+	m := DefaultGigE()
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.TransferTime(x) <= m.TransferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"mhafs/internal/trace"
+)
+
+// I/O signature identification, after IOSIG: classify each (rank, file)
+// stream's spatial pattern. Knowing a stream is sequential or strided is
+// what makes the paper's "predictable access patterns" premise (§III-A)
+// checkable instead of assumed.
+
+// AccessKind classifies a stream's spatial behaviour.
+type AccessKind uint8
+
+// Stream classifications.
+const (
+	// Sequential: each request starts where the previous ended.
+	Sequential AccessKind = iota
+	// Strided: constant positive gap between consecutive request starts
+	// (larger than the request sizes — a regular hole pattern).
+	Strided
+	// Random: no single dominant stride.
+	Random
+	// Single: too few requests to classify (one request).
+	Single
+)
+
+// String names the kind.
+func (k AccessKind) String() string {
+	switch k {
+	case Sequential:
+		return "sequential"
+	case Strided:
+		return "strided"
+	case Random:
+		return "random"
+	case Single:
+		return "single"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Signature summarizes one (rank, file) stream.
+type Signature struct {
+	Rank     int
+	File     string
+	Kind     AccessKind
+	Requests int
+	// Stride is the dominant distance between consecutive request starts
+	// (0 for Random/Single; equals the mean request size for Sequential).
+	Stride int64
+	// Confidence is the fraction of consecutive pairs matching the
+	// dominant stride (1.0 = perfectly regular).
+	Confidence float64
+}
+
+// signatureThreshold is the minimum fraction of pairs that must share the
+// dominant stride for a stream to count as Sequential/Strided.
+const signatureThreshold = 0.8
+
+// Signatures classifies every (rank, file) stream of the trace, in issue
+// order. Streams are returned sorted by (file, rank).
+func Signatures(t trace.Trace) []Signature {
+	type key struct {
+		rank int
+		file string
+	}
+	streams := make(map[key]trace.Trace)
+	sorted := t.Clone()
+	sorted.SortByTime()
+	for _, r := range sorted {
+		k := key{r.Rank, r.File}
+		streams[k] = append(streams[k], r)
+	}
+	var out []Signature
+	for k, recs := range streams {
+		out = append(out, classify(k.rank, k.file, recs))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+func classify(rank int, file string, recs trace.Trace) Signature {
+	sig := Signature{Rank: rank, File: file, Requests: len(recs)}
+	if len(recs) < 2 {
+		sig.Kind = Single
+		sig.Confidence = 1
+		return sig
+	}
+	// Dominant gap between consecutive request starts.
+	gaps := make(map[int64]int)
+	for i := 1; i < len(recs); i++ {
+		gaps[recs[i].Offset-recs[i-1].Offset]++
+	}
+	var domGap int64
+	domCount := 0
+	for g, c := range gaps {
+		if c > domCount || (c == domCount && g < domGap) {
+			domGap, domCount = g, c
+		}
+	}
+	sig.Confidence = float64(domCount) / float64(len(recs)-1)
+	if sig.Confidence < signatureThreshold || domGap <= 0 {
+		sig.Kind = Random
+		return sig
+	}
+	// Sequential when the dominant gap equals the preceding request's
+	// size for (almost) all matching pairs.
+	sequential := 0
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Offset == recs[i-1].End() {
+			sequential++
+		}
+	}
+	if float64(sequential)/float64(len(recs)-1) >= signatureThreshold {
+		sig.Kind = Sequential
+		sig.Stride = domGap
+		return sig
+	}
+	sig.Kind = Strided
+	sig.Stride = domGap
+	return sig
+}

@@ -1,0 +1,83 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"mhafs/internal/trace"
+)
+
+func TestSignatureSequential(t *testing.T) {
+	var tr trace.Trace
+	for i := 0; i < 10; i++ {
+		tr = append(tr, trace.Record{Rank: 0, File: "f", Op: trace.OpWrite,
+			Offset: int64(i) * 4096, Size: 4096, Time: float64(i)})
+	}
+	sigs := Signatures(tr)
+	if len(sigs) != 1 {
+		t.Fatalf("signatures = %d", len(sigs))
+	}
+	s := sigs[0]
+	if s.Kind != Sequential || s.Stride != 4096 || s.Confidence < 0.99 {
+		t.Errorf("signature = %+v", s)
+	}
+}
+
+func TestSignatureStrided(t *testing.T) {
+	var tr trace.Trace
+	for i := 0; i < 10; i++ {
+		tr = append(tr, trace.Record{Rank: 2, File: "f", Op: trace.OpRead,
+			Offset: int64(i) * 32768, Size: 4096, Time: float64(i)})
+	}
+	s := Signatures(tr)[0]
+	if s.Kind != Strided || s.Stride != 32768 {
+		t.Errorf("signature = %+v", s)
+	}
+}
+
+func TestSignatureRandom(t *testing.T) {
+	offsets := []int64{0, 90000, 13000, 700000, 42000, 260000, 31000}
+	var tr trace.Trace
+	for i, off := range offsets {
+		tr = append(tr, trace.Record{Rank: 0, File: "f", Op: trace.OpRead,
+			Offset: off, Size: 4096, Time: float64(i)})
+	}
+	s := Signatures(tr)[0]
+	if s.Kind != Random {
+		t.Errorf("signature = %+v", s)
+	}
+}
+
+func TestSignatureSingleAndOrder(t *testing.T) {
+	tr := trace.Trace{
+		{Rank: 1, File: "b", Op: trace.OpRead, Offset: 0, Size: 1, Time: 0},
+		{Rank: 0, File: "a", Op: trace.OpRead, Offset: 0, Size: 1, Time: 0},
+		{Rank: 0, File: "a", Op: trace.OpRead, Offset: 1, Size: 1, Time: 1},
+	}
+	sigs := Signatures(tr)
+	if len(sigs) != 2 {
+		t.Fatalf("signatures = %d", len(sigs))
+	}
+	if sigs[0].File != "a" || sigs[1].File != "b" {
+		t.Errorf("order wrong: %+v", sigs)
+	}
+	if sigs[1].Kind != Single {
+		t.Errorf("single stream = %+v", sigs[1])
+	}
+	if sigs[0].Kind != Sequential {
+		t.Errorf("two-record sequential stream = %+v", sigs[0])
+	}
+}
+
+// The paper's LANL loop (Fig. 3) from one rank's perspective is strided
+// overall — the per-rank block advances by a fixed amount each loop.
+func TestSignatureKindStrings(t *testing.T) {
+	for _, k := range []AccessKind{Sequential, Strided, Random, Single} {
+		if k.String() == "" || strings.Contains(k.String(), "kind(") {
+			t.Errorf("missing name for %d", k)
+		}
+	}
+	if !strings.Contains(AccessKind(99).String(), "99") {
+		t.Error("unknown kind should embed value")
+	}
+}

@@ -1,0 +1,410 @@
+// Package pfs implements the simulated hybrid parallel file system: a
+// metadata server (MDS) plus M HServers and N SServers, with files striped
+// over the servers by per-file varied-size layouts.
+//
+// This is the repository's stand-in for OrangeFS in the paper's testbed.
+// Clients contact the MDS for a file's metadata (layout, size) and then
+// exchange data with the servers directly; a striped request completes
+// when its slowest sub-request completes, which is the property every
+// result in the paper rests on.
+package pfs
+
+import (
+	"fmt"
+
+	"mhafs/internal/device"
+	"mhafs/internal/netmodel"
+	"mhafs/internal/server"
+	"mhafs/internal/sim"
+	"mhafs/internal/stripe"
+)
+
+// Config describes a cluster.
+type Config struct {
+	HServers int // number of HDD-backed servers (M)
+	SServers int // number of SSD-backed servers (N)
+
+	HDD device.Model
+	SSD device.Model
+	Net netmodel.Model
+
+	// MDSLookup is the metadata-server time per lookup (file open /
+	// layout fetch), seconds.
+	MDSLookup float64
+
+	// DefaultStripe is the stripe size files get when created without an
+	// explicit layout — the paper's DEF scheme uses 64 KB.
+	DefaultStripe int64
+
+	// HDDOverrides / SSDOverrides replace the device model of individual
+	// servers (by index within their class) — e.g. to model a degraded
+	// "straggler" disk. The layout planners' cost model is class-level and
+	// cannot see per-server differences; the overrides exist to study
+	// exactly that blind spot.
+	HDDOverrides map[int]device.Model
+	SSDOverrides map[int]device.Model
+}
+
+// DefaultConfig mirrors the paper's testbed: six HServers, two SServers,
+// GbE, 64 KB default stripes.
+func DefaultConfig() Config {
+	return Config{
+		HServers:      6,
+		SServers:      2,
+		HDD:           device.DefaultHDD(),
+		SSD:           device.DefaultSSD(),
+		Net:           netmodel.DefaultGigE(),
+		MDSLookup:     200e-6,
+		DefaultStripe: 64 << 10,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.HServers < 0 || c.SServers < 0 || c.HServers+c.SServers == 0 {
+		return fmt.Errorf("pfs: need at least one server (H=%d S=%d)", c.HServers, c.SServers)
+	}
+	if c.MDSLookup < 0 {
+		return fmt.Errorf("pfs: negative MDS lookup time")
+	}
+	if c.DefaultStripe <= 0 {
+		return fmt.Errorf("pfs: default stripe must be positive")
+	}
+	if err := c.HDD.Validate(); err != nil {
+		return err
+	}
+	if err := c.SSD.Validate(); err != nil {
+		return err
+	}
+	for i, m := range c.HDDOverrides {
+		if i < 0 || i >= c.HServers {
+			return fmt.Errorf("pfs: HDD override index %d out of range", i)
+		}
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	for i, m := range c.SSDOverrides {
+		if i < 0 || i >= c.SServers {
+			return fmt.Errorf("pfs: SSD override index %d out of range", i)
+		}
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	return c.Net.Validate()
+}
+
+// File is the MDS's record of one file.
+type File struct {
+	Name   string
+	Layout stripe.Layout
+	Size   int64 // logical size: one past the highest byte written
+
+	// Rotation spreads files across servers: file f's i-th HServer is the
+	// physical HServer (i + Rotation) mod M, and likewise for SServers.
+	// Real PFSs rotate each file's starting server so that many files with
+	// identical layouts do not all hammer the same first server. Derived
+	// deterministically from the name at Create.
+	Rotation int
+}
+
+// Cluster is the simulated file system.
+type Cluster struct {
+	Eng *sim.Engine
+	cfg Config
+
+	hservers []*server.Server
+	sservers []*server.Server
+	mds      *sim.Resource
+
+	files map[string]*File
+}
+
+// New builds a cluster on a fresh simulation engine.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		Eng:   &sim.Engine{},
+		cfg:   cfg,
+		files: make(map[string]*File),
+	}
+	c.mds = sim.NewResource(c.Eng, "mds")
+	for i := 0; i < cfg.HServers; i++ {
+		dev := cfg.HDD
+		if o, ok := cfg.HDDOverrides[i]; ok {
+			dev = o
+		}
+		s, err := server.New(c.Eng, fmt.Sprintf("h%d", i), dev, cfg.Net)
+		if err != nil {
+			return nil, err
+		}
+		c.hservers = append(c.hservers, s)
+	}
+	for j := 0; j < cfg.SServers; j++ {
+		dev := cfg.SSD
+		if o, ok := cfg.SSDOverrides[j]; ok {
+			dev = o
+		}
+		s, err := server.New(c.Eng, fmt.Sprintf("s%d", j), dev, cfg.Net)
+		if err != nil {
+			return nil, err
+		}
+		c.sservers = append(c.sservers, s)
+	}
+	return c, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// DefaultLayout returns the cluster-wide DEF layout: every server, fixed
+// stripe size.
+func (c *Cluster) DefaultLayout() stripe.Layout {
+	return stripe.Uniform(c.cfg.HServers, c.cfg.SServers, c.cfg.DefaultStripe)
+}
+
+// ServerFor resolves a layout server reference to the physical server,
+// without any per-file rotation.
+func (c *Cluster) ServerFor(ref stripe.ServerRef) *server.Server {
+	if ref.Class == stripe.ClassH {
+		return c.hservers[ref.Index]
+	}
+	return c.sservers[ref.Index]
+}
+
+// ServerForFile resolves a layout server reference for a specific file,
+// applying the file's rotation within each server class.
+func (c *Cluster) ServerForFile(f *File, ref stripe.ServerRef) *server.Server {
+	if ref.Class == stripe.ClassH {
+		return c.hservers[(ref.Index+f.Rotation)%len(c.hservers)]
+	}
+	return c.sservers[(ref.Index+f.Rotation)%len(c.sservers)]
+}
+
+// nameHash derives a small deterministic rotation from a file name (FNV-1a).
+func nameHash(name string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return int(h % 1024)
+}
+
+// Servers returns all servers in flat order (HServers then SServers).
+func (c *Cluster) Servers() []*server.Server {
+	out := make([]*server.Server, 0, len(c.hservers)+len(c.sservers))
+	out = append(out, c.hservers...)
+	out = append(out, c.sservers...)
+	return out
+}
+
+// validateLayout checks that a layout fits this cluster.
+func (c *Cluster) validateLayout(l stripe.Layout) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if l.M > c.cfg.HServers || l.N > c.cfg.SServers {
+		return fmt.Errorf("pfs: layout %v exceeds cluster (%dH, %dS)", l, c.cfg.HServers, c.cfg.SServers)
+	}
+	return nil
+}
+
+// Create registers a new file with the given layout. Creating an existing
+// name is an error.
+func (c *Cluster) Create(name string, l stripe.Layout) (*File, error) {
+	if name == "" {
+		return nil, fmt.Errorf("pfs: empty file name")
+	}
+	if _, ok := c.files[name]; ok {
+		return nil, fmt.Errorf("pfs: file %q exists", name)
+	}
+	if err := c.validateLayout(l); err != nil {
+		return nil, err
+	}
+	f := &File{Name: name, Layout: l, Rotation: nameHash(name)}
+	c.files[name] = f
+	return f, nil
+}
+
+// CreateDefault creates a file with the DEF layout.
+func (c *Cluster) CreateDefault(name string) (*File, error) {
+	return c.Create(name, c.DefaultLayout())
+}
+
+// Lookup returns the file record for name.
+func (c *Cluster) Lookup(name string) (*File, bool) {
+	f, ok := c.files[name]
+	return f, ok
+}
+
+// Remove deletes a file: its metadata and every server-side object
+// holding its bytes.
+func (c *Cluster) Remove(name string) {
+	delete(c.files, name)
+	for _, s := range c.Servers() {
+		s.DeleteObject(name)
+	}
+}
+
+// Files lists the registered file names (unordered).
+func (c *Cluster) Files() []string {
+	out := make([]string, 0, len(c.files))
+	for n := range c.files {
+		out = append(out, n)
+	}
+	return out
+}
+
+// OpenHandle models a client opening a file: one MDS lookup, after which
+// the layout is cached client-side. done receives the virtual completion
+// time.
+func (c *Cluster) OpenHandle(name string, done func(f *File, end float64)) error {
+	f, ok := c.files[name]
+	if !ok {
+		return fmt.Errorf("pfs: open %q: no such file", name)
+	}
+	c.mds.Acquire(c.cfg.MDSLookup, func(_, end float64) {
+		if done != nil {
+			done(f, end)
+		}
+	})
+	return nil
+}
+
+// Write issues a striped write of data at offset off. done (optional)
+// receives the virtual time the slowest sub-request completed. The call
+// only schedules work; the caller drives the engine.
+func (c *Cluster) Write(f *File, off int64, data []byte, done func(end float64)) error {
+	if f == nil {
+		return fmt.Errorf("pfs: write to nil file")
+	}
+	if off < 0 {
+		return fmt.Errorf("pfs: negative offset %d", off)
+	}
+	n := int64(len(data))
+	if n == 0 {
+		if done != nil {
+			c.Eng.Schedule(0, func() { done(c.Eng.Now()) })
+		}
+		return nil
+	}
+	if end := off + n; end > f.Size {
+		f.Size = end
+	}
+	// One coalesced sub-request per server, as a real PFS client issues:
+	// the per-server local range of a contiguous file extent is itself
+	// contiguous, so the server performs a single local access. Gather the
+	// round-interleaved payload pieces into that local order.
+	subs := f.Layout.Split(off, n)
+	gathered := make(map[stripe.ServerRef][]byte, len(subs))
+	for _, sub := range subs {
+		gathered[sub.Server] = make([]byte, 0, sub.Size)
+	}
+	for _, seg := range f.Layout.Segments(off, n) {
+		gathered[seg.Server] = append(gathered[seg.Server], data[seg.Global-off:seg.Global-off+seg.Size]...)
+	}
+	latest := new(float64)
+	barrier := sim.NewBarrier(len(subs), func() {
+		if done != nil {
+			done(*latest)
+		}
+	})
+	for _, sub := range subs {
+		srv := c.ServerForFile(f, sub.Server)
+		srv.SubmitWrite(f.Name, sub.Local, gathered[sub.Server], func(end float64) {
+			if end > *latest {
+				*latest = end
+			}
+			barrier.Arrive()
+		})
+	}
+	return nil
+}
+
+// Read issues a striped read into buf from offset off; buf is fully
+// populated when done runs. Reads past the current size return zeros, like
+// a sparse file.
+func (c *Cluster) Read(f *File, off int64, buf []byte, done func(end float64)) error {
+	if f == nil {
+		return fmt.Errorf("pfs: read from nil file")
+	}
+	if off < 0 {
+		return fmt.Errorf("pfs: negative offset %d", off)
+	}
+	n := int64(len(buf))
+	if n == 0 {
+		if done != nil {
+			c.Eng.Schedule(0, func() { done(c.Eng.Now()) })
+		}
+		return nil
+	}
+	// Mirror Write: one coalesced sub-request per server, scattered back
+	// into the caller's buffer at completion.
+	subs := f.Layout.Split(off, n)
+	segs := f.Layout.Segments(off, n)
+	latest := new(float64)
+	barrier := sim.NewBarrier(len(subs), func() {
+		if done != nil {
+			done(*latest)
+		}
+	})
+	for _, sub := range subs {
+		sub := sub
+		srv := c.ServerForFile(f, sub.Server)
+		tmp := make([]byte, sub.Size)
+		srv.SubmitRead(f.Name, sub.Local, tmp, func(end float64) {
+			// Scatter the server's contiguous local bytes back into the
+			// round-interleaved positions of the caller's buffer.
+			var consumed int64
+			for _, seg := range segs {
+				if seg.Server != sub.Server {
+					continue
+				}
+				copy(buf[seg.Global-off:seg.Global-off+seg.Size], tmp[consumed:consumed+seg.Size])
+				consumed += seg.Size
+			}
+			if end > *latest {
+				*latest = end
+			}
+			barrier.Arrive()
+		})
+	}
+	return nil
+}
+
+// WriteSync writes and runs the engine until the write completes,
+// returning the completion time. Only for single-threaded convenience use
+// (examples, tests); concurrent workloads schedule explicitly.
+func (c *Cluster) WriteSync(f *File, off int64, data []byte) (float64, error) {
+	var end float64
+	if err := c.Write(f, off, data, func(t float64) { end = t }); err != nil {
+		return 0, err
+	}
+	c.Eng.Run()
+	return end, nil
+}
+
+// ReadSync reads and runs the engine until the read completes.
+func (c *Cluster) ReadSync(f *File, off int64, buf []byte) (float64, error) {
+	var end float64
+	if err := c.Read(f, off, buf, func(t float64) { end = t }); err != nil {
+		return 0, err
+	}
+	c.Eng.Run()
+	return end, nil
+}
+
+// ServerStats returns per-server statistics in flat order — the data
+// behind Fig. 8's per-server I/O times.
+func (c *Cluster) ServerStats() []server.Stats {
+	srvs := c.Servers()
+	out := make([]server.Stats, len(srvs))
+	for i, s := range srvs {
+		out[i] = s.Stats()
+	}
+	return out
+}

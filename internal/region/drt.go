@@ -1,0 +1,240 @@
+// Package region implements the two metadata tables of the MHA scheme:
+//
+//   - the Data Reordering Table (DRT), which tracks where each extent of
+//     an original file now lives among the reordered regions, and
+//   - the Region Stripe Table (RST), which records the optimized stripe
+//     pair (as a full layout) of every region.
+//
+// Both tables persist through the embedded kvstore (the paper uses
+// Berkeley DB) with synchronous write-through, and both keep an in-memory
+// index for fast lookups on the I/O path: the DRT holds per-file mapping
+// lists sorted by original offset so the Redirector can translate an
+// extent with a binary search.
+package region
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mhafs/internal/kvstore"
+)
+
+// Mapping is one DRT entry, mirroring the paper's five variables: O_file,
+// O_offset, R_file, R_offset, Length.
+type Mapping struct {
+	OFile   string // original file name
+	OOffset int64  // offset within the original file
+	RFile   string // reordered region (a physical file)
+	ROffset int64  // offset within the region
+	Length  int64  // extent length in bytes
+}
+
+// Validate checks structural invariants.
+func (m Mapping) Validate() error {
+	if m.OFile == "" || m.RFile == "" {
+		return fmt.Errorf("region: mapping with empty file name")
+	}
+	if strings.ContainsRune(m.OFile, '\x00') || strings.ContainsRune(m.RFile, '\x00') {
+		return fmt.Errorf("region: file name contains NUL")
+	}
+	if m.OOffset < 0 || m.ROffset < 0 {
+		return fmt.Errorf("region: negative offset in mapping %+v", m)
+	}
+	if m.Length <= 0 {
+		return fmt.Errorf("region: non-positive length in mapping %+v", m)
+	}
+	return nil
+}
+
+// OEnd returns one past the last original byte covered.
+func (m Mapping) OEnd() int64 { return m.OOffset + m.Length }
+
+// encode serializes a mapping value for the kvstore:
+// rOffset(8) length(8) rFile. The key carries oFile and oOffset.
+func (m Mapping) encodeValue() []byte {
+	buf := make([]byte, 16+len(m.RFile))
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(m.ROffset))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(m.Length))
+	copy(buf[16:], m.RFile)
+	return buf
+}
+
+func decodeValue(oFile string, oOffset int64, v []byte) (Mapping, error) {
+	if len(v) < 16 {
+		return Mapping{}, fmt.Errorf("region: short DRT value (%d bytes)", len(v))
+	}
+	return Mapping{
+		OFile:   oFile,
+		OOffset: oOffset,
+		RFile:   string(v[16:]),
+		ROffset: int64(binary.LittleEndian.Uint64(v[0:8])),
+		Length:  int64(binary.LittleEndian.Uint64(v[8:16])),
+	}, nil
+}
+
+// drtKey encodes the original extent identity: file \x00 offset(8).
+func drtKey(oFile string, oOffset int64) []byte {
+	k := make([]byte, len(oFile)+9)
+	copy(k, oFile)
+	k[len(oFile)] = 0
+	binary.BigEndian.PutUint64(k[len(oFile)+1:], uint64(oOffset))
+	return k
+}
+
+func splitDRTKey(k []byte) (string, int64, error) {
+	i := -1
+	for j, b := range k {
+		if b == 0 {
+			i = j
+			break
+		}
+	}
+	if i < 0 || len(k) != i+9 {
+		return "", 0, fmt.Errorf("region: malformed DRT key")
+	}
+	return string(k[:i]), int64(binary.BigEndian.Uint64(k[i+1:])), nil
+}
+
+// DRT is the Data Reordering Table.
+type DRT struct {
+	store *kvstore.Store
+	// byFile indexes mappings per original file, sorted by OOffset.
+	byFile map[string][]Mapping
+}
+
+// OpenDRT opens (or creates) a DRT backed by the kvstore at path; an
+// empty path keeps the table in memory only.
+func OpenDRT(path string) (*DRT, error) {
+	st, err := kvstore.Open(path, kvstore.Options{Sync: path != ""})
+	if err != nil {
+		return nil, err
+	}
+	d := &DRT{store: st, byFile: make(map[string][]Mapping)}
+	var loadErr error
+	st.ForEach(func(k, v []byte) bool {
+		oFile, oOffset, err := splitDRTKey(k)
+		if err != nil {
+			loadErr = err
+			return false
+		}
+		m, err := decodeValue(oFile, oOffset, v)
+		if err != nil {
+			loadErr = err
+			return false
+		}
+		d.byFile[oFile] = append(d.byFile[oFile], m)
+		return true
+	})
+	if loadErr != nil {
+		st.Close()
+		return nil, loadErr
+	}
+	for f := range d.byFile {
+		ms := d.byFile[f]
+		sort.Slice(ms, func(i, j int) bool { return ms[i].OOffset < ms[j].OOffset })
+	}
+	return d, nil
+}
+
+// Add inserts a mapping. The new extent must not overlap an existing
+// mapping of the same original file — reordered extents partition the
+// original file.
+func (d *DRT) Add(m Mapping) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	ms := d.byFile[m.OFile]
+	i := sort.Search(len(ms), func(i int) bool { return ms[i].OOffset >= m.OOffset })
+	if i < len(ms) && ms[i].OOffset < m.OEnd() {
+		return fmt.Errorf("region: mapping %+v overlaps %+v", m, ms[i])
+	}
+	if i > 0 && ms[i-1].OEnd() > m.OOffset {
+		return fmt.Errorf("region: mapping %+v overlaps %+v", m, ms[i-1])
+	}
+	if err := d.store.Put(drtKey(m.OFile, m.OOffset), m.encodeValue()); err != nil {
+		return err
+	}
+	ms = append(ms, Mapping{})
+	copy(ms[i+1:], ms[i:])
+	ms[i] = m
+	d.byFile[m.OFile] = ms
+	return nil
+}
+
+// Len returns the number of mappings.
+func (d *DRT) Len() int {
+	n := 0
+	for _, ms := range d.byFile {
+		n += len(ms)
+	}
+	return n
+}
+
+// Mappings returns the mappings of one original file, sorted by offset.
+// The returned slice must not be modified.
+func (d *DRT) Mappings(oFile string) []Mapping {
+	return d.byFile[oFile]
+}
+
+// Files returns the original file names with at least one mapping, sorted.
+func (d *DRT) Files() []string {
+	out := make([]string, 0, len(d.byFile))
+	for f := range d.byFile {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Target is one piece of a translated extent: where the bytes live now.
+type Target struct {
+	File   string // region file, or the original file for unmapped gaps
+	Offset int64
+	Size   int64
+	Mapped bool // false for identity pieces (no DRT entry covers them)
+}
+
+// Translate resolves the extent [off, off+length) of an original file into
+// the regions holding it. Unmapped sub-ranges translate to themselves in
+// the original file (Mapped=false), so files never touched by reordering
+// work transparently.
+func (d *DRT) Translate(oFile string, off, length int64) []Target {
+	if length <= 0 {
+		return nil
+	}
+	ms := d.byFile[oFile]
+	var out []Target
+	pos, end := off, off+length
+	// First mapping that could intersect: the last with OOffset ≤ pos, or
+	// the next one after.
+	i := sort.Search(len(ms), func(i int) bool { return ms[i].OEnd() > pos })
+	for pos < end {
+		if i >= len(ms) || ms[i].OOffset >= end {
+			out = append(out, Target{File: oFile, Offset: pos, Size: end - pos})
+			break
+		}
+		m := ms[i]
+		if m.OOffset > pos {
+			out = append(out, Target{File: oFile, Offset: pos, Size: m.OOffset - pos})
+			pos = m.OOffset
+		}
+		stop := m.OEnd()
+		if stop > end {
+			stop = end
+		}
+		out = append(out, Target{
+			File:   m.RFile,
+			Offset: m.ROffset + (pos - m.OOffset),
+			Size:   stop - pos,
+			Mapped: true,
+		})
+		pos = stop
+		i++
+	}
+	return out
+}
+
+// Close releases the backing store.
+func (d *DRT) Close() error { return d.store.Close() }

@@ -1,0 +1,265 @@
+package region
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mhafs/internal/stripe"
+)
+
+func memDRT(t *testing.T) *DRT {
+	t.Helper()
+	d, err := OpenDRT("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMappingValidate(t *testing.T) {
+	good := Mapping{OFile: "f", OOffset: 0, RFile: "r0", ROffset: 0, Length: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Mapping{
+		{OFile: "", RFile: "r", Length: 1},
+		{OFile: "f", RFile: "", Length: 1},
+		{OFile: "f\x00x", RFile: "r", Length: 1},
+		{OFile: "f", RFile: "r", OOffset: -1, Length: 1},
+		{OFile: "f", RFile: "r", ROffset: -1, Length: 1},
+		{OFile: "f", RFile: "r", Length: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad mapping %d accepted", i)
+		}
+	}
+}
+
+func TestDRTAddAndMappings(t *testing.T) {
+	d := memDRT(t)
+	defer d.Close()
+	// Insert out of order; Mappings must come back sorted.
+	d.Add(Mapping{OFile: "f", OOffset: 200, RFile: "r1", ROffset: 0, Length: 50})
+	d.Add(Mapping{OFile: "f", OOffset: 0, RFile: "r0", ROffset: 0, Length: 100})
+	ms := d.Mappings("f")
+	if len(ms) != 2 || ms[0].OOffset != 0 || ms[1].OOffset != 200 {
+		t.Errorf("mappings = %+v", ms)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestDRTRejectsOverlap(t *testing.T) {
+	d := memDRT(t)
+	defer d.Close()
+	d.Add(Mapping{OFile: "f", OOffset: 100, RFile: "r0", ROffset: 0, Length: 100})
+	overlaps := []Mapping{
+		{OFile: "f", OOffset: 150, RFile: "r1", ROffset: 0, Length: 10},  // inside
+		{OFile: "f", OOffset: 50, RFile: "r1", ROffset: 0, Length: 60},   // left edge
+		{OFile: "f", OOffset: 199, RFile: "r1", ROffset: 0, Length: 100}, // right edge
+		{OFile: "f", OOffset: 0, RFile: "r1", ROffset: 0, Length: 400},   // covers
+	}
+	for i, m := range overlaps {
+		if err := d.Add(m); err == nil {
+			t.Errorf("overlap %d accepted", i)
+		}
+	}
+	// Adjacent extents are fine.
+	if err := d.Add(Mapping{OFile: "f", OOffset: 200, RFile: "r1", ROffset: 0, Length: 10}); err != nil {
+		t.Errorf("adjacent extent rejected: %v", err)
+	}
+	if err := d.Add(Mapping{OFile: "f", OOffset: 90, RFile: "r1", ROffset: 0, Length: 10}); err != nil {
+		t.Errorf("left-adjacent extent rejected: %v", err)
+	}
+	// Other files do not conflict.
+	if err := d.Add(Mapping{OFile: "g", OOffset: 100, RFile: "r2", ROffset: 0, Length: 100}); err != nil {
+		t.Errorf("other-file extent rejected: %v", err)
+	}
+}
+
+func TestDRTTranslateFullyMapped(t *testing.T) {
+	d := memDRT(t)
+	defer d.Close()
+	d.Add(Mapping{OFile: "f", OOffset: 0, RFile: "r0", ROffset: 1000, Length: 100})
+	got := d.Translate("f", 10, 50)
+	want := []Target{{File: "r0", Offset: 1010, Size: 50, Mapped: true}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Translate = %+v, want %+v", got, want)
+	}
+}
+
+func TestDRTTranslateSpansMappings(t *testing.T) {
+	d := memDRT(t)
+	defer d.Close()
+	d.Add(Mapping{OFile: "f", OOffset: 0, RFile: "r0", ROffset: 0, Length: 100})
+	d.Add(Mapping{OFile: "f", OOffset: 100, RFile: "r1", ROffset: 500, Length: 100})
+	got := d.Translate("f", 50, 100)
+	want := []Target{
+		{File: "r0", Offset: 50, Size: 50, Mapped: true},
+		{File: "r1", Offset: 500, Size: 50, Mapped: true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Translate = %+v", got)
+	}
+}
+
+func TestDRTTranslateGaps(t *testing.T) {
+	d := memDRT(t)
+	defer d.Close()
+	d.Add(Mapping{OFile: "f", OOffset: 100, RFile: "r0", ROffset: 0, Length: 100})
+	got := d.Translate("f", 0, 300)
+	want := []Target{
+		{File: "f", Offset: 0, Size: 100},
+		{File: "r0", Offset: 0, Size: 100, Mapped: true},
+		{File: "f", Offset: 200, Size: 100},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Translate = %+v", got)
+	}
+}
+
+func TestDRTTranslateUnknownFile(t *testing.T) {
+	d := memDRT(t)
+	defer d.Close()
+	got := d.Translate("nofile", 5, 10)
+	want := []Target{{File: "nofile", Offset: 5, Size: 10}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Translate = %+v", got)
+	}
+	if d.Translate("nofile", 0, 0) != nil {
+		t.Error("zero-length translate should be nil")
+	}
+}
+
+// Property: translation is a partition — targets cover exactly the
+// requested length, in order, with mapped pieces consistent with Add.
+func TestDRTTranslatePartitionQuick(t *testing.T) {
+	d := memDRT(t)
+	defer d.Close()
+	// Build a deterministic striped mapping: extents of 64 bytes
+	// alternating between two regions, with gaps every third slot.
+	roff := map[string]int64{}
+	for i := 0; i < 30; i++ {
+		if i%3 == 2 {
+			continue // gap
+		}
+		r := "r0"
+		if i%3 == 1 {
+			r = "r1"
+		}
+		if err := d.Add(Mapping{OFile: "f", OOffset: int64(i) * 64, RFile: r, ROffset: roff[r], Length: 64}); err != nil {
+			t.Fatal(err)
+		}
+		roff[r] += 64
+	}
+	f := func(offRaw, lenRaw uint16) bool {
+		off := int64(offRaw) % 2200
+		n := int64(lenRaw)%512 + 1
+		ts := d.Translate("f", off, n)
+		var total int64
+		for _, tg := range ts {
+			if tg.Size <= 0 {
+				return false
+			}
+			total += tg.Size
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDRTPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "drt.db")
+	d, err := OpenDRT(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mapping{OFile: "orig.dat", OOffset: 4096, RFile: "region-1", ROffset: 128, Length: 512}
+	if err := d.Add(m); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	d2, err := OpenDRT(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	ms := d2.Mappings("orig.dat")
+	if len(ms) != 1 || ms[0] != m {
+		t.Errorf("reloaded mappings = %+v, want %+v", ms, m)
+	}
+}
+
+func TestRSTSetGet(t *testing.T) {
+	r, err := OpenRST("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	l := stripe.Layout{M: 6, N: 2, H: 32 << 10, S: 96 << 10}
+	if err := r.Set("region-0", l); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Get("region-0")
+	if !ok || got != l {
+		t.Errorf("Get = %v,%v", got, ok)
+	}
+	if _, ok := r.Get("missing"); ok {
+		t.Error("missing region found")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	n := 0
+	r.ForEach(func(string, stripe.Layout) bool { n++; return true })
+	if n != 1 {
+		t.Errorf("ForEach visited %d", n)
+	}
+}
+
+func TestRSTRejectsInvalid(t *testing.T) {
+	r, _ := OpenRST("")
+	defer r.Close()
+	if err := r.Set("", stripe.Uniform(1, 1, 64)); err == nil {
+		t.Error("empty region name accepted")
+	}
+	if err := r.Set("r", stripe.Layout{}); err == nil {
+		t.Error("invalid layout accepted")
+	}
+}
+
+func TestRSTPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rst.db")
+	r, err := OpenRST(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := stripe.Layout{M: 6, N: 2, H: 0, S: 64 << 10}
+	l2 := stripe.Layout{M: 6, N: 2, H: 16 << 10, S: 128 << 10}
+	r.Set("r0", l1)
+	r.Set("r1", l2)
+	r.Set("r0", l2) // overwrite
+	r.Close()
+
+	r2, err := OpenRST(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got, _ := r2.Get("r0"); got != l2 {
+		t.Errorf("r0 = %v, want %v", got, l2)
+	}
+	if got, _ := r2.Get("r1"); got != l2 {
+		t.Errorf("r1 = %v", got)
+	}
+	if r2.Len() != 2 {
+		t.Errorf("Len = %d", r2.Len())
+	}
+}

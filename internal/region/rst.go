@@ -1,0 +1,98 @@
+package region
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mhafs/internal/kvstore"
+	"mhafs/internal/stripe"
+)
+
+// RST is the Region Stripe Table: region file name → optimized layout
+// (the <h, s> stripe pair plus the server counts it applies to). The MDS
+// consults it during placement; clients receive the layout on open.
+type RST struct {
+	store *kvstore.Store
+	table map[string]stripe.Layout
+}
+
+// OpenRST opens (or creates) an RST at path; empty path is in-memory.
+func OpenRST(path string) (*RST, error) {
+	st, err := kvstore.Open(path, kvstore.Options{Sync: path != ""})
+	if err != nil {
+		return nil, err
+	}
+	r := &RST{store: st, table: make(map[string]stripe.Layout)}
+	var loadErr error
+	st.ForEach(func(k, v []byte) bool {
+		l, err := decodeLayout(v)
+		if err != nil {
+			loadErr = err
+			return false
+		}
+		r.table[string(k)] = l
+		return true
+	})
+	if loadErr != nil {
+		st.Close()
+		return nil, loadErr
+	}
+	return r, nil
+}
+
+func encodeLayout(l stripe.Layout) []byte {
+	buf := make([]byte, 32)
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(l.M))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(l.N))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(l.H))
+	binary.LittleEndian.PutUint64(buf[24:32], uint64(l.S))
+	return buf
+}
+
+func decodeLayout(v []byte) (stripe.Layout, error) {
+	if len(v) != 32 {
+		return stripe.Layout{}, fmt.Errorf("region: bad RST value length %d", len(v))
+	}
+	return stripe.Layout{
+		M: int(binary.LittleEndian.Uint64(v[0:8])),
+		N: int(binary.LittleEndian.Uint64(v[8:16])),
+		H: int64(binary.LittleEndian.Uint64(v[16:24])),
+		S: int64(binary.LittleEndian.Uint64(v[24:32])),
+	}, nil
+}
+
+// Set records (or replaces) the layout for a region.
+func (r *RST) Set(regionFile string, l stripe.Layout) error {
+	if regionFile == "" {
+		return fmt.Errorf("region: empty region file name")
+	}
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if err := r.store.Put([]byte(regionFile), encodeLayout(l)); err != nil {
+		return err
+	}
+	r.table[regionFile] = l
+	return nil
+}
+
+// Get returns the layout for a region.
+func (r *RST) Get(regionFile string) (stripe.Layout, bool) {
+	l, ok := r.table[regionFile]
+	return l, ok
+}
+
+// Len returns the number of regions recorded.
+func (r *RST) Len() int { return len(r.table) }
+
+// ForEach visits every region → layout pair (unspecified order).
+func (r *RST) ForEach(fn func(regionFile string, l stripe.Layout) bool) {
+	for k, v := range r.table {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Close releases the backing store.
+func (r *RST) Close() error { return r.store.Close() }

@@ -1,0 +1,266 @@
+// Package replay re-issues an I/O trace against the simulated file system
+// through the middleware, the way the paper replays its LANL, LU and
+// Cholesky traces: every MPI rank runs as an independent client issuing
+// its requests in trace order, each request blocking until its slowest
+// sub-request completes (synchronous MPI-IO semantics). All ranks start
+// together; the aggregate bandwidth is total bytes moved over the virtual
+// makespan.
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mhafs/internal/metrics"
+	"mhafs/internal/mpiio"
+	"mhafs/internal/pattern"
+	"mhafs/internal/server"
+	"mhafs/internal/trace"
+)
+
+// Result summarizes one replay.
+type Result struct {
+	Ops        int
+	Makespan   float64 // seconds of virtual time
+	ReadBytes  int64
+	WriteBytes int64
+	PerServer  []server.Stats // activity during the replay interval
+
+	// Latencies holds every request's issue-to-completion time in virtual
+	// seconds, in completion order.
+	Latencies []float64
+}
+
+// TotalBytes returns bytes moved in both directions.
+func (r Result) TotalBytes() int64 { return r.ReadBytes + r.WriteBytes }
+
+// Bandwidth returns the aggregate bandwidth in MB/s.
+func (r Result) Bandwidth() float64 { return metrics.MBps(r.TotalBytes(), r.Makespan) }
+
+// ReadBandwidth returns the read-side bandwidth in MB/s (against the full
+// makespan).
+func (r Result) ReadBandwidth() float64 { return metrics.MBps(r.ReadBytes, r.Makespan) }
+
+// WriteBandwidth returns the write-side bandwidth in MB/s.
+func (r Result) WriteBandwidth() float64 { return metrics.MBps(r.WriteBytes, r.Makespan) }
+
+// LatencySummary condenses the per-request latency distribution.
+func (r Result) LatencySummary() metrics.LatencySummary {
+	return metrics.Summarize(r.Latencies)
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("ops=%d makespan=%.6fs readB=%d writeB=%d bw=%.2fMB/s p99=%.6fs",
+		r.Ops, r.Makespan, r.ReadBytes, r.WriteBytes, r.Bandwidth(),
+		metrics.Percentile(r.Latencies, 0.99))
+}
+
+// Mode selects how ranks pace each other during a replay.
+type Mode int
+
+const (
+	// Independent: each rank issues its records back to back; ranks never
+	// wait for one another. The default, matching I/O-bound replay tools.
+	Independent Mode = iota
+	// LockStep: ranks synchronize at every concurrency-epoch boundary,
+	// like a bulk-synchronous application with barriers between I/O
+	// phases. No rank enters epoch e+1 until every rank finished epoch e.
+	LockStep
+	// Timed: each record is issued no earlier than its trace time stamp
+	// (relative to the trace start), preserving the application's compute
+	// phases between I/O bursts. Requests still wait for the rank's
+	// previous request (synchronous I/O).
+	Timed
+)
+
+// Options tunes a replay.
+type Options struct {
+	Mode Mode
+	// EpochWindow groups records into epochs for LockStep mode (seconds
+	// of trace time); 0 uses the pattern analyzer's default.
+	EpochWindow float64
+}
+
+// Run replays the trace through the middleware with default options. Each
+// rank's records are issued sequentially in time order; distinct ranks
+// proceed concurrently (in virtual time). Write payloads are
+// deterministic pseudo-random bytes.
+func Run(mw *mpiio.Middleware, tr trace.Trace) (Result, error) {
+	return RunWith(mw, tr, Options{})
+}
+
+// RunWith replays the trace with explicit options.
+func RunWith(mw *mpiio.Middleware, tr trace.Trace, opts Options) (Result, error) {
+	if mw == nil {
+		return Result{}, fmt.Errorf("replay: nil middleware")
+	}
+	if err := tr.Validate(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	if len(tr) == 0 {
+		return res, nil
+	}
+
+	eng := mw.Cluster.Eng
+	base := eng.Now()
+	before := mw.Cluster.ServerStats()
+
+	// Split records per rank, preserving time order within a rank.
+	sorted := tr.Clone()
+	sorted.SortByTime()
+	perRank := make(map[int]trace.Trace)
+	for _, r := range sorted {
+		perRank[r.Rank] = append(perRank[r.Rank], r)
+	}
+	ranks := tr.Ranks() // deterministic launch order
+
+	var (
+		latest  float64
+		runErrs []error
+	)
+	payload := sharedPayload(tr.MaxSize())
+
+	// LockStep: compute each record's epoch and insert barriers at epoch
+	// boundaries. epochBarriers[e] fires when every record of epoch e has
+	// completed; ranks block on it before issuing epoch e+1.
+	var epochOf map[recordKey]int
+	var epochBarriers []*epochGate
+	if opts.Mode == LockStep {
+		window := opts.EpochWindow
+		if window <= 0 {
+			window = pattern.DefaultEpochWindow
+		}
+		epochOf = make(map[recordKey]int, len(tr))
+		epochs := pattern.Epochs(tr, window)
+		epochBarriers = make([]*epochGate, len(epochs))
+		for e, ep := range epochs {
+			epochBarriers[e] = newEpochGate(len(ep))
+			for _, r := range ep {
+				epochOf[keyOf(r)] = e
+			}
+		}
+	}
+
+	t0 := sorted[0].Time
+
+	for _, rank := range ranks {
+		records := perRank[rank]
+		handles := make(map[string]*mpiio.FileHandle)
+		var issue func(i int)
+		var issueNow func(rec trace.Record, i int)
+		issue = func(i int) {
+			if i >= len(records) {
+				return
+			}
+			rec := records[i]
+			if opts.Mode == Timed {
+				// Honor the record's trace time as its earliest issue
+				// point (relative to the replay start).
+				due := base + (rec.Time - t0)
+				if now := eng.Now(); due > now {
+					eng.Schedule(due-now, func() { issueNow(rec, i) })
+					return
+				}
+			}
+			issueNow(rec, i)
+		}
+		issueNow = func(rec trace.Record, i int) {
+			h, ok := handles[rec.File]
+			if !ok {
+				var err error
+				h, err = mw.Open(rec.File, rec.Rank)
+				if err != nil {
+					runErrs = append(runErrs, err)
+					return
+				}
+				handles[rec.File] = h
+			}
+			issued := eng.Now()
+			done := func(end float64) {
+				if end > latest {
+					latest = end
+				}
+				res.Ops++
+				res.Latencies = append(res.Latencies, end-issued)
+				if opts.Mode == LockStep {
+					e := epochOf[keyOf(rec)]
+					gate := epochBarriers[e]
+					gate.complete(func() { issue(i + 1) })
+					return
+				}
+				issue(i + 1)
+			}
+			var err error
+			if rec.Op == trace.OpWrite {
+				res.WriteBytes += rec.Size
+				err = h.WriteAt(payload[:rec.Size], rec.Offset, done)
+			} else {
+				res.ReadBytes += rec.Size
+				err = h.ReadAt(make([]byte, rec.Size), rec.Offset, done)
+			}
+			if err != nil {
+				runErrs = append(runErrs, err)
+			}
+		}
+		// All ranks start at the same virtual instant.
+		eng.Schedule(0, func() { issue(0) })
+	}
+
+	eng.Run()
+	if len(runErrs) > 0 {
+		return Result{}, fmt.Errorf("replay: %d errors, first: %w", len(runErrs), runErrs[0])
+	}
+	if res.Ops != len(tr) {
+		return Result{}, fmt.Errorf("replay: completed %d of %d operations", res.Ops, len(tr))
+	}
+	res.Makespan = latest - base
+	res.PerServer = metrics.DiffStats(before, mw.Cluster.ServerStats())
+	return res, nil
+}
+
+// recordKey identifies a trace record within a replay.
+type recordKey struct {
+	rank   int
+	file   string
+	offset int64
+	time   float64
+}
+
+func keyOf(r trace.Record) recordKey {
+	return recordKey{r.Rank, r.File, r.Offset, r.Time}
+}
+
+// epochGate releases its waiters once all n records of the epoch complete.
+type epochGate struct {
+	remaining int
+	waiters   []func()
+}
+
+func newEpochGate(n int) *epochGate { return &epochGate{remaining: n} }
+
+// complete marks one record done and registers the continuation to run
+// when the whole epoch has drained. The continuation runs immediately if
+// this was the last record.
+func (g *epochGate) complete(cont func()) {
+	g.remaining--
+	g.waiters = append(g.waiters, cont)
+	if g.remaining == 0 {
+		ws := g.waiters
+		g.waiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+// sharedPayload builds one deterministic buffer reused by every write.
+func sharedPayload(n int64) []byte {
+	if n <= 0 {
+		return nil
+	}
+	buf := make([]byte, n)
+	rand.New(rand.NewSource(42)).Read(buf)
+	return buf
+}

@@ -1,0 +1,154 @@
+// Package server models one file server of a hybrid parallel file system:
+// a storage device (HDD or SSD), the network link to it, a FIFO request
+// queue, and the bytes it stores.
+//
+// A server services sub-requests one at a time. The service time of an
+// n-byte sub-request is the device time α + n·β plus the network time
+// n·t (+ per-message overhead) — exactly the per-server term of the
+// paper's cost model (Eq. 2), so the simulator realizes the model's
+// assumptions and adds queueing on top.
+package server
+
+import (
+	"fmt"
+
+	"mhafs/internal/device"
+	"mhafs/internal/netmodel"
+	"mhafs/internal/sim"
+	"mhafs/internal/trace"
+)
+
+// Server is one storage server in the simulated cluster.
+type Server struct {
+	Name string
+	Dev  device.Model
+	Net  netmodel.Model
+
+	res    *sim.Resource
+	stores map[string]*ByteStore
+
+	readBytes  int64
+	writeBytes int64
+	reads      int64
+	writes     int64
+}
+
+// New creates a server bound to the simulation engine.
+func New(eng *sim.Engine, name string, dev device.Model, net netmodel.Model) (*Server, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, fmt.Errorf("server %s: %w", name, err)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("server %s: %w", name, err)
+	}
+	return &Server{
+		Name:   name,
+		Dev:    dev,
+		Net:    net,
+		res:    sim.NewResource(eng, name),
+		stores: make(map[string]*ByteStore),
+	}, nil
+}
+
+// ServiceTime returns the device+network time for one n-byte sub-request
+// arriving at an idle server.
+func (s *Server) ServiceTime(op trace.Op, n int64) float64 {
+	return s.serviceTimeAt(op, n, 0)
+}
+
+// serviceTimeAt includes the device's queue-depth seek interference.
+func (s *Server) serviceTimeAt(op trace.Op, n int64, depth int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return s.Dev.ServiceTimeAt(op, n, depth) + s.Net.TransferTime(n)
+}
+
+// Object returns the byte store backing one file's data on this server,
+// creating it on first use. A PFS server keeps a separate local object per
+// file, so distinct files never collide in local offset space.
+func (s *Server) Object(name string) *ByteStore {
+	st, ok := s.stores[name]
+	if !ok {
+		st = NewByteStore(0)
+		s.stores[name] = st
+	}
+	return st
+}
+
+// SubmitWrite enqueues a write of data at the given local offset of the
+// named object. The bytes are committed and done (optional) invoked when
+// the FIFO queue reaches and completes the request.
+func (s *Server) SubmitWrite(obj string, local int64, data []byte, done func(end float64)) {
+	n := int64(len(data))
+	// Copy now: the caller may reuse its buffer before virtual completion.
+	buf := make([]byte, n)
+	copy(buf, data)
+	s.res.Acquire(s.serviceTimeAt(trace.OpWrite, n, s.res.Depth()), func(_, end float64) {
+		s.Object(obj).WriteAt(buf, local)
+		s.writeBytes += n
+		s.writes++
+		if done != nil {
+			done(end)
+		}
+	})
+}
+
+// SubmitRead enqueues a read into buf from the given local offset of the
+// named object. buf is filled at virtual completion time, before done
+// runs.
+func (s *Server) SubmitRead(obj string, local int64, buf []byte, done func(end float64)) {
+	n := int64(len(buf))
+	s.res.Acquire(s.serviceTimeAt(trace.OpRead, n, s.res.Depth()), func(_, end float64) {
+		s.Object(obj).ReadAt(buf, local)
+		s.readBytes += n
+		s.reads++
+		if done != nil {
+			done(end)
+		}
+	})
+}
+
+// Stats summarizes the server's activity.
+type Stats struct {
+	Name       string
+	Kind       device.Kind
+	Reads      int64
+	Writes     int64
+	ReadBytes  int64
+	WriteBytes int64
+	BusyTime   float64 // total service time (the per-server I/O time of Fig. 8)
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Name:       s.Name,
+		Kind:       s.Dev.Kind,
+		Reads:      s.reads,
+		Writes:     s.writes,
+		ReadBytes:  s.readBytes,
+		WriteBytes: s.writeBytes,
+		BusyTime:   s.res.BusyTime(),
+	}
+}
+
+// DeleteObject discards the named object's bytes (a no-op for unknown
+// names).
+func (s *Server) DeleteObject(name string) {
+	delete(s.stores, name)
+}
+
+// Objects returns the names of the objects stored on this server.
+func (s *Server) Objects() []string {
+	out := make([]string, 0, len(s.stores))
+	for n := range s.stores {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ResetStats clears the activity counters but keeps stored data.
+func (s *Server) ResetStats() {
+	s.reads, s.writes, s.readBytes, s.writeBytes = 0, 0, 0, 0
+}

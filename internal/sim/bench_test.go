@@ -1,0 +1,28 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 100; j++ {
+			e.Schedule(float64(j%10), func() {})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkResourceAcquire(b *testing.B) {
+	var e Engine
+	r := NewResource(&e, "srv")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Acquire(0.001, nil)
+		if i%1024 == 0 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,116 @@
+// Package sim is a small deterministic discrete-event simulation engine.
+//
+// The MHA paper measures wall-clock I/O time on a physical cluster; this
+// repository replaces the cluster with a virtual-time simulation. The
+// engine maintains a clock and a priority queue of events; each event is a
+// callback executed at its scheduled virtual time. Ties are broken by a
+// monotonically increasing sequence number so runs are bit-for-bit
+// reproducible regardless of map iteration order or goroutine scheduling —
+// the engine is single-threaded by design.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// event is a scheduled callback.
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator clock plus pending-event queue.
+// The zero value is ready to use at time 0.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled but not yet executed events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule runs fn after delay seconds of virtual time. Negative or NaN
+// delays panic: they indicate a bug in a latency model.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: schedule with invalid delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t, which must not be in the past.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil callback")
+	}
+	e.seq++
+	heap.Push(&e.events, event{time: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the next event, advancing the clock to its time. It
+// reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.time
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final clock.
+func (e *Engine) Run() float64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ deadline; the clock never exceeds
+// the deadline. It returns the number of events executed.
+func (e *Engine) RunUntil(deadline float64) int {
+	n := 0
+	for len(e.events) > 0 && e.events[0].time <= deadline {
+		e.Step()
+		n++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}

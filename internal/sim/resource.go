@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resource is a FIFO single-channel server: requests are serviced one at a
+// time in arrival order. Storage servers and their network links are
+// Resources in the cluster simulation — a sub-request that arrives while
+// the server is busy waits behind the in-flight work, which is how
+// multi-process contention (Fig. 9 and Fig. 11 of the paper) arises.
+type Resource struct {
+	Name string
+
+	eng       *Engine
+	busyUntil float64
+	inflight  int
+
+	// Accumulated statistics.
+	busyTime float64 // total service time performed
+	served   uint64  // number of requests completed
+}
+
+// NewResource creates a FIFO resource bound to an engine.
+func NewResource(eng *Engine, name string) *Resource {
+	if eng == nil {
+		panic("sim: NewResource with nil engine")
+	}
+	return &Resource{Name: name, eng: eng}
+}
+
+// Acquire enqueues a request with the given service time. done (optional)
+// runs at completion with the virtual start and end times of service.
+// FIFO semantics: service starts at max(now, end of previous request).
+func (r *Resource) Acquire(service float64, done func(start, end float64)) {
+	if service < 0 || math.IsNaN(service) {
+		panic(fmt.Sprintf("sim: resource %s acquire with invalid service time %v", r.Name, service))
+	}
+	start := r.eng.Now()
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end := start + service
+	r.busyUntil = end
+	r.busyTime += service
+	r.inflight++
+	r.eng.At(end, func() {
+		r.inflight--
+		r.served++
+		if done != nil {
+			done(start, end)
+		}
+	})
+}
+
+// BusyUntil returns the virtual time at which the queue drains.
+func (r *Resource) BusyUntil() float64 { return r.busyUntil }
+
+// Depth returns the number of requests currently queued or in service.
+func (r *Resource) Depth() int { return r.inflight }
+
+// BusyTime returns total accumulated service time.
+func (r *Resource) BusyTime() float64 { return r.busyTime }
+
+// Served returns the number of completed requests.
+func (r *Resource) Served() uint64 { return r.served }
+
+// Utilization returns busyTime / elapsed for a given makespan.
+func (r *Resource) Utilization(makespan float64) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return r.busyTime / makespan
+}
+
+// Barrier waits for n completions and then invokes fn once. It is the
+// simulation analogue of MPI_Barrier / waiting for all sub-requests of a
+// striped request.
+type Barrier struct {
+	remaining int
+	fn        func()
+	fired     bool
+}
+
+// NewBarrier creates a barrier expecting n arrivals. n must be positive.
+func NewBarrier(n int, fn func()) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier with non-positive count")
+	}
+	if fn == nil {
+		panic("sim: barrier with nil callback")
+	}
+	return &Barrier{remaining: n, fn: fn}
+}
+
+// Arrive signals one completion; the n-th arrival fires the callback.
+// Arrivals beyond n panic — they indicate double-completion bugs.
+func (b *Barrier) Arrive() {
+	if b.fired {
+		panic("sim: barrier arrival after firing")
+	}
+	b.remaining--
+	if b.remaining == 0 {
+		b.fired = true
+		b.fn()
+	}
+}
+
+// Remaining returns the arrivals still awaited.
+func (b *Barrier) Remaining() int { return b.remaining }

@@ -1,0 +1,26 @@
+package stripe
+
+import "testing"
+
+func BenchmarkSplit(b *testing.B) {
+	l := Layout{M: 6, N: 2, H: 32 << 10, S: 96 << 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Split(int64(i)*4096, 256<<10)
+	}
+}
+
+func BenchmarkSegments(b *testing.B) {
+	l := Layout{M: 6, N: 2, H: 32 << 10, S: 96 << 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Segments(int64(i)*4096, 256<<10)
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	l := Layout{M: 6, N: 2, H: 32 << 10, S: 96 << 10}
+	for i := 0; i < b.N; i++ {
+		l.Locate(int64(i) * 1337)
+	}
+}

@@ -1,0 +1,30 @@
+package stripe_test
+
+import (
+	"fmt"
+
+	"mhafs/internal/stripe"
+)
+
+// The paper's Fig. 1 example, scaled to bytes: a file striped over two
+// HServers and two SServers. A varied pair <32, 96> sends three times the
+// data to each (faster) SServer.
+func ExampleLayout_Split() {
+	l := stripe.Layout{M: 2, N: 2, H: 32, S: 96}
+	for _, sub := range l.Split(0, 256) {
+		fmt.Printf("%s gets %d bytes\n", sub.Server, sub.Size)
+	}
+	// Output:
+	// H0 gets 32 bytes
+	// H1 gets 32 bytes
+	// S0 gets 96 bytes
+	// S1 gets 96 bytes
+}
+
+func ExampleLayout_Locate() {
+	l := stripe.Uniform(2, 2, 64) // DEF-style fixed stripes
+	server, local := l.Locate(200)
+	fmt.Printf("byte 200 lives on %s at local offset %d\n", server, local)
+	// Output:
+	// byte 200 lives on S1 at local offset 8
+}

@@ -1,0 +1,41 @@
+package stripe
+
+// Segment is a maximal run of consecutive file bytes that lands on one
+// server within one stripe round: the unit of actual data movement. Unlike
+// SubRequest (which coalesces a server's bytes across rounds for timing
+// purposes), segments carry the global offset needed to slice a data
+// buffer correctly.
+type Segment struct {
+	Server ServerRef
+	Global int64 // starting offset in the file
+	Local  int64 // starting offset on the server
+	Size   int64 // bytes
+}
+
+// Segments decomposes the extent [off, off+length) into per-round,
+// per-server segments in ascending global order. The concatenation of
+// segments exactly covers the extent with no overlap.
+func (l Layout) Segments(off, length int64) []Segment {
+	if off < 0 || length < 0 {
+		panic("stripe: invalid extent")
+	}
+	if length == 0 {
+		return nil
+	}
+	var out []Segment
+	pos := off
+	end := off + length
+	for pos < end {
+		ref, local := l.Locate(pos)
+		size, _ := l.stripeOf(ref)
+		// Bytes remaining in this server's window of the current round.
+		within := local % size
+		run := size - within
+		if pos+run > end {
+			run = end - pos
+		}
+		out = append(out, Segment{Server: ref, Global: pos, Local: local, Size: run})
+		pos += run
+	}
+	return out
+}

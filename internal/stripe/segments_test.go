@@ -1,0 +1,96 @@
+package stripe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentsSingleStripe(t *testing.T) {
+	l := Uniform(2, 2, 64)
+	segs := l.Segments(10, 20)
+	if len(segs) != 1 {
+		t.Fatalf("segments = %d, want 1", len(segs))
+	}
+	s := segs[0]
+	if s.Server != (ServerRef{ClassH, 0}) || s.Global != 10 || s.Local != 10 || s.Size != 20 {
+		t.Errorf("segment = %+v", s)
+	}
+}
+
+func TestSegmentsCrossServers(t *testing.T) {
+	l := Uniform(2, 2, 64)
+	segs := l.Segments(32, 64) // crosses H0→H1 boundary at 64
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2: %+v", len(segs), segs)
+	}
+	if segs[0].Server != (ServerRef{ClassH, 0}) || segs[0].Size != 32 || segs[0].Local != 32 {
+		t.Errorf("seg0 = %+v", segs[0])
+	}
+	if segs[1].Server != (ServerRef{ClassH, 1}) || segs[1].Size != 32 || segs[1].Local != 0 {
+		t.Errorf("seg1 = %+v", segs[1])
+	}
+}
+
+func TestSegmentsCrossRound(t *testing.T) {
+	l := Uniform(1, 1, 64) // round = 128
+	segs := l.Segments(96, 64)
+	// [96,128) on S0 local [32,64); [128,160) on H0 local [64,96).
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d: %+v", len(segs), segs)
+	}
+	if segs[0].Server.Class != ClassS || segs[0].Local != 32 {
+		t.Errorf("seg0 = %+v", segs[0])
+	}
+	if segs[1].Server.Class != ClassH || segs[1].Local != 64 {
+		t.Errorf("seg1 = %+v", segs[1])
+	}
+}
+
+func TestSegmentsEmpty(t *testing.T) {
+	l := Uniform(1, 1, 64)
+	if segs := l.Segments(5, 0); segs != nil {
+		t.Errorf("zero-length segments = %+v", segs)
+	}
+}
+
+// Properties: segments are contiguous in global space, cover exactly the
+// extent, agree with Locate, and their per-server sums match Split.
+func TestSegmentsConsistencyQuick(t *testing.T) {
+	layouts := []Layout{
+		Uniform(2, 2, 64),
+		{M: 6, N: 2, H: 32, S: 96},
+		{M: 2, N: 2, H: 0, S: 64},
+		{M: 1, N: 1, H: 8, S: 120},
+	}
+	f := func(offRaw, lenRaw uint16, li uint8) bool {
+		l := layouts[int(li)%len(layouts)]
+		off, n := int64(offRaw), int64(lenRaw%2048)
+		segs := l.Segments(off, n)
+		pos := off
+		perServer := make(map[ServerRef]int64)
+		for _, s := range segs {
+			if s.Global != pos || s.Size <= 0 {
+				return false
+			}
+			ref, local := l.Locate(s.Global)
+			if ref != s.Server || local != s.Local {
+				return false
+			}
+			perServer[s.Server] += s.Size
+			pos += s.Size
+		}
+		if pos != off+n {
+			return false
+		}
+		for _, sub := range l.Split(off, n) {
+			if perServer[sub.Server] != sub.Size {
+				return false
+			}
+			delete(perServer, sub.Server)
+		}
+		return len(perServer) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package stripe implements varied-size file striping over a hybrid set of
+// servers.
+//
+// A layout places a file round-robin over M HServers (HDD-backed) with
+// stripe size h and N SServers (SSD-backed) with stripe size s — the
+// <h, s> stripe pair of the MHA paper. One stripe round covers
+// M·h + N·s bytes of the file: HServer i holds bytes [i·h, (i+1)·h) of the
+// round, SServer j holds bytes [M·h + j·s, M·h + (j+1)·s). The paper's
+// fixed-size scheme (Fig. 1) is the special case h = s; the degenerate
+// h = 0 places data only on SServers, which Algorithm 2 explicitly allows.
+//
+// Because a file extent is contiguous, its intersection with one server's
+// stripes is a single contiguous range in that server's local address
+// space; Split therefore yields at most M + N sub-requests, matching how a
+// real PFS ships one contiguous sub-request per server.
+package stripe
+
+import "fmt"
+
+// Class identifies the server type within a layout.
+type Class uint8
+
+// Server classes.
+const (
+	ClassH Class = iota // HDD-backed server
+	ClassS              // SSD-backed server
+)
+
+// String returns "H" or "S".
+func (c Class) String() string {
+	switch c {
+	case ClassH:
+		return "H"
+	case ClassS:
+		return "S"
+	default:
+		return fmt.Sprintf("C%d", uint8(c))
+	}
+}
+
+// ServerRef names one server of a layout: its class and index within that
+// class.
+type ServerRef struct {
+	Class Class
+	Index int
+}
+
+// String renders e.g. "H2" or "S0".
+func (r ServerRef) String() string { return fmt.Sprintf("%s%d", r.Class, r.Index) }
+
+// Flat maps the reference to a single index space: HServers first
+// (0..M-1), then SServers (M..M+N-1). The paper's Fig. 8 labels servers
+// this way (S0–S5 HServers, S6–S7 SServers).
+func (r ServerRef) Flat(m int) int {
+	if r.Class == ClassH {
+		return r.Index
+	}
+	return m + r.Index
+}
+
+// Layout is a varied-size striping description.
+type Layout struct {
+	M int   // number of HServers
+	N int   // number of SServers
+	H int64 // stripe size per HServer, bytes (0 allowed if data is SServer-only)
+	S int64 // stripe size per SServer, bytes (0 allowed if data is HServer-only)
+}
+
+// Uniform returns the fixed-stripe layout the paper calls the default
+// (DEF): the same stripe size on every server.
+func Uniform(m, n int, stripeSize int64) Layout {
+	return Layout{M: m, N: n, H: stripeSize, S: stripeSize}
+}
+
+// Validate checks structural invariants.
+func (l Layout) Validate() error {
+	if l.M < 0 || l.N < 0 {
+		return fmt.Errorf("stripe: negative server count (M=%d N=%d)", l.M, l.N)
+	}
+	if l.H < 0 || l.S < 0 {
+		return fmt.Errorf("stripe: negative stripe size (H=%d S=%d)", l.H, l.S)
+	}
+	if l.M == 0 && l.N == 0 {
+		return fmt.Errorf("stripe: layout has no servers")
+	}
+	if l.RoundLength() == 0 {
+		return fmt.Errorf("stripe: layout stores no data (M·H + N·S = 0)")
+	}
+	return nil
+}
+
+// RoundLength returns the bytes covered by one full stripe round.
+func (l Layout) RoundLength() int64 {
+	return int64(l.M)*l.H + int64(l.N)*l.S
+}
+
+// Servers returns every server reference of the layout in flat order,
+// including servers whose stripe size is zero (they hold no data but still
+// exist in the cluster).
+func (l Layout) Servers() []ServerRef {
+	out := make([]ServerRef, 0, l.M+l.N)
+	for i := 0; i < l.M; i++ {
+		out = append(out, ServerRef{ClassH, i})
+	}
+	for j := 0; j < l.N; j++ {
+		out = append(out, ServerRef{ClassS, j})
+	}
+	return out
+}
+
+// stripeOf returns the stripe size and within-round base offset of a
+// server.
+func (l Layout) stripeOf(r ServerRef) (size, base int64) {
+	if r.Class == ClassH {
+		return l.H, int64(r.Index) * l.H
+	}
+	return l.S, int64(l.M)*l.H + int64(r.Index)*l.S
+}
+
+// Locate maps a global file offset to its server and the local offset on
+// that server. It panics on offsets outside any server window, which
+// cannot happen for a valid layout.
+func (l Layout) Locate(off int64) (ServerRef, int64) {
+	if off < 0 {
+		panic(fmt.Sprintf("stripe: negative offset %d", off))
+	}
+	L := l.RoundLength()
+	round, pos := off/L, off%L
+	if l.H > 0 && pos < int64(l.M)*l.H {
+		idx := pos / l.H
+		return ServerRef{ClassH, int(idx)}, round*l.H + pos%l.H
+	}
+	pos -= int64(l.M) * l.H
+	idx := pos / l.S
+	return ServerRef{ClassS, int(idx)}, round*l.S + pos%l.S
+}
+
+// LocalToGlobal inverts Locate for a given server.
+func (l Layout) LocalToGlobal(r ServerRef, local int64) int64 {
+	if local < 0 {
+		panic(fmt.Sprintf("stripe: negative local offset %d", local))
+	}
+	size, base := l.stripeOf(r)
+	if size == 0 {
+		panic(fmt.Sprintf("stripe: server %s holds no data in layout %+v", r, l))
+	}
+	round, within := local/size, local%size
+	return round*l.RoundLength() + base + within
+}
+
+// SubRequest is the portion of a file extent that lands on one server: a
+// single contiguous range in the server's local space.
+type SubRequest struct {
+	Server ServerRef
+	Local  int64 // starting local offset on the server
+	Size   int64 // bytes
+}
+
+// bytesBelow returns how many bytes of the global prefix [0, x) fall into
+// the window [base, base+size) of each stripe round of length L.
+func bytesBelow(x, base, size, L int64) int64 {
+	if x <= 0 || size == 0 {
+		return 0
+	}
+	full := x / L
+	rem := x % L
+	n := full * size
+	if rem > base {
+		d := rem - base
+		if d > size {
+			d = size
+		}
+		n += d
+	}
+	return n
+}
+
+// Split maps the file extent [off, off+length) to per-server sub-requests.
+// Servers receiving no bytes are omitted. The order is flat server order.
+func (l Layout) Split(off, length int64) []SubRequest {
+	if off < 0 || length < 0 {
+		panic(fmt.Sprintf("stripe: invalid extent off=%d len=%d", off, length))
+	}
+	if length == 0 {
+		return nil
+	}
+	L := l.RoundLength()
+	out := make([]SubRequest, 0, l.M+l.N)
+	for _, ref := range l.Servers() {
+		size, base := l.stripeOf(ref)
+		if size == 0 {
+			continue
+		}
+		n := bytesBelow(off+length, base, size, L) - bytesBelow(off, base, size, L)
+		if n == 0 {
+			continue
+		}
+		out = append(out, SubRequest{Server: ref, Local: l.firstLocalAtOrAfter(off, ref), Size: n})
+	}
+	return out
+}
+
+// firstLocalAtOrAfter returns the local offset on server ref of the first
+// global byte ≥ off that maps to ref.
+func (l Layout) firstLocalAtOrAfter(off int64, ref ServerRef) int64 {
+	size, base := l.stripeOf(ref)
+	L := l.RoundLength()
+	round, pos := off/L, off%L
+	switch {
+	case pos < base:
+		return round * size // window of this round not yet reached
+	case pos < base+size:
+		return round*size + (pos - base) // inside the window
+	default:
+		return (round + 1) * size // window passed; next round
+	}
+}
+
+// PerServerBytes returns, indexed by flat server index, the number of
+// bytes of the extent each server holds. It is the s_i / s_j quantity of
+// the paper's cost model (Eq. 2).
+func (l Layout) PerServerBytes(off, length int64) []int64 {
+	out := make([]int64, l.M+l.N)
+	for _, sr := range l.Split(off, length) {
+		out[sr.Server.Flat(l.M)] += sr.Size
+	}
+	return out
+}
+
+// String renders the layout compactly, e.g. "6H×64KB+2S×192KB".
+func (l Layout) String() string {
+	return fmt.Sprintf("%dH×%d+%dS×%d", l.M, l.H, l.N, l.S)
+}

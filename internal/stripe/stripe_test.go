@@ -1,0 +1,315 @@
+package stripe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassServerRefString(t *testing.T) {
+	if ClassH.String() != "H" || ClassS.String() != "S" {
+		t.Error("Class.String wrong")
+	}
+	if (ServerRef{ClassH, 2}).String() != "H2" {
+		t.Error("ServerRef.String wrong")
+	}
+	if (ServerRef{ClassS, 1}).Flat(6) != 7 {
+		t.Error("Flat for SServer wrong")
+	}
+	if (ServerRef{ClassH, 3}).Flat(6) != 3 {
+		t.Error("Flat for HServer wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Layout{
+		{M: 2, N: 2, H: 64, S: 64},
+		{M: 2, N: 2, H: 0, S: 64}, // SServer-only data
+		{M: 0, N: 2, H: 0, S: 64},
+		{M: 2, N: 0, H: 64, S: 0},
+	}
+	for _, l := range good {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%v rejected: %v", l, err)
+		}
+	}
+	bad := []Layout{
+		{M: -1, N: 2, H: 64, S: 64},
+		{M: 2, N: -1, H: 64, S: 64},
+		{M: 2, N: 2, H: -64, S: 64},
+		{M: 2, N: 2, H: 64, S: -64},
+		{M: 0, N: 0},
+		{M: 2, N: 2, H: 0, S: 0},
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("%v accepted", l)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	l := Uniform(2, 2, 64)
+	if l.H != 64 || l.S != 64 || l.RoundLength() != 256 {
+		t.Errorf("Uniform wrong: %+v", l)
+	}
+}
+
+func TestServers(t *testing.T) {
+	l := Layout{M: 2, N: 1, H: 4, S: 8}
+	refs := l.Servers()
+	want := []ServerRef{{ClassH, 0}, {ClassH, 1}, {ClassS, 0}}
+	if len(refs) != len(want) {
+		t.Fatalf("Servers len = %d", len(refs))
+	}
+	for i := range want {
+		if refs[i] != want[i] {
+			t.Errorf("Servers[%d] = %v, want %v", i, refs[i], want[i])
+		}
+	}
+}
+
+func TestLocateFixedStripe(t *testing.T) {
+	// Fig. 1 of the paper: 2 HServers + 2 SServers, 64-byte stripes
+	// (scaled down from 64KB). Round = 256 bytes.
+	l := Uniform(2, 2, 64)
+	cases := []struct {
+		off   int64
+		want  ServerRef
+		local int64
+	}{
+		{0, ServerRef{ClassH, 0}, 0},
+		{63, ServerRef{ClassH, 0}, 63},
+		{64, ServerRef{ClassH, 1}, 0},
+		{128, ServerRef{ClassS, 0}, 0},
+		{192, ServerRef{ClassS, 1}, 0},
+		{255, ServerRef{ClassS, 1}, 63},
+		{256, ServerRef{ClassH, 0}, 64}, // second round
+		{300, ServerRef{ClassH, 0}, 108},
+	}
+	for _, c := range cases {
+		ref, local := l.Locate(c.off)
+		if ref != c.want || local != c.local {
+			t.Errorf("Locate(%d) = %v,%d, want %v,%d", c.off, ref, local, c.want, c.local)
+		}
+	}
+}
+
+func TestLocateVariedStripe(t *testing.T) {
+	// <h,s> = <32, 96>, 2+2 servers, round = 2*32 + 2*96 = 256.
+	l := Layout{M: 2, N: 2, H: 32, S: 96}
+	ref, local := l.Locate(0)
+	if ref != (ServerRef{ClassH, 0}) || local != 0 {
+		t.Errorf("Locate(0) = %v,%d", ref, local)
+	}
+	ref, local = l.Locate(64)
+	if ref != (ServerRef{ClassS, 0}) || local != 0 {
+		t.Errorf("Locate(64) = %v,%d", ref, local)
+	}
+	ref, local = l.Locate(64 + 96)
+	if ref != (ServerRef{ClassS, 1}) || local != 0 {
+		t.Errorf("Locate(160) = %v,%d", ref, local)
+	}
+	ref, local = l.Locate(256 + 40)
+	if ref != (ServerRef{ClassH, 1}) || local != 32+8 {
+		t.Errorf("Locate(296) = %v,%d", ref, local)
+	}
+}
+
+func TestLocateSSDOnly(t *testing.T) {
+	l := Layout{M: 2, N: 2, H: 0, S: 64}
+	ref, local := l.Locate(0)
+	if ref != (ServerRef{ClassS, 0}) || local != 0 {
+		t.Errorf("Locate(0) = %v,%d", ref, local)
+	}
+	ref, local = l.Locate(130)
+	if ref != (ServerRef{ClassS, 0}) || local != 66 {
+		t.Errorf("Locate(130) = %v,%d", ref, local)
+	}
+}
+
+func TestLocatePanics(t *testing.T) {
+	l := Uniform(1, 1, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("Locate(-1): want panic")
+		}
+	}()
+	l.Locate(-1)
+}
+
+func TestSplitWholeRound(t *testing.T) {
+	l := Layout{M: 2, N: 2, H: 32, S: 96}
+	subs := l.Split(0, 256)
+	if len(subs) != 4 {
+		t.Fatalf("Split len = %d, want 4", len(subs))
+	}
+	wantSizes := map[ServerRef]int64{
+		{ClassH, 0}: 32, {ClassH, 1}: 32,
+		{ClassS, 0}: 96, {ClassS, 1}: 96,
+	}
+	for _, s := range subs {
+		if s.Size != wantSizes[s.Server] || s.Local != 0 {
+			t.Errorf("sub %+v, want size %d local 0", s, wantSizes[s.Server])
+		}
+	}
+}
+
+func TestSplitPartial(t *testing.T) {
+	l := Uniform(2, 2, 64)
+	// [96, 160): last 32 bytes of H1's stripe + first 32 of S0's.
+	subs := l.Split(96, 64)
+	if len(subs) != 2 {
+		t.Fatalf("Split len = %d, want 2: %+v", len(subs), subs)
+	}
+	if subs[0].Server != (ServerRef{ClassH, 1}) || subs[0].Local != 32 || subs[0].Size != 32 {
+		t.Errorf("first sub wrong: %+v", subs[0])
+	}
+	if subs[1].Server != (ServerRef{ClassS, 0}) || subs[1].Local != 0 || subs[1].Size != 32 {
+		t.Errorf("second sub wrong: %+v", subs[1])
+	}
+}
+
+func TestSplitMultiRound(t *testing.T) {
+	l := Uniform(2, 2, 64)
+	// Two full rounds: every server gets 128 contiguous local bytes.
+	subs := l.Split(0, 512)
+	if len(subs) != 4 {
+		t.Fatalf("Split len = %d", len(subs))
+	}
+	for _, s := range subs {
+		if s.Size != 128 || s.Local != 0 {
+			t.Errorf("sub %+v, want 128 bytes at local 0", s)
+		}
+	}
+}
+
+func TestSplitSkipsEmptyServers(t *testing.T) {
+	l := Layout{M: 2, N: 2, H: 0, S: 64}
+	subs := l.Split(0, 128)
+	if len(subs) != 2 {
+		t.Fatalf("Split len = %d, want 2 (SServers only): %+v", len(subs), subs)
+	}
+	for _, s := range subs {
+		if s.Server.Class != ClassS {
+			t.Errorf("unexpected HServer sub-request %+v with h=0", s)
+		}
+	}
+}
+
+func TestSplitZeroLength(t *testing.T) {
+	l := Uniform(2, 2, 64)
+	if subs := l.Split(100, 0); subs != nil {
+		t.Errorf("zero-length Split = %+v, want nil", subs)
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	l := Uniform(1, 1, 64)
+	for _, c := range []struct{ off, n int64 }{{-1, 10}, {0, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Split(%d,%d): want panic", c.off, c.n)
+				}
+			}()
+			l.Split(c.off, c.n)
+		}()
+	}
+}
+
+func TestPerServerBytes(t *testing.T) {
+	l := Layout{M: 2, N: 2, H: 32, S: 96}
+	got := l.PerServerBytes(0, 256)
+	want := []int64{32, 32, 96, 96}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("PerServerBytes[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLocalToGlobalRoundTrip(t *testing.T) {
+	l := Layout{M: 3, N: 2, H: 40, S: 112}
+	for off := int64(0); off < 3*l.RoundLength(); off++ {
+		ref, local := l.Locate(off)
+		if back := l.LocalToGlobal(ref, local); back != off {
+			t.Fatalf("round trip %d -> (%v,%d) -> %d", off, ref, local, back)
+		}
+	}
+}
+
+func TestLocalToGlobalPanics(t *testing.T) {
+	l := Layout{M: 1, N: 1, H: 0, S: 64}
+	mustPanic(t, "zero-stripe server", func() { l.LocalToGlobal(ServerRef{ClassH, 0}, 0) })
+	mustPanic(t, "negative local", func() { l.LocalToGlobal(ServerRef{ClassS, 0}, -1) })
+}
+
+// Property: Split conserves bytes and never overlaps local ranges on a
+// server.
+func TestSplitConservationQuick(t *testing.T) {
+	layouts := []Layout{
+		Uniform(2, 2, 64),
+		{M: 6, N: 2, H: 32, S: 96},
+		{M: 2, N: 2, H: 0, S: 64},
+		{M: 1, N: 3, H: 128, S: 4},
+		{M: 4, N: 0, H: 16, S: 0},
+	}
+	f := func(offRaw, lenRaw uint16, li uint8) bool {
+		l := layouts[int(li)%len(layouts)]
+		off, n := int64(offRaw), int64(lenRaw)
+		subs := l.Split(off, n)
+		var total int64
+		for _, s := range subs {
+			if s.Size <= 0 || s.Local < 0 {
+				return false
+			}
+			total += s.Size
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every byte of an extent maps, via Locate, to the sub-request
+// local range computed by Split.
+func TestSplitMatchesLocateQuick(t *testing.T) {
+	l := Layout{M: 2, N: 2, H: 24, S: 56}
+	f := func(offRaw uint8, lenRaw uint8) bool {
+		off, n := int64(offRaw), int64(lenRaw%64)+1
+		subs := l.Split(off, n)
+		ranges := make(map[ServerRef][2]int64)
+		for _, s := range subs {
+			ranges[s.Server] = [2]int64{s.Local, s.Local + s.Size}
+		}
+		for x := off; x < off+n; x++ {
+			ref, local := l.Locate(x)
+			r, ok := ranges[ref]
+			if !ok || local < r[0] || local >= r[1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	l := Layout{M: 6, N: 2, H: 65536, S: 196608}
+	if got := l.String(); got != "6H×65536+2S×196608" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: want panic", name)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary trace format, for traces too large for the text codec:
+//
+//	magic "MHTR" | version u16 | record count u64
+//	file table: count u32, then per file: len u16 + bytes
+//	records: fileIdx u32, pid/rank/fd varint-packed as u32s,
+//	         op u8, offset u64, size u64, time float64 bits
+//
+// All integers little-endian. The file table deduplicates names, which
+// dominate the text format's size for per-process application traces.
+
+const (
+	binaryMagic   = "MHTR"
+	binaryVersion = 1
+)
+
+// WriteBinary encodes the trace in the compact binary format.
+func WriteBinary(w io.Writer, t Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	put16 := func(v uint16) error {
+		binary.LittleEndian.PutUint16(scratch[:2], v)
+		_, err := bw.Write(scratch[:2])
+		return err
+	}
+	put32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	put64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, err := bw.Write(scratch[:8])
+		return err
+	}
+	if err := put16(binaryVersion); err != nil {
+		return err
+	}
+	if err := put64(uint64(len(t))); err != nil {
+		return err
+	}
+	// File table.
+	files := t.Files()
+	index := make(map[string]uint32, len(files))
+	if len(files) > math.MaxUint32 {
+		return fmt.Errorf("trace: too many files")
+	}
+	if err := put32(uint32(len(files))); err != nil {
+		return err
+	}
+	for i, f := range files {
+		if len(f) > math.MaxUint16 {
+			return fmt.Errorf("trace: file name %q too long", f)
+		}
+		index[f] = uint32(i)
+		if err := put16(uint16(len(f))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(f); err != nil {
+			return err
+		}
+	}
+	for _, r := range t {
+		if err := put32(index[r.File]); err != nil {
+			return err
+		}
+		if err := put32(uint32(r.PID)); err != nil {
+			return err
+		}
+		if err := put32(uint32(r.Rank)); err != nil {
+			return err
+		}
+		if err := put32(uint32(r.FD)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(r.Op)); err != nil {
+			return err
+		}
+		if err := put64(uint64(r.Offset)); err != nil {
+			return err
+		}
+		if err := put64(uint64(r.Size)); err != nil {
+			return err
+		}
+		if err := put64(math.Float64bits(r.Time)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a binary-format trace.
+func ReadBinary(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	var scratch [8]byte
+	get := func(n int) ([]byte, error) {
+		if _, err := io.ReadFull(br, scratch[:n]); err != nil {
+			return nil, fmt.Errorf("trace: binary read: %w", err)
+		}
+		return scratch[:n], nil
+	}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: binary read: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	b, err := get(2)
+	if err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint16(b); v != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported binary version %d", v)
+	}
+	b, err = get(8)
+	if err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint64(b)
+	const maxRecords = 1 << 32
+	if count > maxRecords {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	b, err = get(4)
+	if err != nil {
+		return nil, err
+	}
+	nFiles := binary.LittleEndian.Uint32(b)
+	if uint64(nFiles) > count && nFiles > 0 && count > 0 {
+		return nil, fmt.Errorf("trace: more files (%d) than records (%d)", nFiles, count)
+	}
+	files := make([]string, nFiles)
+	for i := range files {
+		b, err = get(2)
+		if err != nil {
+			return nil, err
+		}
+		n := binary.LittleEndian.Uint16(b)
+		if n == 0 {
+			return nil, fmt.Errorf("trace: empty file name in table")
+		}
+		name := make([]byte, n)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("trace: binary read: %w", err)
+		}
+		files[i] = string(name)
+	}
+	out := make(Trace, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var rec Record
+		b, err = get(4)
+		if err != nil {
+			return nil, err
+		}
+		fi := binary.LittleEndian.Uint32(b)
+		if fi >= nFiles {
+			return nil, fmt.Errorf("trace: record %d references file %d of %d", i, fi, nFiles)
+		}
+		rec.File = files[fi]
+		for _, dst := range []*int{&rec.PID, &rec.Rank, &rec.FD} {
+			b, err = get(4)
+			if err != nil {
+				return nil, err
+			}
+			*dst = int(binary.LittleEndian.Uint32(b))
+		}
+		op, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: binary read: %w", err)
+		}
+		rec.Op = Op(op)
+		if rec.Op != OpRead && rec.Op != OpWrite {
+			return nil, fmt.Errorf("trace: record %d has bad op %d", i, op)
+		}
+		b, err = get(8)
+		if err != nil {
+			return nil, err
+		}
+		rec.Offset = int64(binary.LittleEndian.Uint64(b))
+		b, err = get(8)
+		if err != nil {
+			return nil, err
+		}
+		rec.Size = int64(binary.LittleEndian.Uint64(b))
+		b, err = get(8)
+		if err != nil {
+			return nil, err
+		}
+		rec.Time = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

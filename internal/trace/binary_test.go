@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := mkTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d records", len(got))
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	// A per-process application trace: long repeated file names dominate
+	// the text format.
+	var tr Trace
+	for i := 0; i < 1000; i++ {
+		tr = append(tr, Record{
+			PID: 1000 + i%8, Rank: i % 8, FD: 3,
+			File: "some/deeply/nested/output/matrix-panels.dat.7",
+			Op:   OpWrite, Offset: int64(i) * 65536, Size: 65536,
+			Time: float64(i),
+		})
+	}
+	var txt, bin bytes.Buffer
+	if err := Write(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Errorf("binary %d bytes not smaller than text %d", bin.Len(), txt.Len())
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	tr := mkTrace()
+	var buf bytes.Buffer
+	WriteBinary(&buf, tr)
+	data := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte("XXXX"), data[4:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncations at every prefix length must error, not panic.
+	for n := 0; n < len(data)-1; n += 7 {
+		if _, err := ReadBinary(bytes.NewReader(data[:n])); err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+	// Bad version.
+	bad = append([]byte{}, data...)
+	bad[4] = 0xFF
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(recs []struct {
+		Rank, FD uint8
+		Off, Sz  uint16
+		W        bool
+	}) bool {
+		var tr Trace
+		for _, r := range recs {
+			op := OpRead
+			if r.W {
+				op = OpWrite
+			}
+			tr = append(tr, Record{
+				PID: int(r.Rank), Rank: int(r.Rank), FD: int(r.FD),
+				File: "f", Op: op, Offset: int64(r.Off), Size: int64(r.Sz) + 1,
+				Time: float64(r.Off) / 7,
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(tr) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzReadBinary: arbitrary bytes must never panic the binary decoder.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	WriteBinary(&buf, mkTrace())
+	f.Add(buf.Bytes())
+	f.Add([]byte("MHTR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-encode cleanly.
+		var out bytes.Buffer
+		if err := WriteBinary(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+	})
+}

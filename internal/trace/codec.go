@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text trace format is one record per line:
+//
+//	pid rank fd file op offset size time
+//
+// Fields are space-separated; file names must not contain spaces; lines
+// starting with '#' and blank lines are ignored. This mirrors the flat
+// per-process trace files IOSIG emits.
+
+// Write encodes the trace to w in the text format, preceded by a header
+// comment.
+func Write(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# pid rank fd file op offset size time"); err != nil {
+		return err
+	}
+	for i, r := range t {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("trace: encode record %d: %w", i, err)
+		}
+		if strings.ContainsAny(r.File, " \t\n") {
+			return fmt.Errorf("trace: encode record %d: file name %q contains whitespace", i, r.File)
+		}
+		_, err := fmt.Fprintf(bw, "%d %d %d %s %s %d %d %.9f\n",
+			r.PID, r.Rank, r.FD, r.File, r.Op, r.Offset, r.Size, r.Time)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a text-format trace from r.
+func Read(r io.Reader) (Trace, error) {
+	var t Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		t = append(t, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return t, nil
+}
+
+func parseLine(line string) (Record, error) {
+	f := strings.Fields(line)
+	if len(f) != 8 {
+		return Record{}, fmt.Errorf("want 8 fields, got %d", len(f))
+	}
+	var (
+		rec Record
+		err error
+	)
+	if rec.PID, err = strconv.Atoi(f[0]); err != nil {
+		return Record{}, fmt.Errorf("pid: %w", err)
+	}
+	if rec.Rank, err = strconv.Atoi(f[1]); err != nil {
+		return Record{}, fmt.Errorf("rank: %w", err)
+	}
+	if rec.FD, err = strconv.Atoi(f[2]); err != nil {
+		return Record{}, fmt.Errorf("fd: %w", err)
+	}
+	rec.File = f[3]
+	if rec.Op, err = ParseOp(f[4]); err != nil {
+		return Record{}, err
+	}
+	if rec.Offset, err = strconv.ParseInt(f[5], 10, 64); err != nil {
+		return Record{}, fmt.Errorf("offset: %w", err)
+	}
+	if rec.Size, err = strconv.ParseInt(f[6], 10, 64); err != nil {
+		return Record{}, fmt.Errorf("size: %w", err)
+	}
+	if rec.Time, err = strconv.ParseFloat(f[7], 64); err != nil {
+		return Record{}, fmt.Errorf("time: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures the text codec never panics on arbitrary input and
+// that anything it accepts re-encodes and re-parses to the same records.
+func FuzzRead(f *testing.F) {
+	f.Add("# header\n100 0 3 f read 0 16 0.0\n")
+	f.Add("1 2 3 data.bin write 4096 65536 1.5\n")
+	f.Add("")
+	f.Add("garbage line\n")
+	f.Add("1 2 3 f read 0 16 0.0\n1 2 3 f write 16 16 0.5\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(back) != len(tr) {
+			t.Fatalf("round trip changed record count %d -> %d", len(tr), len(back))
+		}
+	})
+}

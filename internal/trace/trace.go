@@ -1,0 +1,281 @@
+// Package trace defines the I/O trace representation shared by the tracer,
+// the layout planners and the replay engine.
+//
+// A trace is the list of file operations a parallel application performed,
+// in the schema the paper attributes to IOSIG (§III-C): process ID, MPI
+// rank, file descriptor, request type, file offset, request size, and time
+// stamp. Traces are the sole input to the MHA pipeline: the Data
+// Reorganizer clusters trace records, the Layout Determinator scores
+// candidate stripe pairs against them, and the replay engine re-issues them
+// against the simulated file system.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is the request type of a trace record.
+type Op uint8
+
+// Request types. The paper's cost model distinguishes reads from writes
+// because SServers (SSDs) have asymmetric read/write performance.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// String returns "read" or "write".
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// ParseOp parses "read"/"r" or "write"/"w".
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "read", "r", "R":
+		return OpRead, nil
+	case "write", "w", "W":
+		return OpWrite, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown op %q", s)
+	}
+}
+
+// Record is one file operation.
+type Record struct {
+	PID    int     // operating-system process ID
+	Rank   int     // MPI rank
+	FD     int     // file descriptor within the process
+	File   string  // logical file name
+	Op     Op      // read or write
+	Offset int64   // byte offset within File
+	Size   int64   // request length in bytes
+	Time   float64 // issue time stamp, seconds since application start
+}
+
+// End returns the exclusive end offset of the record's extent.
+func (r Record) End() int64 { return r.Offset + r.Size }
+
+// Overlaps reports whether two records touch any common byte of the same
+// file.
+func (r Record) Overlaps(o Record) bool {
+	return r.File == o.File && r.Offset < o.End() && o.Offset < r.End()
+}
+
+// Validate checks structural invariants of a single record.
+func (r Record) Validate() error {
+	if r.Size <= 0 {
+		return fmt.Errorf("trace: record size %d must be positive", r.Size)
+	}
+	if r.Offset < 0 {
+		return fmt.Errorf("trace: record offset %d must be non-negative", r.Offset)
+	}
+	if r.File == "" {
+		return fmt.Errorf("trace: record has empty file name")
+	}
+	if r.Time < 0 {
+		return fmt.Errorf("trace: record time %v must be non-negative", r.Time)
+	}
+	return nil
+}
+
+// Trace is an ordered list of records.
+type Trace []Record
+
+// Validate checks every record.
+func (t Trace) Validate() error {
+	for i, r := range t {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy (records are values, so a slice copy suffices).
+func (t Trace) Clone() Trace {
+	out := make(Trace, len(t))
+	copy(out, t)
+	return out
+}
+
+// SortByOffset sorts records ascending by (file, offset, time), the order
+// the paper prescribes for trace files handed to the reordering phase.
+func (t Trace) SortByOffset() {
+	sort.SliceStable(t, func(i, j int) bool {
+		if t[i].File != t[j].File {
+			return t[i].File < t[j].File
+		}
+		if t[i].Offset != t[j].Offset {
+			return t[i].Offset < t[j].Offset
+		}
+		return t[i].Time < t[j].Time
+	})
+}
+
+// SortByTime sorts records ascending by (time, rank, offset) — replay order.
+func (t Trace) SortByTime() {
+	sort.SliceStable(t, func(i, j int) bool {
+		if t[i].Time != t[j].Time {
+			return t[i].Time < t[j].Time
+		}
+		if t[i].Rank != t[j].Rank {
+			return t[i].Rank < t[j].Rank
+		}
+		return t[i].Offset < t[j].Offset
+	})
+}
+
+// Files returns the distinct file names referenced by the trace, sorted.
+func (t Trace) Files() []string {
+	seen := make(map[string]bool)
+	for _, r := range t {
+		seen[r.File] = true
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ranks returns the distinct MPI ranks in the trace, sorted.
+func (t Trace) Ranks() []int {
+	seen := make(map[int]bool)
+	for _, r := range t {
+		seen[r.Rank] = true
+	}
+	out := make([]int, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FilterFile returns the records that touch the given file, preserving
+// order.
+func (t Trace) FilterFile(file string) Trace {
+	var out Trace
+	for _, r := range t {
+		if r.File == file {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FilterOp returns the records with the given op, preserving order.
+func (t Trace) FilterOp(op Op) Trace {
+	var out Trace
+	for _, r := range t {
+		if r.Op == op {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TotalBytes sums request sizes.
+func (t Trace) TotalBytes() int64 {
+	var n int64
+	for _, r := range t {
+		n += r.Size
+	}
+	return n
+}
+
+// MaxSize returns the largest request size (0 for an empty trace). The
+// paper's Algorithm 2 uses r_max to bound the stripe-size search space.
+func (t Trace) MaxSize() int64 {
+	var m int64
+	for _, r := range t {
+		if r.Size > m {
+			m = r.Size
+		}
+	}
+	return m
+}
+
+// MinSize returns the smallest request size (0 for an empty trace).
+func (t Trace) MinSize() int64 {
+	if len(t) == 0 {
+		return 0
+	}
+	m := t[0].Size
+	for _, r := range t[1:] {
+		if r.Size < m {
+			m = r.Size
+		}
+	}
+	return m
+}
+
+// Stats summarizes a trace for reporting and pattern analysis.
+type Stats struct {
+	Records    int
+	Reads      int
+	Writes     int
+	ReadBytes  int64
+	WriteBytes int64
+	MinSize    int64
+	MaxSize    int64
+	MeanSize   float64
+	Files      int
+	Ranks      int
+	Span       float64 // last time stamp minus first
+}
+
+// Summarize computes Stats in one pass plus the distinct-set scans.
+func (t Trace) Summarize() Stats {
+	s := Stats{Records: len(t)}
+	if len(t) == 0 {
+		return s
+	}
+	s.MinSize = t[0].Size
+	minT, maxT := t[0].Time, t[0].Time
+	for _, r := range t {
+		switch r.Op {
+		case OpRead:
+			s.Reads++
+			s.ReadBytes += r.Size
+		case OpWrite:
+			s.Writes++
+			s.WriteBytes += r.Size
+		}
+		if r.Size < s.MinSize {
+			s.MinSize = r.Size
+		}
+		if r.Size > s.MaxSize {
+			s.MaxSize = r.Size
+		}
+		if r.Time < minT {
+			minT = r.Time
+		}
+		if r.Time > maxT {
+			maxT = r.Time
+		}
+	}
+	s.MeanSize = float64(s.ReadBytes+s.WriteBytes) / float64(len(t))
+	s.Files = len(t.Files())
+	s.Ranks = len(t.Ranks())
+	s.Span = maxT - minT
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"records=%d reads=%d writes=%d readB=%d writeB=%d size=[%d,%d] mean=%.1f files=%d ranks=%d span=%.6fs",
+		s.Records, s.Reads, s.Writes, s.ReadBytes, s.WriteBytes,
+		s.MinSize, s.MaxSize, s.MeanSize, s.Files, s.Ranks, s.Span)
+}

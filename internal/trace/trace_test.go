@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mkTrace() Trace {
+	return Trace{
+		{PID: 100, Rank: 0, FD: 3, File: "a", Op: OpWrite, Offset: 0, Size: 16, Time: 0.0},
+		{PID: 101, Rank: 1, FD: 3, File: "a", Op: OpRead, Offset: 1024, Size: 64, Time: 0.5},
+		{PID: 100, Rank: 0, FD: 4, File: "b", Op: OpRead, Offset: 128, Size: 32, Time: 0.25},
+		{PID: 102, Rank: 2, FD: 3, File: "a", Op: OpWrite, Offset: 512, Size: 8, Time: 1.0},
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Error("Op.String wrong")
+	}
+	if !strings.Contains(Op(9).String(), "9") {
+		t.Error("unknown op should embed numeric value")
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for _, s := range []string{"read", "r", "R"} {
+		if op, err := ParseOp(s); err != nil || op != OpRead {
+			t.Errorf("ParseOp(%q) = %v,%v", s, op, err)
+		}
+	}
+	for _, s := range []string{"write", "w", "W"} {
+		if op, err := ParseOp(s); err != nil || op != OpWrite {
+			t.Errorf("ParseOp(%q) = %v,%v", s, op, err)
+		}
+	}
+	if _, err := ParseOp("append"); err == nil {
+		t.Error("ParseOp(append): want error")
+	}
+}
+
+func TestRecordEndOverlaps(t *testing.T) {
+	a := Record{File: "f", Offset: 0, Size: 100}
+	b := Record{File: "f", Offset: 99, Size: 1}
+	c := Record{File: "f", Offset: 100, Size: 1}
+	d := Record{File: "g", Offset: 0, Size: 100}
+	if a.End() != 100 {
+		t.Errorf("End = %d, want 100", a.End())
+	}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("adjacent extents must not overlap")
+	}
+	if a.Overlaps(d) {
+		t.Error("different files must not overlap")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Record{File: "f", Size: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid record rejected: %v", err)
+	}
+	bad := []Record{
+		{File: "f", Size: 0},
+		{File: "f", Size: -1},
+		{File: "f", Size: 1, Offset: -1},
+		{File: "", Size: 1},
+		{File: "f", Size: 1, Time: -0.1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad record %d accepted", i)
+		}
+	}
+	tr := Trace{good, bad[0]}
+	if err := tr.Validate(); err == nil {
+		t.Error("Trace.Validate should reject bad record")
+	}
+}
+
+func TestSortByOffset(t *testing.T) {
+	tr := mkTrace()
+	tr.SortByOffset()
+	for i := 1; i < len(tr); i++ {
+		a, b := tr[i-1], tr[i]
+		if a.File > b.File || (a.File == b.File && a.Offset > b.Offset) {
+			t.Fatalf("not sorted at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	tr := mkTrace()
+	tr.SortByTime()
+	for i := 1; i < len(tr); i++ {
+		if tr[i-1].Time > tr[i].Time {
+			t.Fatalf("not time-sorted at %d", i)
+		}
+	}
+}
+
+func TestFilesRanksFilters(t *testing.T) {
+	tr := mkTrace()
+	if got := tr.Files(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Files = %v", got)
+	}
+	if got := tr.Ranks(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("Ranks = %v", got)
+	}
+	if got := tr.FilterFile("a"); len(got) != 3 {
+		t.Errorf("FilterFile(a) len = %d, want 3", len(got))
+	}
+	if got := tr.FilterOp(OpRead); len(got) != 2 {
+		t.Errorf("FilterOp(read) len = %d, want 2", len(got))
+	}
+}
+
+func TestSizeAggregates(t *testing.T) {
+	tr := mkTrace()
+	if got := tr.TotalBytes(); got != 16+64+32+8 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+	if got := tr.MaxSize(); got != 64 {
+		t.Errorf("MaxSize = %d", got)
+	}
+	if got := tr.MinSize(); got != 8 {
+		t.Errorf("MinSize = %d", got)
+	}
+	var empty Trace
+	if empty.MaxSize() != 0 || empty.MinSize() != 0 || empty.TotalBytes() != 0 {
+		t.Error("empty trace aggregates should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := mkTrace()
+	s := tr.Summarize()
+	if s.Records != 4 || s.Reads != 2 || s.Writes != 2 {
+		t.Errorf("counts wrong: %+v", s)
+	}
+	if s.ReadBytes != 96 || s.WriteBytes != 24 {
+		t.Errorf("bytes wrong: %+v", s)
+	}
+	if s.MinSize != 8 || s.MaxSize != 64 {
+		t.Errorf("size range wrong: %+v", s)
+	}
+	if math.Abs(s.MeanSize-30) > 1e-9 {
+		t.Errorf("MeanSize = %v, want 30", s.MeanSize)
+	}
+	if s.Files != 2 || s.Ranks != 3 {
+		t.Errorf("files/ranks wrong: %+v", s)
+	}
+	if math.Abs(s.Span-1.0) > 1e-9 {
+		t.Errorf("Span = %v, want 1.0", s.Span)
+	}
+	if !strings.Contains(s.String(), "records=4") {
+		t.Errorf("Stats.String missing records: %s", s)
+	}
+	if (Trace{}).Summarize().Records != 0 {
+		t.Error("empty Summarize should report 0 records")
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := mkTrace()
+	cl := tr.Clone()
+	cl[0].Offset = 999
+	if tr[0].Offset == 999 {
+		t.Error("Clone must not alias the original")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tr := mkTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestCodecRoundTripQuick(t *testing.T) {
+	f := func(pid, rank, fd uint8, off, size uint16, ms uint16, write bool) bool {
+		op := OpRead
+		if write {
+			op = OpWrite
+		}
+		rec := Record{
+			PID: int(pid), Rank: int(rank), FD: int(fd), File: "f.dat",
+			Op: op, Offset: int64(off), Size: int64(size) + 1,
+			Time: float64(ms) / 1000.0,
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, Trace{rec}); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		g := got[0]
+		return g.PID == rec.PID && g.Rank == rec.Rank && g.FD == rec.FD &&
+			g.File == rec.File && g.Op == rec.Op && g.Offset == rec.Offset &&
+			g.Size == rec.Size && math.Abs(g.Time-rec.Time) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadIgnoresCommentsAndBlank(t *testing.T) {
+	in := "# header\n\n100 0 3 f read 0 16 0.0\n  \n# trailing\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(tr) != 1 || tr[0].Size != 16 {
+		t.Errorf("got %+v", tr)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		"1 2 3 f read 0 16",      // too few fields
+		"x 2 3 f read 0 16 0.0",  // bad pid
+		"1 x 3 f read 0 16 0.0",  // bad rank
+		"1 2 x f read 0 16 0.0",  // bad fd
+		"1 2 3 f chmod 0 16 0.0", // bad op
+		"1 2 3 f read x 16 0.0",  // bad offset
+		"1 2 3 f read 0 x 0.0",   // bad size
+		"1 2 3 f read 0 16 x",    // bad time
+		"1 2 3 f read 0 0 0.0",   // zero size fails validation
+		"1 2 3 f read -4 16 0.0", // negative offset
+	}
+	for _, line := range bad {
+		if _, err := Read(strings.NewReader(line)); err == nil {
+			t.Errorf("Read(%q): want error", line)
+		}
+	}
+}
+
+func TestWriteRejectsBadRecords(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Trace{{File: "f", Size: 0}}); err == nil {
+		t.Error("Write should reject invalid record")
+	}
+	if err := Write(&buf, Trace{{File: "has space", Size: 1}}); err == nil {
+		t.Error("Write should reject file name with spaces")
+	}
+}

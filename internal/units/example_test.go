@@ -1,0 +1,20 @@
+package units_test
+
+import (
+	"fmt"
+
+	"mhafs/internal/units"
+)
+
+func ExampleParseBytes_stripes() {
+	h, _ := units.ParseBytes("32KB")
+	s, _ := units.ParseBytes("96KB")
+	fmt.Printf("stripe pair <%v, %v>\n", h, s)
+	// Output: stripe pair <32KB, 96KB>
+}
+
+func ExamplePerByteFromMBps() {
+	beta := units.PerByteFromMBps(110) // the testbed HDD's streaming rate
+	fmt.Printf("128KB transfer: %.3fms\n", beta.Seconds(128*units.KB)*1e3)
+	// Output: 128KB transfer: 1.136ms
+}

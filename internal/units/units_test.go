@@ -1,0 +1,180 @@
+package units
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+	}{
+		{"0", 0},
+		{"1", 1},
+		{"4096", 4096},
+		{"64KB", 64 * Bytes(KB)},
+		{"64kb", 64 * Bytes(KB)},
+		{"64 KB", 64 * Bytes(KB)},
+		{"64KiB", 64 * Bytes(KB)},
+		{"1MB", Bytes(MB)},
+		{"1.5MB", Bytes(MB) + Bytes(MB)/2},
+		{"16GB", 16 * Bytes(GB)},
+		{"2TB", 2 * Bytes(TB)},
+		{"128B", 128},
+		{"-4KB", -4 * Bytes(KB)},
+		{"+4KB", 4 * Bytes(KB)},
+		{"0.5KB", 512},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBytesErrors(t *testing.T) {
+	for _, in := range []string{"", "KB", "12XB", "1.2.3KB", "--3", "9223372036854775807KB"} {
+		if _, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q): want error, got nil", in)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{Bytes(KB), "1KB"},
+		{64 * Bytes(KB), "64KB"},
+		{Bytes(MB), "1MB"},
+		{Bytes(GB), "1GB"},
+		{Bytes(TB), "1TB"},
+		{Bytes(KB) + 512, "1.50KB"},
+		{-64 * Bytes(KB), "-64KB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+// Round-trip property: formatting an exact multiple and re-parsing it yields
+// the same value.
+func TestBytesRoundTripQuick(t *testing.T) {
+	f := func(kb uint16) bool {
+		v := Bytes(int64(kb)) * Bytes(KB)
+		got, err := ParseBytes(v.String())
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerByteFromMBps(t *testing.T) {
+	p := PerByteFromMBps(100)
+	// 100MB at 100MB/s should take 1 second.
+	if got := p.Seconds(100 * MB); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Seconds(100MB) = %v, want 1.0", got)
+	}
+	if got := p.MBps(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("MBps() = %v, want 100", got)
+	}
+	if PerByteFromMBps(0) != 0 {
+		t.Error("PerByteFromMBps(0) should be 0")
+	}
+	if SecPerByte(0).MBps() != 0 {
+		t.Error("SecPerByte(0).MBps() should be 0")
+	}
+}
+
+func TestBandwidthMBps(t *testing.T) {
+	if got := BandwidthMBps(100*MB, 2); math.Abs(got-50) > 1e-9 {
+		t.Errorf("BandwidthMBps = %v, want 50", got)
+	}
+	if got := BandwidthMBps(100, 0); got != 0 {
+		t.Errorf("BandwidthMBps with zero time = %v, want 0", got)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 4, 0},
+		{1, 4, 1},
+		{4, 4, 1},
+		{5, 4, 2},
+		{-3, 4, 0},
+		{8, 3, 3},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CeilDiv(1,0): want panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestRounding(t *testing.T) {
+	if got := RoundUp(5, 4); got != 8 {
+		t.Errorf("RoundUp(5,4) = %d, want 8", got)
+	}
+	if got := RoundUp(8, 4); got != 8 {
+		t.Errorf("RoundUp(8,4) = %d, want 8", got)
+	}
+	if got := RoundDown(5, 4); got != 4 {
+		t.Errorf("RoundDown(5,4) = %d, want 4", got)
+	}
+	if got := RoundDown(-1, 4); got != 0 {
+		t.Errorf("RoundDown(-1,4) = %d, want 0", got)
+	}
+}
+
+func TestRoundingInvariantsQuick(t *testing.T) {
+	f := func(n uint32, stepRaw uint8) bool {
+		step := int64(stepRaw%63) + 1
+		v := int64(n)
+		up, down := RoundUp(v, step), RoundDown(v, step)
+		return up%step == 0 && down%step == 0 && up >= v && down <= v && up-down < 2*step
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxClamp(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min wrong")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max wrong")
+	}
+	if Clamp(10, 0, 5) != 5 || Clamp(-1, 0, 5) != 0 || Clamp(3, 0, 5) != 3 {
+		t.Error("Clamp wrong")
+	}
+}
+
+func ExampleParseBytes() {
+	b, _ := ParseBytes("64KB")
+	fmt.Println(int64(b), b)
+	// Output: 65536 64KB
+}

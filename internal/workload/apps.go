@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mhafs/internal/trace"
+)
+
+// LANL App2 request sizes (Fig. 3): each loop issues one small 16-byte
+// request followed by two large requests of 128K−16 and 128K bytes.
+const (
+	LANLSmall  = 16
+	LANLLarge1 = 128<<10 - 16
+	LANLLarge2 = 128 << 10
+)
+
+// LANLSequence returns the request-size sequence of n loops — the data
+// behind Fig. 3.
+func LANLSequence(loops int) []int64 {
+	out := make([]int64, 0, 3*loops)
+	for i := 0; i < loops; i++ {
+		out = append(out, LANLSmall, LANLLarge1, LANLLarge2)
+	}
+	return out
+}
+
+// LANLConfig parameterizes the LANL App2 replayer: processes iterate
+// loops, each issuing the three characteristic requests against a shared
+// file, in a non-uniform way at different file locations.
+type LANLConfig struct {
+	File  string
+	Op    trace.Op
+	Procs int
+	Loops int
+}
+
+// Validate checks the configuration.
+func (c LANLConfig) Validate() error {
+	if c.File == "" {
+		return fmt.Errorf("workload: lanl: empty file name")
+	}
+	if c.Procs <= 0 {
+		return fmt.Errorf("workload: lanl: non-positive process count")
+	}
+	if c.Loops <= 0 {
+		return fmt.Errorf("workload: lanl: non-positive loop count")
+	}
+	return nil
+}
+
+// LANL generates the trace. Each loop contributes three concurrency
+// epochs — all ranks issue their 16-byte records together, then the
+// 128K−16 records, then the 128K records — at per-rank offsets that
+// interleave the three record streams across the shared file, exactly the
+// structure Fig. 3 plots.
+func LANL(cfg LANLConfig) (trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sizes := []int64{LANLSmall, LANLLarge1, LANLLarge2}
+	perLoop := int64(LANLSmall + LANLLarge1 + LANLLarge2) // per rank
+	var tr trace.Trace
+	epoch := 0
+	for loop := 0; loop < cfg.Loops; loop++ {
+		var within int64
+		for _, size := range sizes {
+			t := float64(epoch) * epochGap
+			for r := 0; r < cfg.Procs; r++ {
+				base := (int64(loop)*int64(cfg.Procs) + int64(r)) * perLoop
+				tr = append(tr, trace.Record{
+					PID: 1000 + r, Rank: r, FD: 3, File: cfg.File, Op: cfg.Op,
+					Offset: base + within, Size: size,
+					Time: t + float64(r)*rankJitter,
+				})
+			}
+			within += size
+			epoch++
+		}
+	}
+	return tr, nil
+}
+
+// LU decomposition trace (§V-D): dense out-of-core LU of an 8192×8192
+// double matrix with 64-column slabs, 8 processes, one file per process,
+// synchronous I/O. Writes are fixed at 524544 bytes; reads range from
+// 6272 to 524544 bytes (re-reading previously factored panels).
+const (
+	LUWriteSize = 524544
+	LUReadMin   = 6272
+	LUReadMax   = 524544
+)
+
+// LUConfig parameterizes the LU generator.
+type LUConfig struct {
+	FilePrefix string // per-process files "<prefix>.<rank>"
+	Procs      int
+	Slabs      int // 8192/64 = 128 in the paper's run
+	Seed       int64
+}
+
+// DefaultLU mirrors the paper: 8 processes, 128 slabs.
+func DefaultLU() LUConfig {
+	return LUConfig{FilePrefix: "lu.mat", Procs: 8, Slabs: 128, Seed: 1}
+}
+
+// Validate checks the configuration.
+func (c LUConfig) Validate() error {
+	if c.FilePrefix == "" {
+		return fmt.Errorf("workload: lu: empty file prefix")
+	}
+	if c.Procs <= 0 {
+		return fmt.Errorf("workload: lu: non-positive process count")
+	}
+	if c.Slabs <= 0 {
+		return fmt.Errorf("workload: lu: non-positive slab count")
+	}
+	return nil
+}
+
+// LU generates the trace: for slab k each process re-reads a growing
+// prefix of its factored panels (sizes spanning the documented read
+// range) and then writes the slab (fixed size). Each slab is one
+// read epoch plus one write epoch.
+func LU(cfg LUConfig) (trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var tr trace.Trace
+	writeCursor := make([]int64, cfg.Procs)
+	epoch := 0
+	for k := 0; k < cfg.Slabs; k++ {
+		// Read phase: panel re-reads shrink as the active sub-matrix
+		// shrinks; sample the documented range, biased by progress.
+		t := float64(epoch) * epochGap
+		epoch++
+		if k > 0 {
+			for r := 0; r < cfg.Procs; r++ {
+				file := fmt.Sprintf("%s.%d", cfg.FilePrefix, r)
+				// Read one earlier slab region at a partial size.
+				slab := rng.Intn(k)
+				frac := float64(k-slab) / float64(cfg.Slabs)
+				size := int64(float64(LUReadMin) + frac*float64(LUReadMax-LUReadMin))
+				size = align16(size)
+				if size < LUReadMin {
+					size = LUReadMin
+				}
+				tr = append(tr, trace.Record{
+					PID: 1000 + r, Rank: r, FD: 3, File: file, Op: trace.OpRead,
+					Offset: int64(slab) * LUWriteSize, Size: size,
+					Time: t + float64(r)*rankJitter,
+				})
+			}
+		}
+		// Write phase: one fixed-size slab append per process.
+		t = float64(epoch) * epochGap
+		epoch++
+		for r := 0; r < cfg.Procs; r++ {
+			file := fmt.Sprintf("%s.%d", cfg.FilePrefix, r)
+			tr = append(tr, trace.Record{
+				PID: 1000 + r, Rank: r, FD: 3, File: file, Op: trace.OpWrite,
+				Offset: writeCursor[r], Size: LUWriteSize,
+				Time: t + float64(r)*rankJitter,
+			})
+			writeCursor[r] += LUWriteSize
+		}
+	}
+	return tr, nil
+}
+
+// Sparse Cholesky trace (§V-D): panel-based sparse Cholesky factorization,
+// 8 processes, one file per process, synchronous I/O. Reads range from 2
+// bytes to 4206976 bytes; writes from 131556 to 4206976 bytes; the size
+// distribution varies considerably with only a small number of large
+// requests.
+const (
+	CholReadMin  = 2
+	CholReadMax  = 4206976
+	CholWriteMin = 131556
+	CholWriteMax = 4206976
+)
+
+// CholeskyConfig parameterizes the generator.
+type CholeskyConfig struct {
+	FilePrefix string
+	Procs      int
+	Panels     int
+	Seed       int64
+}
+
+// DefaultCholesky mirrors the paper's scenario: 8 clients, panel-wise
+// access.
+func DefaultCholesky() CholeskyConfig {
+	return CholeskyConfig{FilePrefix: "chol.mat", Procs: 8, Panels: 64, Seed: 1}
+}
+
+// Validate checks the configuration.
+func (c CholeskyConfig) Validate() error {
+	if c.FilePrefix == "" {
+		return fmt.Errorf("workload: cholesky: empty file prefix")
+	}
+	if c.Procs <= 0 {
+		return fmt.Errorf("workload: cholesky: non-positive process count")
+	}
+	if c.Panels <= 0 {
+		return fmt.Errorf("workload: cholesky: non-positive panel count")
+	}
+	return nil
+}
+
+// Cholesky generates the trace: per panel, each process issues several
+// small metadata/index reads, occasionally a large panel read (the "small
+// number of large requests"), then writes the factored panel at a size
+// drawn from the documented write range, skewed toward the minimum.
+func Cholesky(cfg CholeskyConfig) (trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var tr trace.Trace
+	cursor := make([]int64, cfg.Procs)
+	epoch := 0
+	for k := 0; k < cfg.Panels; k++ {
+		// Small index reads (sizes 2 B – ~8 KB, heavily skewed small).
+		t := float64(epoch) * epochGap
+		epoch++
+		for r := 0; r < cfg.Procs; r++ {
+			file := fmt.Sprintf("%s.%d", cfg.FilePrefix, r)
+			size := int64(CholReadMin + rng.Intn(8192))
+			off := int64(0)
+			if cursor[r] > size {
+				off = rng.Int63n(cursor[r] - size + 1)
+			}
+			tr = append(tr, trace.Record{
+				PID: 1000 + r, Rank: r, FD: 3, File: file, Op: trace.OpRead,
+				Offset: off, Size: size, Time: t + float64(r)*rankJitter,
+			})
+		}
+		// Occasionally a large dependent-panel read (1 in 8 panels).
+		if k%8 == 7 {
+			t = float64(epoch) * epochGap
+			epoch++
+			for r := 0; r < cfg.Procs; r++ {
+				file := fmt.Sprintf("%s.%d", cfg.FilePrefix, r)
+				size := int64(CholReadMax/2 + rng.Intn(CholReadMax/2))
+				tr = append(tr, trace.Record{
+					PID: 1000 + r, Rank: r, FD: 3, File: file, Op: trace.OpRead,
+					Offset: 0, Size: size, Time: t + float64(r)*rankJitter,
+				})
+			}
+		}
+		// Panel write: sizes grow with panel fill-in, within the range.
+		t = float64(epoch) * epochGap
+		epoch++
+		for r := 0; r < cfg.Procs; r++ {
+			file := fmt.Sprintf("%s.%d", cfg.FilePrefix, r)
+			span := CholWriteMax - CholWriteMin
+			size := int64(CholWriteMin) + int64(rng.Float64()*rng.Float64()*float64(span))
+			tr = append(tr, trace.Record{
+				PID: 1000 + r, Rank: r, FD: 3, File: file, Op: trace.OpWrite,
+				Offset: cursor[r], Size: size, Time: t + float64(r)*rankJitter,
+			})
+			cursor[r] += size
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"fmt"
+
+	"mhafs/internal/pattern"
+	"mhafs/internal/trace"
+)
+
+// Trace composition utilities: the paper's modified benchmarks are
+// compositions of simpler patterns ("we modify IOR to run it with various
+// request sizes", "each process issues file requests at the sizes of those
+// in Class B and C in an interleaved fashion"). These helpers build such
+// mixtures from generator outputs.
+
+// Shift returns a copy of the trace with all offsets displaced by delta
+// and all time stamps by dt. Negative results are rejected.
+func Shift(t trace.Trace, delta int64, dt float64) (trace.Trace, error) {
+	out := t.Clone()
+	for i := range out {
+		out[i].Offset += delta
+		out[i].Time += dt
+		if out[i].Offset < 0 || out[i].Time < 0 {
+			return nil, fmt.Errorf("workload: shift makes record %d negative", i)
+		}
+	}
+	return out, nil
+}
+
+// Rename returns a copy with every record's file name replaced.
+func Rename(t trace.Trace, from, to string) trace.Trace {
+	out := t.Clone()
+	for i := range out {
+		if out[i].File == from {
+			out[i].File = to
+		}
+	}
+	return out
+}
+
+// Concat appends b after a in both file space and time: b's offsets are
+// shifted past a's highest accessed byte (per file), and b's time stamps
+// past a's last epoch.
+func Concat(a, b trace.Trace) (trace.Trace, error) {
+	if len(a) == 0 {
+		return b.Clone(), nil
+	}
+	if len(b) == 0 {
+		return a.Clone(), nil
+	}
+	spans := make(map[string]int64)
+	var tmax float64
+	for _, r := range a {
+		if end := r.End(); end > spans[r.File] {
+			spans[r.File] = end
+		}
+		if r.Time > tmax {
+			tmax = r.Time
+		}
+	}
+	out := a.Clone()
+	for _, r := range b {
+		r.Offset += spans[r.File]
+		r.Time += tmax + epochGap
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Interleave merges two traces phase by phase: epochs alternate a, b, a,
+// b…, re-stamped onto a common timeline, with each trace's offsets
+// preserved (the traces should target distinct files or disjoint ranges).
+func Interleave(a, b trace.Trace, window float64) trace.Trace {
+	ea := pattern.Epochs(a, window)
+	eb := pattern.Epochs(b, window)
+	var out trace.Trace
+	t := 0.0
+	for i := 0; i < len(ea) || i < len(eb); i++ {
+		for _, eps := range [][][]trace.Record{ea, eb} {
+			if i >= len(eps) {
+				continue
+			}
+			for j, r := range eps[i] {
+				r.Time = t + float64(j)*rankJitter
+				out = append(out, r)
+			}
+			t += epochGap
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"testing"
+
+	"mhafs/internal/pattern"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+func seqTrace(file string, n int, size int64) trace.Trace {
+	var tr trace.Trace
+	for i := 0; i < n; i++ {
+		tr = append(tr, trace.Record{Rank: i % 4, File: file, Op: trace.OpWrite,
+			Offset: int64(i) * size, Size: size, Time: float64(i / 4)})
+	}
+	return tr
+}
+
+func TestShift(t *testing.T) {
+	tr := seqTrace("f", 4, 4096)
+	out, err := Shift(tr, 1<<20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Offset != 1<<20 || out[0].Time != 10 {
+		t.Errorf("shifted record = %+v", out[0])
+	}
+	if tr[0].Offset != 0 {
+		t.Error("Shift mutated the input")
+	}
+	if _, err := Shift(tr, -1, 0); err == nil {
+		t.Error("negative offset shift accepted")
+	}
+	if _, err := Shift(tr, 0, -1); err == nil {
+		t.Error("negative time shift accepted")
+	}
+}
+
+func TestRename(t *testing.T) {
+	tr := seqTrace("old", 3, 64)
+	out := Rename(tr, "old", "new")
+	for _, r := range out {
+		if r.File != "new" {
+			t.Fatalf("record kept name %q", r.File)
+		}
+	}
+	if tr[0].File != "old" {
+		t.Error("Rename mutated the input")
+	}
+	same := Rename(tr, "absent", "x")
+	if same[0].File != "old" {
+		t.Error("unrelated names changed")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := seqTrace("f", 4, 4096)
+	b := seqTrace("f", 4, 8192)
+	out, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// b's records must start after a's span (4*4096).
+	for _, r := range out[4:] {
+		if r.Offset < 4*4096 {
+			t.Fatalf("b record not shifted: %+v", r)
+		}
+		if r.Time <= out[3].Time {
+			t.Fatalf("b record not later in time: %+v", r)
+		}
+	}
+	// No overlaps overall.
+	sorted := out.Clone()
+	sorted.SortByOffset()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Offset < sorted[i-1].End() {
+			t.Fatal("concat created overlapping extents")
+		}
+	}
+	// Identity cases.
+	if got, _ := Concat(nil, a); len(got) != len(a) {
+		t.Error("Concat(nil, a) wrong")
+	}
+	if got, _ := Concat(a, nil); len(got) != len(a) {
+		t.Error("Concat(a, nil) wrong")
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a := seqTrace("fa", 8, 4*units.KB)  // 2 epochs of 4
+	b := seqTrace("fb", 8, 64*units.KB) // 2 epochs of 4
+	out := Interleave(a, b, pattern.DefaultEpochWindow)
+	if len(out) != 16 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eps := pattern.Epochs(out, pattern.DefaultEpochWindow)
+	if len(eps) != 4 {
+		t.Fatalf("epochs = %d, want 4 (a,b,a,b)", len(eps))
+	}
+	// Alternating files per epoch.
+	wantFiles := []string{"fa", "fb", "fa", "fb"}
+	for i, ep := range eps {
+		for _, r := range ep {
+			if r.File != wantFiles[i] {
+				t.Fatalf("epoch %d has %s, want %s", i, r.File, wantFiles[i])
+			}
+		}
+	}
+	// Ragged inputs: extra epochs of the longer trace trail at the end.
+	c := seqTrace("fc", 12, units.KB) // 3 epochs
+	out2 := Interleave(a, c, pattern.DefaultEpochWindow)
+	eps2 := pattern.Epochs(out2, pattern.DefaultEpochWindow)
+	if len(eps2) != 5 {
+		t.Fatalf("ragged epochs = %d, want 5", len(eps2))
+	}
+	if Interleave(nil, nil, 1) != nil {
+		t.Error("empty interleave should be nil")
+	}
+}

@@ -1,0 +1,296 @@
+// Package workload synthesizes the I/O traces of the benchmarks and
+// applications in the MHA paper's evaluation (§V): the IOR and HPIO
+// micro-benchmarks, the BTIO macro-benchmark, and the LANL App2, LU
+// decomposition and sparse Cholesky application traces.
+//
+// The real traces are not redistributable; each generator reproduces the
+// access structure the paper documents — request sizes, concurrency,
+// interleaving, and file organization — which is everything the layout
+// schemes observe. All generators are deterministic under a fixed seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+// epochGap is the virtual-time distance between I/O phases; it exceeds
+// every concurrency-detection window in use so distinct phases never
+// merge.
+const epochGap = 1.0
+
+// rankJitter spaces same-phase requests a few microseconds apart — within
+// the same concurrency epoch but with a deterministic order.
+const rankJitter = 1e-6
+
+// IORConfig parameterizes the IOR-like generator. The paper runs IOR with
+// a shared file, MPI-IO, and modifications that mix request sizes (Fig. 7)
+// or process counts (Fig. 9) across the phases of a run.
+type IORConfig struct {
+	File string
+	Op   trace.Op
+
+	// Sizes rotate per phase: phase p uses Sizes[p % len(Sizes)]. One
+	// entry reproduces vanilla IOR; several reproduce "mixed request
+	// sizes".
+	Sizes []int64
+
+	// Procs rotate per phase like Sizes, reproducing "mixed numbers of
+	// processes". MaxProcs ranks exist overall.
+	Procs []int
+
+	// FileSize bounds the bytes accessed; generation stops at the first
+	// phase boundary at or beyond it.
+	FileSize int64
+
+	// Shuffle randomizes the phase order (IOR's random-offset mode as the
+	// paper uses it: "each process issues random requests at multiple
+	// sizes"). Extents remain disjoint.
+	Shuffle bool
+	Seed    int64
+}
+
+// Validate checks the configuration.
+func (c IORConfig) Validate() error {
+	if c.File == "" {
+		return fmt.Errorf("workload: ior: empty file name")
+	}
+	if len(c.Sizes) == 0 {
+		return fmt.Errorf("workload: ior: no request sizes")
+	}
+	for _, s := range c.Sizes {
+		if s <= 0 {
+			return fmt.Errorf("workload: ior: non-positive request size %d", s)
+		}
+	}
+	if len(c.Procs) == 0 {
+		return fmt.Errorf("workload: ior: no process counts")
+	}
+	for _, p := range c.Procs {
+		if p <= 0 {
+			return fmt.Errorf("workload: ior: non-positive process count %d", p)
+		}
+	}
+	if c.FileSize <= 0 {
+		return fmt.Errorf("workload: ior: non-positive file size")
+	}
+	return nil
+}
+
+// IOR generates the trace.
+func IOR(cfg IORConfig) (trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var tr trace.Trace
+	var off int64
+	phase := 0
+	for off < cfg.FileSize {
+		size := cfg.Sizes[phase%len(cfg.Sizes)]
+		procs := cfg.Procs[phase%len(cfg.Procs)]
+		t := float64(phase) * epochGap
+		for r := 0; r < procs && off < cfg.FileSize; r++ {
+			tr = append(tr, trace.Record{
+				PID: 1000 + r, Rank: r, FD: 3, File: cfg.File, Op: cfg.Op,
+				Offset: off, Size: size, Time: t + float64(r)*rankJitter,
+			})
+			off += size
+		}
+		phase++
+	}
+	if cfg.Shuffle {
+		shufflePhases(tr, cfg.Seed)
+	}
+	return tr, nil
+}
+
+// shufflePhases permutes the epoch order while keeping each epoch's
+// records together, re-stamping times so epoch boundaries survive.
+func shufflePhases(tr trace.Trace, seed int64) {
+	if len(tr) == 0 {
+		return
+	}
+	var phases [][]trace.Record
+	cur := []trace.Record{tr[0]}
+	for _, r := range tr[1:] {
+		if r.Time-cur[0].Time >= epochGap/2 {
+			phases = append(phases, cur)
+			cur = nil
+		}
+		cur = append(cur, r)
+	}
+	phases = append(phases, cur)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(phases), func(i, j int) { phases[i], phases[j] = phases[j], phases[i] })
+	i := 0
+	for p, phase := range phases {
+		for j, rec := range phase {
+			rec.Time = float64(p)*epochGap + float64(j)*rankJitter
+			tr[i] = rec
+			i++
+		}
+	}
+}
+
+// HPIOConfig parameterizes the HPIO-like generator. HPIO accesses
+// RegionCount regions per process, each RegionSizes[i%len] bytes, with
+// RegionSpacing bytes between consecutive regions. The paper's setup:
+// region count 4096, spacing 0, region sizes 16/32/64 KB, 16–64
+// processes, shared file.
+type HPIOConfig struct {
+	File string
+	Op   trace.Op
+
+	Procs         int
+	RegionCount   int
+	RegionSpacing int64
+	RegionSizes   []int64
+}
+
+// Validate checks the configuration.
+func (c HPIOConfig) Validate() error {
+	if c.File == "" {
+		return fmt.Errorf("workload: hpio: empty file name")
+	}
+	if c.Procs <= 0 {
+		return fmt.Errorf("workload: hpio: non-positive process count")
+	}
+	if c.RegionCount <= 0 {
+		return fmt.Errorf("workload: hpio: non-positive region count")
+	}
+	if c.RegionSpacing < 0 {
+		return fmt.Errorf("workload: hpio: negative region spacing")
+	}
+	if len(c.RegionSizes) == 0 {
+		return fmt.Errorf("workload: hpio: no region sizes")
+	}
+	for _, s := range c.RegionSizes {
+		if s <= 0 {
+			return fmt.Errorf("workload: hpio: non-positive region size %d", s)
+		}
+	}
+	return nil
+}
+
+// HPIO generates the trace: region i of rank r lives at the interleaved
+// offset implied by round-robin rank ordering; each region round is one
+// concurrency epoch.
+func HPIO(cfg HPIOConfig) (trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var tr trace.Trace
+	var off int64
+	for i := 0; i < cfg.RegionCount; i++ {
+		size := cfg.RegionSizes[i%len(cfg.RegionSizes)]
+		t := float64(i) * epochGap
+		for r := 0; r < cfg.Procs; r++ {
+			tr = append(tr, trace.Record{
+				PID: 1000 + r, Rank: r, FD: 3, File: cfg.File, Op: cfg.Op,
+				Offset: off, Size: size, Time: t + float64(r)*rankJitter,
+			})
+			off += size + cfg.RegionSpacing
+		}
+	}
+	return tr, nil
+}
+
+// BTIOConfig parameterizes the BTIO-like generator. The paper runs the
+// NAS BT-IO simple subtype with Class B and Class C request sizes
+// interleaved ("each process issues file requests at the sizes of those
+// in Class B and C in an interleaved fashion"), on 9/16/25 processes,
+// with a 1.69 GB + 6.8 GB output file.
+type BTIOConfig struct {
+	File string
+	Op   trace.Op
+
+	// Procs must be a square number (BTIO requirement).
+	Procs int
+	// Steps is the number of time steps (40 in BT-IO).
+	Steps int
+	// TotalB and TotalC are the bytes written across the run at Class B
+	// and Class C request sizes respectively.
+	TotalB int64
+	TotalC int64
+}
+
+// DefaultBTIO mirrors the paper: 40 steps, 1.69 GB Class B + 6.8 GB
+// Class C.
+func DefaultBTIO(procs int, op trace.Op) BTIOConfig {
+	return BTIOConfig{
+		File:   "btio.out",
+		Op:     op,
+		Procs:  procs,
+		Steps:  40,
+		TotalB: units.GB * 169 / 100, // 1.69 GB
+		TotalC: units.GB * 68 / 10,   // 6.8 GB
+	}
+}
+
+// Validate checks the configuration.
+func (c BTIOConfig) Validate() error {
+	if c.File == "" {
+		return fmt.Errorf("workload: btio: empty file name")
+	}
+	if c.Procs <= 0 || !isSquare(c.Procs) {
+		return fmt.Errorf("workload: btio: process count %d is not a positive square", c.Procs)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("workload: btio: non-positive steps")
+	}
+	if c.TotalB <= 0 || c.TotalC <= 0 {
+		return fmt.Errorf("workload: btio: non-positive class totals")
+	}
+	return nil
+}
+
+func isSquare(n int) bool {
+	for i := 1; i*i <= n; i++ {
+		if i*i == n {
+			return true
+		}
+	}
+	return false
+}
+
+// BTIO generates the trace: steps alternate between Class B and Class C
+// request sizes; within a step every process accesses its interleaved
+// cell, appended sequentially through the file.
+func BTIO(cfg BTIOConfig) (trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Per-step, per-process request sizes, aligned to 16 bytes like the
+	// solution-vector cells.
+	stepsB := (cfg.Steps + 1) / 2
+	stepsC := cfg.Steps / 2
+	sizeB := align16(cfg.TotalB / int64(stepsB*cfg.Procs))
+	sizeC := align16(cfg.TotalC / int64(stepsC*cfg.Procs))
+	var tr trace.Trace
+	var off int64
+	for s := 0; s < cfg.Steps; s++ {
+		size := sizeB
+		if s%2 == 1 {
+			size = sizeC
+		}
+		t := float64(s) * epochGap
+		for r := 0; r < cfg.Procs; r++ {
+			tr = append(tr, trace.Record{
+				PID: 1000 + r, Rank: r, FD: 3, File: cfg.File, Op: cfg.Op,
+				Offset: off, Size: size, Time: t + float64(r)*rankJitter,
+			})
+			off += size
+		}
+	}
+	return tr, nil
+}
+
+func align16(n int64) int64 {
+	if n < 16 {
+		return 16
+	}
+	return n - n%16
+}

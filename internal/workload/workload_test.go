@@ -1,0 +1,407 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"mhafs/internal/pattern"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+func TestIORUniform(t *testing.T) {
+	tr, err := IOR(IORConfig{
+		File: "f", Op: trace.OpWrite,
+		Sizes: []int64{64 * units.KB}, Procs: []int{16},
+		FileSize: 16 * units.MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.TotalBytes(); got != 16*units.MB {
+		t.Errorf("TotalBytes = %d", got)
+	}
+	if got := len(tr.Ranks()); got != 16 {
+		t.Errorf("ranks = %d", got)
+	}
+	// Sequential disjoint extents.
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Offset != tr[i-1].End() {
+			t.Fatalf("extent gap at %d", i)
+		}
+	}
+}
+
+func TestIORMixedSizes(t *testing.T) {
+	tr, err := IOR(IORConfig{
+		File: "f", Op: trace.OpRead,
+		Sizes: []int64{128 * units.KB, 256 * units.KB}, Procs: []int{32},
+		FileSize: 64 * units.MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := pattern.SizeHistogram(tr)
+	if len(hist) != 2 {
+		t.Fatalf("distinct sizes = %d, want 2", len(hist))
+	}
+	// Phases alternate: the first 32 records share one size, the next 32
+	// the other.
+	for i := 0; i < 32; i++ {
+		if tr[i].Size != 128*units.KB {
+			t.Fatalf("record %d size %d", i, tr[i].Size)
+		}
+	}
+	for i := 32; i < 64; i++ {
+		if tr[i].Size != 256*units.KB {
+			t.Fatalf("record %d size %d", i, tr[i].Size)
+		}
+	}
+}
+
+func TestIORMixedProcs(t *testing.T) {
+	tr, err := IOR(IORConfig{
+		File: "f", Op: trace.OpRead,
+		Sizes: []int64{256 * units.KB}, Procs: []int{8, 32},
+		FileSize: 40 * units.MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := pattern.Annotate(tr, pattern.DefaultEpochWindow)
+	seen := map[int]bool{}
+	for _, a := range ann {
+		seen[a.Concurrency] = true
+	}
+	if !seen[8] || !seen[32] {
+		t.Errorf("concurrencies seen: %v, want 8 and 32", seen)
+	}
+}
+
+func TestIORShuffleKeepsExtentsDisjoint(t *testing.T) {
+	mk := func(shuffle bool) trace.Trace {
+		tr, err := IOR(IORConfig{
+			File: "f", Op: trace.OpRead,
+			Sizes: []int64{64 * units.KB, 128 * units.KB}, Procs: []int{4},
+			FileSize: 8 * units.MB, Shuffle: shuffle, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	plain, shuffled := mk(false), mk(true)
+	if plain.TotalBytes() != shuffled.TotalBytes() || len(plain) != len(shuffled) {
+		t.Fatal("shuffle changed the workload volume")
+	}
+	if reflect.DeepEqual(plain, shuffled) {
+		t.Error("shuffle did nothing")
+	}
+	// Same extent set either way.
+	extents := func(tr trace.Trace) map[[2]int64]bool {
+		m := make(map[[2]int64]bool)
+		for _, r := range tr {
+			m[[2]int64{r.Offset, r.Size}] = true
+		}
+		return m
+	}
+	if !reflect.DeepEqual(extents(plain), extents(shuffled)) {
+		t.Error("shuffle altered extents")
+	}
+	// Determinism.
+	again := mk(true)
+	if !reflect.DeepEqual(shuffled, again) {
+		t.Error("shuffle not deterministic")
+	}
+}
+
+func TestIORValidation(t *testing.T) {
+	base := IORConfig{File: "f", Sizes: []int64{64}, Procs: []int{4}, FileSize: 1024}
+	muts := []func(*IORConfig){
+		func(c *IORConfig) { c.File = "" },
+		func(c *IORConfig) { c.Sizes = nil },
+		func(c *IORConfig) { c.Sizes = []int64{0} },
+		func(c *IORConfig) { c.Procs = nil },
+		func(c *IORConfig) { c.Procs = []int{0} },
+		func(c *IORConfig) { c.FileSize = 0 },
+	}
+	for i, m := range muts {
+		cfg := base
+		m(&cfg)
+		if _, err := IOR(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestHPIO(t *testing.T) {
+	tr, err := HPIO(HPIOConfig{
+		File: "f", Op: trace.OpWrite, Procs: 16,
+		RegionCount: 64, RegionSpacing: 0,
+		RegionSizes: []int64{16 * units.KB, 32 * units.KB, 64 * units.KB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 64*16 {
+		t.Fatalf("records = %d", len(tr))
+	}
+	if got := len(pattern.SizeHistogram(tr)); got != 3 {
+		t.Errorf("distinct sizes = %d", got)
+	}
+	// Spacing 0: contiguous extents.
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Offset != tr[i-1].End() {
+			t.Fatalf("extent gap at %d", i)
+		}
+	}
+	// With spacing, gaps appear.
+	tr2, _ := HPIO(HPIOConfig{
+		File: "f", Op: trace.OpWrite, Procs: 2,
+		RegionCount: 2, RegionSpacing: 4096, RegionSizes: []int64{1024},
+	})
+	if tr2[1].Offset != tr2[0].End()+4096 {
+		t.Errorf("spacing not applied: %d vs %d", tr2[1].Offset, tr2[0].End())
+	}
+}
+
+func TestHPIOValidation(t *testing.T) {
+	base := HPIOConfig{File: "f", Procs: 2, RegionCount: 2, RegionSizes: []int64{64}}
+	muts := []func(*HPIOConfig){
+		func(c *HPIOConfig) { c.File = "" },
+		func(c *HPIOConfig) { c.Procs = 0 },
+		func(c *HPIOConfig) { c.RegionCount = 0 },
+		func(c *HPIOConfig) { c.RegionSpacing = -1 },
+		func(c *HPIOConfig) { c.RegionSizes = nil },
+		func(c *HPIOConfig) { c.RegionSizes = []int64{-1} },
+	}
+	for i, m := range muts {
+		cfg := base
+		m(&cfg)
+		if _, err := HPIO(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestBTIO(t *testing.T) {
+	cfg := DefaultBTIO(9, trace.OpWrite)
+	cfg.TotalB, cfg.TotalC = 16*units.MB, 64*units.MB // scaled for tests
+	tr, err := BTIO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 40*9 {
+		t.Fatalf("records = %d", len(tr))
+	}
+	hist := pattern.SizeHistogram(tr)
+	if len(hist) != 2 {
+		t.Fatalf("distinct sizes = %d, want 2 (B and C interleaved)", len(hist))
+	}
+	if hist[1].Size <= hist[0].Size || hist[1].Size%16 != 0 || hist[0].Size%16 != 0 {
+		t.Errorf("sizes = %+v", hist)
+	}
+	// Steps alternate.
+	if tr[0].Size == tr[9].Size {
+		t.Error("steps 0 and 1 should use different class sizes")
+	}
+}
+
+func TestBTIOValidation(t *testing.T) {
+	if _, err := BTIO(DefaultBTIO(10, trace.OpWrite)); err == nil {
+		t.Error("non-square process count accepted")
+	}
+	cfg := DefaultBTIO(4, trace.OpWrite)
+	cfg.Steps = 0
+	if _, err := BTIO(cfg); err == nil {
+		t.Error("zero steps accepted")
+	}
+	cfg = DefaultBTIO(4, trace.OpWrite)
+	cfg.TotalB = 0
+	if _, err := BTIO(cfg); err == nil {
+		t.Error("zero totals accepted")
+	}
+	cfg = DefaultBTIO(4, trace.OpWrite)
+	cfg.File = ""
+	if _, err := BTIO(cfg); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestLANLSequence(t *testing.T) {
+	seq := LANLSequence(2)
+	want := []int64{16, 131056, 131072, 16, 131056, 131072}
+	if !reflect.DeepEqual(seq, want) {
+		t.Errorf("sequence = %v", seq)
+	}
+}
+
+func TestLANL(t *testing.T) {
+	tr, err := LANL(LANLConfig{File: "f", Op: trace.OpWrite, Procs: 8, Loops: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 3*8*4 {
+		t.Fatalf("records = %d", len(tr))
+	}
+	hist := pattern.SizeHistogram(tr)
+	if len(hist) != 3 {
+		t.Fatalf("distinct sizes = %d", len(hist))
+	}
+	if hist[0].Size != LANLSmall || hist[2].Size != LANLLarge2 {
+		t.Errorf("sizes = %+v", hist)
+	}
+	// Concurrency: every epoch has all 8 ranks.
+	for _, a := range pattern.Annotate(tr, pattern.DefaultEpochWindow) {
+		if a.Concurrency != 8 {
+			t.Fatalf("concurrency = %d", a.Concurrency)
+		}
+	}
+	// No overlapping extents.
+	tr.SortByOffset()
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Offset < tr[i-1].End() {
+			t.Fatalf("overlap between %+v and %+v", tr[i-1], tr[i])
+		}
+	}
+}
+
+func TestLANLValidation(t *testing.T) {
+	for _, cfg := range []LANLConfig{
+		{File: "", Procs: 1, Loops: 1},
+		{File: "f", Procs: 0, Loops: 1},
+		{File: "f", Procs: 1, Loops: 0},
+	} {
+		if _, err := LANL(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestLU(t *testing.T) {
+	cfg := DefaultLU()
+	cfg.Slabs = 16
+	tr, err := LU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Files()); got != 8 {
+		t.Errorf("files = %d, want one per process", got)
+	}
+	s := tr.Summarize()
+	if s.Writes != 8*16 {
+		t.Errorf("writes = %d", s.Writes)
+	}
+	if s.Reads == 0 {
+		t.Error("no reads generated")
+	}
+	// All writes fixed size; reads within the documented range.
+	for _, r := range tr {
+		if r.Op == trace.OpWrite && r.Size != LUWriteSize {
+			t.Fatalf("write size %d", r.Size)
+		}
+		if r.Op == trace.OpRead && (r.Size < LUReadMin || r.Size > LUReadMax) {
+			t.Fatalf("read size %d outside [%d,%d]", r.Size, LUReadMin, LUReadMax)
+		}
+	}
+	// Determinism.
+	again, _ := LU(cfg)
+	if !reflect.DeepEqual(tr, again) {
+		t.Error("LU not deterministic")
+	}
+}
+
+func TestLUValidation(t *testing.T) {
+	for _, mut := range []func(*LUConfig){
+		func(c *LUConfig) { c.FilePrefix = "" },
+		func(c *LUConfig) { c.Procs = 0 },
+		func(c *LUConfig) { c.Slabs = 0 },
+	} {
+		cfg := DefaultLU()
+		mut(&cfg)
+		if _, err := LU(cfg); err == nil {
+			t.Errorf("bad LU config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	cfg := DefaultCholesky()
+	cfg.Panels = 32
+	tr, err := Cholesky(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Files()); got != 8 {
+		t.Errorf("files = %d", got)
+	}
+	var largeReads int
+	for _, r := range tr {
+		switch r.Op {
+		case trace.OpRead:
+			if r.Size < CholReadMin || r.Size > CholReadMax {
+				t.Fatalf("read size %d out of range", r.Size)
+			}
+			if r.Size > CholReadMax/2 {
+				largeReads++
+			}
+		case trace.OpWrite:
+			if r.Size < CholWriteMin || r.Size > CholWriteMax {
+				t.Fatalf("write size %d out of range", r.Size)
+			}
+		}
+	}
+	if largeReads == 0 {
+		t.Error("expected a small number of large reads, got none")
+	}
+	if largeReads > len(tr)/4 {
+		t.Errorf("too many large reads: %d of %d", largeReads, len(tr))
+	}
+	// Determinism.
+	again, _ := Cholesky(cfg)
+	if !reflect.DeepEqual(tr, again) {
+		t.Error("Cholesky not deterministic")
+	}
+}
+
+func TestCholeskyValidation(t *testing.T) {
+	for _, mut := range []func(*CholeskyConfig){
+		func(c *CholeskyConfig) { c.FilePrefix = "" },
+		func(c *CholeskyConfig) { c.Procs = 0 },
+		func(c *CholeskyConfig) { c.Panels = 0 },
+	} {
+		cfg := DefaultCholesky()
+		mut(&cfg)
+		if _, err := Cholesky(cfg); err == nil {
+			t.Errorf("bad Cholesky config accepted")
+		}
+	}
+}
+
+// Write sizes in Cholesky vary "more considerably" than LANL/LU — sanity
+// check the generator produces a wide spread.
+func TestCholeskySizeSpread(t *testing.T) {
+	tr, _ := Cholesky(DefaultCholesky())
+	s := tr.Summarize()
+	if s.MaxSize < 100*s.MinSize {
+		t.Errorf("size spread too narrow: [%d, %d]", s.MinSize, s.MaxSize)
+	}
+}

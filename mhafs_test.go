@@ -1,0 +1,465 @@
+package mhafs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEndToEndPipeline drives the full paper workflow through the public
+// API: profiled first run → MHA optimization → optimized re-run, with
+// data integrity verified across the migration.
+func TestEndToEndPipeline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cluster.HServers, cfg.Cluster.SServers = 4, 2
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	// First run: write a heterogeneous pattern (small and large records).
+	h, err := sys.Open("app.dat", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	type ext struct {
+		off  int64
+		data []byte
+	}
+	var exts []ext
+	off := int64(0)
+	for loop := 0; loop < 6; loop++ {
+		small := make([]byte, 8<<10)
+		rng.Read(small)
+		exts = append(exts, ext{off, small})
+		if _, err := h.WriteAtSync(small, off); err != nil {
+			t.Fatal(err)
+		}
+		off += int64(len(small))
+		large := make([]byte, 192<<10)
+		rng.Read(large)
+		exts = append(exts, ext{off, large})
+		if _, err := h.WriteAtSync(large, off); err != nil {
+			t.Fatal(err)
+		}
+		off += int64(len(large))
+	}
+	if got := len(sys.Trace()); got != 12 {
+		t.Fatalf("traced %d records, want 12", got)
+	}
+
+	// Optimize with MHA.
+	if err := sys.Optimize(MHA, nil); err != nil {
+		t.Fatal(err)
+	}
+	plan := sys.Plan()
+	if plan.Scheme != MHA || len(plan.Regions) == 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	// Re-optimizing on the same trace is allowed (dynamic mode) and bumps
+	// the generation.
+	if err := sys.Optimize(MHA, nil); err != nil {
+		t.Fatalf("re-optimize: %v", err)
+	}
+	if sys.Generation() != 1 {
+		t.Errorf("Generation = %d, want 1", sys.Generation())
+	}
+
+	// Second run: every extent must read back intact through redirection.
+	sys.SetTracing(false)
+	for _, e := range exts {
+		buf := make([]byte, len(e.data))
+		if _, err := h.ReadAtSync(buf, e.off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, e.data) {
+			t.Fatalf("extent at %d corrupted after migration", e.off)
+		}
+	}
+	if sys.Now() <= 0 {
+		t.Error("virtual clock did not advance")
+	}
+}
+
+func TestOptimizeRequiresTrace(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Optimize(MHA, nil); err == nil {
+		t.Error("Optimize with empty trace accepted")
+	}
+	if !strings.Contains(sys.Plan().Scheme.String(), "DEF") {
+		// Zero Plan has Scheme DEF (zero value); just ensure no panic.
+		t.Errorf("unexpected plan scheme %v", sys.Plan().Scheme)
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	sys, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if got := len(sys.Cluster().Servers()); got != 8 {
+		t.Errorf("default cluster has %d servers, want 8", got)
+	}
+}
+
+func TestReplayThroughFacade(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	tr, err := IOR(IORConfig{
+		File: "ior.dat", Op: OpWrite,
+		Sizes: []int64{64 << 10}, Procs: []int{8},
+		FileSize: 8 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetTracing(false)
+	res, err := sys.Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != len(tr) || res.Bandwidth() <= 0 {
+		t.Errorf("replay = %+v", res)
+	}
+}
+
+func TestTracingToggleAndReset(t *testing.T) {
+	sys, _ := NewSystem(DefaultConfig())
+	defer sys.Close()
+	h, _ := sys.Open("f", 0)
+	h.WriteAtSync(make([]byte, 4096), 0)
+	if len(sys.RawTrace()) != 1 {
+		t.Fatal("trace not collected")
+	}
+	sys.SetTracing(false)
+	h.WriteAtSync(make([]byte, 4096), 4096)
+	if len(sys.RawTrace()) != 1 {
+		t.Error("disabled tracer recorded")
+	}
+	sys.ResetTrace()
+	if len(sys.RawTrace()) != 0 {
+		t.Error("ResetTrace did not clear")
+	}
+}
+
+// All four schemes must be optimizable through the facade.
+func TestOptimizeAllSchemes(t *testing.T) {
+	for _, scheme := range []Scheme{DEF, AAL, HARL, MHA} {
+		cfg := DefaultConfig()
+		cfg.Cluster.HServers, cfg.Cluster.SServers = 2, 2
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := sys.Open("f", 0)
+		for i := 0; i < 8; i++ {
+			if _, err := h.WriteAtSync(make([]byte, 32<<10), int64(i)*32<<10); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.Optimize(scheme, nil); err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if sys.Plan().Scheme != scheme {
+			t.Errorf("plan scheme = %v, want %v", sys.Plan().Scheme, scheme)
+		}
+		// Post-optimization I/O must still work.
+		buf := make([]byte, 32<<10)
+		if _, err := h.ReadAtSync(buf, 0); err != nil {
+			t.Fatalf("%v: post-optimize read: %v", scheme, err)
+		}
+		sys.Close()
+	}
+}
+
+// TestDynamicReoptimization drives the future-work dynamic mode end to
+// end: the workload's pattern changes mid-run, the manager detects the
+// drift and re-plans, and all data written under both generations stays
+// readable.
+func TestDynamicReoptimization(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cluster.HServers, cfg.Cluster.SServers = 4, 2
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	mgr, err := NewDynamicManager(sys, MHA, DynamicPolicy{
+		Window: 16, Threshold: 0.3, MinNewRecords: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, _ := sys.Open("app.dat", 0)
+	rng := rand.New(rand.NewSource(11))
+	written := map[int64][]byte{}
+	writeAt := func(off, size int64) {
+		data := make([]byte, size)
+		rng.Read(data)
+		if _, err := h.WriteAtSync(data, off); err != nil {
+			t.Fatal(err)
+		}
+		written[off] = data
+	}
+
+	// Phase A: 16 KB records.
+	off := int64(0)
+	for i := 0; i < 20; i++ {
+		writeAt(off, 16<<10)
+		off += 16 << 10
+	}
+	did, _, err := mgr.Check()
+	if err != nil || !did {
+		t.Fatalf("initial plan: did=%v err=%v", did, err)
+	}
+	gen0 := sys.Generation()
+
+	// Phase B: the pattern shifts to 512 KB records.
+	for i := 0; i < 20; i++ {
+		writeAt(off, 512<<10)
+		off += 512 << 10
+	}
+	did, div, err := mgr.Check()
+	if err != nil || !did {
+		t.Fatalf("drift re-plan: did=%v div=%v err=%v", did, div, err)
+	}
+	if sys.Generation() != gen0+1 {
+		t.Errorf("generation = %d, want %d", sys.Generation(), gen0+1)
+	}
+
+	// Every extent from both phases must read back intact through the new
+	// generation.
+	for o, want := range written {
+		buf := make([]byte, len(want))
+		if _, err := h.ReadAtSync(buf, o); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("extent at %d corrupted across re-optimization", o)
+		}
+	}
+}
+
+// Re-optimization leaves the previous generation's regions behind;
+// GarbageCollect must reclaim exactly those, and the data must remain
+// intact through the surviving generation.
+func TestGarbageCollect(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cluster.HServers, cfg.Cluster.SServers = 2, 2
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	h, _ := sys.Open("f", 0)
+	data := make([]byte, 128<<10)
+	rand.New(rand.NewSource(9)).Read(data)
+	if _, err := h.WriteAtSync(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Optimize(MHA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.GarbageCollect(); len(got) != 0 {
+		t.Errorf("first generation GC removed %v", got)
+	}
+	gen0Regions := map[string]bool{}
+	for _, r := range sys.Plan().Regions {
+		gen0Regions[r.File] = true
+	}
+	if err := sys.Optimize(MHA, nil); err != nil {
+		t.Fatal(err)
+	}
+	removed := sys.GarbageCollect()
+	if len(removed) == 0 {
+		t.Fatal("GC reclaimed nothing after re-optimization")
+	}
+	for _, name := range removed {
+		if !gen0Regions[name] {
+			t.Errorf("GC removed non-stale file %s", name)
+		}
+		if _, ok := sys.Cluster().Lookup(name); ok {
+			t.Errorf("removed file %s still present", name)
+		}
+	}
+	// Data must still read back via the current generation.
+	buf := make([]byte, len(data))
+	if _, err := h.ReadAtSync(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("data lost after GC")
+	}
+}
+
+// Whole-pipeline property: for random write workloads, any scheme, after
+// optimization and migration every byte reads back intact through the
+// middleware.
+func TestPipelineReadYourWritesQuick(t *testing.T) {
+	schemes := []Scheme{DEF, AAL, HARL, MHA}
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		scheme := schemes[trial%len(schemes)]
+		cfg := DefaultConfig()
+		cfg.Cluster.HServers = 1 + rng.Intn(4)
+		cfg.Cluster.SServers = 1 + rng.Intn(3)
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nFiles := 1 + rng.Intn(3)
+		type ext struct {
+			file string
+			off  int64
+			data []byte
+		}
+		var exts []ext
+		for f := 0; f < nFiles; f++ {
+			name := fmt.Sprintf("f%d", f)
+			h, err := sys.Open(name, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off := int64(0)
+			for i := 0; i < 4+rng.Intn(6); i++ {
+				size := int64(1+rng.Intn(64)) * 4096
+				data := make([]byte, size)
+				rng.Read(data)
+				if _, err := h.WriteAtSync(data, off); err != nil {
+					t.Fatal(err)
+				}
+				exts = append(exts, ext{name, off, data})
+				off += size
+				if rng.Intn(3) == 0 {
+					off += int64(rng.Intn(8)) * 4096 // sparse gap
+				}
+			}
+		}
+		if err := sys.Optimize(scheme, nil); err != nil {
+			t.Fatalf("trial %d scheme %v: %v", trial, scheme, err)
+		}
+		sys.SetTracing(false)
+		for _, e := range exts {
+			h, _ := sys.Open(e.file, 0)
+			buf := make([]byte, len(e.data))
+			if _, err := h.ReadAtSync(buf, e.off); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, e.data) {
+				t.Fatalf("trial %d scheme %v: extent %s@%d corrupted", trial, scheme, e.file, e.off)
+			}
+		}
+		sys.Close()
+	}
+}
+
+// The durability path: optimize with persisted tables, "crash", resume a
+// fresh system from the tables, and confirm redirection places new data
+// according to the recovered plan.
+func TestResumeSystemFromPersistedTables(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.Cluster.HServers, cfg.Cluster.SServers = 2, 2
+	cfg.DRTPath = filepath.Join(dir, "drt.db")
+	cfg.RSTPath = filepath.Join(dir, "rst.db")
+
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := sys.Open("app.dat", 0)
+	for i := 0; i < 8; i++ {
+		if _, err := h.WriteAtSync(make([]byte, 64<<10), int64(i)*64<<10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Optimize(MHA, nil); err != nil {
+		t.Fatal(err)
+	}
+	wantRegions := map[string]Plan{}
+	_ = wantRegions
+	plan := sys.Plan()
+	if err := sys.Close(); err != nil { // the "crash" (tables flushed)
+		t.Fatal(err)
+	}
+
+	re, err := ResumeSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// Every planned region exists again with its recorded layout.
+	for _, r := range plan.Regions {
+		f, ok := re.Cluster().Lookup(r.File)
+		if !ok {
+			t.Fatalf("region %s not recreated", r.File)
+		}
+		if f.Layout != r.Layout {
+			t.Errorf("region %s layout %v, want %v", r.File, f.Layout, r.Layout)
+		}
+	}
+	// A new run's writes are redirected into the recovered regions.
+	h2, err := re.Open("app.dat", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x5A}, 64<<10)
+	if _, err := h2.WriteAtSync(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if _, err := h2.ReadAtSync(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("post-resume round trip corrupted data")
+	}
+	// The bytes must live in a region file, not the original.
+	orig, _ := re.Cluster().Lookup("app.dat")
+	if orig.Size != 0 {
+		t.Errorf("original file grew to %d bytes; redirection inactive", orig.Size)
+	}
+
+	// Resume without tables must fail cleanly.
+	if _, err := ResumeSystem(DefaultConfig()); err == nil {
+		t.Error("resume without table paths accepted")
+	}
+	empty := DefaultConfig()
+	empty.DRTPath = filepath.Join(dir, "none-drt.db")
+	empty.RSTPath = filepath.Join(dir, "none-rst.db")
+	if _, err := ResumeSystem(empty); err == nil {
+		t.Error("resume from empty tables accepted")
+	}
+}
+
+func TestServerStatsFacade(t *testing.T) {
+	sys, _ := NewSystem(DefaultConfig())
+	defer sys.Close()
+	h, _ := sys.Open("f", 0)
+	h.WriteAtSync(make([]byte, 512<<10), 0)
+	stats := sys.ServerStats()
+	if len(stats) != 8 {
+		t.Fatalf("stats = %d servers", len(stats))
+	}
+	var total int64
+	for _, st := range stats {
+		total += st.WriteBytes
+	}
+	if total != 512<<10 {
+		t.Errorf("server write bytes = %d, want %d", total, 512<<10)
+	}
+}
