@@ -4,14 +4,18 @@
 // Usage:
 //
 //	mhabench [-fig all|3|7|8|9|10|11|12a|12b|13a|13b|14|meta]
-//	         [-scale N] [-h N] [-s N] [-csv]
+//	         [-scale N] [-h N] [-s N] [-csv] [-json FILE]
 //
 // -scale divides the paper's workload volumes (default 64; 1 reproduces
 // the full 16 GB runs). -h/-s override the default 6 HServer : 2 SServer
-// cluster. -csv emits CSV instead of aligned text.
+// cluster. -csv emits CSV instead of aligned text. -json additionally
+// writes every generated table — plus the per-scheme aggregate bandwidth
+// across the bandwidth figures — to FILE as machine-readable JSON
+// (e.g. -json BENCH_pipeline.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +23,7 @@ import (
 
 	"mhafs/internal/bench"
 	"mhafs/internal/config"
+	"mhafs/internal/layout"
 	"mhafs/internal/metrics"
 	"mhafs/internal/units"
 )
@@ -30,6 +35,7 @@ func main() {
 		hSrv    = flag.Int("h", 6, "number of HServers (HDD-backed)")
 		sSrv    = flag.Int("s", 2, "number of SServers (SSD-backed)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut = flag.String("json", "", "also write the results as JSON to this file")
 		calPath = flag.String("config", "", "JSON calibration file overriding device/network/planner defaults")
 	)
 	flag.Parse()
@@ -55,12 +61,12 @@ func main() {
 	type runner struct {
 		id    string
 		extra bool // not part of the paper's figures; excluded from "all"
-		fn    func() (*metrics.Table, error)
+		fn    func() (*metrics.Table, []bench.BandwidthRow, error)
 	}
 	runners := []runner{
-		{"3", false, func() (*metrics.Table, error) { return bench.Fig3(5), nil }},
+		{"3", false, func() (*metrics.Table, []bench.BandwidthRow, error) { return bench.Fig3(5), nil, nil }},
 		{"7", false, tableOf(cfg.Fig7)},
-		{"8", false, func() (*metrics.Table, error) { _, tb, err := cfg.Fig8(); return tb, err }},
+		{"8", false, plainTable(cfg.Fig8)},
 		{"9", false, tableOf(cfg.Fig9)},
 		{"10", false, tableOf(cfg.Fig10)},
 		{"11", false, tableOf(cfg.Fig11)},
@@ -68,22 +74,28 @@ func main() {
 		{"12b", false, tableOf(cfg.Fig12b)},
 		{"13a", false, tableOf(cfg.Fig13a)},
 		{"13b", false, tableOf(cfg.Fig13b)},
-		{"14", false, func() (*metrics.Table, error) { _, tb, err := cfg.Fig14(); return tb, err }},
-		{"latency", true, func() (*metrics.Table, error) { _, tb, err := cfg.Latency(); return tb, err }},
-		{"extended", true, func() (*metrics.Table, error) { _, tb, err := cfg.Extended(); return tb, err }},
-		{"scaling", true, func() (*metrics.Table, error) { _, tb, err := cfg.Scaling(); return tb, err }},
-		{"ablation-step", true, func() (*metrics.Table, error) { _, tb, err := cfg.StepAblation(); return tb, err }},
-		{"ablation-k", true, func() (*metrics.Table, error) { _, tb, err := cfg.GroupBoundAblation(); return tb, err }},
-		{"ablation-straggler", true, func() (*metrics.Table, error) { _, tb, err := cfg.StragglerAblation(); return tb, err }},
-		{"ablation-conc", true, func() (*metrics.Table, error) { _, tb, err := cfg.ConcurrencyAblation(); return tb, err }},
-		{"meta", false, func() (*metrics.Table, error) {
+		{"14", false, plainTable(cfg.Fig14)},
+		{"latency", true, plainTable(cfg.Latency)},
+		{"extended", true, plainTable(cfg.Extended)},
+		{"scaling", true, plainTable(cfg.Scaling)},
+		{"ablation-step", true, plainTable(cfg.StepAblation)},
+		{"ablation-k", true, plainTable(cfg.GroupBoundAblation)},
+		{"ablation-straggler", true, plainTable(cfg.StragglerAblation)},
+		{"ablation-conc", true, plainTable(cfg.ConcurrencyAblation)},
+		{"meta", false, func() (*metrics.Table, []bench.BandwidthRow, error) {
 			_, tb := bench.MetaOverhead([]int64{4 * units.KB, 16 * units.KB, 64 * units.KB, 1 * units.MB})
-			return tb, nil
+			return tb, nil, nil
 		}},
 	}
 
 	want := strings.ToLower(*fig)
 	ran := false
+	export := exportJSON{
+		Scale:    *scale,
+		HServers: *hSrv,
+		SServers: *sSrv,
+	}
+	agg := make(map[layout.Scheme]*bandwidthAgg)
 	for _, r := range runners {
 		if want == "all" && r.extra {
 			continue // extras (ablations, scaling, …) run only by name
@@ -92,7 +104,7 @@ func main() {
 			continue
 		}
 		ran = true
-		tb, err := r.fn()
+		tb, rows, err := r.fn()
 		if err != nil {
 			fatal(fmt.Errorf("fig %s: %w", r.id, err))
 		}
@@ -106,16 +118,104 @@ func main() {
 			}
 		}
 		fmt.Println()
+		export.Figures = append(export.Figures, figureJSON{
+			ID: r.id, Title: tb.Title, Headers: tb.Headers, Rows: tb.Data(),
+		})
+		for _, row := range rows {
+			for _, s := range layout.AllSchemes() {
+				a := agg[s]
+				if a == nil {
+					a = &bandwidthAgg{}
+					agg[s] = a
+				}
+				if bw, ok := row.Read[s]; ok && bw > 0 {
+					a.readSum += bw
+					a.readN++
+				}
+				if bw, ok := row.Write[s]; ok && bw > 0 {
+					a.writeSum += bw
+					a.writeN++
+				}
+			}
+		}
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown figure %q (see -help for the list)", *fig))
 	}
+	if *jsonOut != "" {
+		export.Bandwidth = make(map[string]bandwidthJSON, len(agg))
+		for s, a := range agg {
+			export.Bandwidth[s.String()] = a.summary()
+		}
+		if err := writeJSON(*jsonOut, export); err != nil {
+			fatal(err)
+		}
+	}
 }
 
-func tableOf(fn func() ([]bench.BandwidthRow, *metrics.Table, error)) func() (*metrics.Table, error) {
-	return func() (*metrics.Table, error) {
+// exportJSON is the machine-readable form of a run: every table printed,
+// plus the per-scheme aggregate bandwidth over the bandwidth figures.
+type exportJSON struct {
+	Scale    int64        `json:"scale"`
+	HServers int          `json:"hservers"`
+	SServers int          `json:"sservers"`
+	Figures  []figureJSON `json:"figures"`
+	// Bandwidth maps scheme name to its mean read/write bandwidth across
+	// every x-axis point of the generated bandwidth figures.
+	Bandwidth map[string]bandwidthJSON `json:"aggregate_bandwidth_mbps"`
+}
+
+type figureJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+type bandwidthJSON struct {
+	ReadMBps     float64 `json:"read_mbps"`
+	WriteMBps    float64 `json:"write_mbps"`
+	ReadSamples  int     `json:"read_samples"`
+	WriteSamples int     `json:"write_samples"`
+}
+
+type bandwidthAgg struct {
+	readSum, writeSum float64
+	readN, writeN     int
+}
+
+func (a *bandwidthAgg) summary() bandwidthJSON {
+	out := bandwidthJSON{ReadSamples: a.readN, WriteSamples: a.writeN}
+	if a.readN > 0 {
+		out.ReadMBps = a.readSum / float64(a.readN)
+	}
+	if a.writeN > 0 {
+		out.WriteMBps = a.writeSum / float64(a.writeN)
+	}
+	return out
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func tableOf(fn func() ([]bench.BandwidthRow, *metrics.Table, error)) func() (*metrics.Table, []bench.BandwidthRow, error) {
+	return func() (*metrics.Table, []bench.BandwidthRow, error) {
+		rows, tb, err := fn()
+		return tb, rows, err
+	}
+}
+
+// plainTable adapts figure runners whose first result is not a bandwidth
+// row set.
+func plainTable[T any](fn func() (T, *metrics.Table, error)) func() (*metrics.Table, []bench.BandwidthRow, error) {
+	return func() (*metrics.Table, []bench.BandwidthRow, error) {
 		_, tb, err := fn()
-		return tb, err
+		return tb, nil, err
 	}
 }
 

@@ -127,11 +127,11 @@ func (c Config) RunScheme(scheme layout.Scheme, tr trace.Trace) (SchemeRun, erro
 	case layout.DEF:
 		// The baseline runs without any redirection machinery.
 	case layout.MHA:
-		mw.Redirector = reorder.NewRedirector(placement.DRT, c.RedirectLookup)
+		mw.SetRedirector(reorder.NewRedirector(placement.DRT, c.RedirectLookup))
 	default:
 		// AAL and HARL restripe in place in the paper; route through the
 		// DRT for mechanics but charge no lookup.
-		mw.Redirector = reorder.NewRedirector(placement.DRT, 0)
+		mw.SetRedirector(reorder.NewRedirector(placement.DRT, 0))
 	}
 	res, err := replay.RunWith(mw, tr, replay.Options{Mode: c.ReplayMode})
 	if err != nil {

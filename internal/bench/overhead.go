@@ -97,7 +97,7 @@ func (c Config) replayPlain(tr trace.Trace, redirect bool) (replay.Result, error
 			return replay.Result{}, err
 		}
 		defer placement.Close()
-		mw.Redirector = reorder.NewRedirector(placement.DRT, c.RedirectLookup)
+		mw.SetRedirector(reorder.NewRedirector(placement.DRT, c.RedirectLookup))
 	}
 	return replay.RunWith(mw, tr, replay.Options{Mode: c.ReplayMode})
 }

@@ -90,6 +90,14 @@ type Policy struct {
 	// MinNewRecords throttles re-optimization: at least this many requests
 	// must have arrived since the last plan.
 	MinNewRecords int
+
+	// WatchCompletions bases drift detection on the I/O pipeline's
+	// per-request completion records (requests in the order they finished,
+	// stamped with their completion time) instead of the collector's
+	// issue-order trace. The target must implement CompletionSource.
+	// Off by default; the plans themselves are always built from the
+	// cumulative collected trace either way.
+	WatchCompletions bool
 }
 
 // DefaultPolicy: compare the last 256 requests, re-optimize at 30% drift,
@@ -122,6 +130,14 @@ type Target interface {
 	Optimize(scheme layout.Scheme, tr trace.Trace) error
 }
 
+// CompletionSource is optionally implemented by targets whose I/O
+// pipeline records per-request completions (mhafs.System does): the
+// records, rendered as a trace in completion order. Used when
+// Policy.WatchCompletions is set.
+type CompletionSource interface {
+	CompletionTrace() trace.Trace
+}
+
 // Manager drives divergence-triggered re-optimization.
 type Manager struct {
 	target  Target
@@ -141,6 +157,11 @@ func NewManager(target Target, scheme layout.Scheme, policy Policy) (*Manager, e
 	if err := policy.Validate(); err != nil {
 		return nil, err
 	}
+	if policy.WatchCompletions {
+		if _, ok := target.(CompletionSource); !ok {
+			return nil, fmt.Errorf("dynamic: WatchCompletions requires a CompletionSource target")
+		}
+	}
 	return &Manager{target: target, scheme: scheme, policy: policy}, nil
 }
 
@@ -153,7 +174,7 @@ func (m *Manager) Reoptimizations() int { return m.reopts }
 // It returns whether a (re-)optimization happened and the divergence that
 // was observed.
 func (m *Manager) Check() (bool, float64, error) {
-	raw := m.target.RawTrace()
+	raw := m.observed()
 	if m.det == nil {
 		// Initial plan: wait for a full window of observations.
 		if len(raw) < m.policy.Window {
@@ -179,6 +200,16 @@ func (m *Manager) Check() (bool, float64, error) {
 		return false, div, err
 	}
 	return true, div, nil
+}
+
+// observed returns the request stream drift is measured on: the
+// collector's issue-order trace, or — with WatchCompletions — the
+// pipeline's completion records.
+func (m *Manager) observed() trace.Trace {
+	if m.policy.WatchCompletions {
+		return m.target.(CompletionSource).CompletionTrace()
+	}
+	return m.target.RawTrace()
 }
 
 // optimize re-plans on the cumulative trace (so every previously mapped

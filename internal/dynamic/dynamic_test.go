@@ -177,3 +177,50 @@ func TestManagerErrors(t *testing.T) {
 		t.Errorf("retry: did=%v err=%v", did, err)
 	}
 }
+
+// completionTarget layers a CompletionSource over fakeTarget with an
+// independent completion stream.
+type completionTarget struct {
+	fakeTarget
+	completed trace.Trace
+}
+
+func (c *completionTarget) CompletionTrace() trace.Trace { return c.completed.Clone() }
+
+func TestWatchCompletions(t *testing.T) {
+	pol := Policy{Window: 10, Threshold: 0.3, MinNewRecords: 10, WatchCompletions: true}
+
+	// A target without completion records is rejected up front.
+	if _, err := NewManager(&fakeTarget{}, layout.MHA, pol); err == nil {
+		t.Fatal("WatchCompletions accepted a target without CompletionTrace")
+	}
+
+	ct := &completionTarget{}
+	m, err := NewManager(ct, layout.MHA, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drift detection follows the completion stream, not the collector:
+	// the collector already holds a full window, completions do not.
+	ct.tr = uniformTrace(20, 64*units.KB, trace.OpWrite)
+	if did, _, _ := m.Check(); did {
+		t.Fatal("planned from the collector trace despite WatchCompletions")
+	}
+	ct.completed = uniformTrace(10, 64*units.KB, trace.OpWrite)
+	did, _, err := m.Check()
+	if err != nil || !did {
+		t.Fatalf("initial plan from completions: did=%v err=%v", did, err)
+	}
+	// Re-plan triggers on completion-stream drift.
+	ct.completed = append(ct.completed, uniformTrace(15, 4*units.MB, trace.OpRead)...)
+	did, div, err := m.Check()
+	if err != nil || !did {
+		t.Fatalf("drifted completions: did=%v err=%v", did, err)
+	}
+	if div <= pol.Threshold {
+		t.Errorf("divergence %v not above threshold", div)
+	}
+	if len(ct.optimized) != 2 {
+		t.Errorf("optimize calls = %d, want 2", len(ct.optimized))
+	}
+}

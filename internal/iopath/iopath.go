@@ -1,0 +1,333 @@
+// Package iopath is the staged I/O request pipeline: the single path every
+// independent read and write takes from the client middleware down to the
+// simulated servers.
+//
+// The paper's five phases used to be wired ad hoc — the middleware held a
+// Collector field, a Redirector field, and called straight into the
+// parallel file system. iopath replaces that plumbing with one Request
+// descriptor flowing through an ordered chain of Stage values:
+//
+//		trace ──▶ (interceptors…) ──▶ redirect ──▶ stripe ──▶ server
+//
+//	  - trace    — capture the request into the I/O Collector (tracing phase);
+//	  - redirect — translate the extent through the Data Reordering Table,
+//	    charging the DRT lookup latency (redirection phase);
+//	  - stripe   — resolve the target file and fan the extent out into one
+//	    coalesced sub-request per storage server;
+//	  - server   — submit each sub-request to its server, whose model covers
+//	    the network transport and device service time.
+//
+// Cross-cutting concerns (metrics, request counting, QoS, replay
+// instrumentation) register as interceptor stages between trace and
+// redirect instead of being hard-coded into any layer. The chain is
+// composed by name, so schemes install and remove the redirect stage at
+// run time without the layers knowing about each other.
+//
+// Determinism contract: stages forward synchronously unless they model a
+// latency (the redirect stage schedules its fan-out after the DRT lookup
+// time, exactly as the unstaged code did), so a pipeline of the default
+// stages produces bit-for-bit the same virtual-time results as the
+// hard-wired path it replaced.
+package iopath
+
+import (
+	"fmt"
+	"sync"
+
+	"mhafs/internal/pfs"
+	"mhafs/internal/server"
+	"mhafs/internal/sim"
+	"mhafs/internal/trace"
+)
+
+// Request is the descriptor that flows through the stage chain. The
+// middleware submits one Request per application operation; stages derive
+// child Requests when they split the work (redirection into region
+// extents, striping into per-server sub-requests).
+type Request struct {
+	Op     trace.Op
+	File   string // file name as seen at this stage (logical, then region)
+	Offset int64  // offset within File
+	Data   []byte // payload for writes, destination buffer for reads
+
+	// Client identity, as the tracing phase records it.
+	Rank int
+	PID  int
+	FD   int
+
+	// Untraced suppresses trace capture — set on the aggregated
+	// file-domain requests of collective I/O, whose logical per-rank
+	// pieces are recorded separately.
+	Untraced bool
+
+	// Submit and Complete are the request's virtual-time bounds: stamped
+	// on pipeline entry and when the slowest piece finishes.
+	Submit   float64
+	Complete float64
+
+	// Target is the resolved file metadata record; the redirect stage
+	// pre-resolves it for its children, the stripe stage resolves it for
+	// direct requests.
+	Target *pfs.File
+
+	// Binding is set by the stripe stage on per-server children and
+	// consumed by the terminal server stage.
+	Binding *ServerBinding
+
+	// OnComplete, when non-nil, receives the virtual completion time of
+	// the slowest piece. Stages may wrap it to observe completion.
+	OnComplete func(end float64)
+
+	pipe        *Pipeline
+	annotations map[string]any
+}
+
+// Size returns the request length in bytes.
+func (r *Request) Size() int64 { return int64(len(r.Data)) }
+
+// Finish stamps the completion time and runs the completion callback.
+// Exactly one stage must call it per request.
+func (r *Request) Finish(end float64) {
+	r.Complete = end
+	if r.OnComplete != nil {
+		r.OnComplete(end)
+	}
+}
+
+// Annotate attaches a per-stage annotation to the request. Annotations are
+// for interceptors cooperating across the chain; the built-in stages do
+// not read them.
+func (r *Request) Annotate(key string, value any) {
+	if r.annotations == nil {
+		r.annotations = make(map[string]any)
+	}
+	r.annotations[key] = value
+}
+
+// Annotation returns the annotation for key, if set.
+func (r *Request) Annotation(key string) (any, bool) {
+	v, ok := r.annotations[key]
+	return v, ok
+}
+
+// child derives a Request that inherits the parent's identity and pipeline
+// but addresses a different extent.
+func (r *Request) child(file string, off int64, data []byte) *Request {
+	return &Request{
+		Op: r.Op, File: file, Offset: off, Data: data,
+		Rank: r.Rank, PID: r.PID, FD: r.FD,
+		Untraced: r.Untraced, Submit: r.Submit,
+		pipe: r.pipe,
+	}
+}
+
+// ServerBinding routes a per-server sub-request: which server, which
+// server-side object, where in it, and what bytes.
+type ServerBinding struct {
+	Server *server.Server
+	Object string
+	Local  int64
+	// Payload is the gathered write payload or the read landing buffer.
+	Payload []byte
+	// Scatter, for reads, copies the landed bytes back into the caller's
+	// buffer; the server stage runs it before reporting completion.
+	Scatter func()
+}
+
+// Handler forwards a request to the remainder of the chain.
+type Handler func(*Request) error
+
+// Stage is one link of the pipeline. Handle must either call next
+// (possibly on derived child requests, possibly from a later scheduled
+// event) or complete the request itself.
+type Stage interface {
+	Handle(req *Request, next Handler) error
+}
+
+// StageFunc adapts a function to a Stage.
+type StageFunc func(*Request, Handler) error
+
+// Handle implements Stage.
+func (f StageFunc) Handle(req *Request, next Handler) error { return f(req, next) }
+
+// Canonical stage names, in chain order.
+const (
+	StageTrace    = "trace"
+	StageRedirect = "redirect"
+	StageStripe   = "stripe"
+	StageServer   = "server"
+)
+
+// slot is one named link of the chain.
+type slot struct {
+	name  string
+	stage Stage
+}
+
+// Pipeline is an ordered, named chain of stages. Registration addresses
+// stages by name so callers compose the chain without positional
+// knowledge; Submit pushes a request through the chain front to back.
+//
+// Submission is safe for concurrent use: the whole synchronous part of a
+// submission runs under one lock, so independent clients may submit from
+// separate goroutines. Driving the simulation engine remains
+// single-threaded, as the engine requires.
+type Pipeline struct {
+	eng *sim.Engine
+
+	mu    sync.Mutex
+	slots []slot
+}
+
+// NewPipeline creates an empty pipeline over the simulation engine.
+func NewPipeline(eng *sim.Engine) *Pipeline {
+	if eng == nil {
+		panic("iopath: nil engine")
+	}
+	return &Pipeline{eng: eng}
+}
+
+// Engine returns the pipeline's simulation engine.
+func (p *Pipeline) Engine() *sim.Engine { return p.eng }
+
+func (p *Pipeline) indexOf(name string) int {
+	for i, s := range p.slots {
+		if s.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Append adds a stage at the end of the chain.
+func (p *Pipeline) Append(name string, s Stage) error {
+	return p.insert(name, s, func() int { return len(p.slots) })
+}
+
+// InsertBefore adds a stage immediately before the named anchor stage.
+func (p *Pipeline) InsertBefore(anchor, name string, s Stage) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	at := p.indexOf(anchor)
+	if at < 0 {
+		return fmt.Errorf("iopath: no stage %q to insert before", anchor)
+	}
+	return p.insertLocked(name, s, at)
+}
+
+func (p *Pipeline) insert(name string, s Stage, at func() int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.insertLocked(name, s, at())
+}
+
+// Registration is copy-on-write: in-flight requests hold the chain they
+// were submitted into, so a stage continuing a request from a scheduled
+// event is never re-routed by later registration changes.
+func (p *Pipeline) insertLocked(name string, s Stage, at int) error {
+	if name == "" {
+		return fmt.Errorf("iopath: empty stage name")
+	}
+	if s == nil {
+		return fmt.Errorf("iopath: nil stage %q", name)
+	}
+	if p.indexOf(name) >= 0 {
+		return fmt.Errorf("iopath: stage %q already registered", name)
+	}
+	ns := make([]slot, 0, len(p.slots)+1)
+	ns = append(ns, p.slots[:at]...)
+	ns = append(ns, slot{name: name, stage: s})
+	ns = append(ns, p.slots[at:]...)
+	p.slots = ns
+	return nil
+}
+
+// Replace swaps the implementation of an existing named stage.
+func (p *Pipeline) Replace(name string, s Stage) error {
+	if s == nil {
+		return fmt.Errorf("iopath: nil stage %q", name)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i := p.indexOf(name)
+	if i < 0 {
+		return fmt.Errorf("iopath: no stage %q to replace", name)
+	}
+	ns := make([]slot, len(p.slots))
+	copy(ns, p.slots)
+	ns[i].stage = s
+	p.slots = ns
+	return nil
+}
+
+// Remove deletes the named stage, reporting whether it was present.
+func (p *Pipeline) Remove(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i := p.indexOf(name)
+	if i < 0 {
+		return false
+	}
+	ns := make([]slot, 0, len(p.slots)-1)
+	ns = append(ns, p.slots[:i]...)
+	ns = append(ns, p.slots[i+1:]...)
+	p.slots = ns
+	return true
+}
+
+// Has reports whether a stage with the given name is registered.
+func (p *Pipeline) Has(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.indexOf(name) >= 0
+}
+
+// Names returns the stage names in chain order.
+func (p *Pipeline) Names() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.slots))
+	for i, s := range p.slots {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Submit stamps the request and pushes it through the chain. The
+// synchronous portion of every stage runs before Submit returns; stages
+// that model latency complete the request through later engine events.
+func (p *Pipeline) Submit(req *Request) error {
+	if req == nil {
+		return fmt.Errorf("iopath: nil request")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	req.pipe = p
+	req.Submit = p.eng.Now()
+	return dispatch(p, p.slots, req, 0)
+}
+
+// Exclusive runs fn holding the pipeline's submission lock. Stages use it
+// to re-enter the chain from a scheduled event; the middleware uses it for
+// metadata operations sharing state with submission. fn must not call
+// Submit or registration methods.
+func (p *Pipeline) Exclusive(fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fn()
+}
+
+// dispatch runs the stage at index i of the chain snapshot; the next
+// handler continues at i+1. Requests derived by a stage continue
+// downstream of it — they do not restart the chain.
+func dispatch(p *Pipeline, chain []slot, req *Request, i int) error {
+	if i >= len(chain) {
+		return fmt.Errorf("iopath: request for %q fell off the end of the chain", req.File)
+	}
+	return chain[i].stage.Handle(req, func(r *Request) error {
+		if r.pipe == nil {
+			r.pipe = p
+		}
+		return dispatch(p, chain, r, i+1)
+	})
+}

@@ -1,0 +1,99 @@
+package iopath
+
+import (
+	"sync"
+
+	"mhafs/internal/trace"
+)
+
+// Record is one completed request as observed by a Recorder: the
+// request's identity plus its virtual submit and completion times. This is
+// the pipeline's per-request completion stream — replay, bench and the
+// dynamic manager consume it instead of scraping server statistics.
+type Record struct {
+	Op       trace.Op
+	File     string
+	Offset   int64
+	Size     int64
+	Rank     int
+	Untraced bool
+
+	Submit   float64 // virtual time the request entered the pipeline
+	Complete float64 // virtual time the slowest piece finished
+}
+
+// Latency returns the request's issue-to-completion time in virtual
+// seconds.
+func (r Record) Latency() float64 { return r.Complete - r.Submit }
+
+// Recorder is an interceptor stage that captures a completion Record for
+// every request flowing past it, in completion order. Register it before
+// the redirect stage to observe application-level requests (rather than
+// redirected or striped pieces).
+type Recorder struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Handle wraps the request's completion callback to log a Record.
+func (rc *Recorder) Handle(req *Request, next Handler) error {
+	prev := req.OnComplete
+	req.OnComplete = func(end float64) {
+		rc.mu.Lock()
+		rc.records = append(rc.records, Record{
+			Op: req.Op, File: req.File, Offset: req.Offset, Size: req.Size(),
+			Rank: req.Rank, Untraced: req.Untraced,
+			Submit: req.Submit, Complete: end,
+		})
+		rc.mu.Unlock()
+		if prev != nil {
+			prev(end)
+		}
+	}
+	return next(req)
+}
+
+// Len returns the number of completion records captured.
+func (rc *Recorder) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.records)
+}
+
+// Records returns a copy of the captured records in completion order.
+func (rc *Recorder) Records() []Record {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make([]Record, len(rc.records))
+	copy(out, rc.records)
+	return out
+}
+
+// Reset discards the captured records.
+func (rc *Recorder) Reset() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.records = nil
+}
+
+// CompletionTrace converts the traced (non-collective) records to a
+// trace.Trace in completion order, with Time set to the completion time —
+// the view a drift detector wants: what actually finished, when.
+func (rc *Recorder) CompletionTrace() trace.Trace {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make(trace.Trace, 0, len(rc.records))
+	for _, r := range rc.records {
+		if r.Untraced {
+			continue
+		}
+		out = append(out, trace.Record{
+			Rank: r.Rank, File: r.File, Op: r.Op,
+			Offset: r.Offset, Size: r.Size, Time: r.Complete,
+		})
+	}
+	return out
+}

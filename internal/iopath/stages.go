@@ -1,0 +1,168 @@
+package iopath
+
+import (
+	"fmt"
+
+	"mhafs/internal/iosig"
+	"mhafs/internal/pfs"
+	"mhafs/internal/reorder"
+	"mhafs/internal/sim"
+	"mhafs/internal/trace"
+)
+
+// FileResolver resolves a file name to its metadata record, creating the
+// file when the owner's policy allows (the middleware's AutoCreate).
+type FileResolver interface {
+	ResolveFile(name string) (*pfs.File, error)
+}
+
+// Capture is the trace-capture stage (the paper's tracing phase). A nil
+// Collector makes it a pass-through, so the slot can stay registered while
+// tracing is not wired.
+type Capture struct {
+	Collector *iosig.Collector
+}
+
+// Handle records the request and forwards it unchanged.
+func (c *Capture) Handle(req *Request, next Handler) error {
+	if col := c.Collector; col != nil && !req.Untraced && req.Size() > 0 {
+		col.Record(req.PID, req.Rank, req.FD, req.File, req.Op, req.Offset, req.Size())
+	}
+	return next(req)
+}
+
+// Redirect is the DRT-redirection stage (the paper's redirection phase):
+// it translates the request's extent to its reordered locations, charges
+// the client-side DRT lookup latency, and fans the request out into one
+// child per target extent. The request completes when its slowest child
+// completes.
+type Redirect struct {
+	Redirector *reorder.Redirector
+	Files      FileResolver
+	Eng        *sim.Engine
+}
+
+// Handle splits the request along its DRT targets. Target files are
+// resolved synchronously (so configuration errors surface to the caller);
+// the children enter the rest of the chain after the lookup latency.
+func (rd *Redirect) Handle(req *Request, next Handler) error {
+	r := rd.Redirector
+	n := req.Size()
+	targets := r.Resolve(req.File, req.Offset, n)
+	children := make([]*Request, 0, len(targets))
+	var cursor int64
+	for _, tg := range targets {
+		f, err := rd.Files.ResolveFile(tg.File)
+		if err != nil {
+			return err
+		}
+		child := req.child(tg.File, tg.Offset, req.Data[cursor:cursor+tg.Size])
+		child.Target = f
+		children = append(children, child)
+		cursor += tg.Size
+	}
+	if cursor != n {
+		return fmt.Errorf("iopath: redirection covered %d of %d bytes", cursor, n)
+	}
+	latest := new(float64)
+	barrier := sim.NewBarrier(len(children), func() {
+		req.Finish(*latest)
+	})
+	for _, child := range children {
+		child.OnComplete = func(end float64) {
+			if end > *latest {
+				*latest = end
+			}
+			barrier.Arrive()
+		}
+	}
+	rd.Eng.Schedule(r.LookupTime, func() {
+		req.pipe.Exclusive(func() {
+			for _, child := range children {
+				// Errors cannot occur here: extents were validated and
+				// target files resolved before scheduling.
+				_ = next(child)
+			}
+		})
+	})
+	return nil
+}
+
+// Striper is the stripe fan-out stage: it resolves the target file (unless
+// a redirect child already carries it) and splits the extent into one
+// coalesced sub-request per storage server, exactly as a PFS client does.
+// The request completes when its slowest sub-request completes.
+type Striper struct {
+	Cluster *pfs.Cluster
+	Files   FileResolver
+}
+
+// Handle fans the request out into server-bound children.
+func (s *Striper) Handle(req *Request, next Handler) error {
+	f := req.Target
+	if f == nil {
+		var err error
+		f, err = s.Files.ResolveFile(req.File)
+		if err != nil {
+			return err
+		}
+		req.Target = f
+	}
+	var subs []pfs.SubRequest
+	if req.Op == trace.OpWrite {
+		subs = s.Cluster.PlanWrite(f, req.Offset, req.Data)
+	} else {
+		subs = s.Cluster.PlanRead(f, req.Offset, req.Data)
+	}
+	latest := new(float64)
+	barrier := sim.NewBarrier(len(subs), func() {
+		req.Finish(*latest)
+	})
+	for _, sub := range subs {
+		child := req.child(req.File, req.Offset, sub.Data)
+		child.Target = f
+		child.Binding = &ServerBinding{
+			Server:  sub.Server,
+			Object:  sub.Object,
+			Local:   sub.Local,
+			Payload: sub.Data,
+			Scatter: sub.Scatter,
+		}
+		child.OnComplete = func(end float64) {
+			if end > *latest {
+				*latest = end
+			}
+			barrier.Arrive()
+		}
+		if err := next(child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServerStage is the terminal stage: it hands each server-bound
+// sub-request to its storage server, whose model charges the network
+// transport and device service time and completes the request.
+type ServerStage struct{}
+
+// Handle submits the sub-request; the chain ends here.
+func (ServerStage) Handle(req *Request, next Handler) error {
+	b := req.Binding
+	if b == nil {
+		return fmt.Errorf("iopath: request for %q reached the server stage without a binding", req.File)
+	}
+	if req.Op == trace.OpWrite {
+		b.Server.SubmitWrite(b.Object, b.Local, b.Payload, func(end float64) {
+			req.Finish(end)
+		})
+		return nil
+	}
+	b.Server.SubmitRead(b.Object, b.Local, b.Payload, func(end float64) {
+		if b.Scatter != nil {
+			b.Scatter()
+		}
+		req.Finish(end)
+	})
+	return nil
+}

@@ -1,0 +1,36 @@
+package layout
+
+import (
+	"testing"
+
+	"mhafs/internal/region"
+)
+
+// TestRegionNamesCarrySchemeMarkers pins region.SchemeMarkers in sync with
+// RegionName: every scheme's region files must be recognizable by
+// region.HasSchemeMarker (garbage collection relies on this), and original
+// file names must not be.
+func TestRegionNamesCarrySchemeMarkers(t *testing.T) {
+	for _, s := range ExtendedSchemes() {
+		for _, tag := range []string{"", "g1"} {
+			name := RegionName(s, tag, "app.dat", 0)
+			if !region.HasSchemeMarker(name) {
+				t.Errorf("region %q (scheme %v) not matched by HasSchemeMarker", name, s)
+			}
+		}
+	}
+	markers := make(map[string]bool, len(region.SchemeMarkers))
+	for _, m := range region.SchemeMarkers {
+		markers[m] = true
+	}
+	for _, s := range ExtendedSchemes() {
+		if !markers[s.String()] {
+			t.Errorf("scheme %v missing from region.SchemeMarkers", s)
+		}
+	}
+	for _, original := range []string{"app.dat", "a.b.c", "data.MHAish", "x.DEF", "DEF.x"} {
+		if region.HasSchemeMarker(original) {
+			t.Errorf("original file %q misidentified as a region", original)
+		}
+	}
+}

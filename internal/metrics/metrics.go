@@ -164,7 +164,7 @@ func NewTable(title string, headers ...string) *Table {
 }
 
 // AddRow appends a row; cells are stringified with %v.
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -179,6 +179,16 @@ func (t *Table) AddRow(cells ...interface{}) {
 
 // Rows returns the number of data rows.
 func (t *Table) Rows() int { return len(t.rows) }
+
+// Data returns a copy of the stringified data rows, for machine-readable
+// exports.
+func (t *Table) Data() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		out[i] = append([]string(nil), row...)
+	}
+	return out
+}
 
 // Fprint renders the table to w.
 func (t *Table) Fprint(w io.Writer) error {

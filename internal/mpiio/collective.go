@@ -91,8 +91,9 @@ func (m *Middleware) collective(op trace.Op, name string, pieces []Piece, opts C
 			return fmt.Errorf("mpiio: collective pieces overlap at offset %d", p.Offset)
 		}
 	}
-	// Record the logical per-rank requests (the application's view).
-	if c := m.Collector; c != nil {
+	// Record the logical per-rank requests (the application's view). The
+	// aggregated file-domain requests below run untraced instead.
+	if c := m.Collector(); c != nil {
 		for _, p := range sorted {
 			c.Record(1000+p.Rank, p.Rank, 3, name, op, p.Offset, int64(len(p.Data)))
 		}
@@ -168,8 +169,8 @@ func (m *Middleware) collectiveWriteDomain(name string, aggRank int, d domain, a
 		for _, p := range run.pieces {
 			buf = append(buf, p.Data...)
 		}
-		h := &FileHandle{mw: m, name: name, rank: aggRank, pid: 1000 + aggRank, fd: 3}
-		err := h.issueUntraced(trace.OpWrite, run.start, buf, func(end float64) {
+		h := &FileHandle{mw: m, name: name, rank: aggRank, pid: 1000 + aggRank, fd: 3, untraced: true}
+		err := h.issue(trace.OpWrite, run.start, buf, func(end float64) {
 			if end > *latest {
 				*latest = end
 			}
@@ -194,8 +195,8 @@ func (m *Middleware) collectiveReadDomain(name string, aggRank int, d domain, ar
 	for _, run := range runs {
 		run := run
 		buf := make([]byte, run.end-run.start)
-		h := &FileHandle{mw: m, name: name, rank: aggRank, pid: 1000 + aggRank, fd: 3}
-		err := h.issueUntraced(trace.OpRead, run.start, buf, func(end float64) {
+		h := &FileHandle{mw: m, name: name, rank: aggRank, pid: 1000 + aggRank, fd: 3, untraced: true}
+		err := h.issue(trace.OpRead, run.start, buf, func(end float64) {
 			var cursor int64
 			for _, p := range run.pieces {
 				off := p.Offset - run.start
@@ -240,15 +241,4 @@ func contiguousRuns(pieces []Piece) []pieceRun {
 		runs = append(runs, cur)
 	}
 	return runs
-}
-
-// issueUntraced is issue without collector recording (collective
-// operations record the logical per-rank pieces, not the aggregated
-// file-domain requests).
-func (h *FileHandle) issueUntraced(op trace.Op, off int64, buf []byte, done func(end float64)) error {
-	saved := h.mw.Collector
-	h.mw.Collector = nil
-	err := h.issue(op, off, buf, done)
-	h.mw.Collector = saved
-	return err
 }

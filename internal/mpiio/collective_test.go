@@ -148,7 +148,7 @@ func TestCollectiveRecordsLogicalRequests(t *testing.T) {
 	c := testCluster(t)
 	mw := New(c)
 	col := newTestCollector(c)
-	mw.Collector = col
+	mw.SetCollector(col)
 	pieces, _ := interleavedPieces(4, 2, 4*units.KB, rand.New(rand.NewSource(3)))
 	if err := mw.CollectiveWrite("f", pieces, CollectiveOptions{}, nil); err != nil {
 		t.Fatal(err)

@@ -1,50 +1,130 @@
 // Package mpiio is the miniature MPI-IO-like middleware layer through
 // which applications access the simulated parallel file system.
 //
-// It is the repository's analogue of the paper's modified MPICH2 library:
-// the tracing hook (I/O Collector) records every request during a
-// profiling run, and the redirection hook translates request extents
-// through the Data Reordering Table before forwarding the operations to
-// the underlying servers — transparently to the application, which only
-// sees Open/ReadAt/WriteAt/Close on the original file names.
+// It is the repository's analogue of the paper's modified MPICH2 library.
+// Every independent read and write is described by one iopath.Request and
+// submitted into the staged I/O pipeline
+//
+//	trace ──▶ (interceptors…) ──▶ redirect ──▶ stripe ──▶ server
+//
+// so the tracing hook (I/O Collector) and the redirection hook (Data
+// Reordering Table) are pipeline stages installed with SetCollector and
+// SetRedirector rather than hard-wired special cases, and cross-cutting
+// concerns register as interceptors with Intercept — all transparently to
+// the application, which only sees Open/ReadAt/WriteAt/Close on the
+// original file names.
 package mpiio
 
 import (
 	"fmt"
 
+	"mhafs/internal/iopath"
 	"mhafs/internal/iosig"
 	"mhafs/internal/pfs"
 	"mhafs/internal/reorder"
-	"mhafs/internal/sim"
 	"mhafs/internal/trace"
 )
 
-// Middleware binds a cluster with the optional tracing and redirection
-// hooks.
+// Middleware binds a cluster to an I/O pipeline.
 type Middleware struct {
 	Cluster *pfs.Cluster
-
-	// Collector, when non-nil and enabled, records every ReadAt/WriteAt
-	// (the tracing phase).
-	Collector *iosig.Collector
-
-	// Redirector, when non-nil, translates extents through the DRT (the
-	// redirection phase) and charges its lookup latency per request.
-	Redirector *reorder.Redirector
 
 	// AutoCreate makes WriteAt/ReadAt create missing target files with the
 	// cluster default layout, like a PFS creating files on first write.
 	AutoCreate bool
 
-	nextFD int
+	pipe       *iopath.Pipeline
+	collector  *iosig.Collector
+	redirector *reorder.Redirector
+	nextFD     int
 }
 
-// New creates a middleware over the cluster with no hooks installed.
+// New creates a middleware over the cluster with the default stage chain
+// (trace pass-through, stripe fan-out, server submission) and no hooks
+// installed.
 func New(c *pfs.Cluster) *Middleware {
 	if c == nil {
 		panic("mpiio: nil cluster")
 	}
-	return &Middleware{Cluster: c, AutoCreate: true}
+	m := &Middleware{Cluster: c, AutoCreate: true}
+	m.pipe = iopath.NewPipeline(c.Eng)
+	// Registration on a fresh pipeline cannot fail: names are distinct.
+	must(m.pipe.Append(iopath.StageTrace, &iopath.Capture{}))
+	must(m.pipe.Append(iopath.StageStripe, &iopath.Striper{Cluster: c, Files: m}))
+	must(m.pipe.Append(iopath.StageServer, iopath.ServerStage{}))
+	return m
+}
+
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("mpiio: pipeline wiring: %v", err))
+	}
+}
+
+// Pipeline exposes the stage chain for direct composition (stage listing,
+// custom placement). Most callers use SetCollector, SetRedirector and
+// Intercept instead.
+func (m *Middleware) Pipeline() *iopath.Pipeline { return m.pipe }
+
+// SetCollector installs (or, with nil, clears) the tracing stage's
+// collector. Configuration is not safe concurrently with submission.
+func (m *Middleware) SetCollector(col *iosig.Collector) {
+	m.collector = col
+	must(m.pipe.Replace(iopath.StageTrace, &iopath.Capture{Collector: col}))
+}
+
+// Collector returns the installed collector (nil when tracing is not
+// wired).
+func (m *Middleware) Collector() *iosig.Collector { return m.collector }
+
+// SetRedirector installs, replaces or (with nil) removes the DRT
+// redirection stage. Configuration is not safe concurrently with
+// submission.
+func (m *Middleware) SetRedirector(r *reorder.Redirector) {
+	m.redirector = r
+	if r == nil {
+		m.pipe.Remove(iopath.StageRedirect)
+		return
+	}
+	st := &iopath.Redirect{Redirector: r, Files: m, Eng: m.Cluster.Eng}
+	if m.pipe.Has(iopath.StageRedirect) {
+		must(m.pipe.Replace(iopath.StageRedirect, st))
+		return
+	}
+	must(m.pipe.InsertBefore(iopath.StageStripe, iopath.StageRedirect, st))
+}
+
+// Redirector returns the installed redirector (nil when requests are not
+// redirected).
+func (m *Middleware) Redirector() *reorder.Redirector { return m.redirector }
+
+// Intercept registers an interceptor stage on the request path: after
+// trace capture and any earlier interceptors, before redirection and
+// striping. Every independent request — and each collective operation's
+// aggregated file-domain requests — flows through it.
+func (m *Middleware) Intercept(name string, s iopath.Stage) error {
+	anchor := iopath.StageStripe
+	if m.pipe.Has(iopath.StageRedirect) {
+		anchor = iopath.StageRedirect
+	}
+	return m.pipe.InsertBefore(anchor, name, s)
+}
+
+// Uninstall removes a named interceptor, reporting whether it was present.
+func (m *Middleware) Uninstall(name string) bool { return m.pipe.Remove(name) }
+
+// ResolveFile implements iopath.FileResolver: it returns the file record
+// for name, creating the file with the cluster default layout when
+// AutoCreate permits.
+func (m *Middleware) ResolveFile(name string) (*pfs.File, error) {
+	f, ok := m.Cluster.Lookup(name)
+	if ok {
+		return f, nil
+	}
+	if !m.AutoCreate {
+		return nil, fmt.Errorf("mpiio: target %q does not exist", name)
+	}
+	return m.Cluster.CreateDefault(name)
 }
 
 // FileHandle is one rank's open file, analogous to an MPI_File.
@@ -54,27 +134,40 @@ type FileHandle struct {
 	rank int
 	pid  int
 	fd   int
+
+	// untraced marks internal handles (collective aggregators) whose
+	// requests must not be captured by the trace stage.
+	untraced bool
 }
 
 // Open opens name for the given rank, charging one MDS lookup in virtual
-// time. The target must exist unless AutoCreate is set.
+// time. The target must exist unless AutoCreate is set. Open shares the
+// pipeline's submission lock, so concurrent clients may open and submit
+// from separate goroutines.
 func (m *Middleware) Open(name string, rank int) (*FileHandle, error) {
-	if _, ok := m.Cluster.Lookup(name); !ok {
-		if !m.AutoCreate {
-			return nil, fmt.Errorf("mpiio: open %q: no such file", name)
+	var h *FileHandle
+	var err error
+	m.pipe.Exclusive(func() {
+		if _, ok := m.Cluster.Lookup(name); !ok {
+			if !m.AutoCreate {
+				err = fmt.Errorf("mpiio: open %q: no such file", name)
+				return
+			}
+			if _, cerr := m.Cluster.CreateDefault(name); cerr != nil {
+				err = cerr
+				return
+			}
 		}
-		if _, err := m.Cluster.CreateDefault(name); err != nil {
-			return nil, err
+		m.nextFD++
+		h = &FileHandle{mw: m, name: name, rank: rank, pid: 1000 + rank, fd: m.nextFD}
+		// Charge the MDS lookup asynchronously; the first data operation
+		// will queue behind it only through the MDS resource, matching a
+		// real open.
+		if oerr := m.Cluster.OpenHandle(name, nil); oerr != nil {
+			h, err = nil, oerr
 		}
-	}
-	m.nextFD++
-	h := &FileHandle{mw: m, name: name, rank: rank, pid: 1000 + rank, fd: m.nextFD}
-	// Charge the MDS lookup asynchronously; the first data operation will
-	// queue behind it only through the MDS resource, matching a real open.
-	if err := m.Cluster.OpenHandle(name, nil); err != nil {
-		return nil, err
-	}
-	return h, nil
+	})
+	return h, err
 }
 
 // Name returns the logical (original) file name the handle refers to.
@@ -82,19 +175,6 @@ func (h *FileHandle) Name() string { return h.name }
 
 // Rank returns the MPI rank owning the handle.
 func (h *FileHandle) Rank() int { return h.rank }
-
-// targetOp issues one operation against a (possibly redirected) target
-// file, creating it if permitted.
-func (h *FileHandle) targetFile(name string) (*pfs.File, error) {
-	f, ok := h.mw.Cluster.Lookup(name)
-	if ok {
-		return f, nil
-	}
-	if !h.mw.AutoCreate {
-		return nil, fmt.Errorf("mpiio: target %q does not exist", name)
-	}
-	return h.mw.Cluster.CreateDefault(name)
-}
 
 // WriteAt schedules a write of data at offset off in the logical file.
 // done (optional) receives the virtual completion time of the slowest
@@ -109,82 +189,26 @@ func (h *FileHandle) ReadAt(buf []byte, off int64, done func(end float64)) error
 	return h.issue(trace.OpRead, off, buf, done)
 }
 
+// issue wraps the operation in a Request and submits it to the pipeline.
 func (h *FileHandle) issue(op trace.Op, off int64, buf []byte, done func(end float64)) error {
 	if off < 0 {
 		return fmt.Errorf("mpiio: negative offset %d", off)
 	}
-	n := int64(len(buf))
-	eng := h.mw.Cluster.Eng
-	if c := h.mw.Collector; c != nil && n > 0 {
-		c.Record(h.pid, h.rank, h.fd, h.name, op, off, n)
-	}
-	if n == 0 {
+	if len(buf) == 0 {
+		// Zero-length operations complete immediately without entering
+		// the chain (and, as before, are never traced).
+		eng := h.mw.Cluster.Eng
 		if done != nil {
 			eng.Schedule(0, func() { done(eng.Now()) })
 		}
 		return nil
 	}
-
-	r := h.mw.Redirector
-	if r == nil {
-		f, err := h.targetFile(h.name)
-		if err != nil {
-			return err
-		}
-		return h.forward(op, f, off, buf, done)
-	}
-
-	// Redirection: charge the DRT lookup, then forward each piece.
-	targets := r.Resolve(h.name, off, n)
-	type piece struct {
-		f    *pfs.File
-		off  int64
-		data []byte
-	}
-	pieces := make([]piece, 0, len(targets))
-	var cursor int64
-	for _, tg := range targets {
-		f, err := h.targetFile(tg.File)
-		if err != nil {
-			return err
-		}
-		pieces = append(pieces, piece{f: f, off: tg.Offset, data: buf[cursor : cursor+tg.Size]})
-		cursor += tg.Size
-	}
-	if cursor != n {
-		return fmt.Errorf("mpiio: redirection covered %d of %d bytes", cursor, n)
-	}
-	eng.Schedule(r.LookupTime, func() {
-		latest := new(float64)
-		barrier := sim.NewBarrier(len(pieces), func() {
-			if done != nil {
-				done(*latest)
-			}
-		})
-		arrive := func(end float64) {
-			if end > *latest {
-				*latest = end
-			}
-			barrier.Arrive()
-		}
-		for _, p := range pieces {
-			// Errors cannot occur here: extents were validated above.
-			if op == trace.OpWrite {
-				_ = h.mw.Cluster.Write(p.f, p.off, p.data, arrive)
-			} else {
-				_ = h.mw.Cluster.Read(p.f, p.off, p.data, arrive)
-			}
-		}
+	return h.mw.pipe.Submit(&iopath.Request{
+		Op: op, File: h.name, Offset: off, Data: buf,
+		Rank: h.rank, PID: h.pid, FD: h.fd,
+		Untraced:   h.untraced,
+		OnComplete: done,
 	})
-	return nil
-}
-
-// forward issues a non-redirected operation.
-func (h *FileHandle) forward(op trace.Op, f *pfs.File, off int64, buf []byte, done func(end float64)) error {
-	if op == trace.OpWrite {
-		return h.mw.Cluster.Write(f, off, buf, done)
-	}
-	return h.mw.Cluster.Read(f, off, buf, done)
 }
 
 // WriteAtSync writes and runs the engine to completion (single-threaded

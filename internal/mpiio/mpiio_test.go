@@ -95,7 +95,7 @@ func TestCollectorHook(t *testing.T) {
 	c := testCluster(t)
 	mw := New(c)
 	col := iosig.NewCollector(c.Eng.Now)
-	mw.Collector = col
+	mw.SetCollector(col)
 	h, _ := mw.Open("f", 3)
 	h.WriteAtSync(make([]byte, 64*units.KB), 128*units.KB)
 	h.ReadAtSync(make([]byte, 32*units.KB), 0)
@@ -159,7 +159,7 @@ func TestRedirectedReadIntegrity(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer placement.Close()
-	mw.Redirector = reorder.NewRedirector(placement.DRT, 5e-6)
+	mw.SetRedirector(reorder.NewRedirector(placement.DRT, 5e-6))
 
 	// Replay every traced read through the middleware and verify bytes.
 	for _, r := range tr {
@@ -171,8 +171,8 @@ func TestRedirectedReadIntegrity(t *testing.T) {
 			t.Fatalf("redirected read at %d corrupted data", r.Offset)
 		}
 	}
-	if mw.Redirector.Lookups() != uint64(len(tr)) {
-		t.Errorf("lookups = %d, want %d", mw.Redirector.Lookups(), len(tr))
+	if mw.Redirector().Lookups() != uint64(len(tr)) {
+		t.Errorf("lookups = %d, want %d", mw.Redirector().Lookups(), len(tr))
 	}
 }
 
@@ -204,7 +204,7 @@ func TestRedirectedSpanningRequest(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer placement.Close()
-	mw.Redirector = reorder.NewRedirector(placement.DRT, 0)
+	mw.SetRedirector(reorder.NewRedirector(placement.DRT, 0))
 
 	buf := make([]byte, 100*units.KB)
 	if _, err := h.ReadAtSync(buf, 10*units.KB); err != nil {
@@ -253,7 +253,7 @@ func TestRedirectionLookupLatencyCharged(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := c.Eng.Now()
-	mw.Redirector = reorder.NewRedirector(placement.DRT, lookup)
+	mw.SetRedirector(reorder.NewRedirector(placement.DRT, lookup))
 	endYes, err := h.WriteAtSync(data, 0)
 	if err != nil {
 		t.Fatal(err)

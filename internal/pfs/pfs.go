@@ -275,6 +275,86 @@ func (c *Cluster) OpenHandle(name string, done func(f *File, end float64)) error
 	return nil
 }
 
+// SubRequest is one server-bound piece of a striped request: the physical
+// server, the server-side object, the contiguous local range, and the
+// bytes moving. The I/O pipeline's stripe stage and the Cluster's own
+// Write/Read share this plan, so both paths issue identical sub-requests.
+type SubRequest struct {
+	Server *server.Server
+	Object string
+	Local  int64
+	// Data is the gathered write payload, or the landing buffer a read's
+	// server bytes arrive in before scattering.
+	Data []byte
+	// Scatter, set on read plans, copies the server's contiguous local
+	// bytes back into the round-interleaved positions of the caller's
+	// buffer. It must run when the sub-request's data is available,
+	// before completion is reported.
+	Scatter func()
+}
+
+// PlanWrite computes the striped sub-requests of a write and extends the
+// file size, without submitting anything. One coalesced sub-request per
+// server, as a real PFS client issues: the per-server local range of a
+// contiguous file extent is itself contiguous, so the server performs a
+// single local access. The round-interleaved payload pieces are gathered
+// into that local order.
+func (c *Cluster) PlanWrite(f *File, off int64, data []byte) []SubRequest {
+	n := int64(len(data))
+	if end := off + n; end > f.Size {
+		f.Size = end
+	}
+	subs := f.Layout.Split(off, n)
+	gathered := make(map[stripe.ServerRef][]byte, len(subs))
+	for _, sub := range subs {
+		gathered[sub.Server] = make([]byte, 0, sub.Size)
+	}
+	for _, seg := range f.Layout.Segments(off, n) {
+		gathered[seg.Server] = append(gathered[seg.Server], data[seg.Global-off:seg.Global-off+seg.Size]...)
+	}
+	out := make([]SubRequest, 0, len(subs))
+	for _, sub := range subs {
+		out = append(out, SubRequest{
+			Server: c.ServerForFile(f, sub.Server),
+			Object: f.Name,
+			Local:  sub.Local,
+			Data:   gathered[sub.Server],
+		})
+	}
+	return out
+}
+
+// PlanRead computes the striped sub-requests of a read, mirroring
+// PlanWrite: one coalesced sub-request per server, each carrying a
+// Scatter that lands its bytes in the right interleaved positions of buf.
+func (c *Cluster) PlanRead(f *File, off int64, buf []byte) []SubRequest {
+	n := int64(len(buf))
+	subs := f.Layout.Split(off, n)
+	segs := f.Layout.Segments(off, n)
+	out := make([]SubRequest, 0, len(subs))
+	for _, sub := range subs {
+		sub := sub
+		tmp := make([]byte, sub.Size)
+		out = append(out, SubRequest{
+			Server: c.ServerForFile(f, sub.Server),
+			Object: f.Name,
+			Local:  sub.Local,
+			Data:   tmp,
+			Scatter: func() {
+				var consumed int64
+				for _, seg := range segs {
+					if seg.Server != sub.Server {
+						continue
+					}
+					copy(buf[seg.Global-off:seg.Global-off+seg.Size], tmp[consumed:consumed+seg.Size])
+					consumed += seg.Size
+				}
+			},
+		})
+	}
+	return out
+}
+
 // Write issues a striped write of data at offset off. done (optional)
 // receives the virtual time the slowest sub-request completed. The call
 // only schedules work; the caller drives the engine.
@@ -285,28 +365,13 @@ func (c *Cluster) Write(f *File, off int64, data []byte, done func(end float64))
 	if off < 0 {
 		return fmt.Errorf("pfs: negative offset %d", off)
 	}
-	n := int64(len(data))
-	if n == 0 {
+	if len(data) == 0 {
 		if done != nil {
 			c.Eng.Schedule(0, func() { done(c.Eng.Now()) })
 		}
 		return nil
 	}
-	if end := off + n; end > f.Size {
-		f.Size = end
-	}
-	// One coalesced sub-request per server, as a real PFS client issues:
-	// the per-server local range of a contiguous file extent is itself
-	// contiguous, so the server performs a single local access. Gather the
-	// round-interleaved payload pieces into that local order.
-	subs := f.Layout.Split(off, n)
-	gathered := make(map[stripe.ServerRef][]byte, len(subs))
-	for _, sub := range subs {
-		gathered[sub.Server] = make([]byte, 0, sub.Size)
-	}
-	for _, seg := range f.Layout.Segments(off, n) {
-		gathered[seg.Server] = append(gathered[seg.Server], data[seg.Global-off:seg.Global-off+seg.Size]...)
-	}
+	subs := c.PlanWrite(f, off, data)
 	latest := new(float64)
 	barrier := sim.NewBarrier(len(subs), func() {
 		if done != nil {
@@ -314,8 +379,7 @@ func (c *Cluster) Write(f *File, off int64, data []byte, done func(end float64))
 		}
 	})
 	for _, sub := range subs {
-		srv := c.ServerForFile(f, sub.Server)
-		srv.SubmitWrite(f.Name, sub.Local, gathered[sub.Server], func(end float64) {
+		sub.Server.SubmitWrite(sub.Object, sub.Local, sub.Data, func(end float64) {
 			if end > *latest {
 				*latest = end
 			}
@@ -335,17 +399,13 @@ func (c *Cluster) Read(f *File, off int64, buf []byte, done func(end float64)) e
 	if off < 0 {
 		return fmt.Errorf("pfs: negative offset %d", off)
 	}
-	n := int64(len(buf))
-	if n == 0 {
+	if len(buf) == 0 {
 		if done != nil {
 			c.Eng.Schedule(0, func() { done(c.Eng.Now()) })
 		}
 		return nil
 	}
-	// Mirror Write: one coalesced sub-request per server, scattered back
-	// into the caller's buffer at completion.
-	subs := f.Layout.Split(off, n)
-	segs := f.Layout.Segments(off, n)
+	subs := c.PlanRead(f, off, buf)
 	latest := new(float64)
 	barrier := sim.NewBarrier(len(subs), func() {
 		if done != nil {
@@ -354,19 +414,8 @@ func (c *Cluster) Read(f *File, off int64, buf []byte, done func(end float64)) e
 	})
 	for _, sub := range subs {
 		sub := sub
-		srv := c.ServerForFile(f, sub.Server)
-		tmp := make([]byte, sub.Size)
-		srv.SubmitRead(f.Name, sub.Local, tmp, func(end float64) {
-			// Scatter the server's contiguous local bytes back into the
-			// round-interleaved positions of the caller's buffer.
-			var consumed int64
-			for _, seg := range segs {
-				if seg.Server != sub.Server {
-					continue
-				}
-				copy(buf[seg.Global-off:seg.Global-off+seg.Size], tmp[consumed:consumed+seg.Size])
-				consumed += seg.Size
-			}
+		sub.Server.SubmitRead(sub.Object, sub.Local, sub.Data, func(end float64) {
+			sub.Scatter()
 			if end > *latest {
 				*latest = end
 			}

@@ -1,0 +1,24 @@
+package region
+
+import "strings"
+
+// SchemeMarkers are the scheme tokens layout.RegionName embeds in every
+// region file name ("<ofile>.<scheme>[.<tag>].r<idx>"). They are defined
+// here, next to the tables that reference region files, so that code
+// inspecting file names (garbage collection, tooling) shares one list
+// instead of scattering string literals. A layout-package test pins the
+// two in sync.
+var SchemeMarkers = []string{"DEF", "AAL", "HARL", "MHA", "CARL", "HAS"}
+
+// HasSchemeMarker reports whether name carries a region scheme marker —
+// i.e. whether it looks like a region file rather than an original
+// application file. Original files never match because the marker is
+// matched with its surrounding dots, which RegionName always emits.
+func HasSchemeMarker(name string) bool {
+	for _, m := range SchemeMarkers {
+		if strings.Contains(name, "."+m+".") {
+			return true
+		}
+	}
+	return false
+}

@@ -40,7 +40,23 @@ type Placement struct {
 	RST  *region.RST
 	Plan layout.Plan
 
+	// Created lists the region files this placement's Apply newly created
+	// on the cluster (regions adopted from an earlier identical layout are
+	// not repeated here). Garbage collection uses it to know exactly which
+	// files a retired generation left behind.
+	Created []string
+
 	cluster *pfs.Cluster
+}
+
+// RegionFiles returns the names of every region file the placement's plan
+// references (created or adopted), in plan order.
+func (p *Placement) RegionFiles() []string {
+	out := make([]string, 0, len(p.Plan.Regions))
+	for _, r := range p.Plan.Regions {
+		out = append(out, r.File)
+	}
+	return out
 }
 
 // Apply materializes a plan: creates every region file with its optimized
@@ -69,6 +85,8 @@ func Apply(c *pfs.Cluster, plan layout.Plan, opts Options) (*Placement, error) {
 			}
 		} else if _, err := c.Create(r.File, r.Layout); err != nil {
 			return nil, fmt.Errorf("reorder: create region %s: %w", r.File, err)
+		} else {
+			p.Created = append(p.Created, r.File)
 		}
 		if err := rst.Set(r.File, r.Layout); err != nil {
 			return nil, err

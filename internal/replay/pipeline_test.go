@@ -1,0 +1,102 @@
+package replay
+
+import (
+	"testing"
+
+	"mhafs/internal/iopath"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+func benchTrace() trace.Trace {
+	var tr trace.Trace
+	for rank := 0; rank < 4; rank++ {
+		for i := 0; i < 6; i++ {
+			op := trace.OpWrite
+			if i%2 == 1 {
+				op = trace.OpRead
+			}
+			tr = append(tr, trace.Record{
+				Rank: rank, File: "shared.dat", Op: op,
+				Offset: int64(rank*6+i) * 64 * units.KB,
+				Size:   64 * units.KB,
+				Time:   float64(i),
+			})
+		}
+	}
+	return tr
+}
+
+// TestNoOpInterceptorPreservesResults: a chain carrying a pass-through
+// interceptor must reproduce the plain chain's replay bit for bit — same
+// makespan, bandwidth and latencies.
+func TestNoOpInterceptorPreservesResults(t *testing.T) {
+	tr := benchTrace()
+
+	plain := testMW(t, 2, 2)
+	base, err := Run(plain, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrapped := testMW(t, 2, 2)
+	noop := iopath.StageFunc(func(req *iopath.Request, next iopath.Handler) error {
+		return next(req)
+	})
+	if err := wrapped.Intercept("noop", noop); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(wrapped, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Makespan != base.Makespan {
+		t.Errorf("makespan %v != %v", got.Makespan, base.Makespan)
+	}
+	if got.Bandwidth() != base.Bandwidth() {
+		t.Errorf("bandwidth %v != %v", got.Bandwidth(), base.Bandwidth())
+	}
+	if got.Ops != base.Ops || got.ReadBytes != base.ReadBytes || got.WriteBytes != base.WriteBytes {
+		t.Errorf("counters differ: %+v vs %+v", got, base)
+	}
+	if len(got.Latencies) != len(base.Latencies) {
+		t.Fatalf("latency count %d != %d", len(got.Latencies), len(base.Latencies))
+	}
+	for i := range got.Latencies {
+		if got.Latencies[i] != base.Latencies[i] {
+			t.Fatalf("latency[%d] = %v, want %v", i, got.Latencies[i], base.Latencies[i])
+		}
+	}
+}
+
+// TestCountingInterceptorSeesEveryReplayedRequest is the pipeline's
+// end-to-end acceptance check: a custom interceptor registered on the
+// middleware observes every request a replay issues.
+func TestCountingInterceptorSeesEveryReplayedRequest(t *testing.T) {
+	tr := benchTrace()
+	mw := testMW(t, 2, 2)
+	var seen int
+	var bytes int64
+	count := iopath.StageFunc(func(req *iopath.Request, next iopath.Handler) error {
+		seen++
+		bytes += req.Size()
+		return next(req)
+	})
+	if err := mw.Intercept("count", count); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(mw, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(tr) {
+		t.Errorf("interceptor saw %d requests, want %d", seen, len(tr))
+	}
+	if bytes != tr.TotalBytes() {
+		t.Errorf("interceptor saw %d bytes, want %d", bytes, tr.TotalBytes())
+	}
+	if res.Ops != len(tr) {
+		t.Errorf("replay completed %d ops, want %d", res.Ops, len(tr))
+	}
+}

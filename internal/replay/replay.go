@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"mhafs/internal/iopath"
 	"mhafs/internal/metrics"
 	"mhafs/internal/mpiio"
 	"mhafs/internal/pattern"
@@ -107,6 +108,16 @@ func RunWith(mw *mpiio.Middleware, tr trace.Trace, opts Options) (Result, error)
 	base := eng.Now()
 	before := mw.Cluster.ServerStats()
 
+	// Latencies and the makespan come from the pipeline's own completion
+	// records: a recorder interceptor observes every request end to end,
+	// instead of the replay loop scraping times around each callback.
+	rec := iopath.NewRecorder()
+	const recName = "replay/recorder"
+	if err := mw.Intercept(recName, rec); err != nil {
+		return Result{}, err
+	}
+	defer mw.Uninstall(recName)
+
 	// Split records per rank, preserving time order within a rank.
 	sorted := tr.Clone()
 	sorted.SortByTime()
@@ -116,10 +127,7 @@ func RunWith(mw *mpiio.Middleware, tr trace.Trace, opts Options) (Result, error)
 	}
 	ranks := tr.Ranks() // deterministic launch order
 
-	var (
-		latest  float64
-		runErrs []error
-	)
+	var runErrs []error
 	payload := sharedPayload(tr.MaxSize())
 
 	// LockStep: compute each record's epoch and insert barriers at epoch
@@ -177,13 +185,8 @@ func RunWith(mw *mpiio.Middleware, tr trace.Trace, opts Options) (Result, error)
 				}
 				handles[rec.File] = h
 			}
-			issued := eng.Now()
 			done := func(end float64) {
-				if end > latest {
-					latest = end
-				}
 				res.Ops++
-				res.Latencies = append(res.Latencies, end-issued)
 				if opts.Mode == LockStep {
 					e := epochOf[keyOf(rec)]
 					gate := epochBarriers[e]
@@ -214,6 +217,16 @@ func RunWith(mw *mpiio.Middleware, tr trace.Trace, opts Options) (Result, error)
 	}
 	if res.Ops != len(tr) {
 		return Result{}, fmt.Errorf("replay: completed %d of %d operations", res.Ops, len(tr))
+	}
+	if rec.Len() != len(tr) {
+		return Result{}, fmt.Errorf("replay: pipeline recorded %d of %d requests", rec.Len(), len(tr))
+	}
+	latest := base
+	for _, c := range rec.Records() {
+		res.Latencies = append(res.Latencies, c.Latency())
+		if c.Complete > latest {
+			latest = c.Complete
+		}
 	}
 	res.Makespan = latest - base
 	res.PerServer = metrics.DiffStats(before, mw.Cluster.ServerStats())

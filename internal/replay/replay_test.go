@@ -235,7 +235,7 @@ func TestRunMHABeatsDEF(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer placement.Close()
-		mw.Redirector = reorder.NewRedirector(placement.DRT, 5e-6)
+		mw.SetRedirector(reorder.NewRedirector(placement.DRT, 5e-6))
 		// Write phase to populate, then read back per the trace.
 		res, err := Run(mw, tr)
 		if err != nil {

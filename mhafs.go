@@ -26,10 +26,10 @@ package mhafs
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"mhafs/internal/bench"
 	"mhafs/internal/dynamic"
+	"mhafs/internal/iopath"
 	"mhafs/internal/iosig"
 	"mhafs/internal/layout"
 	"mhafs/internal/mpiio"
@@ -125,8 +125,14 @@ type System struct {
 	cluster    *pfs.Cluster
 	mw         *mpiio.Middleware
 	collector  *iosig.Collector
+	recorder   *iopath.Recorder
 	placement  *reorder.Placement
 	generation int
+
+	// retired accumulates region files created by plan generations that
+	// have since been replaced; GarbageCollect consults it instead of
+	// guessing from file names.
+	retired map[string]bool
 }
 
 // NewSystem builds a fresh simulated cluster with tracing enabled.
@@ -145,8 +151,13 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	mw := mpiio.New(cluster)
 	col := iosig.NewCollector(cluster.Eng.Now)
-	mw.Collector = col
-	return &System{cfg: cfg, cluster: cluster, mw: mw, collector: col}, nil
+	mw.SetCollector(col)
+	rec := iopath.NewRecorder()
+	if err := mw.Intercept("observe", rec); err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, cluster: cluster, mw: mw, collector: col, recorder: rec,
+		retired: make(map[string]bool)}, nil
 }
 
 // Cluster exposes the underlying simulated file system (for server stats,
@@ -227,6 +238,11 @@ func (s *System) Optimize(scheme Scheme, tr Trace) error {
 		return err
 	}
 	if s.placement != nil {
+		// The previous generation's region files are now garbage unless the
+		// new plan reuses them (GarbageCollect re-checks liveness anyway).
+		for _, name := range s.placement.RegionFiles() {
+			s.retired[name] = true
+		}
 		s.placement.Close()
 	}
 	s.placement = placement
@@ -235,9 +251,9 @@ func (s *System) Optimize(scheme Scheme, tr Trace) error {
 		lookup = 0 // AAL/HARL restripe in place in the paper
 	}
 	if scheme != DEF {
-		s.mw.Redirector = reorder.NewRedirector(placement.DRT, lookup)
+		s.mw.SetRedirector(reorder.NewRedirector(placement.DRT, lookup))
 	} else {
-		s.mw.Redirector = nil
+		s.mw.SetRedirector(nil)
 	}
 	return nil
 }
@@ -260,13 +276,17 @@ func (s *System) Replay(tr Trace) (ReplayResult, error) {
 	return replay.Run(s.mw, tr)
 }
 
-// GarbageCollect removes region files left behind by earlier plan
-// generations: any file that looks like a region (it is not an original
-// file named by the collected trace) and is not referenced by the current
-// DRT is deleted, reclaiming its server-side storage. It returns the
-// names removed. Safe to call any time after a re-optimization.
+// GarbageCollect removes region files left behind by retired plan
+// generations, reclaiming their server-side storage. Retired regions are
+// tracked explicitly — each Optimize records the region files of the
+// placement it replaces — so collection never has to guess from file
+// names; region.HasSchemeMarker additionally shields original files that
+// served as identity regions (DEF/AAL map a file onto itself). A retired
+// file is kept if the current plan or DRT still references it. Returns
+// the names removed, sorted. Safe to call any time after a
+// re-optimization.
 func (s *System) GarbageCollect() []string {
-	if s.placement == nil {
+	if s.placement == nil || len(s.retired) == 0 {
 		return nil
 	}
 	live := make(map[string]bool)
@@ -276,29 +296,63 @@ func (s *System) GarbageCollect() []string {
 	for _, f := range s.placement.DRT.Files() {
 		live[f] = true // original files stay
 	}
-	// Region files of any generation carry a scheme marker in their name.
-	markers := []string{".MHA.", ".AAL.", ".HARL.", ".DEF.", ".CARL.", ".HAS."}
 	var removed []string
-	for _, name := range s.cluster.Files() {
-		if live[name] {
+	for name := range s.retired {
+		if live[name] || !region.HasSchemeMarker(name) {
 			continue
 		}
-		isRegion := false
-		for _, m := range markers {
-			if strings.Contains(name, m) {
-				isRegion = true
-				break
-			}
-		}
-		if !isRegion {
+		if _, ok := s.cluster.Lookup(name); !ok {
+			delete(s.retired, name)
 			continue
 		}
 		s.cluster.Remove(name)
+		delete(s.retired, name)
 		removed = append(removed, name)
 	}
 	sort.Strings(removed)
 	return removed
 }
+
+// Staged I/O pipeline types, re-exported so callers can observe or
+// reshape the request path without importing internal packages.
+type (
+	// PipelineRequest is the descriptor that flows client→server through
+	// the stage chain for every independent I/O operation.
+	PipelineRequest = iopath.Request
+	// Stage is one link of the chain; it may observe or rewrite the
+	// request and decides whether to forward via next.
+	Stage = iopath.Stage
+	// StageFunc adapts a function to the Stage interface.
+	StageFunc = iopath.StageFunc
+	// Handler forwards a request to the rest of the chain.
+	Handler = iopath.Handler
+	// PipelineRecord is one completed request as seen by the built-in
+	// recorder (submit/complete virtual times).
+	PipelineRecord = iopath.Record
+)
+
+// Intercept registers an interceptor stage on the system's request path:
+// after trace capture, before redirection and striping. Every independent
+// request (and each collective operation's file-domain requests)
+// traverses it.
+func (s *System) Intercept(name string, st Stage) error {
+	return s.mw.Intercept(name, st)
+}
+
+// Uninstall removes a named interceptor, reporting whether it was
+// present.
+func (s *System) Uninstall(name string) bool { return s.mw.Uninstall(name) }
+
+// Completions returns the per-request completion records captured by the
+// system's built-in pipeline recorder, in completion order.
+func (s *System) Completions() []PipelineRecord { return s.recorder.Records() }
+
+// CompletionTrace converts the completion records to a Trace (skipping
+// untraced internal requests), usable as Optimize input.
+func (s *System) CompletionTrace() Trace { return s.recorder.CompletionTrace() }
+
+// ResetCompletions discards captured completion records.
+func (s *System) ResetCompletions() { s.recorder.Reset() }
 
 // Close releases the reordering tables, if any.
 func (s *System) Close() error {
@@ -442,7 +496,7 @@ func ResumeSystem(cfg Config) (*System, error) {
 		return nil, createErr
 	}
 	sys.placement = reorder.Resume(sys.cluster, drt, rst)
-	sys.mw.Redirector = reorder.NewRedirector(drt, cfg.RedirectLookup)
+	sys.mw.SetRedirector(reorder.NewRedirector(drt, cfg.RedirectLookup))
 	return sys, nil
 }
 
