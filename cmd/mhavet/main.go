@@ -1,0 +1,148 @@
+// Command mhavet is the repository's domain-aware static analyzer: it
+// machine-checks the determinism, unit-safety and pipeline invariants the
+// reproduction's bit-for-bit figure guarantee rests on.
+//
+// Usage:
+//
+//	go run ./cmd/mhavet ./...          # analyze the whole module (CI)
+//	go run ./cmd/mhavet ./internal/sim # analyze one package
+//	go run ./cmd/mhavet -list          # describe the analyzers
+//
+// mhavet prints one gofmt-style "file:line:col: analyzer/rule: message"
+// diagnostic per finding and exits 1 when any are found, 2 on load
+// errors, 0 on a clean tree. Findings are suppressed at the site with a
+// "//mhavet:allow <rule>" comment on the same or the preceding line; see
+// DESIGN.md §10 for the contract each analyzer enforces.
+//
+// The analyzer is built on go/parser and go/types only — no
+// golang.org/x/tools — so it runs offline from a bare checkout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mhafs/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	quiet := flag.Bool("q", false, "suppress the success summary")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mhavet [-list] [-q] [./... | ./dir | ./dir/...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	pkgs, err := selectPackages(mod, cwd, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	filtered := &analysis.Module{Path: mod.Path, Root: mod.Root, Fset: mod.Fset, Pkgs: pkgs}
+	diags := analysis.Run(filtered, analyzers)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: %s/%s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mhavet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "mhavet: %d package(s) clean (%d analyzers)\n", len(pkgs), len(analyzers))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mhavet:", err)
+	os.Exit(2)
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// selectPackages resolves go-style patterns (./..., ./dir, ./dir/...)
+// against the loaded module. No arguments means ./... .
+func selectPackages(mod *analysis.Module, cwd string, patterns []string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	keep := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		abs := pat
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, pat)
+		}
+		rel, err := filepath.Rel(mod.Root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("pattern %q is outside module %s", pat, mod.Path)
+		}
+		ip := mod.Path
+		if rel != "." {
+			ip = mod.Path + "/" + filepath.ToSlash(rel)
+		}
+		matched := false
+		for _, p := range mod.Pkgs {
+			if p.Path == ip || (recursive && (ip == mod.Path || strings.HasPrefix(p.Path, ip+"/"))) {
+				keep[p.Path] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	var out []*analysis.Package
+	for _, p := range mod.Pkgs {
+		if keep[p.Path] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

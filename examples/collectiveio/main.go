@@ -15,12 +15,13 @@ import (
 	"log"
 
 	"mhafs"
+	"mhafs/internal/units"
 )
 
 const (
 	ranks  = 16
 	rounds = 32
-	chunk  = 8 << 10
+	chunk  = 8 * units.KB
 )
 
 func pieces() []mhafs.Piece {

@@ -16,6 +16,7 @@ import (
 	"log"
 
 	"mhafs"
+	"mhafs/internal/units"
 )
 
 func main() {
@@ -52,10 +53,10 @@ func main() {
 	// Phase 1: many small appends (checkpoint metadata).
 	off := int64(0)
 	for i := 0; i < 40; i++ {
-		if _, err := h.WriteAtSync(make([]byte, 8<<10), off); err != nil {
+		if _, err := h.WriteAtSync(make([]byte, 8*units.KB), off); err != nil {
 			log.Fatal(err)
 		}
-		off += 8 << 10
+		off += 8 * units.KB
 	}
 	check("small writes")
 	for _, r := range sys.Plan().Regions {
@@ -64,19 +65,19 @@ func main() {
 
 	// Phase 2: the same pattern continues — no re-plan.
 	for i := 0; i < 40; i++ {
-		if _, err := h.WriteAtSync(make([]byte, 8<<10), off); err != nil {
+		if _, err := h.WriteAtSync(make([]byte, 8*units.KB), off); err != nil {
 			log.Fatal(err)
 		}
-		off += 8 << 10
+		off += 8 * units.KB
 	}
 	check("more small writes")
 
 	// Phase 3: the application switches to large sequential writes.
 	for i := 0; i < 40; i++ {
-		if _, err := h.WriteAtSync(make([]byte, 1<<20), off); err != nil {
+		if _, err := h.WriteAtSync(make([]byte, units.MB), off); err != nil {
 			log.Fatal(err)
 		}
-		off += 1 << 20
+		off += units.MB
 	}
 	check("large writes")
 	for _, r := range sys.Plan().Regions {

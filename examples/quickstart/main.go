@@ -14,6 +14,7 @@ import (
 	"log"
 
 	"mhafs"
+	"mhafs/internal/units"
 )
 
 func main() {
@@ -32,12 +33,12 @@ func main() {
 		start := sys.Now()
 		off := int64(0)
 		for step := 0; step < 16; step++ {
-			header := make([]byte, 4<<10) // 4 KB metadata record
+			header := make([]byte, 4*units.KB) // 4 KB metadata record
 			if _, err := h.WriteAtSync(header, off); err != nil {
 				log.Fatal(err)
 			}
 			off += int64(len(header))
-			block := make([]byte, 512<<10) // 512 KB data block
+			block := make([]byte, 512*units.KB) // 512 KB data block
 			if _, err := h.WriteAtSync(block, off); err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureRoot is a self-contained module mirroring the shape of the real
+// tree; every expected finding is marked in-place with a
+// "//want:analyzer/rule" comment on its line.
+const fixtureRoot = "testdata/src"
+
+var wantRe = regexp.MustCompile(`//want:([a-z]+)/([a-z]+)`)
+
+// wantFindings scans the fixture sources for want comments and returns
+// the expected findings as "relpath:line analyzer/rule" keys.
+func wantFindings(t *testing.T) map[string]int {
+	t.Helper()
+	want := make(map[string]int)
+	err := filepath.WalkDir(fixtureRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(fixtureRoot, path)
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				want[fmt.Sprintf("%s:%d %s/%s", rel, i+1, m[1], m[2])]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning fixtures: %v", err)
+	}
+	return want
+}
+
+// gotFindings runs the analyzers over the fixture module and returns the
+// findings in the same key form.
+func gotFindings(t *testing.T, analyzers []*Analyzer) map[string]int {
+	t.Helper()
+	mod, err := LoadModule(fixtureRoot)
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	got := make(map[string]int)
+	for _, d := range Run(mod, analyzers) {
+		rel, err := filepath.Rel(mod.Root, d.Pos.Filename)
+		if err != nil {
+			t.Fatalf("finding outside fixture root: %v", d)
+		}
+		got[fmt.Sprintf("%s:%d %s/%s", rel, d.Pos.Line, d.Analyzer, d.Rule)]++
+	}
+	return got
+}
+
+// filterByAnalyzer keeps the want entries belonging to one analyzer.
+func filterByAnalyzer(want map[string]int, name string) map[string]int {
+	out := make(map[string]int)
+	for k, n := range want {
+		if strings.Contains(k, " "+name+"/") {
+			out[k] = n
+		}
+	}
+	return out
+}
+
+func diffFindings(t *testing.T, want, got map[string]int) {
+	t.Helper()
+	for k := range want {
+		if got[k] != want[k] {
+			t.Errorf("missing finding: want %q x%d, got x%d", k, want[k], got[k])
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("unexpected finding: %q", k)
+		}
+	}
+}
+
+// TestAnalyzers checks each analyzer in isolation against the want
+// comments in the fixture tree, then the whole suite together.
+func TestAnalyzers(t *testing.T) {
+	want := wantFindings(t)
+	if len(want) == 0 {
+		t.Fatal("no want comments found in fixtures")
+	}
+	cases := []struct {
+		name     string
+		analyzer *Analyzer
+	}{
+		{"determinism", Determinism()},
+		{"unitscheck", UnitsCheck()},
+		{"extentcheck", ExtentCheck()},
+		{"stagecheck", StageCheck()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.analyzer.Name != tc.name {
+				t.Fatalf("analyzer name %q, want %q", tc.analyzer.Name, tc.name)
+			}
+			diffFindings(t, filterByAnalyzer(want, tc.name), gotFindings(t, []*Analyzer{tc.analyzer}))
+		})
+	}
+	t.Run("all", func(t *testing.T) {
+		diffFindings(t, want, gotFindings(t, All()))
+	})
+}
+
+// TestSelfCheck pins the repository's own cleanliness: the final tree must
+// produce zero findings, and the packages the determinism contract names
+// must actually exist so the scope tables cannot rot silently.
+func TestSelfCheck(t *testing.T) {
+	mod, err := LoadModule("../..")
+	if err != nil {
+		t.Fatalf("loading repository module: %v", err)
+	}
+	if mod.Path != "mhafs" {
+		t.Fatalf("module path %q, want mhafs", mod.Path)
+	}
+	byPath := make(map[string]bool, len(mod.Pkgs))
+	for _, p := range mod.Pkgs {
+		byPath[p.Path] = true
+	}
+	for _, core := range DeterministicPackages {
+		if !byPath[mod.Path+"/"+core] {
+			t.Errorf("DeterministicPackages names %s, which is not in the module", core)
+		}
+	}
+	for _, d := range Run(mod, All()) {
+		t.Errorf("repository not clean: %s", d)
+	}
+}
+
+// TestAllowMechanics exercises the comment grammar directly: multiple
+// rules on one comment, the "all" wildcard, and same-line placement.
+func TestAllowMechanics(t *testing.T) {
+	mod, err := LoadModule(fixtureRoot)
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	var sim *Package
+	for _, p := range mod.Pkgs {
+		if strings.HasSuffix(p.Path, "internal/sim") {
+			sim = p
+		}
+	}
+	if sim == nil {
+		t.Fatal("fixture internal/sim not loaded")
+	}
+	if len(sim.allows) == 0 {
+		t.Fatal("fixture internal/sim carries no allow comments")
+	}
+	// The allowedWall fixture has the comment one line above the call.
+	found := false
+	for _, byLine := range sim.allows {
+		for _, rules := range byLine {
+			if rules["wallclock"] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("allow comment for wallclock not collected")
+	}
+}
+
+// TestDiagnosticString pins the gofmt-style rendering CI greps for.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "determinism", Rule: "wallclock", Message: "no"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "a/b.go", 3, 7
+	if got, want := d.String(), "a/b.go:3:7: determinism/wallclock: no"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

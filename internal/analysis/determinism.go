@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterministicPackages lists the sim/virtual-time packages whose outputs
+// feed the figure suite directly. The determinism rules below apply to
+// the whole module — a wall-clock read in a workload generator corrupts
+// figures just as surely as one in the engine — but this list documents
+// the core that must never be exempted, and the self-check test pins it.
+var DeterministicPackages = []string{
+	"internal/sim",
+	"internal/iopath",
+	"internal/pfs",
+	"internal/server",
+	"internal/costmodel",
+	"internal/mpiio",
+	"internal/replay",
+	"internal/dynamic",
+}
+
+// WallclockAllowedPackages may read the wall clock: internal/bench times
+// the planners' real (not virtual) overhead for the Fig. 14 measurements.
+// Everywhere else wall-clock use needs an explicit
+// //mhavet:allow wallclock comment at the site.
+var WallclockAllowedPackages = []string{
+	"internal/bench",
+}
+
+// wallclockFuncs are the time-package functions that observe or depend on
+// the wall clock. Duration arithmetic and the time constants are fine.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+// randConstructors are the math/rand functions that build explicitly
+// seeded local generators; everything else at package level draws from
+// the shared, unseeded global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Determinism flags wall-clock reads (rule "wallclock") and unseeded
+// global math/rand use (rule "rand"). Both rules flag references, not
+// just calls: passing time.Now as a clock function is as nondeterministic
+// as calling it.
+func Determinism() *Analyzer {
+	const name = "determinism"
+	return &Analyzer{
+		Name: name,
+		Doc:  "forbid wall-clock time and unseeded global math/rand in simulation-driven code",
+		Run: func(p *Package) []Diagnostic {
+			wallclockOK := p.pathMatches(WallclockAllowedPackages)
+			var out []Diagnostic
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+					if !ok || fn.Pkg() == nil {
+						return true
+					}
+					if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+						return true // methods (e.g. on a seeded *rand.Rand) are fine
+					}
+					switch fn.Pkg().Path() {
+					case "time":
+						if wallclockFuncs[fn.Name()] && !wallclockOK {
+							out = append(out, p.diag(name, "wallclock", sel,
+								"time.%s reads the wall clock; simulation code must use virtual time (sim.Engine.Now)", fn.Name()))
+						}
+					case "math/rand", "math/rand/v2":
+						if !randConstructors[fn.Name()] {
+							out = append(out, p.diag(name, "rand", sel,
+								"rand.%s draws from the unseeded global source; use a seeded rand.New(rand.NewSource(seed))", fn.Name()))
+						}
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ExtentPackages perform the extent arithmetic (offset/length algebra on
+// int64 file ranges) whose silent truncation or overflow would corrupt
+// placements rather than crash.
+var ExtentPackages = []string{
+	"internal/intervals",
+	"internal/reorder",
+	"internal/stripe",
+	"internal/pfs",
+}
+
+// ExtentCheck enforces two rules in the extent-arithmetic packages:
+//
+//   - "trunc": conversions from a 64-bit integer to a narrower (or
+//     platform-width) integer type truncate on 32-bit builds and on
+//     out-of-range values. Convert through a bounds-commented site with
+//     //mhavet:allow trunc, or restructure to stay in int64.
+//   - "extentsum": a raw off+len addition computing an extent end can
+//     overflow int64 unchecked. Use units.End, which panics on overflow
+//     instead of wrapping into a negative offset.
+func ExtentCheck() *Analyzer {
+	const name = "extentcheck"
+	return &Analyzer{
+		Name: name,
+		Doc:  "extent arithmetic must not truncate int64 or overflow off+len",
+		Run: func(p *Package) []Diagnostic {
+			if !p.pathMatches(ExtentPackages) {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch e := n.(type) {
+					case *ast.CallExpr:
+						if d, ok := p.truncation(name, e); ok {
+							out = append(out, d)
+						}
+					case *ast.BinaryExpr:
+						if d, ok := p.extentSum(name, e); ok {
+							out = append(out, d)
+						}
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// truncation flags T(x) where T is an integer type narrower than 64 bits
+// (including platform-width int/uint) and x is a 64-bit integer.
+func (p *Package) truncation(name string, call *ast.CallExpr) (Diagnostic, bool) {
+	if len(call.Args) != 1 {
+		return Diagnostic{}, false
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return Diagnostic{}, false
+	}
+	dst, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || !narrowInt(dst.Kind()) {
+		return Diagnostic{}, false
+	}
+	argT := p.Info.TypeOf(call.Args[0])
+	if argT == nil {
+		return Diagnostic{}, false
+	}
+	src, ok := argT.Underlying().(*types.Basic)
+	if !ok || (src.Kind() != types.Int64 && src.Kind() != types.Uint64) {
+		return Diagnostic{}, false
+	}
+	if tv2, ok := p.Info.Types[call.Args[0]]; ok && tv2.Value != nil {
+		return Diagnostic{}, false // constant conversions are checked by the compiler
+	}
+	return p.diag(name, "trunc", call,
+		"truncating conversion %s(%s) of a 64-bit extent quantity; stay in int64 or bounds-check and annotate with //mhavet:allow trunc",
+		tv.Type.String(), src.String()), true
+}
+
+// narrowInt reports whether kind can lose bits of an int64.
+func narrowInt(k types.BasicKind) bool {
+	switch k {
+	case types.Int, types.Int8, types.Int16, types.Int32,
+		types.Uint, types.Uint8, types.Uint16, types.Uint32, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+// extentSum flags a+b where both operands are int64 and the operand names
+// pair an offset with a length — the shape of an unchecked extent end.
+func (p *Package) extentSum(name string, e *ast.BinaryExpr) (Diagnostic, bool) {
+	if e.Op != token.ADD {
+		return Diagnostic{}, false
+	}
+	if !isInt64(p.Info.TypeOf(e.X)) || !isInt64(p.Info.TypeOf(e.Y)) {
+		return Diagnostic{}, false
+	}
+	xn, yn := operandName(e.X), operandName(e.Y)
+	if (offsetish(xn) && lengthish(yn)) || (offsetish(yn) && lengthish(xn)) {
+		return p.diag(name, "extentsum", e,
+			"unchecked extent end %s+%s may overflow int64; use units.End(%s, %s)",
+			xn, yn, xn, yn), true
+	}
+	return Diagnostic{}, false
+}
+
+func isInt64(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}
+
+// operandName extracts the rightmost identifier of an operand: x, s.Off,
+// r.Size() all resolve to their final name.
+func operandName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.ParenExpr:
+		return operandName(x.X)
+	case *ast.CallExpr:
+		return operandName(x.Fun)
+	}
+	return ""
+}
+
+func offsetish(name string) bool {
+	n := strings.ToLower(name)
+	return strings.Contains(n, "off") || strings.Contains(n, "start") ||
+		strings.Contains(n, "base") || strings.Contains(n, "pos")
+}
+
+func lengthish(name string) bool {
+	n := strings.ToLower(name)
+	return strings.Contains(n, "len") || strings.Contains(n, "size")
+}

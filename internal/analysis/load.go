@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Module is a fully parsed and type-checked Go module.
+type Module struct {
+	Path string // module path from go.mod
+	Root string // absolute directory containing go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+}
+
+// Package is one type-checked package of the module. Test files are not
+// loaded: the invariants guard the simulator and its tools, while tests
+// legitimately use, for example, bare byte-size literals as expected
+// values.
+type Package struct {
+	Module *Module
+	Path   string // import path, e.g. "mhafs/internal/sim"
+	Dir    string
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+
+	allows map[string]map[int]map[string]bool
+}
+
+var moduleDirective = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// skipDir reports whether a directory is excluded from loading, following
+// the go command's conventions.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// pkgNode is a parsed, not-yet-type-checked package.
+type pkgNode struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports []string // intra-module imports only
+}
+
+// LoadModule parses and type-checks every non-test package under root,
+// which must contain a go.mod. Type checking resolves standard-library
+// imports from source (GOROOT), so the loader needs no network, no
+// module cache, and no dependencies outside the standard library.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modData, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	mm := moduleDirective.FindSubmatch(modData)
+	if mm == nil {
+		return nil, fmt.Errorf("analysis: no module directive in %s", filepath.Join(root, "go.mod"))
+	}
+	m := &Module{Path: string(mm[1]), Root: root, Fset: token.NewFileSet()}
+
+	nodes := make(map[string]*pkgNode)
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(m.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		ip := m.importPath(dir)
+		node := nodes[ip]
+		if node == nil {
+			node = &pkgNode{path: ip, dir: dir}
+			nodes[ip] = node
+		}
+		node.files = append(node.files, f)
+		for _, imp := range f.Imports {
+			target, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if target == m.Path || strings.HasPrefix(target, m.Path+"/") {
+				node.imports = append(node.imports, target)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("analysis: no Go packages under %s", root)
+	}
+
+	order, err := topoSort(nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	checked := make(map[string]*types.Package)
+	imp := &moduleImporter{
+		module: m.Path,
+		pkgs:   checked,
+		std:    importer.ForCompiler(m.Fset, "source", nil),
+	}
+	for _, node := range order {
+		conf := types.Config{Importer: imp}
+		info := &types.Info{
+			Types: make(map[ast.Expr]types.TypeAndValue),
+			Uses:  make(map[*ast.Ident]types.Object),
+			Defs:  make(map[*ast.Ident]types.Object),
+		}
+		// Keep files in a stable order so diagnostics are deterministic.
+		sort.Slice(node.files, func(i, j int) bool {
+			return m.Fset.Position(node.files[i].Pos()).Filename <
+				m.Fset.Position(node.files[j].Pos()).Filename
+		})
+		tpkg, err := conf.Check(node.path, m.Fset, node.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", node.path, err)
+		}
+		checked[node.path] = tpkg
+		m.Pkgs = append(m.Pkgs, &Package{
+			Module: m,
+			Path:   node.path,
+			Dir:    node.dir,
+			Files:  node.files,
+			Pkg:    tpkg,
+			Info:   info,
+			allows: collectAllows(m.Fset, node.files),
+		})
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	return m, nil
+}
+
+// importPath maps a directory under the module root to its import path.
+func (m *Module) importPath(dir string) string {
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil || rel == "." {
+		return m.Path
+	}
+	return m.Path + "/" + filepath.ToSlash(rel)
+}
+
+// topoSort orders packages so every intra-module import precedes its
+// importer, rejecting cycles.
+func topoSort(nodes map[string]*pkgNode) ([]*pkgNode, error) {
+	paths := make([]string, 0, len(nodes))
+	for p := range nodes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(nodes))
+	var order []*pkgNode
+	var visit func(path string) error
+	visit = func(path string) error {
+		node := nodes[path]
+		if node == nil {
+			return nil // import of a module path with no loaded package (e.g. pruned dir)
+		}
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		state[path] = visiting
+		deps := append([]string(nil), node.imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, node)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves intra-module imports from the already-checked
+// set and everything else (the standard library) from source.
+type moduleImporter struct {
+	module string
+	pkgs   map[string]*types.Package
+	std    types.Importer
+}
+
+func (i *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == i.module || strings.HasPrefix(path, i.module+"/") {
+		if p := i.pkgs[path]; p != nil {
+			return p, nil
+		}
+		return nil, fmt.Errorf("analysis: internal import %q not yet checked", path)
+	}
+	return i.std.Import(path)
+}

@@ -1,0 +1,3 @@
+module mhafs
+
+go 1.22

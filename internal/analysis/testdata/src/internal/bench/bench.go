@@ -1,0 +1,10 @@
+// Package bench is a fixture for the wall-clock allowlist: internal/bench
+// times real planner overhead, so time.Now here is sanctioned.
+package bench
+
+import "time"
+
+func stamp() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

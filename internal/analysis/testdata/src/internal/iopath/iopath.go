@@ -1,0 +1,61 @@
+// Package iopath is a fixture mirror of the pipeline's types: the
+// analyzer matches Request and slot by package suffix and type name, so
+// the stagecheck rules apply here exactly as in the real package.
+package iopath
+
+// Request mirrors the descriptor's alias-sensitive fields.
+type Request struct {
+	Offset      int64
+	OnComplete  func()
+	Binding     int
+	annotations map[string]string
+}
+
+// Handler and Stage mirror the dispatch signature.
+type Handler func(*Request) error
+
+type Stage interface {
+	Handle(req *Request, next Handler) error
+}
+
+type slot struct {
+	name  string
+	stage Stage
+}
+
+// Pipeline mirrors the copy-on-write chain holder.
+type Pipeline struct {
+	chain []slot
+	saved []slot
+}
+
+func (p *Pipeline) register(chain []slot, s Stage) {
+	chain[0] = slot{"x", s} //want:stagecheck/chain
+	p.saved = chain         //want:stagecheck/chain
+}
+
+func extend(chain []slot, s Stage) []slot {
+	return append(chain, slot{"y", s}) //want:stagecheck/chain
+}
+
+func dispatchCopy(chain []slot) []slot {
+	cp := make([]slot, len(chain))
+	copy(cp, chain)
+	local := chain // a local alias does not outlive the dispatch
+	_ = local
+	return cp
+}
+
+func derive(parent *Request) *Request {
+	child := &Request{
+		Offset:     parent.Offset,
+		OnComplete: parent.OnComplete, //want:stagecheck/alias
+	}
+	child.Binding = parent.Binding //want:stagecheck/alias
+	return child
+}
+
+func wrap(req *Request) {
+	prev := req.OnComplete
+	req.OnComplete = func() { prev() } // wrapping your own callback is sanctioned
+}

@@ -1,0 +1,9 @@
+// Package mpiio is a fixture for the request-ownership rule: the
+// middleware owns root-request construction, so the literal here is fine.
+package mpiio
+
+import "mhafs/internal/iopath"
+
+func issue(off int64) *iopath.Request {
+	return &iopath.Request{Offset: off}
+}

@@ -1,0 +1,9 @@
+// Package replay is a fixture for the request-ownership rule: it is not
+// an owner, so constructing a Request literal here must be flagged.
+package replay
+
+import "mhafs/internal/iopath"
+
+func submit(off int64) *iopath.Request {
+	return &iopath.Request{Offset: off} //want:stagecheck/reqliteral
+}

@@ -1,0 +1,37 @@
+// Package sim is a fixture standing in for the engine: determinism
+// violations here must be flagged.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// clock references (not calls) time.Now: passing the wall clock around is
+// as nondeterministic as reading it.
+var clock func() time.Time = time.Now //want:determinism/wallclock
+
+func wall() time.Time {
+	return time.Now() //want:determinism/wallclock
+}
+
+func allowedWall() time.Time {
+	//mhavet:allow wallclock
+	return time.Now()
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) //want:determinism/wallclock
+}
+
+func globalDraw() int {
+	return rand.Intn(6) //want:determinism/rand
+}
+
+func seededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// durations and time constants are fine: they do not observe the clock.
+var tick = 3 * time.Second

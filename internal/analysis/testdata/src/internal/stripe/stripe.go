@@ -1,0 +1,30 @@
+// Package stripe is a fixture for the extent rules: truncating casts and
+// raw off+len ends must be flagged in the extent packages.
+package stripe
+
+import "mhafs/internal/units"
+
+func locate(off, h int64) int {
+	idx := off / h
+	return int(idx) //want:extentcheck/trunc
+}
+
+func locateChecked(off, h int64) int {
+	idx := off / h
+	// idx is bounded by the server count, an int.
+	return int(idx) //mhavet:allow trunc
+}
+
+func end(off, length int64) int64 {
+	return off + length //want:extentcheck/extentsum
+}
+
+func endChecked(off, length int64) int64 {
+	return units.End(off, length)
+}
+
+func unrelatedSum(a, b int64) int64 {
+	return a + b // operand names carry no extent meaning
+}
+
+const window = int(1 << 8) // constant conversions are compiler-checked

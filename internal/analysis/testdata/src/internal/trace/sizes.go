@@ -1,0 +1,23 @@
+// Package trace is a fixture for the units rule: magic byte-size literals
+// in any non-exempt package must be flagged; units-constant spellings,
+// small counts and allow comments must not.
+package trace
+
+import "mhafs/internal/units"
+
+var bufSizes = []int64{
+	64 * 1024,       //want:unitscheck/units
+	4 * 1024 * 1024, //want:unitscheck/units
+	1 << 20,         //want:unitscheck/units
+	1048576,         //want:unitscheck/units
+	64 * units.KB,   // sanctioned spelling
+	4096,            // small powers of two are too often counts to flag
+	3000,            // not a binary size at all
+}
+
+//mhavet:allow units
+var legacy = 512 * 1024
+
+func alloc() []byte {
+	return make([]byte, 256<<10) //want:unitscheck/units
+}

@@ -1,0 +1,15 @@
+// Package units is a fixture mirror of the real constants package. It is
+// exempt from the units rule, so the raw powers of two here must produce
+// no findings.
+package units
+
+const (
+	B  int64 = 1
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+)
+
+// End mirrors the real overflow-checked extent-end helper so the extent
+// fixtures can call the sanctioned spelling.
+func End(off, n int64) int64 { return off + n }

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"mhafs/internal/units"
+)
+
+// UnitsExemptPackages define the byte-size constants and so legitimately
+// spell out raw powers of two.
+var UnitsExemptPackages = []string{
+	"internal/units",
+}
+
+// UnitsCheck flags magic byte-size literals (rule "units"): literal-only
+// expressions that clearly denote a byte quantity — products with a
+// multiple-of-1024 factor (64*1024), shifts by a binary-unit exponent
+// (1<<20, 256<<10), and bare power-of-two literals of 64 Ki and above.
+// Such sizes must be written with the internal/units constants
+// (64*units.KB), which keeps the figure parameters greppable and the
+// arithmetic int64 by construction.
+func UnitsCheck() *Analyzer {
+	const name = "unitscheck"
+	return &Analyzer{
+		Name: name,
+		Doc:  "magic byte-size literals must use internal/units constants",
+		Run: func(p *Package) []Diagnostic {
+			if p.pathMatches(UnitsExemptPackages) {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range p.Files {
+				var visit func(n ast.Node) bool
+				visit = func(n ast.Node) bool {
+					expr, ok := n.(ast.Expr)
+					if !ok {
+						return true
+					}
+					if v, render, bad := magicSize(p, expr); bad {
+						out = append(out, p.diag(name, "units", expr,
+							"magic byte-size literal %s (= %d); use internal/units constants (%s)",
+							render, v, unitsSpelling(v)))
+						return false // do not re-flag sub-expressions
+					}
+					return true
+				}
+				ast.Inspect(f, visit)
+			}
+			return out
+		},
+	}
+}
+
+// magicSize reports whether expr is a flaggable byte-size literal, with
+// its folded value and a compact rendering for the message.
+func magicSize(p *Package, expr ast.Expr) (v int64, render string, bad bool) {
+	val, ok := litValue(p, expr)
+	if !ok {
+		return 0, "", false
+	}
+	switch e := expr.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.MUL:
+			// A product is a size when one literal factor is itself a
+			// whole number of KB (64*1024, 4*1024*1024, 2*4096).
+			if val >= 1024 && val%1024 == 0 && hasKiloFactor(p, e) {
+				return val, renderExpr(e), true
+			}
+		case token.SHL:
+			// x<<10/20/30/40 is the idiomatic KB/MB/GB/TB shift.
+			if k, ok := litValue(p, e.Y); ok {
+				switch k {
+				case 10, 20, 30, 40:
+					return val, renderExpr(e), true
+				}
+			}
+		}
+	case *ast.BasicLit:
+		// A bare power of two of 64 Ki and above is virtually always a
+		// byte size; smaller ones (4096…) are too often counts to flag.
+		if val >= 64*units.KB && val&(val-1) == 0 {
+			return val, e.Value, true
+		}
+	}
+	return 0, "", false
+}
+
+// litValue folds expr to an int64 if it is built purely from integer
+// literals (possibly parenthesized or combined with * and <<). Constants
+// named elsewhere (units.KB) make the expression non-literal.
+func litValue(p *Package, expr ast.Expr) (int64, bool) {
+	switch e := expr.(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.INT {
+			return 0, false
+		}
+	case *ast.ParenExpr:
+		return litValue(p, e.X)
+	case *ast.BinaryExpr:
+		if e.Op != token.MUL && e.Op != token.SHL {
+			return 0, false
+		}
+		if _, ok := litValue(p, e.X); !ok {
+			return 0, false
+		}
+		if _, ok := litValue(p, e.Y); !ok {
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}
+
+// hasKiloFactor reports whether any literal leaf of a product is a
+// positive multiple of 1024.
+func hasKiloFactor(p *Package, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return hasKiloFactor(p, x.X)
+	case *ast.BinaryExpr:
+		return hasKiloFactor(p, x.X) || hasKiloFactor(p, x.Y)
+	case *ast.BasicLit:
+		v, ok := litValue(p, x)
+		return ok && v >= 1024 && v%1024 == 0
+	}
+	return false
+}
+
+// renderExpr renders the literal expression compactly for the message.
+func renderExpr(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.ParenExpr:
+		return "(" + renderExpr(x.X) + ")"
+	case *ast.BinaryExpr:
+		return renderExpr(x.X) + x.Op.String() + renderExpr(x.Y)
+	}
+	return "?"
+}
+
+// unitsSpelling suggests the units-constant spelling of v.
+func unitsSpelling(v int64) string {
+	for _, u := range []struct {
+		name string
+		size int64
+	}{{"TB", units.TB}, {"GB", units.GB}, {"MB", units.MB}, {"KB", units.KB}} {
+		if v >= u.size && v%u.size == 0 {
+			if q := v / u.size; q != 1 {
+				return fmt.Sprintf("%d*units.%s", q, u.name)
+			}
+			return "units." + u.name
+		}
+	}
+	return fmt.Sprintf("units.Bytes(%d)", v)
+}

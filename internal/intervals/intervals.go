@@ -63,7 +63,9 @@ func (s *Set) Overlaps(start, end int64) bool {
 	return i < len(s.ivs) && s.ivs[i].Start < end
 }
 
-// Add inserts [start, end), merging with existing intervals.
+// Add inserts [start, end), merging with existing intervals. An inverted
+// interval panics: extents are validated where they enter the system
+// (trace records, request offsets), so one here is a programmer error.
 func (s *Set) Add(start, end int64) {
 	if start > end {
 		panic(fmt.Sprintf("intervals: inverted interval [%d,%d)", start, end))

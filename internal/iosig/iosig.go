@@ -33,7 +33,8 @@ type Collector struct {
 	enabled bool
 }
 
-// NewCollector creates an enabled collector using the given clock.
+// NewCollector creates an enabled collector using the given clock. A nil
+// clock is a wiring bug, not a runtime condition, and panics.
 func NewCollector(clock Clock) *Collector {
 	if clock == nil {
 		panic("iosig: nil clock")

@@ -23,6 +23,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"mhafs/internal/units"
 )
 
 // ErrNotFound is returned by Get for missing keys.
@@ -37,7 +39,7 @@ const (
 )
 
 // maxRecordLen guards against corrupt length fields during replay.
-const maxRecordLen = 64 << 20
+const maxRecordLen = 64 * units.MB
 
 // Options configures a store.
 type Options struct {
@@ -140,7 +142,7 @@ func readRecord(r *bufio.Reader) (record, int64, error) {
 	if op != opPut && op != opDel {
 		return record{}, 0, fmt.Errorf("kvstore: bad op %d", op)
 	}
-	if kl > maxRecordLen || vl > maxRecordLen {
+	if int64(kl) > maxRecordLen || int64(vl) > maxRecordLen {
 		return record{}, 0, fmt.Errorf("kvstore: record too large (%d/%d)", kl, vl)
 	}
 	body := make([]byte, int(kl)+int(vl)+4)

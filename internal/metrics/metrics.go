@@ -16,7 +16,8 @@ import (
 
 // DiffStats subtracts a baseline snapshot from a later one, yielding the
 // activity of the interval. The slices must be parallel (same servers in
-// the same order).
+// the same order); mismatched snapshots indicate a programmer error (two
+// different clusters) and panic.
 func DiffStats(before, after []server.Stats) []server.Stats {
 	if len(before) != len(after) {
 		panic("metrics: stats snapshots differ in length")

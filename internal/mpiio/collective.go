@@ -91,6 +91,15 @@ func (m *Middleware) collective(op trace.Op, name string, pieces []Piece, opts C
 			return fmt.Errorf("mpiio: collective pieces overlap at offset %d", p.Offset)
 		}
 	}
+	// Resolve the target now (creating it when AutoCreate permits) so a
+	// missing file surfaces as a synchronous error to the caller rather
+	// than a failure inside the scheduled aggregator callbacks, where no
+	// error return exists. Creation is metadata-only and consumes no
+	// virtual time, so doing it here is timing-neutral.
+	if _, err := m.ResolveFile(name); err != nil {
+		return fmt.Errorf("mpiio: collective %v: %w", op, err)
+	}
+
 	// Record the logical per-rank requests (the application's view). The
 	// aggregated file-domain requests below run untraced instead.
 	if c := m.Collector(); c != nil {
@@ -212,6 +221,8 @@ func (m *Middleware) collectiveReadDomain(name string, aggRank int, d domain, ar
 			}
 		})
 		if err != nil {
+			// The target was resolved and the pieces validated before the
+			// domains were scheduled, so any error here is a programmer error.
 			panic(fmt.Sprintf("mpiio: collective domain read: %v", err))
 		}
 	}

@@ -235,3 +235,24 @@ func TestCollectiveWithGaps(t *testing.T) {
 		t.Error("second piece missing")
 	}
 }
+
+// TestCollectiveMissingFile pins the error contract: with AutoCreate off,
+// a collective against a file that does not exist must fail synchronously
+// from CollectiveWrite/CollectiveRead, not blow up later inside the
+// scheduled aggregator callbacks.
+func TestCollectiveMissingFile(t *testing.T) {
+	c := testCluster(t)
+	mw := New(c)
+	mw.AutoCreate = false
+	pieces := []Piece{{Rank: 0, Offset: 0, Data: make([]byte, 4*units.KB)}}
+
+	if err := mw.CollectiveWrite("nope", pieces, CollectiveOptions{}, nil); err == nil {
+		t.Error("CollectiveWrite on a missing file: want error, got nil")
+	}
+	if err := mw.CollectiveRead("nope", pieces, CollectiveOptions{}, nil); err == nil {
+		t.Error("CollectiveRead on a missing file: want error, got nil")
+	}
+	// The engine must have nothing queued: the failure happened before any
+	// domain was scheduled.
+	c.Eng.Run()
+}

@@ -44,7 +44,7 @@ type Middleware struct {
 // installed.
 func New(c *pfs.Cluster) *Middleware {
 	if c == nil {
-		panic("mpiio: nil cluster")
+		panic("mpiio: nil cluster") // wiring bug, not a runtime condition
 	}
 	m := &Middleware{Cluster: c, AutoCreate: true}
 	m.pipe = iopath.NewPipeline(c.Eng)

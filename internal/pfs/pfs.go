@@ -17,6 +17,7 @@ import (
 	"mhafs/internal/server"
 	"mhafs/internal/sim"
 	"mhafs/internal/stripe"
+	"mhafs/internal/units"
 )
 
 // Config describes a cluster.
@@ -55,7 +56,7 @@ func DefaultConfig() Config {
 		SSD:           device.DefaultSSD(),
 		Net:           netmodel.DefaultGigE(),
 		MDSLookup:     200e-6,
-		DefaultStripe: 64 << 10,
+		DefaultStripe: 64 * units.KB,
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"mhafs/internal/layout"
 	"mhafs/internal/pfs"
 	"mhafs/internal/region"
+	"mhafs/internal/units"
 )
 
 // Options configures Apply.
@@ -158,7 +159,7 @@ func copyVia(c *pfs.Cluster, via *region.DRT, m region.Mapping, dst *pfs.File) e
 }
 
 // rawCopyChunk bounds migration buffer memory.
-const rawCopyChunk = 4 << 20
+const rawCopyChunk = 4 * units.MB
 
 // RawCopy copies n bytes between two files of the cluster using layout
 // math directly on the server byte stores — an offline, zero-virtual-time
@@ -227,7 +228,10 @@ type Redirector struct {
 	lookups uint64
 }
 
-// NewRedirector wraps a DRT. lookupTime may be 0 (free redirection).
+// NewRedirector wraps a DRT. lookupTime may be 0 (free redirection). The
+// panics below are backstops for programmer errors: every config path
+// (bench.Config.Validate, config.Apply) validates the lookup cost before
+// it reaches this constructor.
 func NewRedirector(drt *region.DRT, lookupTime float64) *Redirector {
 	if drt == nil {
 		panic("reorder: nil DRT")

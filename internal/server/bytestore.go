@@ -1,5 +1,7 @@
 package server
 
+import "mhafs/internal/units"
+
 // ByteStore is a sparse in-memory byte array: the storage medium behind a
 // simulated file server. Unwritten ranges read as zeros, like a sparse
 // POSIX file. Storage is chunked so a server holding a few scattered
@@ -13,7 +15,7 @@ type ByteStore struct {
 
 // DefaultChunkSize balances map overhead against slack for typical stripe
 // sizes (4 KB – several MB).
-const DefaultChunkSize = 256 << 10
+const DefaultChunkSize = 256 * units.KB
 
 // NewByteStore creates a store with the given chunk size (0 selects the
 // default).
@@ -24,7 +26,9 @@ func NewByteStore(chunkSize int64) *ByteStore {
 	return &ByteStore{chunkSize: chunkSize, chunks: make(map[int64][]byte)}
 }
 
-// WriteAt stores p at offset off, growing the store as needed.
+// WriteAt stores p at offset off, growing the store as needed. A negative
+// offset panics: offsets are validated at the middleware boundary, so one
+// arriving here is a programmer error in the layout math.
 func (b *ByteStore) WriteAt(p []byte, off int64) {
 	if off < 0 {
 		panic("server: negative write offset")
@@ -46,7 +50,8 @@ func (b *ByteStore) WriteAt(p []byte, off int64) {
 	}
 }
 
-// ReadAt fills p from offset off; unwritten bytes are zero.
+// ReadAt fills p from offset off; unwritten bytes are zero. Like WriteAt,
+// a negative offset is a programmer error and panics.
 func (b *ByteStore) ReadAt(p []byte, off int64) {
 	if off < 0 {
 		panic("server: negative read offset")

@@ -1,5 +1,7 @@
 package stripe
 
+import "mhafs/internal/units"
+
 // Segment is a maximal run of consecutive file bytes that lands on one
 // server within one stripe round: the unit of actual data movement. Unlike
 // SubRequest (which coalesces a server's bytes across rounds for timing
@@ -24,7 +26,7 @@ func (l Layout) Segments(off, length int64) []Segment {
 	}
 	var out []Segment
 	pos := off
-	end := off + length
+	end := units.End(off, length)
 	for pos < end {
 		ref, local := l.Locate(pos)
 		size, _ := l.stripeOf(ref)

@@ -15,7 +15,11 @@
 // real PFS ships one contiguous sub-request per server.
 package stripe
 
-import "fmt"
+import (
+	"fmt"
+
+	"mhafs/internal/units"
+)
 
 // Class identifies the server type within a layout.
 type Class uint8
@@ -127,12 +131,14 @@ func (l Layout) Locate(off int64) (ServerRef, int64) {
 	L := l.RoundLength()
 	round, pos := off/L, off%L
 	if l.H > 0 && pos < int64(l.M)*l.H {
+		// pos < M·h bounds idx below l.M, an int, so int(idx) cannot truncate.
 		idx := pos / l.H
-		return ServerRef{ClassH, int(idx)}, round*l.H + pos%l.H
+		return ServerRef{ClassH, int(idx)}, round*l.H + pos%l.H //mhavet:allow trunc
 	}
 	pos -= int64(l.M) * l.H
+	// Validate caps pos below N·s, so idx < l.N and the conversion is exact.
 	idx := pos / l.S
-	return ServerRef{ClassS, int(idx)}, round*l.S + pos%l.S
+	return ServerRef{ClassS, int(idx)}, round*l.S + pos%l.S //mhavet:allow trunc
 }
 
 // LocalToGlobal inverts Locate for a given server.
@@ -191,7 +197,7 @@ func (l Layout) Split(off, length int64) []SubRequest {
 		if size == 0 {
 			continue
 		}
-		n := bytesBelow(off+length, base, size, L) - bytesBelow(off, base, size, L)
+		n := bytesBelow(units.End(off, length), base, size, L) - bytesBelow(off, base, size, L)
 		if n == 0 {
 			continue
 		}
@@ -209,7 +215,7 @@ func (l Layout) firstLocalAtOrAfter(off int64, ref ServerRef) int64 {
 	switch {
 	case pos < base:
 		return round * size // window of this round not yet reached
-	case pos < base+size:
+	case pos < units.End(base, size):
 		return round*size + (pos - base) // inside the window
 	default:
 		return (round + 1) * size // window passed; next round

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"mhafs/internal/units"
 )
 
 // The text trace format is one record per line:
@@ -43,7 +45,7 @@ func Write(w io.Writer, t Trace) error {
 func Read(r io.Reader) (Trace, error) {
 	var t Trace
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	sc.Buffer(make([]byte, 64*units.KB), int(4*units.MB))
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++

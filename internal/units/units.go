@@ -6,6 +6,7 @@ package units
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -99,7 +100,13 @@ func ParseBytes(s string) (Bytes, error) {
 	if err != nil {
 		return 0, fmt.Errorf("units: %q: %w", orig, err)
 	}
-	v := int64(f * float64(mult))
+	product := f * float64(mult)
+	// float64(MaxInt64) rounds to 2^63, which is itself out of range, so
+	// the comparison must be >= rather than >.
+	if product >= float64(math.MaxInt64) {
+		return 0, fmt.Errorf("units: %q overflows int64", orig)
+	}
+	v := int64(product)
 	if neg {
 		v = -v
 	}
@@ -166,6 +173,20 @@ func BandwidthMBps(bytes int64, seconds float64) float64 {
 		return 0
 	}
 	return float64(bytes) / float64(MB) / seconds
+}
+
+// End returns the exclusive end off+n of an extent, panicking on int64
+// overflow instead of silently wrapping into a negative offset. Both
+// arguments must be non-negative, which every validated extent in the
+// tree guarantees.
+func End(off, n int64) int64 {
+	if off < 0 || n < 0 {
+		panic(fmt.Sprintf("units: negative extent [%d,+%d)", off, n))
+	}
+	if off > math.MaxInt64-n {
+		panic(fmt.Sprintf("units: extent end %d+%d overflows int64", off, n))
+	}
+	return off + n
 }
 
 // CeilDiv returns ceil(a/b) for positive b.

@@ -48,6 +48,124 @@ func TestParseBytesErrors(t *testing.T) {
 	}
 }
 
+// TestParseBytesOverflow pins both overflow guards: the integer path
+// (n*mult wraps) and the float path (f*mult exceeds int64 range, where
+// the naive int64(f*mult) conversion would silently produce MinInt64).
+func TestParseBytesOverflow(t *testing.T) {
+	for _, in := range []string{
+		"9223372036854775807KB", // integer path: 2^63-1 KB wraps
+		"9007199254740993TB",    // integer path again, TB-scale
+		"9999999999.5TB",        // float path: product far beyond int64
+		"8388608.1TB",           // float path: just past 2^63
+	} {
+		if got, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) = %d, want overflow error", in, got)
+		}
+	}
+	// The largest representable whole value must still parse.
+	if got, err := ParseBytes("9223372036854775807"); err != nil || got != math.MaxInt64 {
+		t.Errorf("ParseBytes(MaxInt64) = %d, %v; want %d, nil", got, err, int64(math.MaxInt64))
+	}
+	// A fractional value close to, but inside, the limit must not error.
+	if _, err := ParseBytes("8388607.5TB"); err != nil {
+		t.Errorf("ParseBytes(8388607.5TB): unexpected error %v", err)
+	}
+}
+
+// TestParseBytesFractional pins the truncation semantics of fractional
+// sizes: the product is truncated toward zero, not rounded.
+func TestParseBytesFractional(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+	}{
+		{"1.5MB", Bytes(MB + MB/2)},
+		{"0.25KB", 256},
+		{"2.75GB", Bytes(2*GB + 3*GB/4)},
+		{"0.0001KB", 0}, // truncates to zero bytes
+		{"-1.5KB", -1536},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestStringParseRoundTrip re-parses String's output across all of its
+// formatting branches, including the two-decimal fallback forms, whose
+// re-parse may truncate but must stay within the rendered precision.
+func TestStringParseRoundTrip(t *testing.T) {
+	exact := []Bytes{0, 1, 512, Bytes(KB), 3 * Bytes(KB), Bytes(MB),
+		17 * Bytes(MB), Bytes(GB), Bytes(TB), -64 * Bytes(KB)}
+	for _, v := range exact {
+		got, err := ParseBytes(v.String())
+		if err != nil || got != v {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d", v.String(), got, err, v)
+		}
+	}
+	inexact := []Bytes{Bytes(KB) + 512, Bytes(MB) + 1, Bytes(GB) + Bytes(MB), -Bytes(KB) - 512}
+	for _, v := range inexact {
+		s := v.String()
+		got, err := ParseBytes(s)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): unexpected error %v", s, err)
+			continue
+		}
+		// Two decimals of the rendered unit bound the representation error.
+		diff := got - v
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.01*math.Abs(float64(v)) {
+			t.Errorf("ParseBytes(%q) = %d, too far from %d", s, got, v)
+		}
+	}
+}
+
+func TestEnd(t *testing.T) {
+	cases := []struct {
+		off, n, want int64
+	}{
+		{0, 0, 0},
+		{0, 5, 5},
+		{64 * KB, 4 * KB, 68 * KB},
+		{math.MaxInt64 - 1, 1, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := End(c.off, c.n); got != c.want {
+			t.Errorf("End(%d, %d) = %d, want %d", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestEndPanics(t *testing.T) {
+	cases := []struct {
+		name   string
+		off, n int64
+	}{
+		{"negative offset", -1, 4},
+		{"negative length", 4, -1},
+		{"overflow", math.MaxInt64, 1},
+		{"overflow both large", math.MaxInt64 / 2, math.MaxInt64/2 + 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("End(%d, %d): want panic", c.off, c.n)
+				}
+			}()
+			End(c.off, c.n)
+		})
+	}
+}
+
 func TestBytesString(t *testing.T) {
 	cases := []struct {
 		in   Bytes

@@ -5,14 +5,15 @@ import (
 	"math/rand"
 
 	"mhafs/internal/trace"
+	"mhafs/internal/units"
 )
 
 // LANL App2 request sizes (Fig. 3): each loop issues one small 16-byte
 // request followed by two large requests of 128K−16 and 128K bytes.
 const (
 	LANLSmall  = 16
-	LANLLarge1 = 128<<10 - 16
-	LANLLarge2 = 128 << 10
+	LANLLarge1 = 128*units.KB - 16
+	LANLLarge2 = 128 * units.KB
 )
 
 // LANLSequence returns the request-size sequence of n loops — the data
