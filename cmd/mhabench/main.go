@@ -4,41 +4,101 @@
 // Usage:
 //
 //	mhabench [-fig all|3|7|8|9|10|11|12a|12b|13a|13b|14|meta]
-//	         [-scale N] [-h N] [-s N] [-csv] [-json FILE]
+//	         [-scale N] [-h N] [-s N] [-csv] [-json[=FILE]]
+//	         [-telemetry] [-telemetry-format json|prom]
+//	         [-cpuprofile FILE] [-memprofile FILE]
+//	mhabench -compare [-tolerance T] OLD.json NEW.json
 //
 // -scale divides the paper's workload volumes (default 64; 1 reproduces
 // the full 16 GB runs). -h/-s override the default 6 HServer : 2 SServer
 // cluster. -csv emits CSV instead of aligned text. -json additionally
 // writes every generated table — plus the per-scheme aggregate bandwidth
-// across the bandwidth figures — to FILE as machine-readable JSON
-// (e.g. -json BENCH_pipeline.json).
+// across the bandwidth figures — to FILE (default BENCH_pipeline.json) as
+// machine-readable JSON.
+//
+// -telemetry threads a telemetry registry through every replayed scheme
+// and appends the snapshot (canonical JSON, or Prometheus text exposition
+// with -telemetry-format prom) to stdout after the tables. Everything is
+// measured in virtual time, so two identical invocations emit
+// byte-identical snapshots.
+//
+// -compare is the CI perf-gate: it diffs the aggregate bandwidth of two
+// -json exports and exits nonzero when NEW regressed more than the
+// relative tolerance (default 0.05) below OLD for any scheme.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"mhafs/internal/bench"
 	"mhafs/internal/config"
-	"mhafs/internal/layout"
 	"mhafs/internal/metrics"
+	"mhafs/internal/telemetry"
 	"mhafs/internal/units"
 )
 
+// optFile is a flag that may be given bare (-json → default path) or with
+// a value (-json=custom.json).
+type optFile struct {
+	path string
+	def  string
+}
+
+func (f *optFile) String() string { return f.path }
+func (f *optFile) Set(v string) error {
+	switch v {
+	case "", "true":
+		f.path = f.def
+	case "false":
+		f.path = ""
+	default:
+		f.path = v
+	}
+	return nil
+}
+func (f *optFile) IsBoolFlag() bool { return true }
+
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate (all, 3, 7, 8, 9, 10, 11, 12a, 12b, 13a, 13b, 14, meta, ablation-step, ablation-k, ablation-conc, scaling, extended)")
-		scale   = flag.Int64("scale", 64, "divide the paper's workload volumes by this factor")
-		hSrv    = flag.Int("h", 6, "number of HServers (HDD-backed)")
-		sSrv    = flag.Int("s", 2, "number of SServers (SSD-backed)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		jsonOut = flag.String("json", "", "also write the results as JSON to this file")
-		calPath = flag.String("config", "", "JSON calibration file overriding device/network/planner defaults")
+		fig       = flag.String("fig", "all", "figure to regenerate (all, 3, 7, 8, 9, 10, 11, 12a, 12b, 13a, 13b, 14, meta, ablation-step, ablation-k, ablation-conc, scaling, extended)")
+		scale     = flag.Int64("scale", 64, "divide the paper's workload volumes by this factor")
+		hSrv      = flag.Int("h", 6, "number of HServers (HDD-backed)")
+		sSrv      = flag.Int("s", 2, "number of SServers (SSD-backed)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut   = optFile{def: "BENCH_pipeline.json"}
+		calPath   = flag.String("config", "", "JSON calibration file overriding device/network/planner defaults")
+		telem     = flag.Bool("telemetry", false, "emit the run's telemetry snapshot to stdout after the tables")
+		telFormat = flag.String("telemetry-format", "json", "telemetry snapshot format: json (canonical) or prom (Prometheus text)")
+		compare   = flag.Bool("compare", false, "perf-gate mode: compare two -json exports (mhabench -compare OLD.json NEW.json)")
+		tolerance = flag.Float64("tolerance", 0.05, "relative bandwidth tolerance for -compare (0.05 = 5% slower still passes)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	flag.Var(&jsonOut, "json", "also write the results as JSON to this file (bare -json writes BENCH_pipeline.json)")
 	flag.Parse()
+
+	if *compare {
+		runCompare(flag.Args(), *tolerance)
+		return
+	}
+	if args := flag.Args(); len(args) != 0 {
+		fatal(fmt.Errorf("unexpected arguments %q (positional arguments are only used with -compare)", args))
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := bench.Default()
 	cfg.Scale = *scale
@@ -53,6 +113,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	var reg *telemetry.Registry
+	if *telem {
+		switch *telFormat {
+		case "json", "prom":
+		default:
+			fatal(fmt.Errorf("unknown -telemetry-format %q (want json or prom)", *telFormat))
+		}
+		reg = telemetry.NewRegistry()
+		cfg.Telemetry = reg
 	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
@@ -90,12 +160,12 @@ func main() {
 
 	want := strings.ToLower(*fig)
 	ran := false
-	export := exportJSON{
+	export := bench.Export{
 		Scale:    *scale,
 		HServers: *hSrv,
 		SServers: *sSrv,
 	}
-	agg := make(map[layout.Scheme]*bandwidthAgg)
+	agg := bench.NewAggregator()
 	for _, r := range runners {
 		if want == "all" && r.extra {
 			continue // extras (ablations, scaling, …) run only by name
@@ -118,89 +188,68 @@ func main() {
 			}
 		}
 		fmt.Println()
-		export.Figures = append(export.Figures, figureJSON{
-			ID: r.id, Title: tb.Title, Headers: tb.Headers, Rows: tb.Data(),
-		})
-		for _, row := range rows {
-			for _, s := range layout.AllSchemes() {
-				a := agg[s]
-				if a == nil {
-					a = &bandwidthAgg{}
-					agg[s] = a
-				}
-				if bw, ok := row.Read[s]; ok && bw > 0 {
-					a.readSum += bw
-					a.readN++
-				}
-				if bw, ok := row.Write[s]; ok && bw > 0 {
-					a.writeSum += bw
-					a.writeN++
-				}
-			}
-		}
+		export.AddFigure(r.id, tb)
+		agg.Add(rows)
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown figure %q (see -help for the list)", *fig))
 	}
-	if *jsonOut != "" {
-		export.Bandwidth = make(map[string]bandwidthJSON, len(agg))
-		for s, a := range agg {
-			export.Bandwidth[s.String()] = a.summary()
+	if jsonOut.path != "" {
+		export.Bandwidth = agg.Summary()
+		if err := export.WriteFile(jsonOut.path); err != nil {
+			fatal(err)
 		}
-		if err := writeJSON(*jsonOut, export); err != nil {
+	}
+	if reg != nil {
+		var err error
+		if *telFormat == "prom" {
+			err = reg.WritePrometheus(os.Stdout)
+		} else {
+			err = reg.WriteJSON(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
 	}
 }
 
-// exportJSON is the machine-readable form of a run: every table printed,
-// plus the per-scheme aggregate bandwidth over the bandwidth figures.
-type exportJSON struct {
-	Scale    int64        `json:"scale"`
-	HServers int          `json:"hservers"`
-	SServers int          `json:"sservers"`
-	Figures  []figureJSON `json:"figures"`
-	// Bandwidth maps scheme name to its mean read/write bandwidth across
-	// every x-axis point of the generated bandwidth figures.
-	Bandwidth map[string]bandwidthJSON `json:"aggregate_bandwidth_mbps"`
-}
-
-type figureJSON struct {
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	Headers []string   `json:"headers"`
-	Rows    [][]string `json:"rows"`
-}
-
-type bandwidthJSON struct {
-	ReadMBps     float64 `json:"read_mbps"`
-	WriteMBps    float64 `json:"write_mbps"`
-	ReadSamples  int     `json:"read_samples"`
-	WriteSamples int     `json:"write_samples"`
-}
-
-type bandwidthAgg struct {
-	readSum, writeSum float64
-	readN, writeN     int
-}
-
-func (a *bandwidthAgg) summary() bandwidthJSON {
-	out := bandwidthJSON{ReadSamples: a.readN, WriteSamples: a.writeN}
-	if a.readN > 0 {
-		out.ReadMBps = a.readSum / float64(a.readN)
+// runCompare is the perf-gate: exit 0 when NEW holds OLD's aggregate
+// bandwidth within the tolerance, 1 on regression, 2 on usage/IO errors.
+func runCompare(args []string, tolerance float64) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "mhabench: -compare needs exactly two arguments: OLD.json NEW.json")
+		os.Exit(2)
 	}
-	if a.writeN > 0 {
-		out.WriteMBps = a.writeSum / float64(a.writeN)
-	}
-	return out
-}
-
-func writeJSON(path string, v any) error {
-	b, err := json.MarshalIndent(v, "", "  ")
+	oldExp, err := bench.LoadExport(args[0])
 	if err != nil {
-		return err
+		fatal(err)
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	newExp, err := bench.LoadExport(args[1])
+	if err != nil {
+		fatal(err)
+	}
+	regs, err := bench.CompareExports(oldExp, newExp, tolerance)
+	if err != nil {
+		fatal(err)
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "mhabench: REGRESSION:", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("perf-gate ok: %s within %.0f%% of %s (%d schemes gated)\n",
+		args[1], tolerance*100, args[0], len(oldExp.Bandwidth))
 }
 
 func tableOf(fn func() ([]bench.BandwidthRow, *metrics.Table, error)) func() (*metrics.Table, []bench.BandwidthRow, error) {

@@ -9,7 +9,7 @@
 //	mhactl group  -trace t.txt [-k 16]     Algorithm 1 request grouping
 //	mhactl sig    -trace t.txt             per-stream I/O signatures
 //	mhactl plan   -trace t.txt -scheme MHA [-h 6 -s 2] show the plan
-//	mhactl replay -trace t.txt -scheme MHA             simulate a replay
+//	mhactl replay -trace t.txt -scheme MHA [-telemetry] simulate a replay
 //	mhactl convert -trace in.txt -o out.bin [-binary=true]  convert formats
 //	mhactl drt    -db drt.db               dump a persisted DRT
 //	mhactl rst    -db rst.db               dump a persisted RST
@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"sort"
 
 	"mhafs/internal/bench"
@@ -29,6 +30,7 @@ import (
 	"mhafs/internal/pattern"
 	"mhafs/internal/region"
 	"mhafs/internal/stripe"
+	"mhafs/internal/telemetry"
 	"mhafs/internal/trace"
 	"mhafs/internal/units"
 )
@@ -48,8 +50,21 @@ func main() {
 	window := fs.Float64("window", pattern.DefaultEpochWindow, "concurrency window (s)")
 	outPath := fs.String("o", "", "output path (convert)")
 	toBinary := fs.Bool("binary", true, "convert to binary (false: to text)")
+	telem := fs.Bool("telemetry", false, "replay: emit the telemetry snapshot to stdout after the tables")
+	telFormat := fs.String("telemetry-format", "json", "telemetry snapshot format: json (canonical) or prom (Prometheus text)")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	switch cmd {
@@ -154,6 +169,11 @@ func main() {
 		cfg.Cluster.HServers, cfg.Env.M = *hSrv, *hSrv
 		cfg.Cluster.SServers, cfg.Env.N = *sSrv, *sSrv
 		cfg.Env.MaxRegions = *k
+		var reg *telemetry.Registry
+		if *telem {
+			reg = telemetry.NewRegistry()
+			cfg.Telemetry = reg
+		}
 		run, err := cfg.RunScheme(scheme, tr)
 		if err != nil {
 			fatal(err)
@@ -179,6 +199,20 @@ func main() {
 			tb2.AddRow(st.Name, fmt.Sprintf("%.6f", st.BusyTime), st.ReadBytes+st.WriteBytes)
 		}
 		tb2.Fprint(os.Stdout)
+		if reg != nil {
+			var werr error
+			switch *telFormat {
+			case "prom":
+				werr = reg.WritePrometheus(os.Stdout)
+			case "json":
+				werr = reg.WriteJSON(os.Stdout)
+			default:
+				werr = fmt.Errorf("unknown -telemetry-format %q (want json or prom)", *telFormat)
+			}
+			if werr != nil {
+				fatal(werr)
+			}
+		}
 	case "drt":
 		d, err := region.OpenDRT(*db)
 		if err != nil {

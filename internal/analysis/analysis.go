@@ -12,8 +12,8 @@
 //
 //   - determinism — no wall-clock (time.Now and friends) and no
 //     unseeded global math/rand anywhere in the module; wall-clock is
-//     permitted only in allowlisted packages (internal/bench times its
-//     own planning overhead) or under an explicit allow comment;
+//     permitted only in the packages listed in WallclockAllowedPackages
+//     (see scopes.go) or under an explicit allow comment;
 //   - unitscheck — magic byte-size literals (64*1024, 1<<20, 1048576)
 //     must use the internal/units constants instead;
 //   - extentcheck — extent arithmetic packages must not truncate int64
@@ -31,8 +31,8 @@
 //
 // where <rule> is the rule name the diagnostic carries (for example
 // "wallclock" or "trunc"). Allow comments are deliberate, reviewable
-// escape hatches; package-level exemptions live in the analyzer scope
-// tables in this package.
+// escape hatches; package-level exemptions live in the scope tables in
+// scopes.go, the single place widening a rule's reach is reviewed.
 package analysis
 
 import (

@@ -131,9 +131,19 @@ func TestSelfCheck(t *testing.T) {
 	for _, p := range mod.Pkgs {
 		byPath[p.Path] = true
 	}
-	for _, core := range DeterministicPackages {
-		if !byPath[mod.Path+"/"+core] {
-			t.Errorf("DeterministicPackages names %s, which is not in the module", core)
+	scopes := []struct {
+		name string
+		pkgs []string
+	}{
+		{"DeterministicPackages", DeterministicPackages},
+		{"WallclockAllowedPackages", WallclockAllowedPackages},
+		{"UnitsExemptPackages", UnitsExemptPackages},
+	}
+	for _, sc := range scopes {
+		for _, pkg := range sc.pkgs {
+			if !byPath[mod.Path+"/"+pkg] {
+				t.Errorf("%s names %s, which is not in the module", sc.name, pkg)
+			}
 		}
 	}
 	for _, d := range Run(mod, All()) {

@@ -5,30 +5,6 @@ import (
 	"go/types"
 )
 
-// DeterministicPackages lists the sim/virtual-time packages whose outputs
-// feed the figure suite directly. The determinism rules below apply to
-// the whole module — a wall-clock read in a workload generator corrupts
-// figures just as surely as one in the engine — but this list documents
-// the core that must never be exempted, and the self-check test pins it.
-var DeterministicPackages = []string{
-	"internal/sim",
-	"internal/iopath",
-	"internal/pfs",
-	"internal/server",
-	"internal/costmodel",
-	"internal/mpiio",
-	"internal/replay",
-	"internal/dynamic",
-}
-
-// WallclockAllowedPackages may read the wall clock: internal/bench times
-// the planners' real (not virtual) overhead for the Fig. 14 measurements.
-// Everywhere else wall-clock use needs an explicit
-// //mhavet:allow wallclock comment at the site.
-var WallclockAllowedPackages = []string{
-	"internal/bench",
-}
-
 // wallclockFuncs are the time-package functions that observe or depend on
 // the wall clock. Duration arithmetic and the time constants are fine.
 var wallclockFuncs = map[string]bool{

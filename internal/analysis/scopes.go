@@ -1,0 +1,43 @@
+package analysis
+
+// This file is the single home of mhavet's package scopes: every
+// allowlist or exemption an analyzer consults lives here, so widening a
+// rule's scope is a one-line, reviewable change and the self-check test
+// can pin in one place that each listed package actually exists.
+
+// DeterministicPackages lists the sim/virtual-time packages whose outputs
+// feed the figure suite directly. The determinism rules apply to the
+// whole module — a wall-clock read in a workload generator corrupts
+// figures just as surely as one in the engine — but this list documents
+// the core that must never be exempted, and the self-check test pins it.
+var DeterministicPackages = []string{
+	"internal/sim",
+	"internal/iopath",
+	"internal/pfs",
+	"internal/server",
+	"internal/costmodel",
+	"internal/mpiio",
+	"internal/replay",
+	"internal/dynamic",
+}
+
+// WallclockAllowedPackages may read the wall clock:
+//
+//   - internal/bench times the planners' real (not virtual) overhead for
+//     the Fig. 14 measurements;
+//   - internal/telemetry/wallclock is the sanctioned real-clock adapter
+//     behind the telemetry.Clock interface, used only for profiling the
+//     implementation itself.
+//
+// Everywhere else wall-clock use needs an explicit
+// //mhavet:allow wallclock comment at the site.
+var WallclockAllowedPackages = []string{
+	"internal/bench",
+	"internal/telemetry/wallclock",
+}
+
+// UnitsExemptPackages define the byte-size constants and so legitimately
+// spell out raw powers of two.
+var UnitsExemptPackages = []string{
+	"internal/units",
+}

@@ -9,12 +9,6 @@ import (
 	"mhafs/internal/units"
 )
 
-// UnitsExemptPackages define the byte-size constants and so legitimately
-// spell out raw powers of two.
-var UnitsExemptPackages = []string{
-	"internal/units",
-}
-
 // UnitsCheck flags magic byte-size literals (rule "units"): literal-only
 // expressions that clearly denote a byte quantity — products with a
 // multiple-of-1024 factor (64*1024), shifts by a binary-unit exponent

@@ -21,6 +21,7 @@ import (
 	"mhafs/internal/pfs"
 	"mhafs/internal/reorder"
 	"mhafs/internal/replay"
+	"mhafs/internal/telemetry"
 	"mhafs/internal/trace"
 	"mhafs/internal/units"
 )
@@ -47,6 +48,12 @@ type Config struct {
 	// LockStep models bulk-synchronous barriers, Timed honors trace time
 	// stamps).
 	ReplayMode replay.Mode
+
+	// Telemetry, when non-nil, is the registry every replayed scheme's
+	// middleware emits into (stage spans, request/server series, DRT
+	// counters). Runs accumulate — use a fresh registry per run for
+	// per-run snapshots.
+	Telemetry *telemetry.Registry
 }
 
 // Default returns the paper's setup: 6 HServers, 2 SServers, 64 KB
@@ -123,6 +130,11 @@ func (c Config) RunScheme(scheme layout.Scheme, tr trace.Trace) (SchemeRun, erro
 	defer placement.Close()
 
 	mw := mpiio.New(cluster)
+	if c.Telemetry != nil {
+		// Enabled before the redirector so SetRedirector inherits the
+		// registry and the DRT counters are wired too.
+		mw.EnableTelemetry(c.Telemetry)
+	}
 	switch scheme {
 	case layout.DEF:
 		// The baseline runs without any redirection machinery.

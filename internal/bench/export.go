@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mhafs/internal/layout"
+	"mhafs/internal/metrics"
+)
+
+// Export is the machine-readable form of one mhabench run: every table
+// generated, plus the per-scheme aggregate bandwidth across the bandwidth
+// figures. It is what `mhabench -json` writes (BENCH_pipeline.json) and
+// what the CompareExports perf-gate diffs.
+type Export struct {
+	Scale    int64          `json:"scale"`
+	HServers int            `json:"hservers"`
+	SServers int            `json:"sservers"`
+	Figures  []FigureExport `json:"figures"`
+	// Bandwidth maps scheme name to its mean read/write bandwidth across
+	// every x-axis point of the generated bandwidth figures.
+	Bandwidth map[string]BandwidthExport `json:"aggregate_bandwidth_mbps"`
+}
+
+// FigureExport is one generated table.
+type FigureExport struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// BandwidthExport is one scheme's aggregate bandwidth summary.
+type BandwidthExport struct {
+	ReadMBps     float64 `json:"read_mbps"`
+	WriteMBps    float64 `json:"write_mbps"`
+	ReadSamples  int     `json:"read_samples"`
+	WriteSamples int     `json:"write_samples"`
+}
+
+// AddFigure appends a generated table to the export.
+func (e *Export) AddFigure(id string, tb *metrics.Table) {
+	e.Figures = append(e.Figures, FigureExport{
+		ID: id, Title: tb.Title, Headers: tb.Headers, Rows: tb.Data(),
+	})
+}
+
+// Aggregator folds bandwidth figure rows into per-scheme running means.
+type Aggregator map[layout.Scheme]*bandwidthAgg
+
+type bandwidthAgg struct {
+	readSum, writeSum float64
+	readN, writeN     int
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() Aggregator { return make(Aggregator) }
+
+// Add folds every positive per-scheme sample of the rows in.
+func (g Aggregator) Add(rows []BandwidthRow) {
+	for _, row := range rows {
+		for _, s := range layout.AllSchemes() {
+			a := g[s]
+			if a == nil {
+				a = &bandwidthAgg{}
+				g[s] = a
+			}
+			if bw, ok := row.Read[s]; ok && bw > 0 {
+				a.readSum += bw
+				a.readN++
+			}
+			if bw, ok := row.Write[s]; ok && bw > 0 {
+				a.writeSum += bw
+				a.writeN++
+			}
+		}
+	}
+}
+
+// Summary renders the aggregate as the export's bandwidth map.
+func (g Aggregator) Summary() map[string]BandwidthExport {
+	out := make(map[string]BandwidthExport, len(g))
+	for s, a := range g {
+		b := BandwidthExport{ReadSamples: a.readN, WriteSamples: a.writeN}
+		if a.readN > 0 {
+			b.ReadMBps = a.readSum / float64(a.readN)
+		}
+		if a.writeN > 0 {
+			b.WriteMBps = a.writeSum / float64(a.writeN)
+		}
+		out[s.String()] = b
+	}
+	return out
+}
+
+// WriteFile writes the export as indented JSON (map keys sorted by
+// encoding/json, so the bytes are stable for identical runs).
+func (e Export) WriteFile(path string) error {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadExport reads an export written by WriteFile / `mhabench -json`.
+func LoadExport(path string) (Export, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Export{}, err
+	}
+	var e Export
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Export{}, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return e, nil
+}

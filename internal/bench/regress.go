@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Regression is one gated metric that fell below the tolerance band:
+// the new run's aggregate bandwidth dropped more than tol below the old
+// run's for one scheme and direction.
+type Regression struct {
+	Scheme string
+	Metric string // "read_mbps" or "write_mbps"
+	Old    float64
+	New    float64
+	Limit  float64 // Old × (1 − tol), the lowest acceptable value
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s regressed: %.2f -> %.2f (limit %.2f)",
+		r.Scheme, r.Metric, r.Old, r.New, r.Limit)
+}
+
+// CompareExports gates a new run against an old baseline: every scheme's
+// aggregate read/write bandwidth in old must be matched by new within the
+// relative tolerance tol (0.05 = new may be up to 5% slower). It returns
+// the regressions in deterministic (scheme, metric) order, or an error
+// when the runs are incomparable — different scale or cluster shape, a
+// scheme missing from the new run, or a baseline without bandwidth data.
+// Improvements and schemes present only in new never fail the gate.
+func CompareExports(old, new Export, tol float64) ([]Regression, error) {
+	if tol < 0 || tol >= 1 {
+		return nil, fmt.Errorf("bench: tolerance %v outside [0,1)", tol)
+	}
+	if old.Scale != new.Scale || old.HServers != new.HServers || old.SServers != new.SServers {
+		return nil, fmt.Errorf(
+			"bench: incomparable runs: baseline scale=%d h=%d s=%d vs new scale=%d h=%d s=%d",
+			old.Scale, old.HServers, old.SServers, new.Scale, new.HServers, new.SServers)
+	}
+	if len(old.Bandwidth) == 0 {
+		return nil, fmt.Errorf("bench: baseline carries no aggregate bandwidth (was it run with -fig all?)")
+	}
+	schemes := make([]string, 0, len(old.Bandwidth))
+	for s := range old.Bandwidth {
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+
+	var out []Regression
+	for _, s := range schemes {
+		ob := old.Bandwidth[s]
+		nb, ok := new.Bandwidth[s]
+		if !ok {
+			return nil, fmt.Errorf("bench: scheme %s present in baseline but missing from new run", s)
+		}
+		for _, m := range []struct {
+			name     string
+			old, new float64
+			samples  int
+		}{
+			{"read_mbps", ob.ReadMBps, nb.ReadMBps, ob.ReadSamples},
+			{"write_mbps", ob.WriteMBps, nb.WriteMBps, ob.WriteSamples},
+		} {
+			if m.samples == 0 || m.old <= 0 {
+				continue // nothing measured in the baseline to gate on
+			}
+			limit := m.old * (1 - tol)
+			if m.new < limit {
+				out = append(out, Regression{
+					Scheme: s, Metric: m.name,
+					Old: m.old, New: m.new, Limit: limit,
+				})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func gateExport(read, write float64) Export {
+	return Export{
+		Scale: 64, HServers: 6, SServers: 2,
+		Bandwidth: map[string]BandwidthExport{
+			"MHA": {ReadMBps: read, WriteMBps: write, ReadSamples: 4, WriteSamples: 4},
+			"DEF": {ReadMBps: 100, WriteMBps: 100, ReadSamples: 4, WriteSamples: 4},
+		},
+	}
+}
+
+func TestCompareExportsPassAndRegress(t *testing.T) {
+	base := gateExport(200, 150)
+
+	if regs, err := CompareExports(base, gateExport(199, 150), 0.05); err != nil || len(regs) != 0 {
+		t.Errorf("within tolerance: regs=%v err=%v", regs, err)
+	}
+	// Improvements never fail the gate.
+	if regs, err := CompareExports(base, gateExport(400, 300), 0.05); err != nil || len(regs) != 0 {
+		t.Errorf("improvement flagged: regs=%v err=%v", regs, err)
+	}
+	// A 10% read drop against a 5% tolerance is exactly one regression.
+	regs, err := CompareExports(base, gateExport(180, 150), 0.05)
+	if err != nil || len(regs) != 1 {
+		t.Fatalf("regs=%v err=%v, want one regression", regs, err)
+	}
+	r := regs[0]
+	if r.Scheme != "MHA" || r.Metric != "read_mbps" || r.Old != 200 || r.New != 180 {
+		t.Errorf("regression = %+v", r)
+	}
+	if r.Limit != 200*0.95 {
+		t.Errorf("limit = %v, want %v", r.Limit, 200*0.95)
+	}
+	// Both directions regressed: deterministic (scheme, metric) order.
+	regs, err = CompareExports(base, gateExport(100, 100), 0.05)
+	if err != nil || len(regs) != 2 {
+		t.Fatalf("regs=%v err=%v, want two regressions", regs, err)
+	}
+	if regs[0].Metric != "read_mbps" || regs[1].Metric != "write_mbps" {
+		t.Errorf("order = %v, %v", regs[0].Metric, regs[1].Metric)
+	}
+}
+
+func TestCompareExportsIncomparable(t *testing.T) {
+	base := gateExport(200, 150)
+
+	other := gateExport(200, 150)
+	other.Scale = 32
+	if _, err := CompareExports(base, other, 0.05); err == nil {
+		t.Error("different scale accepted")
+	}
+	other = gateExport(200, 150)
+	other.HServers = 4
+	if _, err := CompareExports(base, other, 0.05); err == nil {
+		t.Error("different cluster shape accepted")
+	}
+	missing := gateExport(200, 150)
+	delete(missing.Bandwidth, "MHA")
+	if _, err := CompareExports(base, missing, 0.05); err == nil {
+		t.Error("missing scheme accepted")
+	}
+	if _, err := CompareExports(Export{Scale: 64, HServers: 6, SServers: 2}, base, 0.05); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	if _, err := CompareExports(base, base, -0.1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	if _, err := CompareExports(base, base, 1); err == nil {
+		t.Error("tolerance of 1 accepted")
+	}
+}
+
+// Zero-sample / zero-bandwidth baseline entries are not gated: there is
+// nothing measured to regress from.
+func TestCompareExportsZeroBaseline(t *testing.T) {
+	base := gateExport(200, 150)
+	base.Bandwidth["W"] = BandwidthExport{} // never measured
+	next := gateExport(200, 150)
+	next.Bandwidth["W"] = BandwidthExport{}
+	regs, err := CompareExports(base, next, 0.05)
+	if err != nil || len(regs) != 0 {
+		t.Errorf("zero baseline gated: regs=%v err=%v", regs, err)
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	e := gateExport(200, 150)
+	e.Figures = []FigureExport{{ID: "7", Title: "t", Headers: []string{"a"}, Rows: [][]string{{"1"}}}}
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := e.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadExport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != 64 || len(got.Figures) != 1 || got.Bandwidth["MHA"].ReadMBps != 200 {
+		t.Errorf("round trip mangled export: %+v", got)
+	}
+	if _, err := LoadExport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -164,6 +164,16 @@ type slot struct {
 	stage Stage
 }
 
+// Observer receives a callback when a request enters and leaves the
+// synchronous portion of each stage. Enter/exit pairs are properly nested
+// (dispatch is recursive) and always run under the pipeline's submission
+// lock. Observers that also want the request's eventual completion wrap
+// req.OnComplete from StageEnter, the sanctioned Recorder pattern.
+type Observer interface {
+	StageEnter(stage string, req *Request)
+	StageExit(stage string, req *Request)
+}
+
 // Pipeline is an ordered, named chain of stages. Registration addresses
 // stages by name so callers compose the chain without positional
 // knowledge; Submit pushes a request through the chain front to back.
@@ -177,6 +187,7 @@ type Pipeline struct {
 
 	mu    sync.Mutex
 	slots []slot
+	obs   Observer
 }
 
 // NewPipeline creates an empty pipeline over the simulation engine.
@@ -282,6 +293,15 @@ func (p *Pipeline) Has(name string) bool {
 	return p.indexOf(name) >= 0
 }
 
+// SetObserver installs (or, with nil, clears) the pipeline's stage
+// observer. Configuration is not safe concurrently with submission, like
+// stage registration.
+func (p *Pipeline) SetObserver(o Observer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs = o
+}
+
 // Names returns the stage names in chain order.
 func (p *Pipeline) Names() []string {
 	p.mu.Lock()
@@ -319,12 +339,19 @@ func (p *Pipeline) Exclusive(fn func()) {
 
 // dispatch runs the stage at index i of the chain snapshot; the next
 // handler continues at i+1. Requests derived by a stage continue
-// downstream of it — they do not restart the chain.
+// downstream of it — they do not restart the chain. The observer (read
+// under the submission lock dispatch already runs beneath) brackets the
+// synchronous portion of every stage.
 func dispatch(p *Pipeline, chain []slot, req *Request, i int) error {
 	if i >= len(chain) {
 		return fmt.Errorf("iopath: request for %q fell off the end of the chain", req.File)
 	}
-	return chain[i].stage.Handle(req, func(r *Request) error {
+	name, stage := chain[i].name, chain[i].stage
+	if o := p.obs; o != nil {
+		o.StageEnter(name, req)
+		defer o.StageExit(name, req)
+	}
+	return stage.Handle(req, func(r *Request) error {
 		if r.pipe == nil {
 			r.pipe = p
 		}

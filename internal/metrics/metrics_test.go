@@ -25,6 +25,53 @@ func TestDiffStatsPanics(t *testing.T) {
 	})
 }
 
+func TestDiffStatsEdges(t *testing.T) {
+	// Two empty snapshots are trivially parallel.
+	if d := DiffStats(nil, nil); len(d) != 0 {
+		t.Errorf("empty diff = %v", d)
+	}
+	// Same servers in a different order is not parallel — a diff across
+	// reordered snapshots would silently misattribute load.
+	mustPanic(t, "reordered", func() {
+		DiffStats(
+			[]server.Stats{{Name: "a"}, {Name: "b"}},
+			[]server.Stats{{Name: "b"}, {Name: "a"}},
+		)
+	})
+	// An interval with no activity diffs to all-zero rows, and those
+	// zeros normalize to zero rather than dividing by a zero minimum.
+	snap := []server.Stats{{Name: "h0", BusyTime: 1.5}, {Name: "h1", BusyTime: 2.5}}
+	d := DiffStats(snap, snap)
+	for i, s := range d {
+		if s.Reads != 0 || s.WriteBytes != 0 || s.BusyTime != 0 {
+			t.Errorf("idle interval row %d = %+v", i, s)
+		}
+	}
+	for i, v := range NormalizeToMin(BusyTimes(d)) {
+		if v != 0 {
+			t.Errorf("normalized idle busy[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestNormalizeToMinEdges(t *testing.T) {
+	if got := NormalizeToMin(nil); len(got) != 0 {
+		t.Errorf("nil input = %v", got)
+	}
+	// Negative entries are treated like zeros: never the minimum, never
+	// scaled.
+	got := NormalizeToMin([]float64{-3, 2, 4})
+	want := []float64{0, 1, 2}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("with negatives [%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := NormalizeToMin([]float64{0, 5, 0}); got[1] != 1 || got[0] != 0 || got[2] != 0 {
+		t.Errorf("single positive = %v, want [0 1 0]", got)
+	}
+}
+
 func TestBusyTimes(t *testing.T) {
 	got := BusyTimes([]server.Stats{{BusyTime: 1}, {BusyTime: 2}})
 	if len(got) != 2 || got[0] != 1 || got[1] != 2 {

@@ -22,8 +22,13 @@ import (
 	"mhafs/internal/iosig"
 	"mhafs/internal/pfs"
 	"mhafs/internal/reorder"
+	"mhafs/internal/telemetry"
 	"mhafs/internal/trace"
 )
+
+// StageMeter names the application-level telemetry interceptor installed
+// by EnableTelemetry.
+const StageMeter = "telemetry/meter"
 
 // Middleware binds a cluster to an I/O pipeline.
 type Middleware struct {
@@ -36,6 +41,7 @@ type Middleware struct {
 	pipe       *iopath.Pipeline
 	collector  *iosig.Collector
 	redirector *reorder.Redirector
+	telemetry  *telemetry.Registry
 	nextFD     int
 }
 
@@ -78,13 +84,17 @@ func (m *Middleware) SetCollector(col *iosig.Collector) {
 func (m *Middleware) Collector() *iosig.Collector { return m.collector }
 
 // SetRedirector installs, replaces or (with nil) removes the DRT
-// redirection stage. Configuration is not safe concurrently with
-// submission.
+// redirection stage. When telemetry is enabled the redirector inherits
+// the registry, so its DRT hit/miss counters survive generation swaps.
+// Configuration is not safe concurrently with submission.
 func (m *Middleware) SetRedirector(r *reorder.Redirector) {
 	m.redirector = r
 	if r == nil {
 		m.pipe.Remove(iopath.StageRedirect)
 		return
+	}
+	if m.telemetry != nil {
+		r.SetTelemetry(m.telemetry)
 	}
 	st := &iopath.Redirect{Redirector: r, Files: m, Eng: m.Cluster.Eng}
 	if m.pipe.Has(iopath.StageRedirect) {
@@ -97,6 +107,33 @@ func (m *Middleware) SetRedirector(r *reorder.Redirector) {
 // Redirector returns the installed redirector (nil when requests are not
 // redirected).
 func (m *Middleware) Redirector() *reorder.Redirector { return m.redirector }
+
+// EnableTelemetry wires the whole I/O path into reg: a stage timer
+// observing every pipeline stage against the simulation clock, an
+// application-level request meter installed as an interceptor (before
+// redirection, so it sees whole requests), per-server busy/queue series,
+// striping fan-out, and — when a redirector is installed now or later —
+// DRT lookup hit/miss counters. Passing nil disables emission everywhere.
+// Configuration is not safe concurrently with submission.
+func (m *Middleware) EnableTelemetry(reg *telemetry.Registry) {
+	m.telemetry = reg
+	m.Cluster.SetTelemetry(reg)
+	if m.redirector != nil {
+		m.redirector.SetTelemetry(reg)
+	}
+	if reg == nil {
+		m.pipe.SetObserver(nil)
+		m.pipe.Remove(StageMeter)
+		return
+	}
+	m.pipe.SetObserver(iopath.NewStageTimer(reg, m.Cluster.Eng))
+	if !m.pipe.Has(StageMeter) {
+		must(m.Intercept(StageMeter, iopath.NewMeter(reg)))
+	}
+}
+
+// Telemetry returns the enabled registry (nil when telemetry is off).
+func (m *Middleware) Telemetry() *telemetry.Registry { return m.telemetry }
 
 // Intercept registers an interceptor stage on the request path: after
 // trace capture and any earlier interceptors, before redirection and

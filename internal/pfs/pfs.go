@@ -17,6 +17,7 @@ import (
 	"mhafs/internal/server"
 	"mhafs/internal/sim"
 	"mhafs/internal/stripe"
+	"mhafs/internal/telemetry"
 	"mhafs/internal/units"
 )
 
@@ -120,6 +121,8 @@ type Cluster struct {
 	mds      *sim.Resource
 
 	files map[string]*File
+
+	stripeMeter *stripe.Meter
 }
 
 // New builds a cluster on a fresh simulation engine.
@@ -160,6 +163,21 @@ func New(cfg Config) (*Cluster, error) {
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// SetTelemetry installs (or, with nil, removes) a telemetry registry
+// across the storage layer: every server emits its per-request series and
+// the striping path records per-region hits and fan-out. All observations
+// are in virtual time, so enabling telemetry never perturbs results.
+func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
+	for _, s := range c.Servers() {
+		s.SetTelemetry(reg)
+	}
+	if reg == nil {
+		c.stripeMeter = nil
+		return
+	}
+	c.stripeMeter = stripe.NewMeter(reg)
+}
 
 // DefaultLayout returns the cluster-wide DEF layout: every server, fixed
 // stripe size.
@@ -306,6 +324,9 @@ func (c *Cluster) PlanWrite(f *File, off int64, data []byte) []SubRequest {
 		f.Size = end
 	}
 	subs := f.Layout.Split(off, n)
+	if c.stripeMeter != nil {
+		c.stripeMeter.ObserveSplit(f.Name, subs)
+	}
 	gathered := make(map[stripe.ServerRef][]byte, len(subs))
 	for _, sub := range subs {
 		gathered[sub.Server] = make([]byte, 0, sub.Size)
@@ -331,6 +352,9 @@ func (c *Cluster) PlanWrite(f *File, off int64, data []byte) []SubRequest {
 func (c *Cluster) PlanRead(f *File, off int64, buf []byte) []SubRequest {
 	n := int64(len(buf))
 	subs := f.Layout.Split(off, n)
+	if c.stripeMeter != nil {
+		c.stripeMeter.ObserveSplit(f.Name, subs)
+	}
 	segs := f.Layout.Segments(off, n)
 	out := make([]SubRequest, 0, len(subs))
 	for _, sub := range subs {

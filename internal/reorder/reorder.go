@@ -14,6 +14,7 @@ import (
 	"mhafs/internal/layout"
 	"mhafs/internal/pfs"
 	"mhafs/internal/region"
+	"mhafs/internal/telemetry"
 	"mhafs/internal/units"
 )
 
@@ -226,6 +227,46 @@ type Redirector struct {
 	LookupTime float64
 
 	lookups uint64
+	tel     *redirectorMetrics
+}
+
+// Telemetry series emitted by the redirection phase. A lookup is a hit
+// when any piece of the extent was translated into a region file, a miss
+// when the whole extent passed through unmapped; mapped/identity bytes
+// break the same split down by volume.
+const (
+	MetricDRTLookups       = "drt_lookups_total"
+	MetricDRTHits          = "drt_redirect_hits_total"
+	MetricDRTMisses        = "drt_redirect_misses_total"
+	MetricDRTMappedBytes   = "drt_mapped_bytes_total"
+	MetricDRTIdentityBytes = "drt_identity_bytes_total"
+	MetricDRTTargets       = "drt_targets_per_lookup"
+)
+
+// redirectorMetrics caches the redirector's series handles.
+type redirectorMetrics struct {
+	lookups       *telemetry.Counter
+	hits, misses  *telemetry.Counter
+	mappedBytes   *telemetry.Counter
+	identityBytes *telemetry.Counter
+	targets       *telemetry.Histogram
+}
+
+// SetTelemetry installs (or, with nil, removes) a registry the redirector
+// emits DRT lookup observations into.
+func (r *Redirector) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		r.tel = nil
+		return
+	}
+	r.tel = &redirectorMetrics{
+		lookups:       reg.Counter(MetricDRTLookups),
+		hits:          reg.Counter(MetricDRTHits),
+		misses:        reg.Counter(MetricDRTMisses),
+		mappedBytes:   reg.Counter(MetricDRTMappedBytes),
+		identityBytes: reg.Counter(MetricDRTIdentityBytes),
+		targets:       reg.Histogram(MetricDRTTargets, telemetry.FanoutBuckets()),
+	}
 }
 
 // NewRedirector wraps a DRT. lookupTime may be 0 (free redirection). The
@@ -245,7 +286,26 @@ func NewRedirector(drt *region.DRT, lookupTime float64) *Redirector {
 // Resolve translates the extent to its current locations.
 func (r *Redirector) Resolve(file string, off, n int64) []region.Target {
 	r.lookups++
-	return r.drt.Translate(file, off, n)
+	targets := r.drt.Translate(file, off, n)
+	if tel := r.tel; tel != nil {
+		tel.lookups.Inc()
+		tel.targets.Observe(float64(len(targets)))
+		hit := false
+		for _, tg := range targets {
+			if tg.Mapped {
+				hit = true
+				tel.mappedBytes.Add(float64(tg.Size))
+			} else {
+				tel.identityBytes.Add(float64(tg.Size))
+			}
+		}
+		if hit {
+			tel.hits.Inc()
+		} else {
+			tel.misses.Inc()
+		}
+	}
+	return targets
 }
 
 // Lookups returns the number of Resolve calls served.

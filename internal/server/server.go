@@ -15,6 +15,7 @@ import (
 	"mhafs/internal/device"
 	"mhafs/internal/netmodel"
 	"mhafs/internal/sim"
+	"mhafs/internal/telemetry"
 	"mhafs/internal/trace"
 )
 
@@ -24,8 +25,10 @@ type Server struct {
 	Dev  device.Model
 	Net  netmodel.Model
 
+	eng    *sim.Engine
 	res    *sim.Resource
 	stores map[string]*ByteStore
+	tel    *serverMetrics
 
 	readBytes  int64
 	writeBytes int64
@@ -45,9 +48,66 @@ func New(eng *sim.Engine, name string, dev device.Model, net netmodel.Model) (*S
 		Name:   name,
 		Dev:    dev,
 		Net:    net,
+		eng:    eng,
 		res:    sim.NewResource(eng, name),
 		stores: make(map[string]*ByteStore),
 	}, nil
+}
+
+// Telemetry series emitted per server. Busy time accumulates actual
+// service seconds (the per-server I/O time of Fig. 8); queue wait is the
+// submit-to-service-start residency behind the FIFO.
+const (
+	MetricOps       = "server_ops_total"
+	MetricBytes     = "server_bytes_total"
+	MetricBusy      = "server_busy_seconds_total"
+	MetricQueueWait = "server_queue_wait_seconds"
+	MetricService   = "server_service_seconds"
+)
+
+// serverMetrics caches this server's series handles so the per-request
+// emission path does not re-resolve registry identities.
+type serverMetrics struct {
+	readOps, writeOps     *telemetry.Counter
+	readBytes, writeBytes *telemetry.Counter
+	busy                  *telemetry.Counter
+	queueWait             *telemetry.Histogram
+	service               *telemetry.Histogram
+}
+
+// SetTelemetry installs (or, with nil, removes) a registry the server
+// emits per-request observations into: op and byte counters, accumulated
+// busy seconds, and queue-wait/service-time histograms, all labeled by
+// server name and measured in virtual time.
+func (s *Server) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		s.tel = nil
+		return
+	}
+	srv := telemetry.L("server", s.Name)
+	s.tel = &serverMetrics{
+		readOps:    reg.Counter(MetricOps, srv, telemetry.L("op", "read")),
+		writeOps:   reg.Counter(MetricOps, srv, telemetry.L("op", "write")),
+		readBytes:  reg.Counter(MetricBytes, srv, telemetry.L("op", "read")),
+		writeBytes: reg.Counter(MetricBytes, srv, telemetry.L("op", "write")),
+		busy:       reg.Counter(MetricBusy, srv),
+		queueWait:  reg.Histogram(MetricQueueWait, telemetry.LatencyBuckets(), srv),
+		service:    reg.Histogram(MetricService, telemetry.LatencyBuckets(), srv),
+	}
+}
+
+// observe folds one completed sub-request into the telemetry series.
+func (m *serverMetrics) observe(op trace.Op, n int64, submit, start, end float64) {
+	if op == trace.OpWrite {
+		m.writeOps.Inc()
+		m.writeBytes.Add(float64(n))
+	} else {
+		m.readOps.Inc()
+		m.readBytes.Add(float64(n))
+	}
+	m.busy.Add(end - start)
+	m.queueWait.Observe(start - submit)
+	m.service.Observe(end - start)
 }
 
 // ServiceTime returns the device+network time for one n-byte sub-request
@@ -84,10 +144,14 @@ func (s *Server) SubmitWrite(obj string, local int64, data []byte, done func(end
 	// Copy now: the caller may reuse its buffer before virtual completion.
 	buf := make([]byte, n)
 	copy(buf, data)
-	s.res.Acquire(s.serviceTimeAt(trace.OpWrite, n, s.res.Depth()), func(_, end float64) {
+	submit, tel := s.eng.Now(), s.tel
+	s.res.Acquire(s.serviceTimeAt(trace.OpWrite, n, s.res.Depth()), func(start, end float64) {
 		s.Object(obj).WriteAt(buf, local)
 		s.writeBytes += n
 		s.writes++
+		if tel != nil {
+			tel.observe(trace.OpWrite, n, submit, start, end)
+		}
 		if done != nil {
 			done(end)
 		}
@@ -99,10 +163,14 @@ func (s *Server) SubmitWrite(obj string, local int64, data []byte, done func(end
 // runs.
 func (s *Server) SubmitRead(obj string, local int64, buf []byte, done func(end float64)) {
 	n := int64(len(buf))
-	s.res.Acquire(s.serviceTimeAt(trace.OpRead, n, s.res.Depth()), func(_, end float64) {
+	submit, tel := s.eng.Now(), s.tel
+	s.res.Acquire(s.serviceTimeAt(trace.OpRead, n, s.res.Depth()), func(start, end float64) {
 		s.Object(obj).ReadAt(buf, local)
 		s.readBytes += n
 		s.reads++
+		if tel != nil {
+			tel.observe(trace.OpRead, n, submit, start, end)
+		}
 		if done != nil {
 			done(end)
 		}

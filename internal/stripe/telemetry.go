@@ -1,0 +1,53 @@
+package stripe
+
+import (
+	"mhafs/internal/telemetry"
+)
+
+// Telemetry series emitted by the striping layer.
+const (
+	// MetricRegionHits counts striped extents per target file — for MHA
+	// workloads this is the per-region hit profile of the redirection
+	// phase (region files carry the region/ prefix, originals their own
+	// name).
+	MetricRegionHits = "stripe_region_hits_total"
+	// MetricSubRequests counts per-server sub-requests by server class.
+	MetricSubRequests = "stripe_subrequests_total"
+	// MetricFanout is the distribution of sub-requests per striped extent.
+	MetricFanout = "stripe_fanout_subrequests"
+)
+
+// Meter aggregates striping decisions into a telemetry registry: which
+// region (file) each striped extent hit, how many sub-requests the split
+// produced, and how they divide between HServers and SServers. The
+// cluster invokes it from its planning path when telemetry is enabled.
+type Meter struct {
+	reg    *telemetry.Registry
+	subH   *telemetry.Counter
+	subS   *telemetry.Counter
+	fanout *telemetry.Histogram
+}
+
+// NewMeter creates a meter emitting into reg.
+func NewMeter(reg *telemetry.Registry) *Meter {
+	return &Meter{
+		reg:    reg,
+		subH:   reg.Counter(MetricSubRequests, telemetry.L("class", ClassH.String())),
+		subS:   reg.Counter(MetricSubRequests, telemetry.L("class", ClassS.String())),
+		fanout: reg.Histogram(MetricFanout, telemetry.FanoutBuckets()),
+	}
+}
+
+// ObserveSplit records one striped extent: the file (region) it targeted
+// and the per-server sub-requests its layout split produced.
+func (m *Meter) ObserveSplit(file string, subs []SubRequest) {
+	m.reg.Counter(MetricRegionHits, telemetry.L("region", file)).Inc()
+	m.fanout.Observe(float64(len(subs)))
+	for _, s := range subs {
+		if s.Server.Class == ClassH {
+			m.subH.Inc()
+		} else {
+			m.subS.Inc()
+		}
+	}
+}

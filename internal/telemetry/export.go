@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the registry's full state in canonical form: every slice is
+// sorted by series identity, so marshaling a snapshot is byte-stable
+// across runs — the property the CI perf-gate and the bit-identity checks
+// rely on.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+	Spans      []SpanSnapshot      `json:"spans"`
+}
+
+// CounterSnapshot is one counter series.
+type CounterSnapshot struct {
+	Series string  `json:"series"` // canonical name{labels} identity
+	Value  float64 `json:"value"`
+}
+
+// HistogramSnapshot is one histogram series with per-bucket
+// (non-cumulative) counts; the final bucket is +Inf and is omitted from
+// Bounds.
+type HistogramSnapshot struct {
+	Series  string    `json:"series"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+	Sum     float64   `json:"sum"`
+	Count   uint64    `json:"count"`
+}
+
+// SpanSnapshot is one span aggregate.
+type SpanSnapshot struct {
+	Series string  `json:"series"`
+	Count  uint64  `json:"count"`
+	Total  float64 `json:"total"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Snapshot captures the registry state. Series appear in sorted identity
+// order.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, id := range r.ids() {
+		s := r.lookup(id)
+		switch {
+		case s.counter != nil:
+			snap.Counters = append(snap.Counters, CounterSnapshot{Series: id, Value: s.counter.Value()})
+		case s.hist != nil:
+			bounds, buckets, sum, count := s.hist.snapshot()
+			snap.Histograms = append(snap.Histograms, HistogramSnapshot{
+				Series: id, Bounds: bounds, Buckets: buckets, Sum: sum, Count: count,
+			})
+		case s.span != nil:
+			count, total, min, max := s.span.snapshot()
+			snap.Spans = append(snap.Spans, SpanSnapshot{
+				Series: id, Count: count, Total: total, Min: min, Max: max,
+			})
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented canonical JSON followed by a
+// newline. Identical registry states produce identical bytes.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// fnum renders a float the way Prometheus exposition expects, stable
+// across runs (shortest round-trip representation).
+func fnum(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...} or the empty string.
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): counters as counters, histograms with
+// cumulative le buckets, spans as per-series gauges (_count, _sum, _min,
+// _max). Families and series are emitted in sorted order, so the output
+// is byte-stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Group series into families by metric name, keeping each family's
+	// series in sorted identity order.
+	families := make(map[string][]*series)
+	var names []string
+	for _, id := range r.ids() {
+		s := r.lookup(id)
+		if len(families[s.name]) == 0 {
+			names = append(names, s.name)
+		}
+		families[s.name] = append(families[s.name], s)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		fam := families[name]
+		switch {
+		case fam[0].counter != nil:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", name)
+			for _, s := range fam {
+				fmt.Fprintf(&b, "%s%s %s\n", name, labelString(s.labels), fnum(s.counter.Value()))
+			}
+		case fam[0].hist != nil:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+			for _, s := range fam {
+				bounds, buckets, sum, count := s.hist.snapshot()
+				var cum uint64
+				for i, bound := range bounds {
+					cum += buckets[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", name,
+						labelString(s.labels, L("le", fnum(bound))), cum)
+				}
+				cum += buckets[len(buckets)-1]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", name,
+					labelString(s.labels, L("le", "+Inf")), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", name, labelString(s.labels), fnum(sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", name, labelString(s.labels), count)
+			}
+		case fam[0].span != nil:
+			fmt.Fprintf(&b, "# TYPE %s_seconds gauge\n", name)
+			for _, s := range fam {
+				count, total, min, max := s.span.snapshot()
+				ls := labelString(s.labels)
+				fmt.Fprintf(&b, "%s_count%s %d\n", name, ls, count)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", name, ls, fnum(total))
+				fmt.Fprintf(&b, "%s_min%s %s\n", name, ls, fnum(min))
+				fmt.Fprintf(&b, "%s_max%s %s\n", name, ls, fnum(max))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,333 @@
+// Package telemetry is the simulator's deterministic observability core:
+// a Registry of named, labeled counters, fixed-bucket histograms and span
+// aggregates, with two byte-stable exporters (Prometheus text exposition
+// and canonical JSON).
+//
+// Determinism contract: the registry stores only what its callers feed it.
+// Time never enters through this package — every duration is computed by
+// the emitting layer against an injected Clock, which in simulation-driven
+// code is the engine's virtual clock (sim.Engine satisfies Clock
+// directly). Two identical runs therefore produce bit-for-bit identical
+// snapshots, which is what lets CI diff telemetry output the same way it
+// diffs the figure tables. The wall-clock adapter for interactive
+// profiling lives in the telemetry/wallclock subpackage, which is the one
+// place the static analyzer's determinism allowlist exempts.
+//
+// Concurrency: metric handles are safe for concurrent use (each carries
+// its own lock), and the registry lock covers only get-or-create, so hot
+// emission paths never contend on a global lock.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mhafs/internal/units"
+)
+
+// Clock supplies the current time in seconds. sim.Engine satisfies it
+// with virtual time; wallclock.Clock (telemetry/wallclock) adapts the
+// real clock for profiling outside the determinism boundary.
+type Clock interface {
+	Now() float64
+}
+
+// Label is one key=value dimension of a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesID renders the canonical identity of a series: the metric name
+// followed by its labels sorted by key, e.g. `server_ops_total{op="read",server="h0"}`.
+// Sorting here is what makes every exporter byte-stable regardless of
+// registration order.
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sortLabels returns a sorted copy of the labels.
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Counter is a monotonically increasing series.
+type Counter struct {
+	mu  sync.Mutex
+	val float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v; negative increments panic, as a counter
+// going backwards indicates an accounting bug.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic(fmt.Sprintf("telemetry: counter decremented by %v", v))
+	}
+	c.mu.Lock()
+	c.val += v
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.val
+}
+
+// Histogram is a fixed-bucket distribution: cumulative counts per
+// upper-bound bucket plus an implicit +Inf bucket, a sum, and a count —
+// the Prometheus histogram shape.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // strictly increasing upper bounds (le)
+	buckets []uint64  // len(bounds)+1; last is +Inf
+	sum     float64
+	count   uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.buckets[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshotBuckets returns the bounds and per-bucket (non-cumulative)
+// counts under the histogram lock.
+func (h *Histogram) snapshot() (bounds []float64, buckets []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.buckets...), h.sum, h.count
+}
+
+// Span aggregates durations of one kind of interval — a pipeline stage,
+// a queue residency — as count/total/min/max. It is the compact form of
+// "enter/exit recorded against the clock": the emitter measures the
+// duration and the span folds it in.
+type Span struct {
+	mu       sync.Mutex
+	count    uint64
+	total    float64
+	min, max float64
+}
+
+// Observe folds one interval duration into the aggregate.
+func (s *Span) Observe(d float64) {
+	s.mu.Lock()
+	if s.count == 0 || d < s.min {
+		s.min = d
+	}
+	if d > s.max {
+		s.max = d
+	}
+	s.count++
+	s.total += d
+	s.mu.Unlock()
+}
+
+// Count returns the number of intervals observed.
+func (s *Span) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Total returns the summed duration.
+func (s *Span) Total() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+func (s *Span) snapshot() (count uint64, total, min, max float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count, s.total, s.min, s.max
+}
+
+// SizeBuckets returns the standard request-size bucket bounds in bytes:
+// powers of four from 1 KB to 16 MB, covering the paper's 16 B noise
+// records up through full-round collective aggregates.
+func SizeBuckets() []float64 {
+	return []float64{
+		float64(1 * units.KB),
+		float64(4 * units.KB),
+		float64(16 * units.KB),
+		float64(64 * units.KB),
+		float64(256 * units.KB),
+		float64(1 * units.MB),
+		float64(4 * units.MB),
+		float64(16 * units.MB),
+	}
+}
+
+// LatencyBuckets returns the standard latency bucket bounds in seconds,
+// decades from 10 µs to 10 s — the simulated device times run from ~50 µs
+// (SSD α) to tens of milliseconds under queueing.
+func LatencyBuckets() []float64 {
+	return []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+}
+
+// FanoutBuckets returns bucket bounds for small integral fan-out counts
+// (sub-requests per striped extent, targets per DRT translation).
+func FanoutBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64}
+}
+
+// series is one registered metric with its identity split out for the
+// exporters (Prometheus needs name and labels separately).
+type series struct {
+	name   string
+	labels []Label
+
+	counter *Counter
+	hist    *Histogram
+	span    *Span
+}
+
+// Registry holds every metric series of one run. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// get returns the series for (name, labels), creating it with mk when
+// absent. It panics when the same identity was registered as a different
+// metric kind — that is a naming collision, a programmer error.
+func (r *Registry) get(name string, labels []Label, kind string, mk func(*series)) *series {
+	labels = sortLabels(labels)
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[id]
+	if !ok {
+		s = &series{name: name, labels: labels}
+		mk(s)
+		r.series[id] = s
+		return s
+	}
+	switch kind {
+	case "counter":
+		if s.counter == nil {
+			panic(fmt.Sprintf("telemetry: %s already registered as a non-counter", id))
+		}
+	case "histogram":
+		if s.hist == nil {
+			panic(fmt.Sprintf("telemetry: %s already registered as a non-histogram", id))
+		}
+	case "span":
+		if s.span == nil {
+			panic(fmt.Sprintf("telemetry: %s already registered as a non-span", id))
+		}
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	s := r.get(name, labels, "counter", func(s *series) { s.counter = &Counter{} })
+	return s.counter
+}
+
+// Histogram returns the fixed-bucket histogram for (name, labels),
+// creating it with the given bounds on first use. Bounds must be strictly
+// increasing; re-registration with different bounds panics.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %s bounds not increasing at %d", name, i))
+		}
+	}
+	s := r.get(name, labels, "histogram", func(s *series) {
+		s.hist = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]uint64, len(bounds)+1),
+		}
+	})
+	if len(s.hist.bounds) != len(bounds) {
+		panic(fmt.Sprintf("telemetry: histogram %s re-registered with different bounds", name))
+	}
+	return s.hist
+}
+
+// Span returns the span aggregate for (name, labels), creating it on
+// first use.
+func (r *Registry) Span(name string, labels ...Label) *Span {
+	s := r.get(name, labels, "span", func(s *series) { s.span = &Span{} })
+	return s.span
+}
+
+// ids returns the registered series identities in sorted order — the
+// single iteration order every exporter uses.
+func (r *Registry) ids() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.series))
+	for id := range r.series {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup returns the series for a canonical id.
+func (r *Registry) lookup(id string) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.series[id]
+}
+
+// Len returns the number of registered series.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.series)
+}

@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", L("op", "read"))
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Errorf("counter = %v, want 3", got)
+	}
+	// Same identity returns the same counter regardless of label order.
+	if r.Counter("ops_total", Label{"op", "read"}) != c {
+		t.Error("re-lookup returned a different counter")
+	}
+	if r.Len() != 1 {
+		t.Errorf("registry has %d series, want 1", r.Len())
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c").Add(-1)
+}
+
+func TestLabelOrderCanonicalized(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", L("b", "2"), L("a", "1"))
+	b := r.Counter("x", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Error("label order changed series identity")
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a histogram over a counter did not panic")
+		}
+	}()
+	r.Histogram("m", LatencyBuckets())
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	_, buckets, sum, count := h.snapshot()
+	// ≤1: 0.5 and 1; ≤10: 5 and 10; ≤100: 50; +Inf: 1000.
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, buckets[i], w)
+		}
+	}
+	if count != 6 {
+		t.Errorf("count = %d, want 6", count)
+	}
+	if sum != 0.5+1+5+10+50+1000 {
+		t.Errorf("sum = %v", sum)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing bounds did not panic")
+		}
+	}()
+	NewRegistry().Histogram("h", []float64{1, 1})
+}
+
+func TestSpanAggregate(t *testing.T) {
+	r := NewRegistry()
+	s := r.Span("stage", L("stage", "server"))
+	for _, d := range []float64{0.3, 0.1, 0.2} {
+		s.Observe(d)
+	}
+	count, total, min, max := s.snapshot()
+	if count != 3 || total != 0.6000000000000001 && total != 0.6 {
+		t.Errorf("count=%d total=%v", count, total)
+	}
+	if min != 0.1 || max != 0.3 {
+		t.Errorf("min=%v max=%v, want 0.1/0.3", min, max)
+	}
+}
+
+// TestConcurrentEmission hammers one registry from many goroutines; run
+// under -race this pins the lock discipline of handles and get-or-create.
+func TestConcurrentEmission(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("ops_total", L("w", fmt.Sprint(w%2))).Inc()
+				r.Histogram("sizes", SizeBuckets()).Observe(float64(i))
+				r.Span("span").Observe(float64(i) * 1e-3)
+			}
+		}()
+	}
+	wg.Wait()
+	var sum float64
+	sum += r.Counter("ops_total", L("w", "0")).Value()
+	sum += r.Counter("ops_total", L("w", "1")).Value()
+	if sum != workers*iters {
+		t.Errorf("counters sum to %v, want %d", sum, workers*iters)
+	}
+	if got := r.Histogram("sizes", SizeBuckets()).Count(); got != workers*iters {
+		t.Errorf("histogram count %d, want %d", got, workers*iters)
+	}
+	if got := r.Span("span").Count(); got != workers*iters {
+		t.Errorf("span count %d, want %d", got, workers*iters)
+	}
+}
+
+// fill populates a registry the same way twice to compare exporter bytes.
+func fill(r *Registry) {
+	// Deliberately interleave registration orders.
+	r.Counter("z_last").Add(4)
+	r.Histogram("req_size_bytes", SizeBuckets(), L("op", "write")).Observe(131072)
+	r.Counter("ops_total", L("op", "read")).Add(7)
+	r.Span("stage_span", L("stage", "stripe")).Observe(0.25)
+	r.Histogram("req_size_bytes", SizeBuckets(), L("op", "read")).Observe(16)
+	r.Counter("ops_total", L("op", "write")).Add(3)
+	r.Span("stage_span", L("stage", "server")).Observe(0.125)
+}
+
+// fillReversed is fill with every emission in the opposite order.
+func fillReversed(r *Registry) {
+	r.Span("stage_span", L("stage", "server")).Observe(0.125)
+	r.Counter("ops_total", L("op", "write")).Add(3)
+	r.Histogram("req_size_bytes", SizeBuckets(), L("op", "read")).Observe(16)
+	r.Span("stage_span", L("stage", "stripe")).Observe(0.25)
+	r.Counter("ops_total", L("op", "read")).Add(7)
+	r.Histogram("req_size_bytes", SizeBuckets(), L("op", "write")).Observe(131072)
+	r.Counter("z_last").Add(4)
+}
+
+func TestExportersByteStable(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	fill(a)
+	fillReversed(b)
+	var ja, jb, pa, pb strings.Builder
+	if err := a.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Errorf("JSON export depends on emission order:\n%s\nvs\n%s", ja.String(), jb.String())
+	}
+	if err := a.WritePrometheus(&pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WritePrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if pa.String() != pb.String() {
+		t.Errorf("Prometheus export depends on emission order:\n%s\nvs\n%s", pa.String(), pb.String())
+	}
+}
+
+func TestPrometheusShape(t *testing.T) {
+	r := NewRegistry()
+	fill(r)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ops_total counter\n",
+		`ops_total{op="read"} 7` + "\n",
+		"# TYPE req_size_bytes histogram\n",
+		`req_size_bytes_bucket{op="read",le="1024"} 1` + "\n",
+		`req_size_bytes_bucket{op="write",le="+Inf"} 1` + "\n",
+		`req_size_bytes_count{op="write"} 1` + "\n",
+		`stage_span_count{stage="server"} 1` + "\n",
+		`stage_span_max{stage="stripe"} 0.25` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	hs := snap.Histograms[0]
+	if len(hs.Buckets) != 3 || hs.Buckets[0] != 1 || hs.Buckets[1] != 1 || hs.Buckets[2] != 1 {
+		t.Errorf("buckets = %v, want [1 1 1]", hs.Buckets)
+	}
+	if hs.Count != 3 {
+		t.Errorf("count = %d, want 3", hs.Count)
+	}
+}

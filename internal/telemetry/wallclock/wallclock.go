@@ -1,0 +1,37 @@
+// Package wallclock adapts the process's real clock to telemetry.Clock,
+// for profiling the implementation itself (planner CPU time, CI perf
+// runs) rather than the simulated system.
+//
+// This package is the sanctioned home for wall-clock reads on the
+// telemetry path: it appears in the static analyzer's determinism
+// allowlist (analysis.WallclockAllowedPackages) precisely so that no
+// simulation-driven package needs a per-site //mhavet:allow suppression.
+// Never wire a wallclock.Clock into anything whose output feeds the
+// figure suite or a BENCH_*.json export — those must observe only virtual
+// time to stay byte-stable.
+package wallclock
+
+import (
+	"time"
+
+	"mhafs/internal/telemetry"
+)
+
+// Clock reports seconds elapsed since its creation. The zero value is not
+// usable; call New.
+type Clock struct {
+	base time.Time
+}
+
+var _ telemetry.Clock = (*Clock)(nil)
+
+// New creates a clock anchored at the current instant, so readings start
+// near zero like the simulator's virtual clock.
+func New() *Clock {
+	return &Clock{base: time.Now()}
+}
+
+// Now returns the seconds elapsed since New.
+func (c *Clock) Now() float64 {
+	return time.Since(c.base).Seconds()
+}

@@ -1,0 +1,14 @@
+package wallclock
+
+import "testing"
+
+func TestMonotoneFromZero(t *testing.T) {
+	c := New()
+	a := c.Now()
+	if a < 0 {
+		t.Errorf("first reading %v is negative", a)
+	}
+	if b := c.Now(); b < a {
+		t.Errorf("clock went backwards: %v then %v", a, b)
+	}
+}
