@@ -4,17 +4,20 @@
 // Usage:
 //
 //	mhabench [-fig all|3|7|8|9|10|11|12a|12b|13a|13b|14|meta]
-//	         [-scale N] [-h N] [-s N] [-csv] [-json[=FILE]]
+//	         [-scale N] [-h N] [-s N] [-workers N] [-csv] [-json[=FILE]]
 //	         [-telemetry] [-telemetry-format json|prom]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //	mhabench -compare [-tolerance T] OLD.json NEW.json
 //
 // -scale divides the paper's workload volumes (default 64; 1 reproduces
 // the full 16 GB runs). -h/-s override the default 6 HServer : 2 SServer
-// cluster. -csv emits CSV instead of aligned text. -json additionally
-// writes every generated table — plus the per-scheme aggregate bandwidth
-// across the bandwidth figures — to FILE (default BENCH_pipeline.json) as
-// machine-readable JSON.
+// cluster. -workers bounds the harness fan-out (independent scheme ×
+// figure cells and planner-internal stripe searches run concurrently;
+// default 0 uses GOMAXPROCS, 1 is fully serial) — output is byte-identical
+// at every worker count. -csv emits CSV instead of aligned text. -json
+// additionally writes every generated table — plus the per-scheme
+// aggregate bandwidth across the bandwidth figures — to FILE (default
+// BENCH_pipeline.json) as machine-readable JSON.
 //
 // -telemetry threads a telemetry registry through every replayed scheme
 // and appends the snapshot (canonical JSON, or Prometheus text exposition
@@ -68,6 +71,7 @@ func main() {
 		scale     = flag.Int64("scale", 64, "divide the paper's workload volumes by this factor")
 		hSrv      = flag.Int("h", 6, "number of HServers (HDD-backed)")
 		sSrv      = flag.Int("s", 2, "number of SServers (SSD-backed)")
+		workers   = flag.Int("workers", 0, "worker-pool size for the harness and planners (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut   = optFile{def: "BENCH_pipeline.json"}
 		calPath   = flag.String("config", "", "JSON calibration file overriding device/network/planner defaults")
@@ -104,6 +108,7 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Cluster.HServers, cfg.Env.M = *hSrv, *hSrv
 	cfg.Cluster.SServers, cfg.Env.N = *sSrv, *sSrv
+	cfg.Workers, cfg.Env.Workers = *workers, *workers
 	if *calPath != "" {
 		cal, err := config.Load(*calPath)
 		if err != nil {

@@ -47,6 +47,7 @@ func main() {
 	hSrv := fs.Int("h", 6, "HServers")
 	sSrv := fs.Int("s", 2, "SServers")
 	k := fs.Int("k", 16, "maximum group count")
+	workers := fs.Int("workers", 0, "worker-pool size for planning/grouping/replay (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	window := fs.Float64("window", pattern.DefaultEpochWindow, "concurrency window (s)")
 	outPath := fs.String("o", "", "output path (convert)")
 	toBinary := fs.Bool("binary", true, "convert to binary (false: to text)")
@@ -94,7 +95,9 @@ func main() {
 		ann := pattern.Annotate(tr, *window)
 		pts := pattern.Points(ann)
 		kk := cluster.BoundK(pts, *k)
-		res, err := cluster.Group(pts, kk, cluster.DefaultOptions())
+		opts := cluster.DefaultOptions()
+		opts.Workers = *workers
+		res, err := cluster.Group(pts, kk, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -125,6 +128,7 @@ func main() {
 		env := layout.DefaultEnv()
 		env.M, env.N = *hSrv, *sSrv
 		env.MaxRegions = *k
+		env.Workers = *workers
 		planner, err := layout.NewPlanner(scheme)
 		if err != nil {
 			fatal(err)
@@ -169,6 +173,7 @@ func main() {
 		cfg.Cluster.HServers, cfg.Env.M = *hSrv, *hSrv
 		cfg.Cluster.SServers, cfg.Env.N = *sSrv, *sSrv
 		cfg.Env.MaxRegions = *k
+		cfg.Workers, cfg.Env.Workers = *workers, *workers
 		var reg *telemetry.Registry
 		if *telem {
 			reg = telemetry.NewRegistry()

@@ -1,6 +1,9 @@
 // Command mhavet is the repository's domain-aware static analyzer: it
-// machine-checks the determinism, unit-safety and pipeline invariants the
-// reproduction's bit-for-bit figure guarantee rests on.
+// machine-checks the determinism, unit-safety, pipeline and
+// concurrency-scope invariants the reproduction's bit-for-bit figure
+// guarantee rests on (goroutines and sync primitives are confined to the
+// sanctioned packages — everything else fans out through
+// internal/parfan).
 //
 // Usage:
 //

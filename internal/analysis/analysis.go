@@ -22,7 +22,11 @@
 //   - stagecheck — iopath pipeline invariants: the shared chain snapshot
 //     is immutable, requests are constructed only by the pipeline's
 //     owners, and child requests never alias a parent's completion
-//     callback, annotations or server binding.
+//     callback, annotations or server binding;
+//   - concurrency — go statements and sync/sync-atomic imports are
+//     confined to the packages in ConcurrencyAllowedPackages; everything
+//     else must fan out through internal/parfan's deterministic ordered
+//     pool.
 //
 // A finding can be suppressed at the finding site with a comment on the
 // same line or the line above:
@@ -72,6 +76,7 @@ func All() []*Analyzer {
 		UnitsCheck(),
 		ExtentCheck(),
 		StageCheck(),
+		Concurrency(),
 	}
 }
 

@@ -102,6 +102,7 @@ func TestAnalyzers(t *testing.T) {
 		{"unitscheck", UnitsCheck()},
 		{"extentcheck", ExtentCheck()},
 		{"stagecheck", StageCheck()},
+		{"concurrency", Concurrency()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -138,6 +139,7 @@ func TestSelfCheck(t *testing.T) {
 		{"DeterministicPackages", DeterministicPackages},
 		{"WallclockAllowedPackages", WallclockAllowedPackages},
 		{"UnitsExemptPackages", UnitsExemptPackages},
+		{"ConcurrencyAllowedPackages", ConcurrencyAllowedPackages},
 	}
 	for _, sc := range scopes {
 		for _, pkg := range sc.pkgs {

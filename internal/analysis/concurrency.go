@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// syncImports are the import paths that introduce shared-memory
+// concurrency primitives.
+var syncImports = map[string]bool{
+	"sync":        true,
+	"sync/atomic": true,
+}
+
+// Concurrency confines goroutines and shared-memory primitives to the
+// packages listed in ConcurrencyAllowedPackages (rule "go" for go
+// statements, rule "sync" for sync/sync-atomic imports).
+//
+// The repository's determinism argument rests on every parallel fan-out
+// going through parfan's ordered pool: results are committed in index
+// order, telemetry is merged in cell order, and nothing else may race. A
+// stray `go` statement or ad-hoc mutex in a planner or the simulator
+// would reopen exactly the scheduling dependence the parfan design closes
+// off, so concurrency outside the sanctioned packages is a finding, not a
+// style choice.
+func Concurrency() *Analyzer {
+	const name = "concurrency"
+	return &Analyzer{
+		Name: name,
+		Doc:  "confine go statements and sync primitives to the sanctioned concurrency packages",
+		Run: func(p *Package) []Diagnostic {
+			if p.pathMatches(ConcurrencyAllowedPackages) {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range p.Files {
+				for _, imp := range f.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil || !syncImports[path] {
+						continue
+					}
+					out = append(out, p.diag(name, "sync", imp,
+						"import of %s outside the sanctioned concurrency packages; fan out through internal/parfan instead", path))
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					if g, ok := n.(*ast.GoStmt); ok {
+						out = append(out, p.diag(name, "go", g,
+							"go statement outside the sanctioned concurrency packages; fan out through internal/parfan instead"))
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}

@@ -41,3 +41,28 @@ var WallclockAllowedPackages = []string{
 var UnitsExemptPackages = []string{
 	"internal/units",
 }
+
+// ConcurrencyAllowedPackages may use go statements and the sync /
+// sync/atomic primitives. Everywhere else, parallelism must go through
+// internal/parfan's deterministic ordered fan-out — the concurrency
+// analyzer flags stray goroutines and mutexes because ad-hoc concurrency
+// is exactly how scheduling dependence would sneak back into the
+// bit-identical figure pipeline:
+//
+//   - internal/parfan is the sanctioned fan-out primitive itself (worker
+//     pool, atomic work cursor);
+//   - internal/telemetry carries per-handle locks so metric emission is
+//     safe from parfan workers, and merges registries;
+//   - internal/bench orchestrates parallel scheme × figure cells and the
+//     in-order telemetry merge;
+//   - internal/iopath guards its recorder and pipeline registration;
+//   - internal/iosig guards its signature cache;
+//   - internal/kvstore guards the persisted DRT/RST tables.
+var ConcurrencyAllowedPackages = []string{
+	"internal/parfan",
+	"internal/telemetry",
+	"internal/bench",
+	"internal/iopath",
+	"internal/iosig",
+	"internal/kvstore",
+}

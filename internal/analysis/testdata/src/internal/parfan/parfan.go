@@ -1,0 +1,32 @@
+// Package parfan is a fixture standing in for the sanctioned fan-out
+// primitive: goroutines and sync primitives here are the point, so the
+// concurrency analyzer must stay silent.
+package parfan
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Map mirrors the real package's shape: a pool of workers pulling via an
+// atomic cursor, committed in index order.
+func Map(n, workers int, fn func(int) int) []int {
+	out := make([]int, n)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

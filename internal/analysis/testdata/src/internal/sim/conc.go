@@ -1,0 +1,22 @@
+package sim
+
+import (
+	"sync"        //want:concurrency/sync
+	"sync/atomic" //want:concurrency/sync
+)
+
+// raceyCount is ad-hoc concurrency in the deterministic core: both the go
+// statement and the sync primitives must be flagged.
+func raceyCount(n int) int64 {
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { //want:concurrency/go
+			defer wg.Done()
+			total.Add(1)
+		}()
+	}
+	wg.Wait()
+	return total.Load()
+}

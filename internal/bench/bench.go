@@ -18,6 +18,7 @@ import (
 
 	"mhafs/internal/layout"
 	"mhafs/internal/mpiio"
+	"mhafs/internal/parfan"
 	"mhafs/internal/pfs"
 	"mhafs/internal/reorder"
 	"mhafs/internal/replay"
@@ -52,8 +53,19 @@ type Config struct {
 	// Telemetry, when non-nil, is the registry every replayed scheme's
 	// middleware emits into (stage spans, request/server series, DRT
 	// counters). Runs accumulate — use a fresh registry per run for
-	// per-run snapshots.
+	// per-run snapshots. Parallel runners never share this registry
+	// across cells: each cell records into a private registry and the
+	// harness merges them in cell order, so snapshots are byte-identical
+	// at every worker count.
 	Telemetry *telemetry.Registry
+
+	// Workers bounds the harness fan-out: independent scheme × figure
+	// cells run concurrently on a parfan pool. 0 or negative selects
+	// runtime.GOMAXPROCS(0); 1 runs everything serially. Output is
+	// byte-identical at every setting. The value also seeds
+	// Env.Workers (planner-internal fan-out) unless Env.Workers is set
+	// explicitly.
+	Workers int
 }
 
 // Default returns the paper's setup: 6 HServers, 2 SServers, 64 KB
@@ -104,6 +116,11 @@ func (c Config) RunScheme(scheme layout.Scheme, tr trace.Trace) (SchemeRun, erro
 	if err := c.Validate(); err != nil {
 		return SchemeRun{}, err
 	}
+	if c.Env.Workers == 0 {
+		// Planner-internal fan-out follows the harness worker count unless
+		// the caller pinned it explicitly.
+		c.Env.Workers = c.Workers
+	}
 	cluster, err := pfs.New(c.Cluster)
 	if err != nil {
 		return SchemeRun{}, err
@@ -152,17 +169,67 @@ func (c Config) RunScheme(scheme layout.Scheme, tr trace.Trace) (SchemeRun, erro
 	return SchemeRun{Scheme: scheme, Result: res, Plan: plan}, nil
 }
 
-// RunAllSchemes runs every scheme on the same workload.
+// RunAllSchemes runs every scheme on the same workload; the schemes run
+// concurrently on the worker pool.
 func (c Config) RunAllSchemes(tr trace.Trace) (map[layout.Scheme]SchemeRun, error) {
-	out := make(map[layout.Scheme]SchemeRun, 4)
-	for _, s := range layout.AllSchemes() {
-		run, err := c.RunScheme(s, tr)
+	return c.runSchemes(layout.AllSchemes(), tr)
+}
+
+// runSchemes runs the given schemes on the same workload, fanning them out
+// over the pool. Every scheme run builds its own cluster, DRT and engine
+// from scratch (RunScheme is shared-nothing), so the cells are
+// independent; telemetry goes to a per-cell registry merged back in scheme
+// order by parallelRows.
+func (c Config) runSchemes(schemes []layout.Scheme, tr trace.Trace) (map[layout.Scheme]SchemeRun, error) {
+	runs, err := parallelRows(c, len(schemes), func(cc Config, i int) (SchemeRun, error) {
+		run, err := cc.RunScheme(schemes[i], tr)
 		if err != nil {
-			return nil, fmt.Errorf("bench: scheme %v: %w", s, err)
+			return SchemeRun{}, fmt.Errorf("bench: scheme %v: %w", schemes[i], err)
 		}
-		out[s] = run
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[layout.Scheme]SchemeRun, len(schemes))
+	for i, s := range schemes {
+		out[s] = runs[i]
 	}
 	return out, nil
+}
+
+// parallelRows is the harness's deterministic fan-out primitive: n
+// independent cells run fn concurrently on the worker pool, and the
+// result slice comes back in index order regardless of scheduling.
+//
+// When the parent config carries a telemetry registry, every cell gets a
+// private fresh registry; after all cells finish, the private registries
+// are merged into the parent in cell order. The merge order — and with it
+// the association order of every float addition — is therefore a function
+// of the cell index only, never of goroutine scheduling, which is why
+// telemetry snapshots are byte-identical at every worker count (including
+// the serial path: workers == 1 takes the same per-cell-registry route).
+//
+// On error, every cell still runs (no short-circuit) and the
+// lowest-indexed error is returned; telemetry is still merged so partial
+// failures do not leave the parent registry in a scheduling-dependent
+// state.
+func parallelRows[T any](c Config, n int, fn func(cc Config, i int) (T, error)) ([]T, error) {
+	regs := make([]*telemetry.Registry, n)
+	out, err := parfan.MapErr(n, c.Workers, func(i int) (T, error) {
+		cc := c
+		if c.Telemetry != nil {
+			cc.Telemetry = telemetry.NewRegistry()
+			regs[i] = cc.Telemetry
+		}
+		return fn(cc, i)
+	})
+	if c.Telemetry != nil {
+		for _, reg := range regs {
+			c.Telemetry.Merge(reg) // Merge(nil) is a no-op
+		}
+	}
+	return out, err
 }
 
 // scaled divides a paper-scale volume by the configured scale, keeping at

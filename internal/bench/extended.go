@@ -40,21 +40,24 @@ func (c Config) Extended() ([]ExtendedRow, *metrics.Table, error) {
 			})
 		}},
 	}
-	var rows []ExtendedRow
-	for _, w := range workloads {
+	rows, err := parallelRows(c, len(workloads), func(cc Config, i int) (ExtendedRow, error) {
+		w := workloads[i]
 		tr, err := w.mk()
 		if err != nil {
-			return nil, nil, err
+			return ExtendedRow{}, err
+		}
+		runs, err := cc.runSchemes(layout.ExtendedSchemes(), tr)
+		if err != nil {
+			return ExtendedRow{}, err
 		}
 		row := ExtendedRow{Label: w.label, BW: make(map[layout.Scheme]float64)}
-		for _, s := range layout.ExtendedSchemes() {
-			run, err := c.RunScheme(s, tr)
-			if err != nil {
-				return nil, nil, err
-			}
+		for s, run := range runs {
 			row.BW[s] = run.Result.Bandwidth()
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	tb := metrics.NewTable("Extended comparison (writes, MB/s): + related-work baselines",
 		"workload", "DEF", "AAL", "CARL", "HAS", "HARL", "MHA")
@@ -89,13 +92,13 @@ func (c Config) Latency() ([]LatencyRow, *metrics.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	runs, err := c.runSchemes(layout.AllSchemes(), tr)
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []LatencyRow
 	for _, s := range layout.AllSchemes() {
-		run, err := c.RunScheme(s, tr)
-		if err != nil {
-			return nil, nil, err
-		}
-		rows = append(rows, LatencyRow{Scheme: s, Lat: run.Result.LatencySummary()})
+		rows = append(rows, LatencyRow{Scheme: s, Lat: runs[s].Result.LatencySummary()})
 	}
 	tb := metrics.NewTable("Per-request latency (ms), IOR 128+256KB write, 32 procs",
 		"scheme", "mean", "p50", "p95", "p99", "max")

@@ -29,16 +29,19 @@ func (c Config) runBandwidthPoint(label string, mk func(op trace.Op) (trace.Trac
 		Read:  make(map[layout.Scheme]float64),
 		Write: make(map[layout.Scheme]float64),
 	}
-	for _, op := range []trace.Op{trace.OpRead, trace.OpWrite} {
-		tr, err := mk(op)
+	ops := []trace.Op{trace.OpRead, trace.OpWrite}
+	perOp, err := parallelRows(c, len(ops), func(cc Config, i int) (map[layout.Scheme]SchemeRun, error) {
+		tr, err := mk(ops[i])
 		if err != nil {
-			return row, err
+			return nil, err
 		}
-		runs, err := c.RunAllSchemes(tr)
-		if err != nil {
-			return row, err
-		}
-		for s, r := range runs {
+		return cc.RunAllSchemes(tr)
+	})
+	if err != nil {
+		return row, err
+	}
+	for i, op := range ops {
+		for s, r := range perOp[i] {
 			bw := r.Result.Bandwidth()
 			if op == trace.OpRead {
 				row.Read[s] = bw
@@ -97,21 +100,19 @@ const fig7FileSize = 16 * units.GB
 // processes issuing random requests at the mixed sizes against a shared
 // file.
 func (c Config) Fig7() ([]BandwidthRow, *metrics.Table, error) {
-	var rows []BandwidthRow
-	for _, mix := range fig7Mixes {
-		mix := mix
-		row, err := c.runBandwidthPoint(mix.label, func(op trace.Op) (trace.Trace, error) {
+	rows, err := parallelRows(c, len(fig7Mixes), func(cc Config, i int) (BandwidthRow, error) {
+		mix := fig7Mixes[i]
+		return cc.runBandwidthPoint(mix.label, func(op trace.Op) (trace.Trace, error) {
 			return workload.IOR(workload.IORConfig{
 				File: "ior.dat", Op: op,
 				Sizes: mix.sizes, Procs: []int{32},
-				FileSize: c.scaled(fig7FileSize),
+				FileSize: cc.scaled(fig7FileSize),
 				Shuffle:  true, Seed: 7,
 			})
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		rows = append(rows, row)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, bandwidthTable("Fig. 7: IOR bandwidth (MB/s), mixed request sizes, 32 procs", rows), nil
 }
@@ -186,20 +187,18 @@ var fig9Mixes = []struct {
 // Fig9 reproduces "Bandwidths of IOR with mixed process numbers": fixed
 // 256 KB requests, phases issued by differing process counts.
 func (c Config) Fig9() ([]BandwidthRow, *metrics.Table, error) {
-	var rows []BandwidthRow
-	for _, mix := range fig9Mixes {
-		mix := mix
-		row, err := c.runBandwidthPoint(mix.label, func(op trace.Op) (trace.Trace, error) {
+	rows, err := parallelRows(c, len(fig9Mixes), func(cc Config, i int) (BandwidthRow, error) {
+		mix := fig9Mixes[i]
+		return cc.runBandwidthPoint(mix.label, func(op trace.Op) (trace.Trace, error) {
 			return workload.IOR(workload.IORConfig{
 				File: "ior.dat", Op: op,
 				Sizes: []int64{256 * units.KB}, Procs: mix.procs,
-				FileSize: c.scaled(fig7FileSize), Shuffle: true, Seed: 9,
+				FileSize: cc.scaled(fig7FileSize), Shuffle: true, Seed: 9,
 			})
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		rows = append(rows, row)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, bandwidthTable("Fig. 9: IOR bandwidth (MB/s), mixed process numbers, 256KB requests", rows), nil
 }
@@ -218,20 +217,19 @@ var fig10Ratios = []struct {
 // Fig10 reproduces "Bandwidths of IOR with various server ratios": 32
 // processes, 128+256 KB mixed sizes, sweeping the HServer:SServer split.
 func (c Config) Fig10() ([]BandwidthRow, *metrics.Table, error) {
-	var rows []BandwidthRow
-	for _, ratio := range fig10Ratios {
-		cc := c.withServers(ratio.h, ratio.s)
-		row, err := cc.runBandwidthPoint(ratio.label, func(op trace.Op) (trace.Trace, error) {
+	rows, err := parallelRows(c, len(fig10Ratios), func(cc Config, i int) (BandwidthRow, error) {
+		ratio := fig10Ratios[i]
+		cr := cc.withServers(ratio.h, ratio.s)
+		return cr.runBandwidthPoint(ratio.label, func(op trace.Op) (trace.Trace, error) {
 			return workload.IOR(workload.IORConfig{
 				File: "ior.dat", Op: op,
 				Sizes: []int64{128 * units.KB, 256 * units.KB}, Procs: []int{32},
-				FileSize: cc.scaled(fig7FileSize), Shuffle: true, Seed: 10,
+				FileSize: cr.scaled(fig7FileSize), Shuffle: true, Seed: 10,
 			})
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		rows = append(rows, row)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, bandwidthTable("Fig. 10: IOR bandwidth (MB/s) vs server ratio, 32 procs, 128+256KB", rows), nil
 }
@@ -245,21 +243,19 @@ const fig11RegionCount = 4096
 // Fig11 reproduces "Bandwidths of HPIO with various process numbers":
 // region sizes 16/32/64 KB, spacing 0, region count 4096.
 func (c Config) Fig11() ([]BandwidthRow, *metrics.Table, error) {
-	var rows []BandwidthRow
-	for _, procs := range fig11Procs {
-		procs := procs
-		row, err := c.runBandwidthPoint(fmt.Sprintf("%dp", procs), func(op trace.Op) (trace.Trace, error) {
+	rows, err := parallelRows(c, len(fig11Procs), func(cc Config, i int) (BandwidthRow, error) {
+		procs := fig11Procs[i]
+		return cc.runBandwidthPoint(fmt.Sprintf("%dp", procs), func(op trace.Op) (trace.Trace, error) {
 			return workload.HPIO(workload.HPIOConfig{
 				File: "hpio.dat", Op: op, Procs: procs,
-				RegionCount:   c.scaledCount(fig11RegionCount),
+				RegionCount:   cc.scaledCount(fig11RegionCount),
 				RegionSpacing: 0,
 				RegionSizes:   []int64{16 * units.KB, 32 * units.KB, 64 * units.KB},
 			})
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		rows = append(rows, row)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, bandwidthTable("Fig. 11: HPIO bandwidth (MB/s) vs process count, regions 16/32/64KB", rows), nil
 }
@@ -270,19 +266,17 @@ var fig12aProcs = []int{9, 16, 25}
 // Fig12a reproduces the BTIO aggregate write bandwidth: Class B and C
 // request sizes interleaved over 40 steps.
 func (c Config) Fig12a() ([]BandwidthRow, *metrics.Table, error) {
-	var rows []BandwidthRow
-	for _, procs := range fig12aProcs {
-		procs := procs
-		row, err := c.runBandwidthPoint(fmt.Sprintf("%dp", procs), func(op trace.Op) (trace.Trace, error) {
+	rows, err := parallelRows(c, len(fig12aProcs), func(cc Config, i int) (BandwidthRow, error) {
+		procs := fig12aProcs[i]
+		return cc.runBandwidthPoint(fmt.Sprintf("%dp", procs), func(op trace.Op) (trace.Trace, error) {
 			cfg := workload.DefaultBTIO(procs, op)
-			cfg.TotalB = c.scaled(cfg.TotalB)
-			cfg.TotalC = c.scaled(cfg.TotalC)
+			cfg.TotalB = cc.scaled(cfg.TotalB)
+			cfg.TotalC = cc.scaled(cfg.TotalC)
 			return workload.BTIO(cfg)
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		rows = append(rows, row)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, bandwidthTable("Fig. 12a: BTIO bandwidth (MB/s), Class B+C interleaved", rows), nil
 }

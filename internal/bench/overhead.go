@@ -34,19 +34,19 @@ func (c Config) Fig14() ([]Fig14Row, *metrics.Table, error) {
 	if err := c.Validate(); err != nil {
 		return nil, nil, err
 	}
-	var rows []Fig14Row
-	for _, procs := range fig14Procs {
-		tr, err := workloadFig14(c, procs)
+	rows, err := parallelRows(c, len(fig14Procs), func(cc Config, i int) (Fig14Row, error) {
+		procs := fig14Procs[i]
+		tr, err := workloadFig14(cc, procs)
 		if err != nil {
-			return nil, nil, err
+			return Fig14Row{}, err
 		}
-		base, err := c.replayPlain(tr, false)
+		base, err := cc.replayPlain(tr, false)
 		if err != nil {
-			return nil, nil, err
+			return Fig14Row{}, err
 		}
-		redir, err := c.replayPlain(tr, true)
+		redir, err := cc.replayPlain(tr, true)
 		if err != nil {
-			return nil, nil, err
+			return Fig14Row{}, err
 		}
 		row := Fig14Row{
 			Procs:      procs,
@@ -56,7 +56,10 @@ func (c Config) Fig14() ([]Fig14Row, *metrics.Table, error) {
 		if base.Makespan > 0 {
 			row.OverheadPct = (redir.Makespan - base.Makespan) / base.Makespan * 100
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	tb := metrics.NewTable("Fig. 14: MHA redirection overhead, IOR 4+64KB",
 		"procs", "base MB/s", "redirected MB/s", "overhead %")

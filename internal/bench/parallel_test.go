@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mhafs/internal/telemetry"
+)
+
+// figSnapshot runs Fig. 7 plus the Fig. 14 overhead sweep at the given
+// worker count with telemetry enabled and returns (tables, telemetry
+// JSON) as rendered bytes.
+func figSnapshot(t *testing.T, workers int) (string, string) {
+	t.Helper()
+	c := Default()
+	c.Scale = 512
+	c.Workers = workers
+	reg := telemetry.NewRegistry()
+	c.Telemetry = reg
+
+	var tables bytes.Buffer
+	_, tb, err := c.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Fprint(&tables); err != nil {
+		t.Fatal(err)
+	}
+	_, tb, err = c.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Fprint(&tables); err != nil {
+		t.Fatal(err)
+	}
+
+	var tel strings.Builder
+	if err := reg.WriteJSON(&tel); err != nil {
+		t.Fatal(err)
+	}
+	return tables.String(), tel.String()
+}
+
+// TestFiguresSerialParallelIdentical is the tentpole's end-to-end
+// determinism gate at the harness layer: rendered figure tables AND the
+// merged telemetry snapshot must be byte-identical at workers 1, 2 and 8.
+// Run under -race this also exercises the per-cell registry isolation —
+// cells must never share a registry across goroutines.
+func TestFiguresSerialParallelIdentical(t *testing.T) {
+	serialTables, serialTel := figSnapshot(t, 1)
+	if !strings.Contains(serialTel, "series") && serialTel == "" {
+		t.Fatal("telemetry snapshot empty")
+	}
+	for _, workers := range []int{2, 8} {
+		tables, tel := figSnapshot(t, workers)
+		if tables != serialTables {
+			t.Errorf("workers=%d: figure tables differ from serial run", workers)
+		}
+		if tel != serialTel {
+			t.Errorf("workers=%d: telemetry snapshot differs from serial run", workers)
+		}
+	}
+}
+
+// TestRunAllSchemesParallelIdentical checks the scheme fan-out in
+// isolation: identical per-scheme results at every worker count.
+func TestRunAllSchemesParallelIdentical(t *testing.T) {
+	c := Default()
+	c.Scale = 512
+	tr, err := workloadFig14(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Workers = 1
+	serial, err := c.RunAllSchemes(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		c.Workers = workers
+		parallel, err := c.RunAllSchemes(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s, run := range serial {
+			if !reflect.DeepEqual(run.Result, parallel[s].Result) {
+				t.Errorf("workers=%d: scheme %v replay result differs", workers, s)
+			}
+		}
+	}
+}

@@ -27,11 +27,12 @@ func (c Config) Scaling() ([]ScalingRow, *metrics.Table, error) {
 	if err := c.Validate(); err != nil {
 		return nil, nil, err
 	}
-	var rows []ScalingRow
-	for _, mul := range []int{1, 2, 4, 8} {
+	muls := []int{1, 2, 4, 8}
+	rows, err := parallelRows(c, len(muls), func(cb Config, i int) (ScalingRow, error) {
+		mul := muls[i]
 		h, s := 6*mul, 2*mul
 		procs := 32 * mul
-		cc := c.withServers(h, s)
+		cc := cb.withServers(h, s)
 		tr, err := workload.IOR(workload.IORConfig{
 			File: "ior.dat", Op: trace.OpWrite,
 			Sizes: []int64{128 * units.KB, 256 * units.KB},
@@ -41,17 +42,20 @@ func (c Config) Scaling() ([]ScalingRow, *metrics.Table, error) {
 			Shuffle:  true, Seed: 7,
 		})
 		if err != nil {
-			return nil, nil, err
+			return ScalingRow{}, err
+		}
+		runs, err := cc.runSchemes([]layout.Scheme{layout.DEF, layout.MHA}, tr)
+		if err != nil {
+			return ScalingRow{}, err
 		}
 		row := ScalingRow{Servers: h + s, Procs: procs, BW: make(map[layout.Scheme]float64)}
-		for _, scheme := range []layout.Scheme{layout.DEF, layout.MHA} {
-			run, err := cc.RunScheme(scheme, tr)
-			if err != nil {
-				return nil, nil, err
-			}
+		for scheme, run := range runs {
 			row.BW[scheme] = run.Result.Bandwidth()
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	tb := metrics.NewTable(
 		"Scaling (future work): weak-scaled IOR 128+256KB write, 3:1 HDD:SSD",

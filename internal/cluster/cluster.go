@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mhafs/internal/parfan"
 	"mhafs/internal/pattern"
 )
 
@@ -25,6 +26,13 @@ type Options struct {
 	// Seed drives the deterministic pseudo-random choice of initial
 	// centers ("randomly selected R[t]" in Algorithm 1).
 	Seed int64
+	// Workers bounds the fan-out of the assignment step (0 or negative
+	// selects runtime.GOMAXPROCS(0), 1 is serial). The result is
+	// bit-identical at every setting: each point's nearest center depends
+	// only on that point and the (read-only) centers, and the
+	// center-recompute step stays serial so its float summation order
+	// never changes.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper: at most 3 refinement iterations.
@@ -113,7 +121,7 @@ func Group(points []pattern.Point, k int, opts Options) (Result, error) {
 	assign := make([]int, len(np))
 	iters := 0
 	for ; iters < opts.MaxIters; iters++ {
-		changed := assignAll(np, centers, assign)
+		changed := assignAll(np, centers, assign, opts.Workers)
 		moved := recompute(np, assign, centers)
 		if !changed && !moved {
 			iters++
@@ -169,22 +177,45 @@ func initialCenters(np []pattern.Point, k int, seed int64) []pattern.Point {
 }
 
 // assignAll assigns each point to its nearest center; reports whether any
-// assignment changed.
-func assignAll(np []pattern.Point, centers []pattern.Point, assign []int) bool {
-	changed := false
-	for i, p := range np {
-		best, bestD := 0, math.Inf(1)
-		for g, c := range centers {
-			if d := dist2(p, c); d < bestD {
-				best, bestD = g, d
+// assignment changed. The points are split into contiguous chunks that fan
+// out over the worker pool: chunks write disjoint slices of assign, and a
+// point's nearest center is a pure function of the point and the read-only
+// centers, so the assignment is identical at every worker count.
+func assignAll(np []pattern.Point, centers []pattern.Point, assign []int, workers int) bool {
+	w := parfan.Workers(workers, len(np))
+	chunk := (len(np) + w - 1) / w
+	if chunk < 1 {
+		chunk = 1
+	}
+	nChunks := (len(np) + chunk - 1) / chunk
+	changedBy := parfan.Map(nChunks, workers, func(c int) bool {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > len(np) {
+			hi = len(np)
+		}
+		changed := false
+		for i := lo; i < hi; i++ {
+			p := np[i]
+			best, bestD := 0, math.Inf(1)
+			for g, c := range centers {
+				if d := dist2(p, c); d < bestD {
+					best, bestD = g, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
 			}
 		}
-		if assign[i] != best {
-			assign[i] = best
-			changed = true
+		return changed
+	})
+	for _, c := range changedBy {
+		if c {
+			return true
 		}
 	}
-	return changed
+	return false
 }
 
 // recompute moves each center to the mean of its group; reports whether

@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mhafs/internal/pattern"
+)
+
+// TestGroupSerialParallelIdentical pins the assignment fan-out's
+// determinism: the full grouping result — centers, assignments, group
+// membership, iteration count — is deeply identical at every worker
+// count.
+func TestGroupSerialParallelIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]pattern.Point, 500)
+	for i := range pts {
+		pts[i] = pattern.Point{
+			X: float64(rng.Intn(4)) * 65536,
+			Y: float64(1 + rng.Intn(32)),
+		}
+	}
+	opts := DefaultOptions()
+	opts.Workers = 1
+	serial, err := Group(pts, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		opts.Workers = workers
+		parallel, err := Group(pts, 8, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("workers=%d: grouping differs from serial result", workers)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package layout
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"mhafs/internal/trace"
@@ -43,5 +45,55 @@ func BenchmarkMHAPlan(b *testing.B) {
 		if _, err := planner.Plan(tr, env); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRSSDLANL measures the pruned search on the LANL App2 mix
+// (Fig. 3: 16 B bookkeeping writes interleaved with ~128 KB data writes
+// at concurrency 8), reporting the share of candidates the lower-bound
+// prune abandons early.
+func BenchmarkRSSDLANL(b *testing.B) {
+	env := DefaultEnv()
+	reqs := lanlReqs()
+	b.ReportAllocs()
+	var res RSSDResult
+	for i := 0; i < b.N; i++ {
+		res = RSSD(reqs, env)
+	}
+	b.ReportMetric(float64(res.Tried), "visited")
+	b.ReportMetric(float64(res.Pruned), "pruned")
+}
+
+// BenchmarkHARLPlanWorkers sweeps the planner fan-out: HARL runs one RSSD
+// search per region, so the speedup over workers=1 tracks GOMAXPROCS on
+// multi-core runners (the plan itself is bit-identical at every count).
+func BenchmarkHARLPlanWorkers(b *testing.B) {
+	var tr trace.Trace
+	off := int64(0)
+	// 16 regions' worth of the mixed 16 KB / 256 KB pattern.
+	for loop := 0; loop < 64; loop++ {
+		for r := 0; r < 8; r++ {
+			tr = append(tr, trace.Record{Rank: r, File: "f", Op: trace.OpRead,
+				Offset: off, Size: 16 * units.KB, Time: float64(loop)})
+			off += 16 * units.KB
+		}
+		for r := 0; r < 2; r++ {
+			tr = append(tr, trace.Record{Rank: r, File: "f", Op: trace.OpRead,
+				Offset: off, Size: 256 * units.KB, Time: float64(loop) + 0.5})
+			off += 256 * units.KB
+		}
+	}
+	planner, _ := NewPlanner(HARL)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			env := DefaultEnv()
+			env.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := planner.Plan(tr, env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"mhafs/internal/costmodel"
+	"mhafs/internal/parfan"
 	"mhafs/internal/pattern"
 	"mhafs/internal/region"
 	"mhafs/internal/stripe"
@@ -183,9 +184,13 @@ func (hasPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
 			}
 			buckets[i] = append(buckets[i], a)
 		}
-		for i := 0; i < nRegions; i++ {
-			start := int64(i) * width
-			length := units.Min(width, size-start)
+		// Score the three candidates per region concurrently; each region
+		// reads only its own bucket and the shared candidate list.
+		type choice struct {
+			layout stripe.Layout
+			cost   float64
+		}
+		chosen := parfan.Map(nRegions, env.Workers, func(i int) choice {
 			reqs := AggregateReqs(ReqsFromAnnotated(buckets[i]))
 			best, bestCost := candidates[0], 0.0
 			for ci, cand := range candidates {
@@ -198,6 +203,12 @@ func (hasPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
 					best, bestCost = cand, cost
 				}
 			}
+			return choice{layout: best, cost: bestCost}
+		})
+		for i := 0; i < nRegions; i++ {
+			start := int64(i) * width
+			length := units.Min(width, size-start)
+			best, bestCost := chosen[i].layout, chosen[i].cost
 			name := RegionName(HAS, env.Tag, f, i)
 			p.Regions = append(p.Regions, RegionPlan{
 				File: name, Layout: best, Size: length, Cost: bestCost,

@@ -108,6 +108,13 @@ type Env struct {
 	// Seed drives the pseudo-random initial centers of Algorithm 1.
 	Seed int64
 
+	// Workers bounds the fan-out of the planners' per-region stripe
+	// searches (parfan.Map): 0 or negative selects runtime.GOMAXPROCS(0),
+	// 1 is the serial path. Plans are bit-identical at every setting —
+	// each region's search is independent and results are committed in
+	// region order.
+	Workers int
+
 	// Tag distinguishes plan generations: when non-empty it is embedded in
 	// every region file name, so re-optimization (the paper's future-work
 	// dynamic mode) can place a new generation of regions alongside the

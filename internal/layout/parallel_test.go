@@ -1,0 +1,57 @@
+package layout
+
+import (
+	"reflect"
+	"testing"
+
+	"mhafs/internal/trace"
+)
+
+// TestPlannersSerialParallelIdentical pins the tentpole's determinism
+// contract at the planner layer: every region-searching planner must
+// produce a deeply identical plan — layouts, costs, mappings, ordering —
+// at any worker count.
+func TestPlannersSerialParallelIdentical(t *testing.T) {
+	tr := mixedTrace()
+	for _, s := range []Scheme{HARL, MHA, HAS, CARL} {
+		env := DefaultEnv()
+		env.Workers = 1
+		serial := planFor(t, s, tr, env)
+		for _, workers := range []int{2, 8} {
+			env.Workers = workers
+			parallel := planFor(t, s, tr, env)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("%v: plan at workers=%d differs from serial plan", s, workers)
+			}
+		}
+	}
+}
+
+// TestRSSDPruneCounters checks the prune's accounting: Tried counts every
+// visited candidate (so it is unchanged by the prune) and Pruned counts a
+// strict subset of them; on a multi-request workload with a spread of
+// costs the prune must actually fire.
+func TestRSSDPruneCounters(t *testing.T) {
+	env := DefaultEnv()
+	reqs := lanlReqs()
+	res := RSSD(reqs, env)
+	if res.Tried <= 0 {
+		t.Fatalf("Tried = %d, want > 0", res.Tried)
+	}
+	if res.Pruned <= 0 {
+		t.Errorf("Pruned = %d, want > 0 on the LANL mix (prune never fired)", res.Pruned)
+	}
+	if res.Pruned >= res.Tried {
+		t.Errorf("Pruned = %d not a strict subset of Tried = %d", res.Pruned, res.Tried)
+	}
+}
+
+// lanlReqs is the LANL App2 request mix (Fig. 3): tiny 16 B bookkeeping
+// writes interleaved with ~128 KB data writes.
+func lanlReqs() []Req {
+	return []Req{
+		{Op: trace.OpWrite, Size: 16, Conc: 8, Weight: 256},
+		{Op: trace.OpWrite, Size: 131052, Conc: 8, Weight: 256},
+		{Op: trace.OpWrite, Size: 131072, Conc: 8, Weight: 256},
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"mhafs/internal/cluster"
 	"mhafs/internal/costmodel"
 	"mhafs/internal/intervals"
+	"mhafs/internal/parfan"
 	"mhafs/internal/pattern"
 	"mhafs/internal/region"
 	"mhafs/internal/stripe"
@@ -182,10 +183,16 @@ func (harlPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
 			}
 			buckets[i] = append(buckets[i], a)
 		}
+		// Each region's stripe search is independent of the others, so the
+		// searches fan out; results come back committed in region order and
+		// the plan is assembled serially below.
+		searched := parfan.Map(nRegions, env.Workers, func(i int) RSSDResult {
+			return RSSD(ReqsFromAnnotated(buckets[i]), env)
+		})
 		for i := 0; i < nRegions; i++ {
 			start := int64(i) * width
 			length := units.Min(width, size-start)
-			res := RSSD(ReqsFromAnnotated(buckets[i]), env)
+			res := searched[i]
 			name := RegionName(HARL, env.Tag, f, i)
 			p.Regions = append(p.Regions, RegionPlan{
 				File: name, Layout: res.Layout, Size: length, Cost: res.Cost,
@@ -248,7 +255,7 @@ func (mhaPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
 		recs := byFile[f]
 		pts := pattern.Points(recs)
 		k := cluster.BoundK(pts, env.MaxRegions)
-		res, err := cluster.Group(pts, k, cluster.Options{MaxIters: 3, Seed: env.Seed})
+		res, err := cluster.Group(pts, k, cluster.Options{MaxIters: 3, Seed: env.Seed, Workers: env.Workers})
 		if err != nil {
 			return Plan{}, fmt.Errorf("layout: mha grouping %s: %w", f, err)
 		}
@@ -304,20 +311,25 @@ func (mhaPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
 				}
 			}
 		}
+		// Only groups that actually claimed bytes become regions; the rest
+		// are served by the DRT redirecting to an earlier region. Their
+		// stripe searches are independent (serves and owned are read-only
+		// here), so they fan out; the packing below stays serial because
+		// mappings append to a shared plan in group order.
+		var owning []int
 		for g := range res.Groups {
-			var hasBytes bool
 			for _, op := range owned[g] {
 				if len(op.pieces) > 0 {
-					hasBytes = true
+					owning = append(owning, g)
 					break
 				}
 			}
-			if !hasBytes {
-				// Every extent of this group was claimed by an earlier
-				// group; no region needed — the DRT redirects there.
-				continue
-			}
-			rssd := RSSD(ReqsFromAnnotated(serves[g]), env)
+		}
+		searched := parfan.Map(len(owning), env.Workers, func(i int) RSSDResult {
+			return RSSD(ReqsFromAnnotated(serves[owning[i]]), env)
+		})
+		for oi, g := range owning {
+			rssd := searched[oi]
 			round := rssd.Layout.RoundLength()
 
 			name := RegionName(MHA, env.Tag, f, g)

@@ -51,7 +51,21 @@ func AggregateReqs(reqs []Req) []Req {
 type RSSDResult struct {
 	Layout stripe.Layout
 	Cost   float64 // total model cost of all (weighted) requests
-	Tried  int     // number of <h, s> candidates evaluated
+	Tried  int     // number of <h, s> candidates visited (including pruned)
+	Pruned int     // candidates abandoned early by the lower-bound prune
+}
+
+// searchReq is one aggregated request with its candidate-invariant terms
+// hoisted out of the search loop: the packed stride and the weight as a
+// float. Both depend only on (size, step), never on the candidate layout,
+// so computing them once removes a RoundUp and an int→float conversion
+// per request per candidate.
+type searchReq struct {
+	op     trace.Op
+	size   int64
+	stride int64
+	conc   int
+	weight float64
 }
 
 // RSSD implements Algorithm 2 (Region Stripe Size Determination): search
@@ -87,12 +101,23 @@ func RSSD(reqs []Req, env Env) RSSDResult {
 		// No requests: any valid layout will do; use the default stripes.
 		return RSSDResult{Layout: stripe.Uniform(env.M, env.N, env.DefaultStripe)}
 	}
+	sreqs := make([]searchReq, len(agg))
+	for i, r := range agg {
+		// Requests sit at step-aligned packed offsets in their region, so
+		// the epoch stride rounds the size up to the step.
+		sreqs[i] = searchReq{
+			op: r.Op, size: r.Size, stride: units.RoundUp(r.Size, step),
+			conc: r.Conc, weight: float64(r.Weight),
+		}
+	}
 
-	var bh, bs int64
-	if rmax < int64(env.M+env.N)*64*units.KB {
-		bh, bs = rmax, rmax
-	} else {
-		bh, bs = rmax, rmax
+	// Adaptive bound policy (§III-F): both bounds start at r_max — the
+	// full grid, more candidates over a bounded space. When r_max is large
+	// (at least (M+N)·64 KB) the bounds divide by the per-class server
+	// counts instead, which pushes every server to participate in maximal
+	// requests while keeping the candidate count flat.
+	bh, bs := rmax, rmax
+	if rmax >= int64(env.M+env.N)*64*units.KB {
 		if env.M > 0 {
 			bh = rmax / int64(env.M)
 		}
@@ -114,17 +139,26 @@ func RSSD(reqs []Req, env Env) RSSDResult {
 	}
 
 	best := RSSDResult{Cost: math.Inf(1)}
+	const tieEps = 1e-12
 	evaluate := func(l stripe.Layout) {
-		var cost float64
-		for _, r := range agg {
-			// Requests sit at step-aligned packed offsets in their region.
-			stride := units.RoundUp(r.Size, step)
-			cost += costmodel.RequestCost(env.Params, l, r.Op, 0, r.Size, stride, r.Conc) * float64(r.Weight)
-		}
 		best.Tried++
+		var cost float64
+		for _, r := range sreqs {
+			cost += costmodel.RequestCost(env.Params, l, r.op, 0, r.size, r.stride, r.conc) * r.weight
+			// Lower-bound prune: every term of the sum is ≥ 0, so the
+			// partial sum only grows. Once it exceeds best.Cost+tieEps the
+			// candidate can neither beat the incumbent nor tie it (the tie
+			// branch below requires cost ≤ best.Cost+tieEps), so finishing
+			// the sum cannot change the argmin — abandon it. Terms are
+			// accumulated in the same request order as the full evaluation,
+			// so surviving candidates produce bit-identical sums.
+			if cost > best.Cost+tieEps {
+				best.Pruned++
+				return
+			}
+		}
 		// Strictly cheaper wins; exact ties prefer larger stripes (fewer
 		// sub-requests per request at unaligned offsets).
-		const tieEps = 1e-12
 		if cost < best.Cost-tieEps ||
 			(cost <= best.Cost+tieEps && l.H+l.S > best.Layout.H+best.Layout.S) {
 			best.Cost = cost

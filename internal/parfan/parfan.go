@@ -1,0 +1,141 @@
+// Package parfan is the repository's deterministic fan-out primitive: an
+// ordered worker-pool map over an index range.
+//
+// Every parallel path in the planner and the bench harness goes through
+// Map/MapErr rather than raw goroutines, because the primitive's contract
+// is exactly the determinism argument the figure suite rests on (DESIGN.md
+// §12): fn(i) writes only to slot i of the result slice, slots are
+// committed in index order by construction, and the caller observes the
+// complete slice only after every worker has finished. The output is
+// therefore a pure function of (n, fn) — goroutine scheduling can change
+// wall-clock time, never bytes.
+//
+// Workers == 1 (or n <= 1) bypasses goroutines entirely: the serial path
+// is a plain loop, so "-workers 1" reproduces the historical single-thread
+// execution exactly, stack traces included.
+package parfan
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count setting: w <= 0 selects
+// runtime.GOMAXPROCS(0), anything else is used as given, and the result
+// never exceeds n (there is no point parking idle workers on a pool
+// smaller than the work list).
+func Workers(w, n int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n >= 1 && w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the n results in index order. Work is handed out through a
+// shared atomic cursor (dynamic load balancing: a worker finishing a cheap
+// item immediately picks up the next), but each result is stored in its
+// own slot, so the returned slice is independent of scheduling. A panic in
+// any fn is re-raised on the caller's goroutine after all workers stop;
+// when several fn panic, the one with the lowest index wins, matching what
+// a serial loop would have surfaced first.
+func Map[T any](n, workers int, fn func(int) T) []T {
+	out := make([]T, n)
+	run(n, workers, func(i int) error {
+		out[i] = fn(i)
+		return nil
+	})
+	return out
+}
+
+// MapErr is Map for fallible fn. Every index runs regardless of failures
+// elsewhere — short-circuiting would make *which* error surfaces depend on
+// scheduling — and the returned error is the non-nil error with the lowest
+// index, exactly the one a serial loop that collected all errors would
+// report first. On error the result slice is still returned with every
+// successful slot filled.
+func MapErr[T any](n, workers int, fn func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := run(n, workers, func(i int) error {
+		var e error
+		out[i], e = fn(i)
+		return e
+	})
+	return out, err
+}
+
+// panicValue carries a worker panic to the caller's goroutine.
+type panicValue struct {
+	idx int
+	val any
+}
+
+// run executes fn over [0, n), serially for workers <= 1, otherwise on a
+// pool. It returns the lowest-index error and re-raises the lowest-index
+// panic.
+func run(n, workers int, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		// The serial path: no goroutines, so panics unwind the caller's
+		// stack directly and "-workers 1" equals the historical behavior.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	errs := make([]error, n)
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		pv     *panicValue
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if pv == nil || i < pv.idx {
+								pv = &panicValue{idx: i, val: r}
+							}
+							mu.Unlock()
+						}
+					}()
+					errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if pv != nil {
+		panic(pv.val)
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

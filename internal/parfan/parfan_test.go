@@ -1,0 +1,168 @@
+package parfan
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		w, n, want int
+	}{
+		{0, 100, min(gmp, 100)},
+		{-3, 100, min(gmp, 100)},
+		{1, 100, 1},
+		{8, 4, 4},
+		{8, 100, 8},
+		{4, 0, 4}, // n < 1 leaves w alone (nothing to cap against)
+	}
+	for _, c := range cases {
+		if got := Workers(c.w, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.w, c.n, got, c.want)
+		}
+	}
+}
+
+// TestMapOrdered checks the core contract at several worker counts: the
+// result slice is in index order no matter how the pool schedules.
+func TestMapOrdered(t *testing.T) {
+	const n = 1000
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		got := Map(n, workers, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapSerialParallelIdentical pins serial-vs-parallel equivalence for a
+// fn with per-index state.
+func TestMapSerialParallelIdentical(t *testing.T) {
+	fn := func(i int) string { return fmt.Sprintf("item-%03d", i*7%13) }
+	serial := Map(50, 1, fn)
+	for _, workers := range []int{2, 8} {
+		parallel := Map(50, workers, fn)
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("workers=%d: slot %d: serial %q != parallel %q",
+					workers, i, serial[i], parallel[i])
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got := Map(0, 8, func(i int) int { return i }); len(got) != 0 {
+		t.Errorf("Map(0) returned %v", got)
+	}
+	if got := Map(1, 8, func(i int) int { return 42 }); len(got) != 1 || got[0] != 42 {
+		t.Errorf("Map(1) returned %v", got)
+	}
+}
+
+// TestMapErrLowestIndexWins: every index runs, and the reported error is
+// the one with the lowest index regardless of worker count.
+func TestMapErrLowestIndexWins(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var ran atomic.Int64
+		out, err := MapErr(20, workers, func(i int) (int, error) {
+			ran.Add(1)
+			if i == 17 || i == 5 || i == 11 {
+				return 0, fmt.Errorf("fail at %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "fail at 5" {
+			t.Errorf("workers=%d: err = %v, want fail at 5", workers, err)
+		}
+		if ran.Load() != 20 {
+			t.Errorf("workers=%d: ran %d of 20 items", workers, ran.Load())
+		}
+		// Successful slots are filled even on error.
+		if out[3] != 3 || out[19] != 19 {
+			t.Errorf("workers=%d: successful slots not filled: %v", workers, out)
+		}
+	}
+}
+
+func TestMapErrNoError(t *testing.T) {
+	out, err := MapErr(10, 4, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}
+
+// TestMapPanicPropagates: a worker panic surfaces on the caller's
+// goroutine, and the lowest-index panic wins.
+func TestMapPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("workers=%d: no panic propagated", workers)
+					return
+				}
+				if s, ok := r.(string); !ok || s != "boom-3" {
+					t.Errorf("workers=%d: recovered %v, want boom-3", workers, r)
+				}
+			}()
+			Map(10, workers, func(i int) int {
+				if i == 3 || i == 7 {
+					panic(fmt.Sprintf("boom-%d", i))
+				}
+				return i
+			})
+		}()
+	}
+}
+
+// TestMapErrSentinelErrors: errors.Is works through the fan-out (the
+// error value is returned as-is, not wrapped).
+func TestMapErrSentinelErrors(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	_, err := MapErr(4, 2, func(i int) (int, error) {
+		if i == 2 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+}
+
+// TestMapConcurrentStress hammers the pool under -race: shared-nothing
+// slots must never trip the detector.
+func TestMapConcurrentStress(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		got := Map(200, 16, func(i int) [2]int { return [2]int{i, i * 3} })
+		for i, v := range got {
+			if v != [2]int{i, i * 3} {
+				t.Fatalf("round %d slot %d = %v", round, i, v)
+			}
+		}
+	}
+}
+
+func BenchmarkMapOverhead(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Map(16, workers, func(j int) int { return j })
+			}
+		})
+	}
+}

@@ -2,6 +2,22 @@ package sim
 
 import "testing"
 
+func nop() {}
+
+// BenchmarkEngineScheduleStep measures the steady-state cost of the
+// simulator's hottest loop: one Schedule plus one Step. With the inlined
+// concrete-typed event heap this is allocation-free (container/heap boxed
+// every event into an `any` on both Push and Pop).
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	var e Engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, nop)
+		e.Step()
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

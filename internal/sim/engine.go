@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -22,24 +21,65 @@ type event struct {
 	fn   func()
 }
 
-// eventHeap orders events by (time, seq).
+// eventHeap is a concrete-typed binary min-heap of events ordered by
+// (time, seq), inlined instead of container/heap: the interface-based
+// heap boxes every pushed and popped event into an `any`, one allocation
+// each way, in the simulator's single hottest loop. The slice's capacity
+// is retained across pop/push cycles, so a steady-state Schedule/Step
+// pair allocates nothing.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// less orders by (time, seq); seq breaks ties so execution order is
+// bit-for-bit reproducible.
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push appends e and sifts it up to its heap position.
+func (h *eventHeap) push(e event) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+// pop removes and returns the minimum event. The caller must check
+// emptiness first.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // drop the callback reference so it can be collected
+	q = q[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	*h = q
+	return top
 }
 
 // Engine is a discrete-event simulator clock plus pending-event queue.
@@ -78,7 +118,7 @@ func (e *Engine) At(t float64, fn func()) {
 		panic("sim: schedule nil callback")
 	}
 	e.seq++
-	heap.Push(&e.events, event{time: t, seq: e.seq, fn: fn})
+	e.events.push(event{time: t, seq: e.seq, fn: fn})
 }
 
 // Step executes the next event, advancing the clock to its time. It
@@ -87,7 +127,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events.pop()
 	e.now = ev.time
 	e.fired++
 	ev.fn()

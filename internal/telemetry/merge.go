@@ -1,0 +1,68 @@
+package telemetry
+
+import "fmt"
+
+// Merge folds every series of src into r, creating series that r lacks.
+// Counters add, histograms add bucket-wise (bounds must match exactly),
+// spans combine count/total/min/max.
+//
+// Merge iterates src's series in canonical sorted id order, so merging a
+// fixed sequence of registries in a fixed order is fully deterministic —
+// including the float additions, whose association depends only on the
+// merge order, never on goroutine scheduling. This is what lets the bench
+// runner give every parallel cell its own registry and still export
+// byte-identical snapshots at any worker count: the cells record into
+// private registries concurrently, and the single-threaded merge replays
+// them in cell order.
+func (r *Registry) Merge(src *Registry) {
+	if src == nil || src == r {
+		return
+	}
+	for _, id := range src.ids() {
+		s := src.lookup(id)
+		switch {
+		case s.counter != nil:
+			r.Counter(s.name, s.labels...).Add(s.counter.Value())
+		case s.hist != nil:
+			bounds, buckets, sum, count := s.hist.snapshot()
+			r.Histogram(s.name, bounds, s.labels...).merge(bounds, buckets, sum, count)
+		case s.span != nil:
+			count, total, min, max := s.span.snapshot()
+			r.Span(s.name, s.labels...).merge(count, total, min, max)
+		}
+	}
+}
+
+// merge folds a snapshot of another histogram with identical bounds into h.
+func (h *Histogram) merge(bounds []float64, buckets []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, b := range bounds {
+		if h.bounds[i] != b {
+			panic(fmt.Sprintf("telemetry: merge of histogram with different bounds (%v vs %v)", h.bounds[i], b))
+		}
+	}
+	for i, c := range buckets {
+		h.buckets[i] += c
+	}
+	h.sum += sum
+	h.count += count
+}
+
+// merge folds a snapshot of another span into s. An empty source is a
+// no-op so it never disturbs min/max.
+func (s *Span) merge(count uint64, total, min, max float64) {
+	if count == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.count == 0 || min < s.min {
+		s.min = min
+	}
+	if max > s.max {
+		s.max = max
+	}
+	s.count += count
+	s.total += total
+	s.mu.Unlock()
+}

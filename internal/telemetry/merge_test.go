@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMergeAllKinds folds two registries and checks every metric kind
+// combines correctly, including series present on only one side.
+func TestMergeAllKinds(t *testing.T) {
+	dst, src := NewRegistry(), NewRegistry()
+	dst.Counter("ops", L("op", "read")).Add(3)
+	src.Counter("ops", L("op", "read")).Add(4)
+	src.Counter("ops", L("op", "write")).Add(5) // only in src
+
+	bounds := []float64{1, 10}
+	dst.Histogram("sizes", bounds).Observe(0.5)
+	src.Histogram("sizes", bounds).Observe(5)
+	src.Histogram("sizes", bounds).Observe(50)
+
+	dst.Span("stage").Observe(2)
+	src.Span("stage").Observe(1)
+	src.Span("stage").Observe(9)
+	src.Span("other") // registered but empty: must not disturb min/max
+
+	dst.Merge(src)
+
+	if got := dst.Counter("ops", L("op", "read")).Value(); got != 7 {
+		t.Errorf("read counter = %v, want 7", got)
+	}
+	if got := dst.Counter("ops", L("op", "write")).Value(); got != 5 {
+		t.Errorf("write counter = %v, want 5", got)
+	}
+	h := dst.Histogram("sizes", bounds)
+	if h.Count() != 3 || h.Sum() != 55.5 {
+		t.Errorf("histogram count=%d sum=%v, want 3/55.5", h.Count(), h.Sum())
+	}
+	s := dst.Span("stage")
+	count, total, min, max := s.snapshot()
+	if count != 3 || total != 12 || min != 1 || max != 9 {
+		t.Errorf("span = (%d, %v, %v, %v), want (3, 12, 1, 9)", count, total, min, max)
+	}
+}
+
+// TestMergeOrderDeterminism pins the property the bench harness relies
+// on: merging the same cell registries in the same order produces a
+// byte-identical snapshot, however the cells were populated.
+func TestMergeOrderDeterminism(t *testing.T) {
+	build := func() *Registry {
+		parent := NewRegistry()
+		for _, cell := range []string{"a", "b", "c"} {
+			r := NewRegistry()
+			r.Counter("cost").Add(0.1)
+			r.Counter("cost").Add(0.2)
+			r.Span("t", L("cell", cell)).Observe(0.3)
+			parent.Merge(r)
+		}
+		return parent
+	}
+	var one, two strings.Builder
+	if err := build().WriteJSON(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Error("two identical merge sequences produced different snapshots")
+	}
+}
+
+// TestMergeBoundMismatchPanics: merging histograms with different bounds
+// is an accounting bug, not a recoverable condition.
+func TestMergeBoundMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mismatched bounds")
+		}
+	}()
+	dst, src := NewRegistry(), NewRegistry()
+	dst.Histogram("h", []float64{1, 2})
+	src.Histogram("h", []float64{1, 3})
+	dst.Merge(src)
+}
+
+// TestMergeNilAndSelf: both degenerate merges are no-ops.
+func TestMergeNilAndSelf(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Merge(nil)
+	r.Merge(r)
+	if got := r.Counter("c").Value(); got != 2 {
+		t.Errorf("counter = %v after degenerate merges, want 2", got)
+	}
+}
