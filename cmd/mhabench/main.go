@@ -7,6 +7,7 @@
 //	         [-scale N] [-h N] [-s N] [-workers N] [-csv] [-json[=FILE]]
 //	         [-telemetry] [-telemetry-format json|prom]
 //	         [-cpuprofile FILE] [-memprofile FILE]
+//	mhabench -faults none|straggler|flaky|outage|all [-fault-seed N] [...]
 //	mhabench -compare [-tolerance T] OLD.json NEW.json
 //
 // -scale divides the paper's workload volumes (default 64; 1 reproduces
@@ -25,6 +26,14 @@
 // measured in virtual time, so two identical invocations emit
 // byte-identical snapshots.
 //
+// -faults runs the resilience figure instead of the paper's: every layout
+// scheme replays the Fig. 8 write workload under the named seeded fault
+// scenario ("all" sweeps none, straggler, flaky, outage) with the client's
+// retry/failover stages enabled, and prints the completion-time and
+// fault-action tables. -fault-seed varies the scenario's pseudo-random
+// window placement (default 1). The figure is deterministic: byte-identical
+// at every -workers setting and across repeated runs.
+//
 // -compare is the CI perf-gate: it diffs the aggregate bandwidth of two
 // -json exports and exits nonzero when NEW regressed more than the
 // relative tolerance (default 0.05) below OLD for any scheme.
@@ -39,6 +48,7 @@ import (
 
 	"mhafs/internal/bench"
 	"mhafs/internal/config"
+	"mhafs/internal/fault"
 	"mhafs/internal/metrics"
 	"mhafs/internal/telemetry"
 	"mhafs/internal/units"
@@ -77,6 +87,8 @@ func main() {
 		calPath   = flag.String("config", "", "JSON calibration file overriding device/network/planner defaults")
 		telem     = flag.Bool("telemetry", false, "emit the run's telemetry snapshot to stdout after the tables")
 		telFormat = flag.String("telemetry-format", "json", "telemetry snapshot format: json (canonical) or prom (Prometheus text)")
+		faults    = flag.String("faults", "", "run the resilience figure under this seeded fault scenario (none, straggler, flaky, outage, or all) instead of the paper figures")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault scenario's pseudo-random window placement")
 		compare   = flag.Bool("compare", false, "perf-gate mode: compare two -json exports (mhabench -compare OLD.json NEW.json)")
 		tolerance = flag.Float64("tolerance", 0.05, "relative bandwidth tolerance for -compare (0.05 = 5% slower still passes)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -131,6 +143,15 @@ func main() {
 	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
+	}
+
+	if *faults != "" {
+		cfg.FaultSeed = *faultSeed
+		runFaults(cfg, *faults, *csv)
+		if reg != nil {
+			emitTelemetry(reg, *telFormat)
+		}
+		return
 	}
 
 	type runner struct {
@@ -206,15 +227,7 @@ func main() {
 		}
 	}
 	if reg != nil {
-		var err error
-		if *telFormat == "prom" {
-			err = reg.WritePrometheus(os.Stdout)
-		} else {
-			err = reg.WriteJSON(os.Stdout)
-		}
-		if err != nil {
-			fatal(err)
-		}
+		emitTelemetry(reg, *telFormat)
 	}
 	if *memProf != "" {
 		f, err := os.Create(*memProf)
@@ -225,6 +238,47 @@ func main() {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// runFaults runs the resilience figure and prints both of its tables.
+func runFaults(cfg bench.Config, name string, csv bool) {
+	var scenarios []fault.Scenario
+	if strings.ToLower(name) != "all" {
+		sc, err := fault.ParseScenario(name)
+		if err != nil {
+			fatal(err)
+		}
+		scenarios = []fault.Scenario{sc}
+	}
+	_, tables, err := cfg.FigFaults(scenarios)
+	if err != nil {
+		fatal(err)
+	}
+	for _, tb := range tables {
+		if csv {
+			err = tb.FprintCSV(os.Stdout)
+		} else {
+			err = tb.Fprint(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+// emitTelemetry writes the registry snapshot to stdout in the chosen
+// format.
+func emitTelemetry(reg *telemetry.Registry, format string) {
+	var err error
+	if format == "prom" {
+		err = reg.WritePrometheus(os.Stdout)
+	} else {
+		err = reg.WriteJSON(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
 	}
 }
 

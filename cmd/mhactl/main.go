@@ -10,6 +10,8 @@
 //	mhactl sig    -trace t.txt             per-stream I/O signatures
 //	mhactl plan   -trace t.txt -scheme MHA [-h 6 -s 2] show the plan
 //	mhactl replay -trace t.txt -scheme MHA [-telemetry] simulate a replay
+//	              [-faults none|straggler|flaky|outage] [-fault-seed N]
+//	              inject a seeded fault scenario with resilience enabled
 //	mhactl convert -trace in.txt -o out.bin [-binary=true]  convert formats
 //	mhactl drt    -db drt.db               dump a persisted DRT
 //	mhactl rst    -db rst.db               dump a persisted RST
@@ -25,6 +27,7 @@ import (
 
 	"mhafs/internal/bench"
 	"mhafs/internal/cluster"
+	"mhafs/internal/fault"
 	"mhafs/internal/layout"
 	"mhafs/internal/metrics"
 	"mhafs/internal/pattern"
@@ -51,6 +54,8 @@ func main() {
 	window := fs.Float64("window", pattern.DefaultEpochWindow, "concurrency window (s)")
 	outPath := fs.String("o", "", "output path (convert)")
 	toBinary := fs.Bool("binary", true, "convert to binary (false: to text)")
+	faults := fs.String("faults", "", "replay: inject this seeded fault scenario (none, straggler, flaky, outage) with the resilience stages enabled")
+	faultSeed := fs.Int64("fault-seed", 1, "replay: seed for the fault scenario's window placement")
 	telem := fs.Bool("telemetry", false, "replay: emit the telemetry snapshot to stdout after the tables")
 	telFormat := fs.String("telemetry-format", "json", "telemetry snapshot format: json (canonical) or prom (Prometheus text)")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -174,6 +179,13 @@ func main() {
 		cfg.Cluster.SServers, cfg.Env.N = *sSrv, *sSrv
 		cfg.Env.MaxRegions = *k
 		cfg.Workers, cfg.Env.Workers = *workers, *workers
+		if *faults != "" {
+			sc, err := fault.ParseScenario(*faults)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Faults, cfg.FaultSeed = sc, *faultSeed
+		}
 		var reg *telemetry.Registry
 		if *telem {
 			reg = telemetry.NewRegistry()

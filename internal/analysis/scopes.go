@@ -19,6 +19,7 @@ var DeterministicPackages = []string{
 	"internal/mpiio",
 	"internal/replay",
 	"internal/dynamic",
+	"internal/fault",
 }
 
 // WallclockAllowedPackages may read the wall clock:

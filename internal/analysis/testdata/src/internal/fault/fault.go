@@ -1,0 +1,33 @@
+// Package fault is a fixture for the determinism contract in the
+// fault-injection subsystem: schedules are seeded and live in virtual
+// time, so wall-clock reads and global randomness here must be flagged.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Window is a simplified stand-in for the real fault window.
+type Window struct {
+	Start, End float64
+}
+
+// jitterNow would leak real time into a schedule.
+func jitterNow() Window {
+	t := float64(time.Now().UnixNano()) //want:determinism/wallclock
+	return Window{Start: t, End: t + 1}
+}
+
+// globalBurst draws burst placement from the global source: unseeded and
+// call-order dependent, it would break byte-identical figures.
+func globalBurst() float64 {
+	return rand.Float64() //want:determinism/rand
+}
+
+// seededBurst is the sanctioned form: an explicit source seeded by the
+// scenario seed.
+func seededBurst(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

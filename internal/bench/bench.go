@@ -16,6 +16,7 @@ package bench
 import (
 	"fmt"
 
+	"mhafs/internal/fault"
 	"mhafs/internal/layout"
 	"mhafs/internal/mpiio"
 	"mhafs/internal/parfan"
@@ -66,6 +67,19 @@ type Config struct {
 	// Env.Workers (planner-internal fan-out) unless Env.Workers is set
 	// explicitly.
 	Workers int
+
+	// Faults, when non-empty, injects the named seeded fault scenario
+	// into every replayed scheme and enables the client's resilience
+	// stages (retry, degraded-mode failover). The empty string — the
+	// default — runs the historical fault-free path with no resilience
+	// machinery installed; scenario "none" runs the resilient pipeline
+	// with an empty schedule (the no-fault baseline of the resilience
+	// figure).
+	Faults fault.Scenario
+
+	// FaultSeed seeds the scenario's pseudo-random window placement;
+	// 0 means seed 1.
+	FaultSeed int64
 }
 
 // Default returns the paper's setup: 6 HServers, 2 SServers, 64 KB
@@ -90,6 +104,11 @@ func (c Config) Validate() error {
 	}
 	if err := c.Cluster.Validate(); err != nil {
 		return err
+	}
+	if c.Faults != "" {
+		if _, err := fault.ParseScenario(string(c.Faults)); err != nil {
+			return err
+		}
 	}
 	return c.Env.Validate()
 }
@@ -151,6 +170,26 @@ func (c Config) RunScheme(scheme layout.Scheme, tr trace.Trace) (SchemeRun, erro
 		// Enabled before the redirector so SetRedirector inherits the
 		// registry and the DRT counters are wired too.
 		mw.EnableTelemetry(c.Telemetry)
+	}
+	if c.Faults != "" {
+		seed := c.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		sched, err := c.Faults.Build(c.Cluster.HServers, c.Cluster.SServers, seed)
+		if err != nil {
+			return SchemeRun{}, err
+		}
+		in, err := fault.NewInjector(cluster.Eng, sched)
+		if err != nil {
+			return SchemeRun{}, err
+		}
+		if err := mw.EnableResilience(mpiio.ResilienceOptions{
+			Injector: in,
+			RST:      placement.RST,
+		}); err != nil {
+			return SchemeRun{}, err
+		}
 	}
 	switch scheme {
 	case layout.DEF:

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mhafs/internal/fault"
+	"mhafs/internal/layout"
+	"mhafs/internal/metrics"
+	"mhafs/internal/telemetry"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+	"mhafs/internal/workload"
+)
+
+// FaultActions summarizes the client's fault handling during one scheme's
+// replay, scraped from the run's telemetry.
+type FaultActions struct {
+	Injected  float64 // fault decisions observed at servers
+	Retries   float64 // retry attempts (read + write)
+	Failovers float64 // extents remapped onto survivors
+	Degraded  float64 // requests that encountered a down server
+	Backoff   float64 // total virtual seconds spent backing off
+}
+
+// FaultRow is one scenario of the resilience figure: per-scheme
+// completion time plus the fault-handling actions behind it.
+type FaultRow struct {
+	Scenario fault.Scenario
+	Makespan map[layout.Scheme]float64
+	Actions  map[layout.Scheme]FaultActions
+}
+
+// faultWorkload is the resilience figure's workload: the Fig. 8 mixed
+// 128+256 KB IOR write, whose skewed per-server load is where degraded
+// layouts hurt most.
+func (c Config) faultWorkload() (trace.Trace, error) {
+	return workload.IOR(workload.IORConfig{
+		File: "ior.dat", Op: trace.OpWrite,
+		Sizes: []int64{128 * units.KB, 256 * units.KB}, Procs: []int{32},
+		FileSize: c.scaled(fig7FileSize), Shuffle: true, Seed: 7,
+	})
+}
+
+// scrapeActions reads the fault counters from a run's registry. Counter
+// lookups are get-or-create, so a scheme that never faulted reads zeros.
+func scrapeActions(reg *telemetry.Registry) FaultActions {
+	// MetricInjected is labeled (server, kind); sum every labeled series
+	// via the canonical snapshot instead of enumerating label sets.
+	var injected float64
+	for _, s := range reg.Snapshot().Counters {
+		if strings.HasPrefix(s.Series, fault.MetricInjected) {
+			injected += s.Value
+		}
+	}
+	return FaultActions{
+		Injected: injected,
+		Retries: reg.Counter(fault.MetricRetries, telemetry.L("op", "read")).Value() +
+			reg.Counter(fault.MetricRetries, telemetry.L("op", "write")).Value(),
+		Failovers: reg.Counter(fault.MetricFailovers).Value(),
+		Degraded:  reg.Counter(fault.MetricDegraded).Value(),
+		Backoff:   reg.Counter(fault.MetricBackoffSeconds).Value(),
+	}
+}
+
+// FigFaults runs the resilience figure: the fault scenarios × every
+// layout scheme on the Fig. 8 write workload, under the resilient
+// pipeline. It returns the rows plus two tables — completion times and
+// fault actions.
+func (c Config) FigFaults(scenarios []fault.Scenario) ([]FaultRow, []*metrics.Table, error) {
+	if len(scenarios) == 0 {
+		scenarios = fault.Scenarios()
+	}
+	rows, err := parallelRows(c, len(scenarios), func(cc Config, i int) (FaultRow, error) {
+		cc.Faults = scenarios[i]
+		row := FaultRow{
+			Scenario: scenarios[i],
+			Makespan: make(map[layout.Scheme]float64),
+			Actions:  make(map[layout.Scheme]FaultActions),
+		}
+		tr, err := cc.faultWorkload()
+		if err != nil {
+			return row, err
+		}
+		schemes := layout.AllSchemes()
+		cells, err := parallelRows(cc, len(schemes), func(sc Config, j int) (FaultRow, error) {
+			reg := sc.Telemetry
+			if reg == nil {
+				// No registry threaded from the caller: scrape a private
+				// one (the figure needs the counters either way).
+				reg = telemetry.NewRegistry()
+				sc.Telemetry = reg
+			}
+			run, err := sc.RunScheme(schemes[j], tr)
+			if err != nil {
+				return FaultRow{}, fmt.Errorf("bench: faults %s scheme %v: %w", scenarios[i], schemes[j], err)
+			}
+			cell := FaultRow{
+				Makespan: map[layout.Scheme]float64{schemes[j]: run.Result.Makespan},
+				Actions:  map[layout.Scheme]FaultActions{schemes[j]: scrapeActions(reg)},
+			}
+			return cell, nil
+		})
+		if err != nil {
+			return row, err
+		}
+		for j, s := range schemes {
+			row.Makespan[s] = cells[j].Makespan[s]
+			row.Actions[s] = cells[j].Actions[s]
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	times := metrics.NewTable(
+		"Resilience: completion time (s) under seeded fault scenarios — IOR write 128+256KB, 32 procs",
+		"scenario", "DEF", "AAL", "HARL", "MHA")
+	for _, row := range rows {
+		times.AddRow(string(row.Scenario),
+			fmt.Sprintf("%.6f", row.Makespan[layout.DEF]),
+			fmt.Sprintf("%.6f", row.Makespan[layout.AAL]),
+			fmt.Sprintf("%.6f", row.Makespan[layout.HARL]),
+			fmt.Sprintf("%.6f", row.Makespan[layout.MHA]))
+	}
+	actions := metrics.NewTable(
+		"Resilience: client fault handling per scenario and scheme",
+		"scenario", "scheme", "injected", "retries", "failovers", "degraded", "backoff(s)")
+	for _, row := range rows {
+		for _, s := range schemeOrder {
+			a := row.Actions[s]
+			actions.AddRow(string(row.Scenario), s.String(),
+				fmt.Sprintf("%.0f", a.Injected),
+				fmt.Sprintf("%.0f", a.Retries),
+				fmt.Sprintf("%.0f", a.Failovers),
+				fmt.Sprintf("%.0f", a.Degraded),
+				fmt.Sprintf("%.6f", a.Backoff))
+		}
+	}
+	return rows, []*metrics.Table{times, actions}, nil
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"mhafs/internal/fault"
+	"mhafs/internal/layout"
+)
+
+// TestFigFaultsResilience is the subsystem's end-to-end gate: every
+// scenario × scheme cell completes (no hangs, no surfaced application
+// errors — RunScheme fails on either), the no-fault row is action-free
+// and matches the historical fault-free path exactly, and under the
+// SServer outage MHA's degraded completion stays bounded by the HARL
+// baseline.
+func TestFigFaultsResilience(t *testing.T) {
+	c := Default()
+	c.Scale = 512
+	rows, tables, err := c.FigFaults(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want completion + actions", len(tables))
+	}
+	want := fault.Scenarios()
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d scenarios", len(rows), len(want))
+	}
+	byScenario := make(map[fault.Scenario]FaultRow, len(rows))
+	for i, row := range rows {
+		if row.Scenario != want[i] {
+			t.Errorf("row %d scenario = %s, want %s", i, row.Scenario, want[i])
+		}
+		byScenario[row.Scenario] = row
+		for _, s := range layout.AllSchemes() {
+			if row.Makespan[s] <= 0 {
+				t.Errorf("%s/%v: makespan %v", row.Scenario, s, row.Makespan[s])
+			}
+		}
+	}
+
+	// The resilient pipeline with an empty schedule is action-free and
+	// virtual-time identical to the pipeline without resilience stages.
+	none := byScenario[fault.ScenarioNone]
+	for s, a := range none.Actions {
+		if a != (FaultActions{}) {
+			t.Errorf("no-fault run of %v performed fault actions: %+v", s, a)
+		}
+	}
+	tr, err := c.faultWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := c.RunScheme(layout.MHA, tr) // c.Faults == "": no resilience machinery
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := none.Makespan[layout.MHA]; got != plain.Result.Makespan {
+		t.Errorf("resilient no-fault makespan %v != fault-free path %v", got, plain.Result.Makespan)
+	}
+
+	outage := byScenario[fault.ScenarioOutage]
+	for _, s := range layout.AllSchemes() {
+		if outage.Actions[s].Failovers == 0 {
+			t.Errorf("outage/%v: no failovers — writes were not remapped", s)
+		}
+		if outage.Actions[s].Degraded == 0 {
+			t.Errorf("outage/%v: no degraded requests recorded", s)
+		}
+	}
+	if mha, harl := outage.Makespan[layout.MHA], outage.Makespan[layout.HARL]; mha > harl*1.05 {
+		t.Errorf("outage: MHA degraded completion %v exceeds HARL baseline %v", mha, harl)
+	}
+
+	if flaky := byScenario[fault.ScenarioFlaky]; flaky.Actions[layout.MHA].Retries == 0 {
+		t.Error("flaky: no retries recorded")
+	}
+	if straggler := byScenario[fault.ScenarioStraggler]; straggler.Makespan[layout.DEF] <= none.Makespan[layout.DEF] {
+		t.Error("straggler: DEF not slower than the no-fault run")
+	}
+}
+
+// faultFigure renders both resilience tables at the given worker count.
+func faultFigure(t *testing.T, workers int) string {
+	t.Helper()
+	c := Default()
+	c.Scale = 512
+	c.Workers = workers
+	_, tables, err := c.FigFaults(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		if err := tb.Fprint(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String()
+}
+
+// TestFaultFigureWorkersIdentical: the rendered resilience figure is
+// byte-identical at every worker count (serial-vs-parallel equivalence of
+// the fault scenarios).
+func TestFaultFigureWorkersIdentical(t *testing.T) {
+	serial := faultFigure(t, 1)
+	for _, workers := range []int{2, 8} {
+		if got := faultFigure(t, workers); got != serial {
+			t.Errorf("workers=%d: resilience figure differs from serial run", workers)
+		}
+	}
+}
+
+// TestFaultSeedVariesSchedule: the flaky scenario's window placement
+// follows the seed — different seeds, different completion times — while
+// the same seed reproduces exactly.
+func TestFaultSeedVariesSchedule(t *testing.T) {
+	run := func(seed int64) float64 {
+		c := Default()
+		c.Scale = 512
+		c.Faults = fault.ScenarioFlaky
+		c.FaultSeed = seed
+		tr, err := c.faultWorkload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.RunScheme(layout.DEF, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Result.Makespan
+	}
+	a, b := run(1), run(1)
+	if a != b {
+		t.Fatalf("same seed, different makespans: %v vs %v", a, b)
+	}
+	if run(99) == a {
+		t.Error("seeds 1 and 99 produced identical flaky makespans (schedule ignores the seed)")
+	}
+}
+
+func TestConfigValidateFaults(t *testing.T) {
+	c := Default()
+	c.Faults = "meteor-strike"
+	if err := c.Validate(); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	c.Faults = fault.ScenarioOutage
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+	c.Faults = ""
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}

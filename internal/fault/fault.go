@@ -1,0 +1,248 @@
+// Package fault is the deterministic fault-injection subsystem: seeded,
+// sim-time fault schedules that degrade individual servers of the
+// simulated cluster for bounded windows of virtual time.
+//
+// The paper's cost model (Eq. 2) assumes every server of a class is
+// healthy and identical, yet a striped request completes only when its
+// slowest sub-request completes — exactly the property stragglers and
+// faults attack. A Schedule describes per-server fault windows of three
+// kinds:
+//
+//   - Slowdown — the device term of the server's service time is scaled
+//     by a factor over the window (a straggler disk);
+//   - Transient — sub-requests whose service falls in the window consume
+//     their service time but fail with a retryable error (a flaky
+//     controller or link);
+//   - Outage — the server refuses requests outright for the window (a
+//     crashed or partitioned server).
+//
+// Everything is a pure function of the schedule and virtual time: no wall
+// clock, no unseeded PRNG. Scenario builders derive their windows from an
+// explicit seed, so every run of a scenario is byte-stable — the same
+// determinism contract the rest of the repository keeps.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Kind classifies a fault window.
+type Kind uint8
+
+// Fault kinds.
+const (
+	Slowdown  Kind = iota // device time scaled by Window.Factor
+	Transient             // attempts fail with ErrTransient after full service
+	Outage                // server refuses attempts with ErrUnavailable
+)
+
+// String returns the lower-case kind name used in telemetry labels.
+func (k Kind) String() string {
+	switch k {
+	case Slowdown:
+		return "slowdown"
+	case Transient:
+		return "transient"
+	case Outage:
+		return "outage"
+	default:
+		return fmt.Sprintf("kind%d", uint8(k))
+	}
+}
+
+// Window is one per-server fault interval [Start, End) in virtual
+// seconds. End may be math.Inf(1) for a fault lasting the rest of the
+// run.
+type Window struct {
+	Server string // physical server name, e.g. "h0" or "s1"
+	Kind   Kind
+	Start  float64
+	End    float64
+	Factor float64 // Slowdown only: device-time multiplier, ≥ 1
+}
+
+// Covers reports whether t falls inside the window.
+func (w Window) Covers(t float64) bool { return t >= w.Start && t < w.End }
+
+// Validate checks one window's invariants.
+func (w Window) Validate() error {
+	if w.Server == "" {
+		return fmt.Errorf("fault: window with empty server name")
+	}
+	if math.IsNaN(w.Start) || math.IsNaN(w.End) || w.Start < 0 || w.End <= w.Start {
+		return fmt.Errorf("fault: window [%v, %v) on %s is not a forward interval", w.Start, w.End, w.Server)
+	}
+	switch w.Kind {
+	case Slowdown:
+		if math.IsNaN(w.Factor) || w.Factor < 1 {
+			return fmt.Errorf("fault: slowdown factor %v on %s must be ≥ 1", w.Factor, w.Server)
+		}
+	case Transient, Outage:
+		// Factor is ignored.
+	default:
+		return fmt.Errorf("fault: unknown kind %d on %s", uint8(w.Kind), w.Server)
+	}
+	return nil
+}
+
+// Schedule is a set of fault windows. The zero value is a healthy run.
+type Schedule struct {
+	Windows []Window
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s Schedule) Empty() bool { return len(s.Windows) == 0 }
+
+// Validate checks every window, and — when servers is non-nil — that each
+// window names a server in that set.
+func (s Schedule) Validate(servers []string) error {
+	known := make(map[string]bool, len(servers))
+	for _, n := range servers {
+		known[n] = true
+	}
+	for _, w := range s.Windows {
+		if err := w.Validate(); err != nil {
+			return err
+		}
+		if servers != nil && !known[w.Server] {
+			return fmt.Errorf("fault: window names unknown server %q", w.Server)
+		}
+	}
+	return nil
+}
+
+// Injection errors. Both are retryable: ErrTransient clears when the
+// window closes, ErrUnavailable when the server recovers.
+var (
+	ErrUnavailable = errors.New("fault: server unavailable")
+	ErrTransient   = errors.New("fault: transient server error")
+)
+
+// Retryable reports whether err is a fault-injected error a client may
+// retry (as opposed to a configuration or programming error).
+func Retryable(err error) bool {
+	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrTransient)
+}
+
+// Telemetry series of the resilience path. The injector emits the first
+// two; the client-side retry and failover stages own the rest, but the
+// names live here so the whole fault vocabulary has one home.
+const (
+	// MetricInjected counts fault decisions applied to sub-request
+	// attempts, labeled by server and kind.
+	MetricInjected = "fault_injected_total"
+	// MetricWindows counts fault windows opening, labeled by kind.
+	MetricWindows = "fault_windows_total"
+	// MetricRetries counts client retry attempts, labeled by op.
+	MetricRetries = "fault_retries_total"
+	// MetricBackoffSeconds accumulates virtual seconds spent backing off.
+	MetricBackoffSeconds = "fault_backoff_seconds_total"
+	// MetricTimeouts counts attempts abandoned by the per-attempt timeout.
+	MetricTimeouts = "fault_timeouts_total"
+	// MetricFailovers counts extents remapped onto a degraded fallback
+	// layout.
+	MetricFailovers = "fault_failovers_total"
+	// MetricDegraded counts requests that touched an unavailable server
+	// and took the degraded path (failover or recovery wait).
+	MetricDegraded = "fault_degraded_requests_total"
+)
+
+// Scenario names a canned, seeded fault schedule for the resilience
+// bench.
+type Scenario string
+
+// Canned scenarios.
+const (
+	ScenarioNone      Scenario = "none"      // resilience armed, no faults
+	ScenarioStraggler Scenario = "straggler" // h0 device 4× slower all run
+	ScenarioFlaky     Scenario = "flaky"     // last SServer fails transiently in seeded bursts
+	ScenarioOutage    Scenario = "outage"    // s0 down for an early window
+)
+
+// Scenarios returns the canned scenarios in figure row order.
+func Scenarios() []Scenario {
+	return []Scenario{ScenarioNone, ScenarioStraggler, ScenarioFlaky, ScenarioOutage}
+}
+
+// ParseScenario resolves a scenario name.
+func ParseScenario(s string) (Scenario, error) {
+	for _, sc := range Scenarios() {
+		if string(sc) == s {
+			return sc, nil
+		}
+	}
+	return "", fmt.Errorf("fault: unknown scenario %q (want none, straggler, flaky or outage)", s)
+}
+
+// stragglerFactor is the device slowdown of the straggler scenario: the
+// paper's HDDOverrides ablation degrades a disk by the same order.
+const stragglerFactor = 4
+
+// Build derives the scenario's schedule for a cluster of m HServers and n
+// SServers. The seed feeds the flaky scenario's burst placement; every
+// scenario is a pure function of (m, n, seed).
+func (sc Scenario) Build(m, n int, seed int64) (Schedule, error) {
+	if m < 0 || n < 0 || m+n == 0 {
+		return Schedule{}, fmt.Errorf("fault: scenario %s needs at least one server (m=%d n=%d)", sc, m, n)
+	}
+	switch sc {
+	case ScenarioNone:
+		return Schedule{}, nil
+	case ScenarioStraggler:
+		// The first HServer drags the whole run; with no HServers the
+		// first SServer stands in.
+		name := "h0"
+		if m == 0 {
+			name = "s0"
+		}
+		return Schedule{Windows: []Window{{
+			Server: name, Kind: Slowdown, Start: 0, End: math.Inf(1), Factor: stragglerFactor,
+		}}}, nil
+	case ScenarioFlaky:
+		// The last SServer fails transiently in short seeded bursts over
+		// the first 400 ms: roughly a 20% duty cycle, jittered so the
+		// bursts do not align with any workload phase.
+		name := fmt.Sprintf("s%d", n-1)
+		if n == 0 {
+			name = fmt.Sprintf("h%d", m-1)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ws := make([]Window, 0, 8)
+		for i := 0; i < 8; i++ {
+			start := (float64(i)*50 + rng.Float64()*30) * 1e-3
+			ws = append(ws, Window{Server: name, Kind: Transient, Start: start, End: start + 10e-3})
+		}
+		return Schedule{Windows: ws}, nil
+	case ScenarioOutage:
+		// The first SServer — where MHA concentrates its hottest regions —
+		// goes down early and stays down long enough that every scheme
+		// must either fail over or wait it out.
+		name := "s0"
+		if n == 0 {
+			name = "h0"
+		}
+		return Schedule{Windows: []Window{{
+			Server: name, Kind: Outage, Start: 2e-3, End: 250e-3,
+		}}}, nil
+	default:
+		return Schedule{}, fmt.Errorf("fault: unknown scenario %q", sc)
+	}
+}
+
+// sortWindows orders windows by (server, start, kind) — the canonical
+// order the injector stores and Arm schedules them in.
+func sortWindows(ws []Window) {
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Server != ws[j].Server {
+			return ws[i].Server < ws[j].Server
+		}
+		if ws[i].Start != ws[j].Start {
+			return ws[i].Start < ws[j].Start
+		}
+		return ws[i].Kind < ws[j].Kind
+	})
+}

@@ -74,6 +74,12 @@ type Request struct {
 	// consumed by the terminal server stage.
 	Binding *ServerBinding
 
+	// Err is the request's terminal error, set (before OnComplete runs)
+	// when resilience is exhausted: retries ran out or no failover target
+	// exists. Fan-out stages propagate the first child error to their
+	// parent. A healthy pipeline never sets it.
+	Err error
+
 	// OnComplete, when non-nil, receives the virtual completion time of
 	// the slowest piece. Stages may wrap it to observe completion.
 	OnComplete func(end float64)
@@ -92,6 +98,14 @@ func (r *Request) Finish(end float64) {
 	if r.OnComplete != nil {
 		r.OnComplete(end)
 	}
+}
+
+// FinishErr completes the request with a terminal error. The completion
+// callback still runs — barriers upstream must not deadlock on a failed
+// piece — with the error visible on the request first.
+func (r *Request) FinishErr(end float64, err error) {
+	r.Err = err
+	r.Finish(end)
 }
 
 // Annotate attaches a per-stage annotation to the request. Annotations are
@@ -152,10 +166,11 @@ func (f StageFunc) Handle(req *Request, next Handler) error { return f(req, next
 
 // Canonical stage names, in chain order.
 const (
-	StageTrace    = "trace"
-	StageRedirect = "redirect"
-	StageStripe   = "stripe"
-	StageServer   = "server"
+	StageTrace      = "trace"
+	StageRedirect   = "redirect"
+	StageResilience = "resilience"
+	StageStripe     = "stripe"
+	StageServer     = "server"
 )
 
 // slot is one named link of the chain.

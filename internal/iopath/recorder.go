@@ -20,6 +20,9 @@ type Record struct {
 
 	Submit   float64 // virtual time the request entered the pipeline
 	Complete float64 // virtual time the slowest piece finished
+
+	// Err is the request's terminal error, if resilience was exhausted.
+	Err error
 }
 
 // Latency returns the request's issue-to-completion time in virtual
@@ -46,7 +49,7 @@ func (rc *Recorder) Handle(req *Request, next Handler) error {
 		rc.records = append(rc.records, Record{
 			Op: req.Op, File: req.File, Offset: req.Offset, Size: req.Size(),
 			Rank: req.Rank, Untraced: req.Untraced,
-			Submit: req.Submit, Complete: end,
+			Submit: req.Submit, Complete: end, Err: req.Err,
 		})
 		rc.mu.Unlock()
 		if prev != nil {

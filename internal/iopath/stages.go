@@ -73,6 +73,9 @@ func (rd *Redirect) Handle(req *Request, next Handler) error {
 			if end > *latest {
 				*latest = end
 			}
+			if child.Err != nil && req.Err == nil {
+				req.Err = child.Err
+			}
 			barrier.Arrive()
 		}
 	}
@@ -131,6 +134,9 @@ func (s *Striper) Handle(req *Request, next Handler) error {
 		child.OnComplete = func(end float64) {
 			if end > *latest {
 				*latest = end
+			}
+			if child.Err != nil && req.Err == nil {
+				req.Err = child.Err
 			}
 			barrier.Arrive()
 		}

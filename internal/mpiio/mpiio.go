@@ -18,9 +18,11 @@ package mpiio
 import (
 	"fmt"
 
+	"mhafs/internal/fault"
 	"mhafs/internal/iopath"
 	"mhafs/internal/iosig"
 	"mhafs/internal/pfs"
+	"mhafs/internal/region"
 	"mhafs/internal/reorder"
 	"mhafs/internal/telemetry"
 	"mhafs/internal/trace"
@@ -42,6 +44,9 @@ type Middleware struct {
 	collector  *iosig.Collector
 	redirector *reorder.Redirector
 	telemetry  *telemetry.Registry
+	resilience *iopath.Resilience
+	retryStage *iopath.RetryServerStage
+	failover   *reorder.Failover
 	nextFD     int
 }
 
@@ -101,12 +106,82 @@ func (m *Middleware) SetRedirector(r *reorder.Redirector) {
 		must(m.pipe.Replace(iopath.StageRedirect, st))
 		return
 	}
-	must(m.pipe.InsertBefore(iopath.StageStripe, iopath.StageRedirect, st))
+	anchor := iopath.StageStripe
+	if m.pipe.Has(iopath.StageResilience) {
+		// Redirection translates logical extents to regions; failover then
+		// routes the region extents around down servers.
+		anchor = iopath.StageResilience
+	}
+	must(m.pipe.InsertBefore(anchor, iopath.StageRedirect, st))
 }
 
 // Redirector returns the installed redirector (nil when requests are not
 // redirected).
 func (m *Middleware) Redirector() *reorder.Redirector { return m.redirector }
+
+// ResilienceOptions configures EnableResilience.
+type ResilienceOptions struct {
+	// Injector holds the fault schedule; it is attached to every cluster
+	// server and armed (window telemetry scheduled) here.
+	Injector *fault.Injector
+	// Policy bounds retries and backoff; the zero value means
+	// DefaultRetryPolicy.
+	Policy iopath.RetryPolicy
+	// RST, when non-nil, receives the layout of every fallback file the
+	// failover layer creates (typically the active placement's RST).
+	RST *region.RST
+}
+
+// EnableResilience turns on the client's fault handling: the terminal
+// server stage is replaced with the retrying one, and a failover stage is
+// inserted before striping that routes extents around down servers —
+// writes re-stripe onto survivors through a fallback file, reads of
+// unmapped data wait for recovery. The injector is attached to the
+// cluster and armed. Enabling twice is a wiring bug (the middleware owns
+// one failover table per run).
+func (m *Middleware) EnableResilience(opts ResilienceOptions) error {
+	if opts.Injector == nil {
+		return fmt.Errorf("mpiio: resilience needs a fault injector")
+	}
+	if m.resilience != nil {
+		return fmt.Errorf("mpiio: resilience already enabled")
+	}
+	pol := opts.Policy
+	if pol == (iopath.RetryPolicy{}) {
+		pol = iopath.DefaultRetryPolicy()
+	}
+	fo, err := reorder.NewFailover(m.Cluster, opts.RST)
+	if err != nil {
+		return err
+	}
+	res, err := iopath.NewResilience(m.Cluster.Eng, opts.Injector, m.Cluster, m, fo, pol)
+	if err != nil {
+		fo.Close()
+		return err
+	}
+	retry, err := iopath.NewRetryServerStage(m.Cluster.Eng, pol)
+	if err != nil {
+		fo.Close()
+		return err
+	}
+	m.Cluster.SetFaults(opts.Injector)
+	opts.Injector.Arm()
+	if m.telemetry != nil {
+		opts.Injector.SetTelemetry(m.telemetry)
+		res.SetTelemetry(m.telemetry)
+		retry.SetTelemetry(m.telemetry)
+	}
+	// The stage lands after redirect (region extents are what hit servers)
+	// and before stripe.
+	must(m.pipe.InsertBefore(iopath.StageStripe, iopath.StageResilience, res))
+	must(m.pipe.Replace(iopath.StageServer, retry))
+	m.resilience, m.retryStage, m.failover = res, retry, fo
+	return nil
+}
+
+// Failover returns the degraded-mode failover layer (nil until resilience
+// is enabled).
+func (m *Middleware) Failover() *reorder.Failover { return m.failover }
 
 // EnableTelemetry wires the whole I/O path into reg: a stage timer
 // observing every pipeline stage against the simulation clock, an
@@ -120,6 +195,13 @@ func (m *Middleware) EnableTelemetry(reg *telemetry.Registry) {
 	m.Cluster.SetTelemetry(reg)
 	if m.redirector != nil {
 		m.redirector.SetTelemetry(reg)
+	}
+	if m.resilience != nil {
+		m.resilience.SetTelemetry(reg)
+		m.retryStage.SetTelemetry(reg)
+		if in := m.Cluster.Faults(); in != nil && reg != nil {
+			in.SetTelemetry(reg)
+		}
 	}
 	if reg == nil {
 		m.pipe.SetObserver(nil)
@@ -141,6 +223,9 @@ func (m *Middleware) Telemetry() *telemetry.Registry { return m.telemetry }
 // aggregated file-domain requests — flows through it.
 func (m *Middleware) Intercept(name string, s iopath.Stage) error {
 	anchor := iopath.StageStripe
+	if m.pipe.Has(iopath.StageResilience) {
+		anchor = iopath.StageResilience
+	}
 	if m.pipe.Has(iopath.StageRedirect) {
 		anchor = iopath.StageRedirect
 	}

@@ -11,8 +11,10 @@ package pfs
 
 import (
 	"fmt"
+	"sort"
 
 	"mhafs/internal/device"
+	"mhafs/internal/fault"
 	"mhafs/internal/netmodel"
 	"mhafs/internal/server"
 	"mhafs/internal/sim"
@@ -78,23 +80,35 @@ func (c Config) Validate() error {
 	if err := c.SSD.Validate(); err != nil {
 		return err
 	}
-	for i, m := range c.HDDOverrides {
+	// Override maps are walked in sorted index order: with several invalid
+	// entries the reported error must not depend on map iteration order.
+	for _, i := range sortedOverrideKeys(c.HDDOverrides) {
 		if i < 0 || i >= c.HServers {
-			return fmt.Errorf("pfs: HDD override index %d out of range", i)
+			return fmt.Errorf("pfs: HDD override index %d out of range [0,%d)", i, c.HServers)
 		}
-		if err := m.Validate(); err != nil {
+		if err := c.HDDOverrides[i].Validate(); err != nil {
 			return err
 		}
 	}
-	for i, m := range c.SSDOverrides {
+	for _, i := range sortedOverrideKeys(c.SSDOverrides) {
 		if i < 0 || i >= c.SServers {
-			return fmt.Errorf("pfs: SSD override index %d out of range", i)
+			return fmt.Errorf("pfs: SSD override index %d out of range [0,%d)", i, c.SServers)
 		}
-		if err := m.Validate(); err != nil {
+		if err := c.SSDOverrides[i].Validate(); err != nil {
 			return err
 		}
 	}
 	return c.Net.Validate()
+}
+
+// sortedOverrideKeys returns the override indices in increasing order.
+func sortedOverrideKeys(m map[int]device.Model) []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // File is the MDS's record of one file.
@@ -123,6 +137,7 @@ type Cluster struct {
 	files map[string]*File
 
 	stripeMeter *stripe.Meter
+	faults      *fault.Injector
 }
 
 // New builds a cluster on a fresh simulation engine.
@@ -203,6 +218,31 @@ func (c *Cluster) ServerForFile(f *File, ref stripe.ServerRef) *server.Server {
 	return c.sservers[(ref.Index+f.Rotation)%len(c.sservers)]
 }
 
+// PhysicalIndex returns the physical within-class index the reference
+// resolves to for this file — the rotation arithmetic ServerForFile
+// applies, exposed for layers that reason about individual servers (the
+// failover path excluding a down server).
+func (c *Cluster) PhysicalIndex(f *File, ref stripe.ServerRef) int {
+	if ref.Class == stripe.ClassH {
+		return (ref.Index + f.Rotation) % len(c.hservers)
+	}
+	return (ref.Index + f.Rotation) % len(c.sservers)
+}
+
+// SetFaults attaches (or, with nil, detaches) a fault injector to every
+// server of the cluster. The raw Cluster Write/Read path stays
+// fault-unaware (it panics on injected errors); resilient runs route
+// through the I/O pipeline's retry and failover stages.
+func (c *Cluster) SetFaults(in *fault.Injector) {
+	c.faults = in
+	for _, s := range c.Servers() {
+		s.SetFaults(in)
+	}
+}
+
+// Faults returns the attached injector (nil for a healthy cluster).
+func (c *Cluster) Faults() *fault.Injector { return c.faults }
+
 // nameHash derives a small deterministic rotation from a file name (FNV-1a).
 func nameHash(name string) int {
 	h := uint32(2166136261)
@@ -246,6 +286,22 @@ func (c *Cluster) Create(name string, l stripe.Layout) (*File, error) {
 	}
 	f := &File{Name: name, Layout: l, Rotation: nameHash(name)}
 	c.files[name] = f
+	return f, nil
+}
+
+// CreateWithRotation registers a new file with an explicit rotation
+// instead of the name-derived one. Degraded-mode failover uses it: with a
+// layout one server short of its class, rotation (down+1) mod class-size
+// covers every physical server except the unavailable one.
+func (c *Cluster) CreateWithRotation(name string, l stripe.Layout, rotation int) (*File, error) {
+	if rotation < 0 {
+		return nil, fmt.Errorf("pfs: negative rotation %d", rotation)
+	}
+	f, err := c.Create(name, l)
+	if err != nil {
+		return nil, err
+	}
+	f.Rotation = rotation
 	return f, nil
 }
 

@@ -1,0 +1,132 @@
+// Degraded-mode failover: when a server is down, remap the extents it
+// holds onto the survivors via a fallback region file, reusing the same
+// DRT/RST machinery the redirection phase runs on. MHA thereby degrades
+// toward a HARL/DEF-shaped layout instead of hanging on the outage.
+package reorder
+
+import (
+	"fmt"
+
+	"mhafs/internal/pfs"
+	"mhafs/internal/region"
+	"mhafs/internal/stripe"
+)
+
+// Failover owns the degraded-mode translation tables. It is layered
+// exactly like a Placement — a DRT mapping original extents into fallback
+// files, an optional RST recording the fallback layouts — but is built
+// incrementally at run time, one remapped extent at a time, as outages
+// are encountered.
+type Failover struct {
+	cluster *pfs.Cluster
+	table   *region.DRT
+	rst     *region.RST
+}
+
+// NewFailover builds an empty failover layer over the cluster. rst, when
+// non-nil, receives a layout entry for every fallback file created (the
+// resilience stage passes the placement's RST so degraded layouts are
+// visible next to the optimized ones).
+func NewFailover(c *pfs.Cluster, rst *region.RST) (*Failover, error) {
+	drt, err := region.OpenDRT("")
+	if err != nil {
+		return nil, err
+	}
+	return &Failover{cluster: c, table: drt, rst: rst}, nil
+}
+
+// Translate resolves an extent through the failover table: pieces already
+// remapped by an earlier outage point at their fallback file, the rest
+// pass through unmapped.
+func (fo *Failover) Translate(file string, off, n int64) []region.Target {
+	return fo.table.Translate(file, off, n)
+}
+
+// Table exposes the failover DRT (read-mostly; tests inspect it).
+func (fo *Failover) Table() *region.DRT { return fo.table }
+
+// fallbackName derives the deterministic fallback file name for an
+// original file degraded around one down server.
+func fallbackName(file, downServer string) string {
+	return file + ".fb." + downServer
+}
+
+// fallbackLayout picks the degraded layout that avoids one down server:
+// the original layout minus one server of the down class when possible,
+// otherwise a uniform layout over the healthy class only. ok is false
+// when no data-bearing layout avoids the class (single-server cluster).
+func (fo *Failover) fallbackLayout(l stripe.Layout, downClass stripe.Class) (stripe.Layout, bool) {
+	if dropped, ok := l.DropServer(downClass); ok {
+		return dropped, true
+	}
+	cfg := fo.cluster.Config()
+	if downClass == stripe.ClassS && cfg.HServers > 0 {
+		return stripe.Layout{M: cfg.HServers, H: cfg.DefaultStripe}, true
+	}
+	if downClass == stripe.ClassH && cfg.SServers > 0 {
+		return stripe.Layout{N: cfg.SServers, S: cfg.DefaultStripe}, true
+	}
+	return stripe.Layout{}, false
+}
+
+// Remap installs (or reuses) a fallback file that avoids the down server
+// and records the extent [off, off+n) of f as living there, mirroring
+// offsets 1:1. The fallback layout is one server of the down class short,
+// rotated to (downPhys+1) mod class-size so its logical indices cover
+// every physical server of the class except the down one.
+//
+// Remap returns nil, nil when no layout can avoid the down server — the
+// caller must then wait for recovery instead of failing over. Callers
+// Translate first and remap only unmapped pieces, so the DRT's overlap
+// rejection never trips for a given down server.
+func (fo *Failover) Remap(f *pfs.File, off, n int64, downName string, downClass stripe.Class, downPhys int) (*pfs.File, error) {
+	l, ok := fo.fallbackLayout(f.Layout, downClass)
+	if !ok {
+		return nil, nil
+	}
+	name := fallbackName(f.Name, downName)
+	fb, found := fo.cluster.Lookup(name)
+	if !found {
+		count := fo.cluster.Config().HServers
+		if downClass == stripe.ClassS {
+			count = fo.cluster.Config().SServers
+		}
+		rotation := 0
+		if cls := classCount(l, downClass); cls > 0 {
+			// The degraded layout still uses the down class: rotate past the
+			// down physical index so indices 0..cls-1 land on the survivors.
+			rotation = (downPhys + 1) % count
+		}
+		var err error
+		fb, err = fo.cluster.CreateWithRotation(name, l, rotation)
+		if err != nil {
+			return nil, fmt.Errorf("reorder: failover create %s: %w", name, err)
+		}
+		if fo.rst != nil {
+			if err := fo.rst.Set(name, l); err != nil {
+				return nil, err
+			}
+		}
+	} else if fb.Layout != l {
+		return nil, fmt.Errorf("reorder: fallback %s exists with layout %v, want %v", name, fb.Layout, l)
+	}
+	if err := fo.table.Add(region.Mapping{
+		OFile: f.Name, OOffset: off,
+		RFile: name, ROffset: off,
+		Length: n,
+	}); err != nil {
+		return nil, err
+	}
+	return fb, nil
+}
+
+// classCount returns the layout's server count for the class.
+func classCount(l stripe.Layout, c stripe.Class) int {
+	if c == stripe.ClassH {
+		return l.M
+	}
+	return l.N
+}
+
+// Close releases the failover table.
+func (fo *Failover) Close() error { return fo.table.Close() }

@@ -1,0 +1,201 @@
+package reorder
+
+import (
+	"testing"
+
+	"mhafs/internal/pfs"
+	"mhafs/internal/region"
+	"mhafs/internal/stripe"
+)
+
+func failoverCluster(t *testing.T) *pfs.Cluster {
+	t.Helper()
+	cfg := pfs.DefaultConfig() // 6 HServers, 2 SServers
+	c, err := pfs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDropServer(t *testing.T) {
+	l := stripe.Layout{M: 6, N: 2, H: 4096, S: 8192}
+	if got, ok := l.DropServer(stripe.ClassS); !ok || got != (stripe.Layout{M: 6, N: 1, H: 4096, S: 8192}) {
+		t.Errorf("drop S from %v = %v, %v", l, got, ok)
+	}
+	if got, ok := l.DropServer(stripe.ClassH); !ok || got.M != 5 {
+		t.Errorf("drop H from %v = %v, %v", l, got, ok)
+	}
+	// Last data-bearing server of its class cannot be dropped.
+	only := stripe.Layout{N: 1, S: 4096}
+	if _, ok := only.DropServer(stripe.ClassS); ok {
+		t.Error("dropped the only SServer of an SSD-only layout")
+	}
+	if _, ok := only.DropServer(stripe.ClassH); ok {
+		t.Error("dropped from an empty class")
+	}
+	// Dropping the only data-bearing class leaves a storeless layout.
+	hZero := stripe.Layout{M: 1, N: 1, H: 0, S: 4096}
+	if _, ok := hZero.DropServer(stripe.ClassS); ok {
+		t.Error("drop left a layout that stores no data")
+	}
+	if got, ok := hZero.DropServer(stripe.ClassH); !ok || got != (stripe.Layout{N: 1, S: 4096}) {
+		t.Errorf("drop zero-stripe H = %v, %v", got, ok)
+	}
+}
+
+// TestRemapAvoidsDownServer: the fallback file's layout and rotation keep
+// every sub-request off the down server, for each physical SServer.
+func TestRemapAvoidsDownServer(t *testing.T) {
+	for downPhys := 0; downPhys < 2; downPhys++ {
+		c := failoverCluster(t)
+		f, err := c.Create("f", stripe.Layout{M: 6, N: 2, H: 64 << 10, S: 256 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fo, err := NewFailover(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fo.Close()
+		downName := c.ServerFor(stripe.ServerRef{Class: stripe.ClassS, Index: downPhys}).Name
+		const n = 4 << 20
+		fb, err := fo.Remap(f, 0, n, downName, stripe.ClassS, downPhys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fb == nil {
+			t.Fatal("remap refused although survivors exist")
+		}
+		if want := "f.fb." + downName; fb.Name != want {
+			t.Errorf("fallback name %q, want %q", fb.Name, want)
+		}
+		if fb.Layout.N != 1 || fb.Layout.M != 6 {
+			t.Errorf("fallback layout %v, want one SServer dropped", fb.Layout)
+		}
+		for _, ref := range fb.Layout.Servers() {
+			if srv := c.ServerForFile(fb, ref); srv.Name == downName {
+				t.Errorf("fallback %v still maps %v onto the down server %s", fb.Layout, ref, downName)
+			}
+		}
+	}
+}
+
+// TestRemapTranslateRoundTrip: a remapped extent translates to the
+// fallback file with mirrored offsets; writes land there and read back.
+func TestRemapTranslateRoundTrip(t *testing.T) {
+	c := failoverCluster(t)
+	f, err := c.CreateDefault("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst, err := region.OpenRST("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	fo, err := NewFailover(c, rst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fo.Close()
+
+	const off, n = 1 << 20, 2 << 20
+	fb, err := fo.Remap(f, off, n, "s0", stripe.ClassS, 0)
+	if err != nil || fb == nil {
+		t.Fatalf("remap: fb=%v err=%v", fb, err)
+	}
+	// The RST records the degraded layout under the fallback name.
+	if l, ok := rst.Get(fb.Name); !ok || l != fb.Layout {
+		t.Errorf("RST entry = %v, %v; want %v", l, ok, fb.Layout)
+	}
+
+	tgs := fo.Translate("f", 0, off+n)
+	if len(tgs) != 2 {
+		t.Fatalf("targets = %+v, want identity head + mapped tail", tgs)
+	}
+	if tgs[0].Mapped || tgs[0].Size != off {
+		t.Errorf("head %+v, want unmapped %d bytes", tgs[0], off)
+	}
+	tl := tgs[1]
+	if !tl.Mapped || tl.File != fb.Name || tl.Offset != off || tl.Size != n {
+		t.Errorf("tail %+v, want %s@%d+%d", tl, fb.Name, off, n)
+	}
+
+	// Bytes written at the translated location read back through the same
+	// translation (the resilience stage does exactly this).
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i + 1)
+	}
+	RawWrite(c, fb, off, payload)
+	got := make([]byte, len(payload))
+	RawRead(c, fb, off, got)
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], payload[i])
+		}
+	}
+
+	// A second remap of a disjoint extent reuses the fallback file.
+	if fb2, err := fo.Remap(f, off+n, 4096, "s0", stripe.ClassS, 0); err != nil || fb2 != fb {
+		t.Errorf("second remap: fb2=%v err=%v, want the same file", fb2, err)
+	}
+}
+
+// TestRemapSingleClassFallsBackToOtherClass: an SSD-only layout degraded
+// around its only SServer class member moves to the HServers.
+func TestRemapCrossClassFallback(t *testing.T) {
+	cfg := pfs.DefaultConfig()
+	cfg.SServers = 1
+	c, err := pfs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Create("f", stripe.Layout{N: 1, S: 128 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := NewFailover(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fo.Close()
+	fb, err := fo.Remap(f, 0, 1<<20, "s0", stripe.ClassS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb == nil {
+		t.Fatal("remap refused although HServers survive")
+	}
+	if fb.Layout.N != 0 || fb.Layout.M != cfg.HServers {
+		t.Errorf("fallback layout %v, want HServer-only", fb.Layout)
+	}
+}
+
+// TestRemapImpossible: a cluster whose only data-bearing class is down
+// has nowhere to fail over to.
+func TestRemapImpossible(t *testing.T) {
+	cfg := pfs.DefaultConfig()
+	cfg.HServers, cfg.SServers = 0, 1
+	c, err := pfs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Create("f", stripe.Layout{N: 1, S: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := NewFailover(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fo.Close()
+	fb, err := fo.Remap(f, 0, 4096, "s0", stripe.ClassS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb != nil {
+		t.Errorf("remap produced %v on a cluster with no survivors", fb.Name)
+	}
+}

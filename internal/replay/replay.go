@@ -222,11 +222,25 @@ func RunWith(mw *mpiio.Middleware, tr trace.Trace, opts Options) (Result, error)
 		return Result{}, fmt.Errorf("replay: pipeline recorded %d of %d requests", rec.Len(), len(tr))
 	}
 	latest := base
+	failed := 0
+	var firstErr error
 	for _, c := range rec.Records() {
 		res.Latencies = append(res.Latencies, c.Latency())
 		if c.Complete > latest {
 			latest = c.Complete
 		}
+		if c.Err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = c.Err
+			}
+		}
+	}
+	if failed > 0 {
+		// Resilience exhausted on some requests: the run completed (no
+		// hang) but the application saw errors, which no scenario the
+		// bench ships is allowed to produce.
+		return Result{}, fmt.Errorf("replay: %d of %d requests failed, first: %w", failed, len(tr), firstErr)
 	}
 	res.Makespan = latest - base
 	res.PerServer = metrics.DiffStats(before, mw.Cluster.ServerStats())

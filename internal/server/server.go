@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"mhafs/internal/device"
+	"mhafs/internal/fault"
 	"mhafs/internal/netmodel"
 	"mhafs/internal/sim"
 	"mhafs/internal/telemetry"
@@ -29,6 +30,7 @@ type Server struct {
 	res    *sim.Resource
 	stores map[string]*ByteStore
 	tel    *serverMetrics
+	faults *fault.Injector
 
 	readBytes  int64
 	writeBytes int64
@@ -136,21 +138,28 @@ func (s *Server) Object(name string) *ByteStore {
 	return st
 }
 
+// SetFaults attaches (or, with nil, detaches) a fault injector: the hook
+// every submit consults at service time. With no injector the submit path
+// is byte-for-byte the historical healthy one.
+func (s *Server) SetFaults(in *fault.Injector) { s.faults = in }
+
+// Faults returns the attached injector (nil when the server is healthy).
+func (s *Server) Faults() *fault.Injector { return s.faults }
+
 // SubmitWrite enqueues a write of data at the given local offset of the
 // named object. The bytes are committed and done (optional) invoked when
 // the FIFO queue reaches and completes the request.
+//
+// SubmitWrite is the fault-unaware legacy path: it panics if the attached
+// injector fails the attempt. Resilient clients (the pipeline's retry
+// stage) use SubmitWriteErr.
 func (s *Server) SubmitWrite(obj string, local int64, data []byte, done func(end float64)) {
-	n := int64(len(data))
-	// Copy now: the caller may reuse its buffer before virtual completion.
-	buf := make([]byte, n)
-	copy(buf, data)
-	submit, tel := s.eng.Now(), s.tel
-	s.res.Acquire(s.serviceTimeAt(trace.OpWrite, n, s.res.Depth()), func(start, end float64) {
-		s.Object(obj).WriteAt(buf, local)
-		s.writeBytes += n
-		s.writes++
-		if tel != nil {
-			tel.observe(trace.OpWrite, n, submit, start, end)
+	s.SubmitWriteErr(obj, local, data, func(end float64, err error) {
+		if err != nil {
+			// Reaching a faulted server without the resilient pipeline is a
+			// wiring bug, not a runtime condition: the raw path has no way
+			// to retry or fail over.
+			panic(fmt.Sprintf("server %s: injected fault on the fault-unaware path: %v", s.Name, err))
 		}
 		if done != nil {
 			done(end)
@@ -160,20 +169,93 @@ func (s *Server) SubmitWrite(obj string, local int64, data []byte, done func(end
 
 // SubmitRead enqueues a read into buf from the given local offset of the
 // named object. buf is filled at virtual completion time, before done
-// runs.
+// runs. Like SubmitWrite, it panics on injected faults.
 func (s *Server) SubmitRead(obj string, local int64, buf []byte, done func(end float64)) {
-	n := int64(len(buf))
-	submit, tel := s.eng.Now(), s.tel
-	s.res.Acquire(s.serviceTimeAt(trace.OpRead, n, s.res.Depth()), func(start, end float64) {
-		s.Object(obj).ReadAt(buf, local)
-		s.readBytes += n
-		s.reads++
-		if tel != nil {
-			tel.observe(trace.OpRead, n, submit, start, end)
+	s.SubmitReadErr(obj, local, buf, func(end float64, err error) {
+		if err != nil {
+			panic(fmt.Sprintf("server %s: injected fault on the fault-unaware path: %v", s.Name, err))
 		}
 		if done != nil {
 			done(end)
 		}
+	})
+}
+
+// SubmitWriteErr is the fault-aware write submission: done receives the
+// attempt's virtual end time and its error. An outage refuses the attempt
+// immediately (no queueing, no service time); a transient fault consumes
+// the full service slot and then fails without committing bytes; a
+// slowdown scales the device term of the service time.
+func (s *Server) SubmitWriteErr(obj string, local int64, data []byte, done func(end float64, err error)) {
+	n := int64(len(data))
+	// Copy now: the caller may reuse its buffer before virtual completion.
+	buf := make([]byte, n)
+	copy(buf, data)
+	s.submit(trace.OpWrite, n, func() {
+		s.Object(obj).WriteAt(buf, local)
+		s.writeBytes += n
+		s.writes++
+	}, done)
+}
+
+// SubmitReadErr is the fault-aware read submission, mirroring
+// SubmitWriteErr. buf is filled only on success.
+func (s *Server) SubmitReadErr(obj string, local int64, buf []byte, done func(end float64, err error)) {
+	n := int64(len(buf))
+	s.submit(trace.OpRead, n, func() {
+		s.Object(obj).ReadAt(buf, local)
+		s.readBytes += n
+		s.reads++
+	}, done)
+}
+
+// submit is the shared submission path. commit applies the operation's
+// data movement and counters; it runs only when the attempt succeeds.
+//
+// The fault hook is consulted at the attempt's service-start time: under
+// FIFO the start is max(now, queue drain), known deterministically at
+// submission. A transient attempt still occupies the server (and is
+// observed in telemetry — the device and wire did the work); only the
+// commit is skipped.
+func (s *Server) submit(op trace.Op, n int64, commit func(), done func(end float64, err error)) {
+	if done == nil {
+		panic(fmt.Sprintf("server %s: submit with nil completion", s.Name))
+	}
+	submit, tel := s.eng.Now(), s.tel
+	d := fault.Healthy()
+	if s.faults != nil {
+		start := submit
+		if bu := s.res.BusyUntil(); bu > start {
+			start = bu
+		}
+		d = s.faults.At(s.Name, start)
+		s.faults.Observe(s.Name, d)
+		if d.Down {
+			// Refused at the door: an unreachable server consumes neither
+			// queue nor service time. Completion is still asynchronous,
+			// like every other submit.
+			s.eng.Schedule(0, func() { done(s.eng.Now(), fault.ErrUnavailable) })
+			return
+		}
+	}
+	service := s.serviceTimeAt(op, n, s.res.Depth())
+	if d.Scale != 1 && n > 0 {
+		// Only the device term degrades; the network path is healthy.
+		service = s.Dev.ServiceTimeAt(op, n, s.res.Depth())*d.Scale + s.Net.TransferTime(n)
+	}
+	s.res.Acquire(service, func(start, end float64) {
+		if d.Transient {
+			if tel != nil {
+				tel.observe(op, n, submit, start, end)
+			}
+			done(end, fault.ErrTransient)
+			return
+		}
+		commit()
+		if tel != nil {
+			tel.observe(op, n, submit, start, end)
+		}
+		done(end, nil)
 	})
 }
 

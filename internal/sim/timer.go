@@ -1,0 +1,49 @@
+package sim
+
+// Timer is a cancellable virtual-time alarm. The engine's event heap has
+// no removal — events are immutable once scheduled — so a Timer wraps its
+// event with a liveness flag: Stop marks the timer dead and the event
+// becomes a no-op when it fires. Clients use timers for per-attempt
+// timeouts, where the common case (the attempt completes first) must be
+// able to disarm the pending deadline.
+//
+// Timers are driven from engine callbacks, which are single-threaded like
+// the engine itself.
+type Timer struct {
+	fired   bool
+	stopped bool
+}
+
+// AfterFunc schedules fn to run after delay seconds of virtual time and
+// returns a Timer that can cancel it. A stopped timer's event still
+// occupies the heap until its time arrives, but fn does not run.
+func (e *Engine) AfterFunc(delay float64, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: AfterFunc with nil callback")
+	}
+	t := &Timer{}
+	e.Schedule(delay, func() {
+		if t.stopped {
+			return
+		}
+		t.fired = true
+		fn()
+	})
+	return t
+}
+
+// Stop cancels the timer, reporting whether it was still pending (false
+// when it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Fired reports whether the callback ran.
+func (t *Timer) Fired() bool { return t.fired }
+
+// Stopped reports whether the timer was cancelled before firing.
+func (t *Timer) Stopped() bool { return t.stopped }

@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+func TestTimerFires(t *testing.T) {
+	eng := &Engine{}
+	var at float64 = -1
+	tm := eng.AfterFunc(2, func() { at = eng.Now() })
+	eng.Run()
+	if at != 2 {
+		t.Errorf("timer fired at %v, want 2", at)
+	}
+	if !tm.Fired() || tm.Stopped() {
+		t.Errorf("state after firing: fired=%v stopped=%v", tm.Fired(), tm.Stopped())
+	}
+	if tm.Stop() {
+		t.Error("Stop after firing must report false")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	eng := &Engine{}
+	ran := false
+	tm := eng.AfterFunc(2, func() { ran = true })
+	if !tm.Stop() {
+		t.Error("first Stop must report true")
+	}
+	if tm.Stop() {
+		t.Error("second Stop must report false")
+	}
+	eng.Run()
+	if ran {
+		t.Error("stopped timer must not run its callback")
+	}
+	if tm.Fired() || !tm.Stopped() {
+		t.Errorf("state after stop: fired=%v stopped=%v", tm.Fired(), tm.Stopped())
+	}
+	// The dead event still advanced the clock when it fired as a no-op.
+	if eng.Now() != 2 {
+		t.Errorf("clock = %v, want 2 (dead event still occupies the heap)", eng.Now())
+	}
+}
+
+func TestTimerStopFromEarlierEvent(t *testing.T) {
+	eng := &Engine{}
+	ran := false
+	tm := eng.AfterFunc(5, func() { ran = true })
+	eng.Schedule(1, func() { tm.Stop() })
+	eng.Run()
+	if ran {
+		t.Error("timer stopped at t=1 must not fire at t=5")
+	}
+}

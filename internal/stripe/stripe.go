@@ -93,6 +93,32 @@ func (l Layout) Validate() error {
 	return nil
 }
 
+// DropServer returns the layout with one server of the given class
+// removed — the degraded shape failover re-stripes onto when a server of
+// that class is unavailable. The second return is false when the class is
+// already empty or the remaining layout would store no data (then the
+// caller must fall back to the other class entirely).
+func (l Layout) DropServer(c Class) (Layout, bool) {
+	switch c {
+	case ClassH:
+		if l.M == 0 {
+			return Layout{}, false
+		}
+		l.M--
+	case ClassS:
+		if l.N == 0 {
+			return Layout{}, false
+		}
+		l.N--
+	default:
+		return Layout{}, false
+	}
+	if l.Validate() != nil {
+		return Layout{}, false
+	}
+	return l, true
+}
+
 // RoundLength returns the bytes covered by one full stripe round.
 func (l Layout) RoundLength() int64 {
 	return int64(l.M)*l.H + int64(l.N)*l.S

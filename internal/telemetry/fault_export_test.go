@@ -1,0 +1,92 @@
+// External test package: the fault package imports telemetry, so the
+// exporter edge cases that involve fault series have to live outside
+// package telemetry to avoid an import cycle.
+package telemetry_test
+
+import (
+	"strings"
+	"testing"
+
+	"mhafs/internal/fault"
+	"mhafs/internal/sim"
+	"mhafs/internal/telemetry"
+)
+
+// armedRegistry returns a registry wired to an injector carrying the
+// outage scenario's schedule, with nothing observed yet: every fault
+// series exists at value zero.
+func armedRegistry(t *testing.T) *telemetry.Registry {
+	t.Helper()
+	sched, err := fault.ScenarioOutage.Build(6, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng sim.Engine
+	in, err := fault.NewInjector(&eng, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	in.SetTelemetry(reg)
+	return reg
+}
+
+// TestFaultCountersZeroVersusAbsent pins the exporter edge the resilience
+// figure relies on: a fault-armed run that never observes a fault exports
+// its counters as explicit zeros, while a run without the injector omits
+// the series entirely — and both exports are byte-stable when repeated.
+func TestFaultCountersZeroVersusAbsent(t *testing.T) {
+	armed := armedRegistry(t)
+	bare := telemetry.NewRegistry()
+
+	render := func(reg *telemetry.Registry) (string, string) {
+		var j, p strings.Builder
+		if err := reg.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WritePrometheus(&p); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), p.String()
+	}
+
+	aj, ap := render(armed)
+	wantZero := []string{
+		fault.MetricInjected + `{kind="outage",server="s0"}`,
+		fault.MetricWindows + `{kind="outage"}`,
+	}
+	for _, series := range wantZero {
+		// The series string itself contains label quotes, which the JSON
+		// encoder escapes.
+		escaped := strings.ReplaceAll(series, `"`, `\"`)
+		if !strings.Contains(aj, escaped) {
+			t.Errorf("armed JSON export missing zero-valued series %q:\n%s", series, aj)
+		}
+	}
+	if !strings.Contains(ap, fault.MetricInjected+`{kind="outage",server="s0"} 0`+"\n") {
+		t.Errorf("armed Prometheus export missing explicit zero:\n%s", ap)
+	}
+
+	bj, bp := render(bare)
+	for _, out := range []string{bj, bp} {
+		if strings.Contains(out, fault.MetricInjected) || strings.Contains(out, fault.MetricWindows) {
+			t.Errorf("bare registry exports fault series it never registered:\n%s", out)
+		}
+	}
+
+	// Repeated exports of the same registry are byte-identical — the
+	// zero/absent distinction cannot flap between renders.
+	if aj2, ap2 := render(armed); aj2 != aj || ap2 != ap {
+		t.Error("armed registry export not byte-stable across repeated renders")
+	}
+	if bj2, bp2 := render(bare); bj2 != bj || bp2 != bp {
+		t.Error("bare registry export not byte-stable across repeated renders")
+	}
+
+	// A second armed registry built the same way renders identically:
+	// eager registration order is deterministic, not map-order dependent.
+	cj, cp := render(armedRegistry(t))
+	if cj != aj || cp != ap {
+		t.Errorf("two identically-armed registries export differently:\n%s\nvs\n%s", aj, cj)
+	}
+}
