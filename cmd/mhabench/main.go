@@ -4,15 +4,26 @@
 // Usage:
 //
 //	mhabench [-fig all|3|7|8|9|10|11|12a|12b|13a|13b|14|meta]
-//	         [-scale N] [-h N] [-s N] [-workers N] [-csv] [-json[=FILE]]
+//	         [-scale N|paper|xl] [-h N] [-s N] [-workers N] [-csv] [-json[=FILE]]
 //	         [-telemetry] [-telemetry-format json|prom]
 //	         [-cpuprofile FILE] [-memprofile FILE]
+//	mhabench -scale xl [-xl-groups N] [-xl-apps N] [-xl-procs N]
+//	         [-xl-requests N] [-shards N] [-batch=false] [-batch-window S]
+//	         [-min-events-per-sec F] [...]
 //	mhabench -faults none|straggler|flaky|outage|all [-fault-seed N] [...]
 //	mhabench -compare [-tolerance T] OLD.json NEW.json
 //
-// -scale divides the paper's workload volumes (default 64; 1 reproduces
-// the full 16 GB runs). -h/-s override the default 6 HServer : 2 SServer
-// cluster. -workers bounds the harness fan-out (independent scheme ×
+// -scale selects the workload tier: a number divides the paper's workload
+// volumes (default 64; 1 reproduces the full 16 GB runs; "paper" is an
+// alias for 64), and "xl" runs the XL simulation tier instead of the
+// paper figures — many server groups (-xl-groups of -h/-s servers each,
+// 16×8 = 128 by default), many concurrent apps, ≥10⁶ requests on dataless
+// clusters, driven through the sharded engine (-shards, -workers) with
+// sub-request batching (-batch). The XL table on stdout is deterministic
+// at every shard/worker count; the wall-clock throughput goes to stderr,
+// and -min-events-per-sec turns it into a CI floor (exit 1 when slower).
+// -h/-s override the default 6 HServer : 2 SServer cluster (per group in
+// the XL tier). -workers bounds the harness fan-out (independent scheme ×
 // figure cells and planner-internal stripe searches run concurrently;
 // default 0 uses GOMAXPROCS, 1 is fully serial) — output is byte-identical
 // at every worker count. -csv emits CSV instead of aligned text. -json
@@ -44,6 +55,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"mhafs/internal/bench"
@@ -78,7 +90,7 @@ func (f *optFile) IsBoolFlag() bool { return true }
 func main() {
 	var (
 		fig       = flag.String("fig", "all", "figure to regenerate (all, 3, 7, 8, 9, 10, 11, 12a, 12b, 13a, 13b, 14, meta, ablation-step, ablation-k, ablation-conc, scaling, extended)")
-		scale     = flag.Int64("scale", 64, "divide the paper's workload volumes by this factor")
+		scale     = flag.String("scale", "64", "workload tier: a divisor of the paper volumes, \"paper\" (= 64), or \"xl\" for the XL simulation tier")
 		hSrv      = flag.Int("h", 6, "number of HServers (HDD-backed)")
 		sSrv      = flag.Int("s", 2, "number of SServers (SSD-backed)")
 		workers   = flag.Int("workers", 0, "worker-pool size for the harness and planners (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
@@ -89,6 +101,14 @@ func main() {
 		telFormat = flag.String("telemetry-format", "json", "telemetry snapshot format: json (canonical) or prom (Prometheus text)")
 		faults    = flag.String("faults", "", "run the resilience figure under this seeded fault scenario (none, straggler, flaky, outage, or all) instead of the paper figures")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault scenario's pseudo-random window placement")
+		xlGroups  = flag.Int("xl-groups", 16, "XL tier: server groups (each -h HServers + -s SServers)")
+		xlApps    = flag.Int("xl-apps", 4, "XL tier: concurrent apps per group")
+		xlProcs   = flag.Int("xl-procs", 32, "XL tier: ranks per app")
+		xlReqs    = flag.Int("xl-requests", 1_000_000, "XL tier: total request count")
+		shards    = flag.Int("shards", 0, "XL tier: engine shard count for the sharded drive (0 = one per group); output is identical at any setting")
+		batch     = flag.Bool("batch", true, "XL tier: merge contiguous same-server sub-requests into single service events")
+		batchWin  = flag.Float64("batch-window", 0, "XL tier: batching aggregation window in virtual seconds (0 flushes per instant)")
+		minEPS    = flag.Float64("min-events-per-sec", 0, "XL tier: exit nonzero when wall-clock events/sec falls below this floor")
 		compare   = flag.Bool("compare", false, "perf-gate mode: compare two -json exports (mhabench -compare OLD.json NEW.json)")
 		tolerance = flag.Float64("tolerance", 0.05, "relative bandwidth tolerance for -compare (0.05 = 5% slower still passes)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -116,8 +136,41 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if strings.EqualFold(*scale, "xl") {
+		xl := bench.XLConfig{
+			Groups:       *xlGroups,
+			HPerGroup:    *hSrv,
+			SPerGroup:    *sSrv,
+			AppsPerGroup: *xlApps,
+			ProcsPerApp:  *xlProcs,
+			Requests:     *xlReqs,
+			Shards:       *shards,
+			Workers:      *workers,
+			Batch:        *batch,
+			BatchWindow:  *batchWin,
+			FaultSeed:    *faultSeed,
+		}
+		if f := strings.ToLower(*faults); f != "" && f != "all" {
+			sc, err := fault.ParseScenario(f)
+			if err != nil {
+				fatal(err)
+			}
+			xl.Faults = sc
+		}
+		runXL(xl, *csv, jsonOut.path, *minEPS)
+		return
+	}
+	scaleDiv := int64(64)
+	if !strings.EqualFold(*scale, "paper") {
+		v, err := strconv.ParseInt(*scale, 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -scale %q (want a number, \"paper\" or \"xl\")", *scale))
+		}
+		scaleDiv = v
+	}
+
 	cfg := bench.Default()
-	cfg.Scale = *scale
+	cfg.Scale = scaleDiv
 	cfg.Cluster.HServers, cfg.Env.M = *hSrv, *hSrv
 	cfg.Cluster.SServers, cfg.Env.N = *sSrv, *sSrv
 	cfg.Workers, cfg.Env.Workers = *workers, *workers
@@ -187,7 +240,7 @@ func main() {
 	want := strings.ToLower(*fig)
 	ran := false
 	export := bench.Export{
-		Scale:    *scale,
+		Scale:    scaleDiv,
 		HServers: *hSrv,
 		SServers: *sSrv,
 	}
@@ -238,6 +291,45 @@ func main() {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// runXL runs the XL tier: the deterministic table goes to stdout, the
+// wall-clock throughput to stderr, and the optional events/sec floor
+// turns the run into a CI gate.
+func runXL(cfg bench.XLConfig, csv bool, jsonPath string, floor float64) {
+	res, err := bench.RunXL(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	tb := res.Table()
+	if csv {
+		err = tb.FprintCSV(os.Stdout)
+	} else {
+		err = tb.Fprint(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	fmt.Fprintf(os.Stderr, "mhabench: xl: %d events in %.2fs wall = %.0f events/sec, ~%.2f allocs/op\n",
+		res.Events, res.WallSeconds, res.EventsPerSec, res.AllocsPerOp)
+	if jsonPath != "" {
+		export := bench.Export{
+			Scale:        1,
+			HServers:     cfg.HPerGroup,
+			SServers:     cfg.SPerGroup,
+			ScaleTier:    "xl",
+			EventsPerSec: res.EventsPerSec,
+			AllocsPerOp:  res.AllocsPerOp,
+		}
+		export.AddFigure("xl", tb)
+		if err := export.WriteFile(jsonPath); err != nil {
+			fatal(err)
+		}
+	}
+	if floor > 0 && res.EventsPerSec < floor {
+		fatal(fmt.Errorf("xl: %.0f events/sec below the -min-events-per-sec floor %.0f", res.EventsPerSec, floor))
 	}
 }
 

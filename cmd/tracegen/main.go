@@ -12,6 +12,7 @@
 //	tracegen -workload lanl -procs 8 -loops 32
 //	tracegen -workload lu   -slabs 32
 //	tracegen -workload chol -panels 32
+//	tracegen -workload xl   -procs 64 -requests 100000 -sizes 64KB,256KB
 //	tracegen ... -o trace.txt
 package main
 
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("workload", "ior", "workload: ior, hpio, btio, lanl, lu, chol")
+		kind     = flag.String("workload", "ior", "workload: ior, hpio, btio, lanl, lu, chol, xl")
 		opStr    = flag.String("op", "write", "operation for ior/hpio/btio/lanl: read or write")
 		procs    = flag.Int("procs", 32, "process count (square for btio)")
 		sizesStr = flag.String("sizes", "64KB", "comma-separated request sizes (ior/hpio)")
@@ -41,6 +42,7 @@ func main() {
 		loops    = flag.Int("loops", 32, "loops (lanl)")
 		slabs    = flag.Int("slabs", 32, "slabs (lu)")
 		panels   = flag.Int("panels", 32, "panels (chol)")
+		requests = flag.Int("requests", 100000, "total record count (xl)")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		shuffle  = flag.Bool("shuffle", false, "shuffle ior phases")
 		file     = flag.String("file", "", "logical file name (default derived from workload)")
@@ -126,6 +128,17 @@ func main() {
 		cfg.Seed = *seed
 		var err error
 		tr, err = workload.LU(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	case "xl":
+		sizes, err := parseSizes(*sizesStr)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = workload.XLApp(workload.XLConfig{
+			File: name, Procs: *procs, Requests: *requests, Sizes: sizes,
+		})
 		if err != nil {
 			fatal(err)
 		}

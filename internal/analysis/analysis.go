@@ -23,6 +23,9 @@
 //     is immutable, requests are constructed only by the pipeline's
 //     owners, and child requests never alias a parent's completion
 //     callback, annotations or server binding;
+//   - poolcheck — pooled iopath request descriptors must pass through
+//     Reset() before Pipeline.put returns them to the free list, in the
+//     same function and before the put;
 //   - concurrency — go statements and sync/sync-atomic imports are
 //     confined to the packages in ConcurrencyAllowedPackages; everything
 //     else must fan out through internal/parfan's deterministic ordered
@@ -76,6 +79,7 @@ func All() []*Analyzer {
 		UnitsCheck(),
 		ExtentCheck(),
 		StageCheck(),
+		PoolCheck(),
 		Concurrency(),
 	}
 }

@@ -102,6 +102,7 @@ func TestAnalyzers(t *testing.T) {
 		{"unitscheck", UnitsCheck()},
 		{"extentcheck", ExtentCheck()},
 		{"stagecheck", StageCheck()},
+		{"poolcheck", PoolCheck()},
 		{"concurrency", Concurrency()},
 	}
 	for _, tc := range cases {
@@ -139,6 +140,7 @@ func TestSelfCheck(t *testing.T) {
 		{"DeterministicPackages", DeterministicPackages},
 		{"WallclockAllowedPackages", WallclockAllowedPackages},
 		{"UnitsExemptPackages", UnitsExemptPackages},
+		{"PooledRequestPackages", PooledRequestPackages},
 		{"ConcurrencyAllowedPackages", ConcurrencyAllowedPackages},
 	}
 	for _, sc := range scopes {

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolCheck enforces the descriptor free-list contract: every pooled
+// iopath.Request returned to the pool (Pipeline.put) must pass through
+// Reset() first, in the same function and before the put. A stale
+// OnComplete, parent link or binding on a recycled descriptor fires
+// another request's completion or routes to another request's server
+// placement — corruption no test reliably catches, because it needs pool
+// reuse to line up just so. Reset credit does not cross function-literal
+// boundaries: a put deferred into a closure runs later, when the
+// surrounding function's proof no longer holds.
+func PoolCheck() *Analyzer {
+	const name = "poolcheck"
+	return &Analyzer{
+		Name: name,
+		Doc:  "pooled iopath request descriptors must be Reset before returning to the free list",
+		Run: func(p *Package) []Diagnostic {
+			if !p.pathMatches(PooledRequestPackages) {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch e := n.(type) {
+					case *ast.FuncDecl:
+						if e.Body != nil {
+							out = append(out, p.checkPoolPuts(name, e.Body)...)
+						}
+					case *ast.FuncLit:
+						out = append(out, p.checkPoolPuts(name, e.Body)...)
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// checkPoolPuts flags the free-list put calls in one function body whose
+// descriptor was not Reset earlier in the same body. Nested function
+// literals are skipped — they are checked as their own bodies.
+func (p *Package) checkPoolPuts(name string, body *ast.BlockStmt) []Diagnostic {
+	type putSite struct {
+		call *ast.CallExpr
+		obj  types.Object // nil when the argument is not a plain variable
+	}
+	var puts []putSite
+	resets := make(map[types.Object][]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj, ok := p.resetReceiver(call); ok {
+			resets[obj] = append(resets[obj], call.Pos())
+			return true
+		}
+		if arg, ok := p.poolPutArg(call); ok {
+			site := putSite{call: call}
+			if id, ok := arg.(*ast.Ident); ok {
+				site.obj = p.Info.Uses[id]
+			}
+			puts = append(puts, site)
+		}
+		return true
+	})
+	var out []Diagnostic
+	for _, s := range puts {
+		if s.obj != nil && anyBefore(resets[s.obj], s.call.Pos()) {
+			continue
+		}
+		out = append(out, p.diag(name, "reset", s.call,
+			"descriptor returned to the pool without Reset; a recycled request carrying stale completion or binding state fires another request's completion"))
+	}
+	return out
+}
+
+// poolPutArg matches Pipeline.put(desc) and returns the descriptor
+// expression.
+func (p *Package) poolPutArg(call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "put" || len(call.Args) != 1 {
+		return nil, false
+	}
+	if !isNamed(p.Info.TypeOf(sel.X), iopathPkg, "Pipeline") {
+		return nil, false
+	}
+	if !isRequest(p, call.Args[0]) {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// resetReceiver matches req.Reset() on a plain Request variable and
+// returns the variable's object.
+func (p *Package) resetReceiver(call *ast.CallExpr) (types.Object, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Reset" || len(call.Args) != 0 {
+		return nil, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || !isRequest(p, id) {
+		return nil, false
+	}
+	obj := p.Info.Uses[id]
+	return obj, obj != nil
+}
+
+// anyBefore reports whether any recorded position precedes pos.
+func anyBefore(positions []token.Pos, pos token.Pos) bool {
+	for _, q := range positions {
+		if q < pos {
+			return true
+		}
+	}
+	return false
+}

@@ -37,6 +37,14 @@ var WallclockAllowedPackages = []string{
 	"internal/telemetry/wallclock",
 }
 
+// PooledRequestPackages own the iopath descriptor free list. Pipeline.put
+// is unexported, so only these packages can return descriptors to the
+// pool; poolcheck holds every put site in them to the Reset-before-put
+// contract (Request.Reset documents why).
+var PooledRequestPackages = []string{
+	"internal/iopath",
+}
+
 // UnitsExemptPackages define the byte-size constants and so legitimately
 // spell out raw powers of two.
 var UnitsExemptPackages = []string{

@@ -23,10 +23,12 @@ type slot struct {
 	stage Stage
 }
 
-// Pipeline mirrors the copy-on-write chain holder.
+// Pipeline mirrors the copy-on-write chain holder and the descriptor
+// free list.
 type Pipeline struct {
 	chain []slot
 	saved []slot
+	freed []*Request
 }
 
 func (p *Pipeline) register(chain []slot, s Stage) {
@@ -58,4 +60,32 @@ func derive(parent *Request) *Request {
 func wrap(req *Request) {
 	prev := req.OnComplete
 	req.OnComplete = func() { prev() } // wrapping your own callback is sanctioned
+}
+
+// The descriptor free list, mirroring the pooled hot path: poolcheck
+// holds every put site to the Reset-before-put contract.
+
+func (r *Request) Reset() { *r = Request{} }
+
+func (p *Pipeline) put(r *Request) { p.freed = append(p.freed, r) }
+
+func release(p *Pipeline, r *Request) {
+	r.Reset()
+	p.put(r) // Reset first: the sanctioned recycle path
+}
+
+func recycleStale(p *Pipeline, r *Request) {
+	p.put(r) //want:poolcheck/reset
+}
+
+func resetTooLate(p *Pipeline, r *Request) {
+	p.put(r) //want:poolcheck/reset
+	r.Reset()
+}
+
+func deferredRecycle(p *Pipeline, r *Request) func() {
+	r.Reset()
+	// Reset credit must not cross the closure boundary: the put runs
+	// later, when the descriptor may be live again.
+	return func() { p.put(r) } //want:poolcheck/reset
 }

@@ -14,10 +14,18 @@ import (
 // figures. It is what `mhabench -json` writes (BENCH_pipeline.json) and
 // what the CompareExports perf-gate diffs.
 type Export struct {
-	Scale    int64          `json:"scale"`
-	HServers int            `json:"hservers"`
-	SServers int            `json:"sservers"`
-	Figures  []FigureExport `json:"figures"`
+	Scale    int64 `json:"scale"`
+	HServers int   `json:"hservers"`
+	SServers int   `json:"sservers"`
+	// ScaleTier names the workload tier ("paper" or "xl"). Legacy numeric
+	// runs leave it empty, so their export bytes are unchanged.
+	ScaleTier string `json:"scale_tier,omitempty"`
+	// EventsPerSec and AllocsPerOp are the XL tier's wall-clock and
+	// allocation figures — real time and runtime counters, so
+	// nondeterministic; paper exports omit them.
+	EventsPerSec float64        `json:"events_per_sec,omitempty"`
+	AllocsPerOp  float64        `json:"allocs_per_op,omitempty"`
+	Figures      []FigureExport `json:"figures"`
 	// Bandwidth maps scheme name to its mean read/write bandwidth across
 	// every x-axis point of the generated bandwidth figures.
 	Bandwidth map[string]BandwidthExport `json:"aggregate_bandwidth_mbps"`

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"mhafs/internal/fault"
+	"mhafs/internal/units"
+)
+
+// smallXL is a reduced tier that keeps the determinism matrix fast while
+// still spanning several groups, apps and both ops.
+func smallXL() XLConfig {
+	return XLConfig{
+		Groups:       8,
+		HPerGroup:    2,
+		SPerGroup:    1,
+		AppsPerGroup: 2,
+		ProcsPerApp:  4,
+		Requests:     4000,
+		Sizes:        []int64{16 * units.KB, 64 * units.KB},
+		Batch:        true,
+	}
+}
+
+// render flattens the deterministic table for comparison.
+func render(t *testing.T, r XLResult) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.Table().Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// The XL determinism matrix: byte-identical deterministic output across
+// shard counts {1, 2, 8} × worker counts {1, 4}, fault-free and under the
+// outage scenario (per-group seeded injectors + resilience stages).
+func TestRunXLDeterminismMatrix(t *testing.T) {
+	for _, faults := range []string{"", "outage"} {
+		base := smallXL()
+		base.Faults = fault.Scenario(faults)
+		ref, err := RunXL(base)
+		if err != nil {
+			t.Fatalf("faults=%q: %v", faults, err)
+		}
+		if ref.Requests != 4000 {
+			t.Fatalf("faults=%q: replayed %d records, want 4000", faults, ref.Requests)
+		}
+		want := render(t, ref)
+		for _, shards := range []int{1, 2, 8} {
+			for _, workers := range []int{1, 4} {
+				cfg := base
+				cfg.Shards, cfg.Workers = shards, workers
+				got, err := RunXL(cfg)
+				if err != nil {
+					t.Fatalf("faults=%q shards=%d workers=%d: %v", faults, shards, workers, err)
+				}
+				if s := render(t, got); s != want {
+					t.Errorf("faults=%q shards=%d workers=%d: output diverged\n--- want\n%s\n--- got\n%s",
+						faults, shards, workers, want, s)
+				}
+				if got.Events != ref.Events {
+					t.Errorf("faults=%q shards=%d workers=%d: events %d, want %d",
+						faults, shards, workers, got.Events, ref.Events)
+				}
+			}
+		}
+	}
+}
+
+// Batching must not change what moves — only how fast: same ops and
+// bytes, and a strictly shorter makespan once per-message overheads are
+// amortized.
+func TestRunXLBatchingSpeedsUp(t *testing.T) {
+	on := smallXL()
+	off := on
+	off.Batch = false
+	ron, err := RunXL(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roff, err := RunXL(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ron.Bytes != roff.Bytes || ron.Requests != roff.Requests {
+		t.Fatalf("batching changed the workload: %d/%d bytes, %d/%d requests",
+			ron.Bytes, roff.Bytes, ron.Requests, roff.Requests)
+	}
+	if ron.Makespan >= roff.Makespan {
+		t.Fatalf("batched makespan %.6f not below unbatched %.6f", ron.Makespan, roff.Makespan)
+	}
+}
+
+func TestXLConfigValidate(t *testing.T) {
+	ok := smallXL()
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*XLConfig){
+		func(c *XLConfig) { c.Groups = 0 },
+		func(c *XLConfig) { c.HPerGroup, c.SPerGroup = 0, 0 },
+		func(c *XLConfig) { c.AppsPerGroup = 0 },
+		func(c *XLConfig) { c.ProcsPerApp = -1 },
+		func(c *XLConfig) { c.Requests = 0 },
+		func(c *XLConfig) { c.Faults = "no-such-scenario" },
+	}
+	for i, mutate := range bad {
+		c := smallXL()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: config %+v validated", i, c)
+		}
+	}
+}

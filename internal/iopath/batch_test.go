@@ -1,0 +1,158 @@
+// Batching-stage tests, in the external package so they can drive the
+// real middleware → pipeline → dataless server path.
+package iopath_test
+
+import (
+	"testing"
+
+	"mhafs/internal/mpiio"
+	"mhafs/internal/pfs"
+	"mhafs/internal/stripe"
+	"mhafs/internal/units"
+)
+
+// batchSetup builds a dataless paper-shaped cluster with batching on at
+// the given aggregation window.
+func batchSetup(t *testing.T, window float64) (*mpiio.Middleware, *pfs.Cluster) {
+	t.Helper()
+	cfg := pfs.DefaultConfig()
+	cfg.Dataless = true
+	c, err := pfs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := mpiio.New(c)
+	if err := mw.EnableBatching(window); err != nil {
+		t.Fatal(err)
+	}
+	return mw, c
+}
+
+// Two same-instant writes addressing adjacent halves of one stripe unit
+// must reach the server as a single merged service event.
+func TestBatcherMergesContiguous(t *testing.T) {
+	mw, c := batchSetup(t, 0)
+	h, err := mw.Open("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32*units.KB)
+	var ends []float64
+	done := func(end float64) { ends = append(ends, end) }
+	if err := h.WriteAt(buf, 0, done); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteAt(buf, 32*units.KB, done); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+
+	f, err := mw.ResolveFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.ServerForFile(f, stripe.ServerRef{Class: stripe.ClassH, Index: 0}).Stats()
+	if st.Writes != 1 {
+		t.Fatalf("writes on H0 = %d, want 1 merged submission", st.Writes)
+	}
+	if st.WriteBytes != 64*units.KB {
+		t.Fatalf("write bytes on H0 = %d, want %d", st.WriteBytes, 64*units.KB)
+	}
+	if len(ends) != 2 {
+		t.Fatalf("completions = %d, want 2", len(ends))
+	}
+	if ends[0] != ends[1] || ends[0] <= 0 {
+		t.Fatalf("batched members finished at %v and %v, want one shared positive end", ends[0], ends[1])
+	}
+}
+
+// Same-server pieces with a local-space gap must not merge.
+func TestBatcherKeepsGapsApart(t *testing.T) {
+	mw, c := batchSetup(t, 0)
+	h, err := mw.Open("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := int64(8 * 64 * units.KB) // 6H+2S at 64KB stripes
+	buf := make([]byte, 32*units.KB)
+	if err := h.WriteAt(buf, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteAt(buf, round, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+
+	f, err := mw.ResolveFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.ServerForFile(f, stripe.ServerRef{Class: stripe.ClassH, Index: 0}).Stats()
+	if st.Writes != 2 {
+		t.Fatalf("writes on H0 = %d, want 2 separate submissions", st.Writes)
+	}
+	if st.WriteBytes != 64*units.KB {
+		t.Fatalf("write bytes on H0 = %d, want %d", st.WriteBytes, 64*units.KB)
+	}
+}
+
+// Batches flush per virtual instant: a write issued from another write's
+// completion lands in a later flush and is never merged backwards.
+func TestBatcherFlushBoundary(t *testing.T) {
+	mw, c := batchSetup(t, 0)
+	h, err := mw.Open("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32*units.KB)
+	if err := h.WriteAt(buf, 0, func(end float64) {
+		if err := h.WriteAt(buf, 32*units.KB, nil); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+
+	f, err := mw.ResolveFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.ServerForFile(f, stripe.ServerRef{Class: stripe.ClassH, Index: 0}).Stats()
+	if st.Writes != 2 {
+		t.Fatalf("writes on H0 = %d, want 2 (distinct instants must not merge)", st.Writes)
+	}
+}
+
+// A positive aggregation window merges across instants: the second write
+// lands shortly after the first (via a scheduled event, before the flush
+// fires) and must join the same batch.
+func TestBatcherWindowMergesAcrossInstants(t *testing.T) {
+	mw, c := batchSetup(t, 10e-3)
+	h, err := mw.Open("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32*units.KB)
+	if err := h.WriteAt(buf, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Schedule(1e-3, func() {
+		if err := h.WriteAt(buf, 32*units.KB, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Eng.Run()
+
+	f, err := mw.ResolveFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.ServerForFile(f, stripe.ServerRef{Class: stripe.ClassH, Index: 0}).Stats()
+	if st.Writes != 1 {
+		t.Fatalf("writes on H0 = %d, want 1 (window must merge across instants)", st.Writes)
+	}
+	if st.WriteBytes != 64*units.KB {
+		t.Fatalf("write bytes on H0 = %d, want %d", st.WriteBytes, 64*units.KB)
+	}
+}

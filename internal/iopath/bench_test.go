@@ -1,0 +1,69 @@
+// Hot-loop allocation benchmarks, run as an external test package so they
+// can drive the real middleware → pipeline → server path end to end.
+//
+// CI's xl-smoke job parses these with -benchmem and fails the build when
+// the fan-out hot loop exceeds its allocs/op ceiling (see
+// .github/workflows/ci.yml): the pooled descriptors, prebuilt chain
+// handlers, inline bindings and dataless servers exist precisely so this
+// number stays ~0.
+package iopath_test
+
+import (
+	"testing"
+
+	"mhafs/internal/mpiio"
+	"mhafs/internal/pfs"
+	"mhafs/internal/units"
+)
+
+// benchSetup builds a dataless paper-shaped cluster with one DEF file and
+// warms every pool on the path (request descriptors, server in-flight
+// descriptors, plan scratch, the event heap) so the measured loop sees
+// steady state.
+func benchSetup(b *testing.B, buf []byte) (*mpiio.FileHandle, *pfs.Cluster) {
+	b.Helper()
+	cfg := pfs.DefaultConfig()
+	cfg.Dataless = true
+	c, err := pfs.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mw := mpiio.New(c)
+	h, err := mw.Open("bench", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := h.WriteAt(buf, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+		c.Eng.Run()
+	}
+	return h, c
+}
+
+func BenchmarkHotLoopWrite(b *testing.B) {
+	buf := make([]byte, 256*units.KB)
+	h, c := benchSetup(b, buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.WriteAt(buf, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+		c.Eng.Run()
+	}
+}
+
+func BenchmarkHotLoopRead(b *testing.B) {
+	buf := make([]byte, 256*units.KB)
+	h, c := benchSetup(b, buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.ReadAt(buf, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+		c.Eng.Run()
+	}
+}

@@ -86,6 +86,31 @@ type Request struct {
 
 	pipe        *Pipeline
 	annotations map[string]any
+
+	// Fan-out bookkeeping. A stage that splits a request presets fanOpen
+	// to the child count (fanOut); each child's Finish folds its end time
+	// and error into the parent (fanArrive), and the last arrival
+	// completes it. This replaces the historical per-child closure +
+	// sim.Barrier pattern with fields on the descriptor itself, so the
+	// fan-out hot loop allocates nothing per child.
+	parent    *Request
+	fanOpen   int
+	fanLatest float64
+
+	// pooled marks descriptors owned by the pipeline's free list; Finish
+	// recycles them (Reset + release) once nothing can observe them again.
+	pooled bool
+
+	// binding is the inline storage SetBinding points the Binding field
+	// at, so a per-server child needs no separate ServerBinding
+	// allocation. It is never shared between requests: Reset clears both.
+	binding ServerBinding
+
+	// batchNext links batched sub-requests. On a merged request it heads
+	// the list of member requests the batch coalesced; on a member it
+	// links to the next member. Finish on the merged request fans its
+	// completion back to every member (see Batcher).
+	batchNext *Request
 }
 
 // Size returns the request length in bytes.
@@ -93,10 +118,71 @@ func (r *Request) Size() int64 { return int64(len(r.Data)) }
 
 // Finish stamps the completion time and runs the completion callback.
 // Exactly one stage must call it per request.
+//
+// Order matters and is pinned by the golden telemetry: the completion
+// callback chain (recorders, stage timers, the caller's done) observes
+// the request first, exactly as it did when fan-out stages wrapped
+// OnComplete; only then is the completion folded into the parent — which
+// may recursively finish it — and only after that is a pooled descriptor
+// recycled, when nothing can observe it again.
 func (r *Request) Finish(end float64) {
 	r.Complete = end
 	if r.OnComplete != nil {
 		r.OnComplete(end)
+	}
+	// A merged batch completes its members: every coalesced sub-request
+	// finished in the same service event, so each member finishes at the
+	// merged end time (and inherits a merged terminal error). The link is
+	// severed before the member finishes — members are themselves pooled
+	// and must not walk each other.
+	for m := r.batchNext; m != nil; {
+		next := m.batchNext
+		m.batchNext = nil
+		if r.Err != nil && m.Err == nil {
+			m.Err = r.Err
+		}
+		m.Finish(end)
+		m = next
+	}
+	r.batchNext = nil
+	parent, pooled := r.parent, r.pooled
+	if parent != nil {
+		parent.fanArrive(r.Err, end)
+	}
+	if pooled {
+		r.release()
+	}
+}
+
+// fanOut arms the request to complete after n derived children finish.
+// Like sim.NewBarrier, a non-positive count is a wiring bug.
+func (r *Request) fanOut(n int) {
+	if n <= 0 {
+		panic("iopath: fan-out over no children")
+	}
+	if r.fanOpen != 0 {
+		panic("iopath: nested fan-out on one request")
+	}
+	r.fanOpen = n
+}
+
+// fanArrive folds one child completion into the fan-out parent: the
+// slowest end time wins, the first child error wins, and the last arrival
+// finishes the parent. Arrivals beyond the armed count panic — they
+// indicate double-completion bugs, exactly as sim.Barrier did.
+func (r *Request) fanArrive(childErr error, end float64) {
+	if r.fanOpen <= 0 {
+		panic("iopath: fan-out arrival after completion")
+	}
+	if end > r.fanLatest {
+		r.fanLatest = end
+	}
+	if childErr != nil && r.Err == nil {
+		r.Err = childErr
+	}
+	r.fanOpen--
+	if r.fanOpen == 0 {
+		r.Finish(r.fanLatest)
 	}
 }
 
@@ -125,14 +211,57 @@ func (r *Request) Annotation(key string) (any, bool) {
 }
 
 // child derives a Request that inherits the parent's identity and pipeline
-// but addresses a different extent.
+// but addresses a different extent. Children come from the pipeline's
+// descriptor pool and are recycled when they finish; the deriving stage
+// must arm the parent with fanOut before dispatching them.
 func (r *Request) child(file string, off int64, data []byte) *Request {
-	return &Request{
-		Op: r.Op, File: file, Offset: off, Data: data,
-		Rank: r.Rank, PID: r.PID, FD: r.FD,
-		Untraced: r.Untraced, Submit: r.Submit,
-		pipe: r.pipe,
+	c := r.pipe.get()
+	c.Op, c.File, c.Offset, c.Data = r.Op, file, off, data
+	c.Rank, c.PID, c.FD = r.Rank, r.PID, r.FD
+	c.Untraced, c.Submit = r.Untraced, r.Submit
+	c.parent = r
+	return c
+}
+
+// Reset clears the descriptor for reuse. Every pooled request must pass
+// through Reset on its way back to the free list (mhavet's poolcheck
+// enforces this at the put sites): a stale OnComplete, parent link or
+// binding on a recycled descriptor would fire another request's
+// completion or route to another request's server placement.
+func (r *Request) Reset() {
+	*r = Request{}
+}
+
+// release recycles a finished pooled descriptor into its pipeline's free
+// list. The caller guarantees nothing can observe the request anymore:
+// its completion chain has run and its parent bookkeeping is done.
+func (r *Request) release() {
+	p := r.pipe
+	r.Reset()
+	p.put(r)
+}
+
+// SetBinding installs the server routing for a sub-request in the
+// request's inline storage, avoiding a per-child ServerBinding
+// allocation. The binding is owned by this request alone.
+func (r *Request) SetBinding(b ServerBinding) {
+	r.binding = b
+	r.Binding = &r.binding
+}
+
+// IODone implements server.Done: a server completes the sub-request by
+// handing the descriptor back instead of calling a per-request closure.
+// Reads scatter their landed bytes first, exactly as the closure path
+// does (dataless plans carry no scatter).
+func (r *Request) IODone(end float64, err error) {
+	if err != nil {
+		r.FinishErr(end, err)
+		return
 	}
+	if b := r.Binding; b != nil && r.Op == trace.OpRead && b.Scatter != nil {
+		b.Scatter()
+	}
+	r.Finish(end)
 }
 
 // ServerBinding routes a per-server sub-request: which server, which
@@ -146,6 +275,18 @@ type ServerBinding struct {
 	// Scatter, for reads, copies the landed bytes back into the caller's
 	// buffer; the server stage runs it before reporting completion.
 	Scatter func()
+	// Bytes is the explicit byte count of bindings that carry no payload
+	// (merged batch submissions on dataless servers); when zero the
+	// payload length rules.
+	Bytes int64
+}
+
+// bytes returns the sub-request's byte count.
+func (b *ServerBinding) bytes() int64 {
+	if b.Bytes > 0 {
+		return b.Bytes
+	}
+	return int64(len(b.Payload))
 }
 
 // Handler forwards a request to the remainder of the chain.
@@ -179,6 +320,17 @@ type slot struct {
 	stage Stage
 }
 
+// chain is an immutable snapshot of the stage sequence plus one prebuilt
+// next handler per link. Handlers are constructed once at registration
+// time (the cold path), so the dispatch hot loop passes stages a ready
+// Handler instead of allocating a fresh closure per stage hop. In-flight
+// requests continue on the chain they were submitted into: registration
+// builds a new chain and never mutates a published one.
+type chain struct {
+	slots []slot
+	nexts []Handler
+}
+
 // Observer receives a callback when a request enters and leaves the
 // synchronous portion of each stage. Enter/exit pairs are properly nested
 // (dispatch is recursive) and always run under the pipeline's submission
@@ -201,8 +353,15 @@ type Pipeline struct {
 	eng *sim.Engine
 
 	mu    sync.Mutex
-	slots []slot
+	chain *chain
 	obs   Observer
+
+	// The descriptor free list. It has its own lock because requests are
+	// recycled from completion callbacks, which run from engine events
+	// outside the submission lock, while children are acquired during
+	// dispatch under it.
+	poolMu sync.Mutex
+	freed  []*Request
 }
 
 // NewPipeline creates an empty pipeline over the simulation engine.
@@ -210,14 +369,48 @@ func NewPipeline(eng *sim.Engine) *Pipeline {
 	if eng == nil {
 		panic("iopath: nil engine")
 	}
-	return &Pipeline{eng: eng}
+	p := &Pipeline{eng: eng}
+	p.chain = p.buildChain(nil)
+	return p
 }
+
+// get acquires a blank pooled descriptor bound to this pipeline.
+func (p *Pipeline) get() *Request {
+	p.poolMu.Lock()
+	var r *Request
+	if n := len(p.freed); n > 0 {
+		r = p.freed[n-1]
+		p.freed[n-1] = nil
+		p.freed = p.freed[:n-1]
+	}
+	p.poolMu.Unlock()
+	if r == nil {
+		r = &Request{}
+	}
+	r.pipe = p
+	r.pooled = true
+	return r
+}
+
+// put returns a Reset descriptor to the free list. Callers go through
+// Request.release, which resets first — mhavet's poolcheck flags any put
+// without a preceding Reset.
+func (p *Pipeline) put(r *Request) {
+	p.poolMu.Lock()
+	p.freed = append(p.freed, r)
+	p.poolMu.Unlock()
+}
+
+// NewRequest returns a blank pooled root descriptor bound to the
+// pipeline. The pipeline recycles it when it finishes: callers populate
+// it, Submit it, and must not retain it past their OnComplete.
+func (p *Pipeline) NewRequest() *Request { return p.get() }
 
 // Engine returns the pipeline's simulation engine.
 func (p *Pipeline) Engine() *sim.Engine { return p.eng }
 
 func (p *Pipeline) indexOf(name string) int {
-	for i, s := range p.slots {
+	for i, s := range p.chain.slots {
 		if s.name == name {
 			return i
 		}
@@ -225,9 +418,25 @@ func (p *Pipeline) indexOf(name string) int {
 	return -1
 }
 
+// buildChain publishes a fresh chain snapshot over the given slots,
+// prebuilding the per-link next handlers. Runs at registration time only.
+func (p *Pipeline) buildChain(slots []slot) *chain {
+	c := &chain{slots: slots, nexts: make([]Handler, len(slots))}
+	for i := range slots {
+		next := i + 1
+		c.nexts[i] = func(r *Request) error {
+			if r.pipe == nil {
+				r.pipe = p
+			}
+			return p.dispatch(c, r, next)
+		}
+	}
+	return c
+}
+
 // Append adds a stage at the end of the chain.
 func (p *Pipeline) Append(name string, s Stage) error {
-	return p.insert(name, s, func() int { return len(p.slots) })
+	return p.insert(name, s, func() int { return len(p.chain.slots) })
 }
 
 // InsertBefore adds a stage immediately before the named anchor stage.
@@ -260,11 +469,12 @@ func (p *Pipeline) insertLocked(name string, s Stage, at int) error {
 	if p.indexOf(name) >= 0 {
 		return fmt.Errorf("iopath: stage %q already registered", name)
 	}
-	ns := make([]slot, 0, len(p.slots)+1)
-	ns = append(ns, p.slots[:at]...)
+	old := p.chain.slots
+	ns := make([]slot, 0, len(old)+1)
+	ns = append(ns, old[:at]...)
 	ns = append(ns, slot{name: name, stage: s})
-	ns = append(ns, p.slots[at:]...)
-	p.slots = ns
+	ns = append(ns, old[at:]...)
+	p.chain = p.buildChain(ns)
 	return nil
 }
 
@@ -279,10 +489,10 @@ func (p *Pipeline) Replace(name string, s Stage) error {
 	if i < 0 {
 		return fmt.Errorf("iopath: no stage %q to replace", name)
 	}
-	ns := make([]slot, len(p.slots))
-	copy(ns, p.slots)
+	ns := make([]slot, len(p.chain.slots))
+	copy(ns, p.chain.slots)
 	ns[i].stage = s
-	p.slots = ns
+	p.chain = p.buildChain(ns)
 	return nil
 }
 
@@ -294,10 +504,11 @@ func (p *Pipeline) Remove(name string) bool {
 	if i < 0 {
 		return false
 	}
-	ns := make([]slot, 0, len(p.slots)-1)
-	ns = append(ns, p.slots[:i]...)
-	ns = append(ns, p.slots[i+1:]...)
-	p.slots = ns
+	old := p.chain.slots
+	ns := make([]slot, 0, len(old)-1)
+	ns = append(ns, old[:i]...)
+	ns = append(ns, old[i+1:]...)
+	p.chain = p.buildChain(ns)
 	return true
 }
 
@@ -321,8 +532,8 @@ func (p *Pipeline) SetObserver(o Observer) {
 func (p *Pipeline) Names() []string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]string, len(p.slots))
-	for i, s := range p.slots {
+	out := make([]string, len(p.chain.slots))
+	for i, s := range p.chain.slots {
 		out[i] = s.name
 	}
 	return out
@@ -339,7 +550,7 @@ func (p *Pipeline) Submit(req *Request) error {
 	defer p.mu.Unlock()
 	req.pipe = p
 	req.Submit = p.eng.Now()
-	return dispatch(p, p.slots, req, 0)
+	return p.dispatch(p.chain, req, 0)
 }
 
 // Exclusive runs fn holding the pipeline's submission lock. Stages use it
@@ -352,24 +563,19 @@ func (p *Pipeline) Exclusive(fn func()) {
 	fn()
 }
 
-// dispatch runs the stage at index i of the chain snapshot; the next
-// handler continues at i+1. Requests derived by a stage continue
-// downstream of it — they do not restart the chain. The observer (read
-// under the submission lock dispatch already runs beneath) brackets the
-// synchronous portion of every stage.
-func dispatch(p *Pipeline, chain []slot, req *Request, i int) error {
-	if i >= len(chain) {
+// dispatch runs the stage at index i of the chain snapshot, handing it
+// the snapshot's prebuilt next handler, which continues at i+1. Requests
+// derived by a stage continue downstream of it — they do not restart the
+// chain. The observer (read under the submission lock dispatch already
+// runs beneath) brackets the synchronous portion of every stage.
+func (p *Pipeline) dispatch(c *chain, req *Request, i int) error {
+	if i >= len(c.slots) {
 		return fmt.Errorf("iopath: request for %q fell off the end of the chain", req.File)
 	}
-	name, stage := chain[i].name, chain[i].stage
+	s := &c.slots[i]
 	if o := p.obs; o != nil {
-		o.StageEnter(name, req)
-		defer o.StageExit(name, req)
+		o.StageEnter(s.name, req)
+		defer o.StageExit(s.name, req)
 	}
-	return stage.Handle(req, func(r *Request) error {
-		if r.pipe == nil {
-			r.pipe = p
-		}
-		return dispatch(p, chain, r, i+1)
-	})
+	return s.stage.Handle(req, c.nexts[i])
 }

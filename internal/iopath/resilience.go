@@ -185,9 +185,14 @@ func (s *RetryServerStage) attempt(req *Request, k int) {
 		}
 		s.settle(req, k, end, err)
 	}
-	if req.Op == trace.OpWrite {
+	switch {
+	case b.Server.IsDataless():
+		// Dataless servers charge by size alone; merged batch bindings
+		// carry an explicit byte count and no payload.
+		b.Server.SubmitOpErr(req.Op, b.bytes(), done)
+	case req.Op == trace.OpWrite:
 		b.Server.SubmitWriteErr(b.Object, b.Local, b.Payload, done)
-	} else {
+	default:
 		b.Server.SubmitReadErr(b.Object, b.Local, b.Payload, done)
 	}
 }
@@ -287,21 +292,7 @@ func (rs *Resilience) Handle(req *Request, next Handler) error {
 	if cursor != req.Size() {
 		return fmt.Errorf("iopath: failover translation covered %d of %d bytes", cursor, req.Size())
 	}
-	latest := new(float64)
-	barrier := sim.NewBarrier(len(children), func() {
-		req.Finish(*latest)
-	})
-	for _, child := range children {
-		child.OnComplete = func(end float64) {
-			if end > *latest {
-				*latest = end
-			}
-			if child.Err != nil && req.Err == nil {
-				req.Err = child.Err
-			}
-			barrier.Arrive()
-		}
-	}
+	req.fanOut(len(children))
 	for _, child := range children {
 		if err := rs.handlePiece(child, next, 1); err != nil {
 			return err

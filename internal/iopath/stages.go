@@ -64,21 +64,7 @@ func (rd *Redirect) Handle(req *Request, next Handler) error {
 	if cursor != n {
 		return fmt.Errorf("iopath: redirection covered %d of %d bytes", cursor, n)
 	}
-	latest := new(float64)
-	barrier := sim.NewBarrier(len(children), func() {
-		req.Finish(*latest)
-	})
-	for _, child := range children {
-		child.OnComplete = func(end float64) {
-			if end > *latest {
-				*latest = end
-			}
-			if child.Err != nil && req.Err == nil {
-				req.Err = child.Err
-			}
-			barrier.Arrive()
-		}
-	}
+	req.fanOut(len(children))
 	rd.Eng.Schedule(r.LookupTime, func() {
 		req.pipe.Exclusive(func() {
 			for _, child := range children {
@@ -117,29 +103,18 @@ func (s *Striper) Handle(req *Request, next Handler) error {
 	} else {
 		subs = s.Cluster.PlanRead(f, req.Offset, req.Data)
 	}
-	latest := new(float64)
-	barrier := sim.NewBarrier(len(subs), func() {
-		req.Finish(*latest)
-	})
-	for _, sub := range subs {
+	req.fanOut(len(subs))
+	for i := range subs {
+		sub := &subs[i]
 		child := req.child(req.File, req.Offset, sub.Data)
 		child.Target = f
-		child.Binding = &ServerBinding{
+		child.SetBinding(ServerBinding{
 			Server:  sub.Server,
 			Object:  sub.Object,
 			Local:   sub.Local,
 			Payload: sub.Data,
 			Scatter: sub.Scatter,
-		}
-		child.OnComplete = func(end float64) {
-			if end > *latest {
-				*latest = end
-			}
-			if child.Err != nil && req.Err == nil {
-				req.Err = child.Err
-			}
-			barrier.Arrive()
-		}
+		})
 		if err := next(child); err != nil {
 			return err
 		}
@@ -157,6 +132,12 @@ func (ServerStage) Handle(req *Request, next Handler) error {
 	b := req.Binding
 	if b == nil {
 		return fmt.Errorf("iopath: request for %q reached the server stage without a binding", req.File)
+	}
+	if b.Server.IsDataless() {
+		// The descriptor path: the request itself receives the completion
+		// (IODone), so the hot loop allocates no done closure.
+		b.Server.SubmitDataless(req.Op, b.bytes(), req)
+		return nil
 	}
 	if req.Op == trace.OpWrite {
 		b.Server.SubmitWrite(b.Object, b.Local, b.Payload, func(end float64) {

@@ -183,6 +183,20 @@ func (m *Middleware) EnableResilience(opts ResilienceOptions) error {
 // is enabled).
 func (m *Middleware) Failover() *reorder.Failover { return m.failover }
 
+// EnableBatching inserts the sub-request batching stage before the
+// terminal server stage (or its retrying replacement): sub-requests
+// issued within one aggregation window (window virtual seconds; 0 means
+// one virtual instant) that address contiguous ranges of the same server
+// object are submitted as single merged service events. Batching changes
+// the modeled cost — that is its point — so the paper pipelines leave it
+// off; the XL tier turns it on. See iopath.Batcher for the merge contract.
+func (m *Middleware) EnableBatching(window float64) error {
+	if m.pipe.Has(iopath.StageBatch) {
+		return fmt.Errorf("mpiio: batching already enabled")
+	}
+	return m.pipe.InsertBefore(iopath.StageServer, iopath.StageBatch, iopath.NewBatcher(m.pipe, window))
+}
+
 // EnableTelemetry wires the whole I/O path into reg: a stage timer
 // observing every pipeline stage against the simulation clock, an
 // application-level request meter installed as an interceptor (before
@@ -325,12 +339,14 @@ func (h *FileHandle) issue(op trace.Op, off int64, buf []byte, done func(end flo
 		}
 		return nil
 	}
-	return h.mw.pipe.Submit(&iopath.Request{
-		Op: op, File: h.name, Offset: off, Data: buf,
-		Rank: h.rank, PID: h.pid, FD: h.fd,
-		Untraced:   h.untraced,
-		OnComplete: done,
-	})
+	// Root descriptors come from the pipeline's pool and are recycled
+	// when they finish; nothing here retains req past Submit.
+	req := h.mw.pipe.NewRequest()
+	req.Op, req.File, req.Offset, req.Data = op, h.name, off, buf
+	req.Rank, req.PID, req.FD = h.rank, h.pid, h.fd
+	req.Untraced = h.untraced
+	req.OnComplete = done
+	return h.mw.pipe.Submit(req)
 }
 
 // WriteAtSync writes and runs the engine to completion (single-threaded

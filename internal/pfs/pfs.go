@@ -47,6 +47,14 @@ type Config struct {
 	// exactly that blind spot.
 	HDDOverrides map[int]device.Model
 	SSDOverrides map[int]device.Model
+
+	// Dataless drops payload materialization across the cluster: servers
+	// charge full virtual-time costs but store no bytes, and the striping
+	// planners reuse scratch buffers instead of gathering payloads. The XL
+	// simulation tier runs dataless — it measures timing and layout
+	// behaviour, never the bytes — while paper-scale clusters keep this
+	// off and stay byte-accurate.
+	Dataless bool
 }
 
 // DefaultConfig mirrors the paper's testbed: six HServers, two SServers,
@@ -138,6 +146,14 @@ type Cluster struct {
 
 	stripeMeter *stripe.Meter
 	faults      *fault.Injector
+
+	// Dataless-mode planning scratch: the split and sub-request slices
+	// are reused across Plan calls (consumers use the plan synchronously
+	// within the stripe stage), and zeros is the shared stand-in payload
+	// every sub-request slices — only its length is ever consumed.
+	splitScratch []stripe.SubRequest
+	planScratch  []SubRequest
+	zeros        []byte
 }
 
 // New builds a cluster on a fresh simulation engine.
@@ -160,6 +176,7 @@ func New(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.SetDataless(cfg.Dataless)
 		c.hservers = append(c.hservers, s)
 	}
 	for j := 0; j < cfg.SServers; j++ {
@@ -171,6 +188,7 @@ func New(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.SetDataless(cfg.Dataless)
 		c.sservers = append(c.sservers, s)
 	}
 	return c, nil
@@ -379,6 +397,9 @@ func (c *Cluster) PlanWrite(f *File, off int64, data []byte) []SubRequest {
 	if end := off + n; end > f.Size {
 		f.Size = end
 	}
+	if c.cfg.Dataless {
+		return c.planDataless(f, off, n)
+	}
 	subs := f.Layout.Split(off, n)
 	if c.stripeMeter != nil {
 		c.stripeMeter.ObserveSplit(f.Name, subs)
@@ -407,6 +428,9 @@ func (c *Cluster) PlanWrite(f *File, off int64, data []byte) []SubRequest {
 // Scatter that lands its bytes in the right interleaved positions of buf.
 func (c *Cluster) PlanRead(f *File, off int64, buf []byte) []SubRequest {
 	n := int64(len(buf))
+	if c.cfg.Dataless {
+		return c.planDataless(f, off, n)
+	}
 	subs := f.Layout.Split(off, n)
 	if c.stripeMeter != nil {
 		c.stripeMeter.ObserveSplit(f.Name, subs)
@@ -433,6 +457,33 @@ func (c *Cluster) PlanRead(f *File, off int64, buf []byte) []SubRequest {
 			},
 		})
 	}
+	return out
+}
+
+// planDataless is the shared dataless plan: one sub-request per server
+// with the cluster's zero buffer standing in for the payload (only its
+// length is consumed — it sizes the service time) and no scatter. The
+// returned slice is planning scratch reused by the next Plan call;
+// consumers use it synchronously, as the stripe stage does.
+func (c *Cluster) planDataless(f *File, off, n int64) []SubRequest {
+	subs := f.Layout.AppendSplit(c.splitScratch[:0], off, n)
+	c.splitScratch = subs
+	if c.stripeMeter != nil {
+		c.stripeMeter.ObserveSplit(f.Name, subs)
+	}
+	out := c.planScratch[:0]
+	for _, sub := range subs {
+		if sub.Size > int64(len(c.zeros)) {
+			c.zeros = make([]byte, sub.Size*2)
+		}
+		out = append(out, SubRequest{
+			Server: c.ServerForFile(f, sub.Server),
+			Object: f.Name,
+			Local:  sub.Local,
+			Data:   c.zeros[:sub.Size],
+		})
+	}
+	c.planScratch = out
 	return out
 }
 

@@ -81,6 +81,12 @@ type Options struct {
 	// EpochWindow groups records into epochs for LockStep mode (seconds
 	// of trace time); 0 uses the pattern analyzer's default.
 	EpochWindow float64
+	// ScratchReads lands every read in one shared scratch buffer instead
+	// of allocating a fresh buffer per record. Only for replays that
+	// never look at the bytes read — the XL tier's dataless clusters,
+	// where no bytes move at all. Byte-accurate replays keep it off:
+	// concurrent reads would clobber each other's landing space.
+	ScratchReads bool
 }
 
 // Run replays the trace through the middleware with default options. Each
@@ -93,30 +99,59 @@ func Run(mw *mpiio.Middleware, tr trace.Trace) (Result, error) {
 
 // RunWith replays the trace with explicit options.
 func RunWith(mw *mpiio.Middleware, tr trace.Trace, opts Options) (Result, error) {
-	if mw == nil {
-		return Result{}, fmt.Errorf("replay: nil middleware")
-	}
-	if err := tr.Validate(); err != nil {
+	p, err := Start(mw, tr, opts)
+	if err != nil {
 		return Result{}, err
 	}
-	var res Result
+	mw.Cluster.Eng.Run()
+	return p.Finish()
+}
+
+// recName names the replay's recorder interceptor stage.
+const recName = "replay/recorder"
+
+// Pending is a started replay: every rank client is scheduled on the
+// middleware's engine, but the engine has not been driven and no result
+// exists yet. The Start/Finish split lets a caller owning several
+// clusters — the XL tier's sharded server groups — start one replay per
+// group, drive all the engines together (sim.RunSharded), and then
+// collect each group's result.
+type Pending struct {
+	mw  *mpiio.Middleware
+	tr  trace.Trace
+	rec *iopath.Recorder
+
+	base    float64
+	before  []server.Stats
+	res     Result
+	runErrs []error
+}
+
+// Start validates and schedules the replay without driving the engine.
+// The caller must run the engine to completion before calling Finish.
+func Start(mw *mpiio.Middleware, tr trace.Trace, opts Options) (*Pending, error) {
+	if mw == nil {
+		return nil, fmt.Errorf("replay: nil middleware")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pending{mw: mw, tr: tr}
 	if len(tr) == 0 {
-		return res, nil
+		return p, nil
 	}
 
 	eng := mw.Cluster.Eng
-	base := eng.Now()
-	before := mw.Cluster.ServerStats()
+	p.base = eng.Now()
+	p.before = mw.Cluster.ServerStats()
 
 	// Latencies and the makespan come from the pipeline's own completion
 	// records: a recorder interceptor observes every request end to end,
 	// instead of the replay loop scraping times around each callback.
-	rec := iopath.NewRecorder()
-	const recName = "replay/recorder"
-	if err := mw.Intercept(recName, rec); err != nil {
-		return Result{}, err
+	p.rec = iopath.NewRecorder()
+	if err := mw.Intercept(recName, p.rec); err != nil {
+		return nil, err
 	}
-	defer mw.Uninstall(recName)
 
 	// Split records per rank, preserving time order within a rank.
 	sorted := tr.Clone()
@@ -127,8 +162,11 @@ func RunWith(mw *mpiio.Middleware, tr trace.Trace, opts Options) (Result, error)
 	}
 	ranks := tr.Ranks() // deterministic launch order
 
-	var runErrs []error
 	payload := sharedPayload(tr.MaxSize())
+	var readScratch []byte
+	if opts.ScratchReads {
+		readScratch = make([]byte, tr.MaxSize())
+	}
 
 	// LockStep: compute each record's epoch and insert barriers at epoch
 	// boundaries. epochBarriers[e] fires when every record of epoch e has
@@ -155,76 +193,111 @@ func RunWith(mw *mpiio.Middleware, tr trace.Trace, opts Options) (Result, error)
 
 	for _, rank := range ranks {
 		records := perRank[rank]
+		// A rank issues sequentially — at most one record in flight — so
+		// one mutable cursor replaces per-op index captures and the whole
+		// client is a fixed set of per-rank closures: the drive loop
+		// allocates nothing per record.
+		var epochIdx []int
+		if opts.Mode == LockStep {
+			// Resolve each record's epoch here, once, so completions index
+			// a slice instead of hashing a map key per op.
+			epochIdx = make([]int, len(records))
+			for i, r := range records {
+				epochIdx[i] = epochOf[keyOf(r)]
+			}
+		}
 		handles := make(map[string]*mpiio.FileHandle)
-		var issue func(i int)
-		var issueNow func(rec trace.Record, i int)
-		issue = func(i int) {
-			if i >= len(records) {
+		var lastFile string
+		var lastH *mpiio.FileHandle
+		next := 0 // index of the next record to issue
+		var issue func()
+		var issueNow func(rec trace.Record)
+		done := func(end float64) {
+			p.res.Ops++
+			if opts.Mode == LockStep {
+				// next already points past the record that just completed.
+				epochBarriers[epochIdx[next-1]].complete(issue)
 				return
 			}
-			rec := records[i]
+			issue()
+		}
+		issue = func() {
+			if next >= len(records) {
+				return
+			}
+			rec := records[next]
+			next++
 			if opts.Mode == Timed {
 				// Honor the record's trace time as its earliest issue
 				// point (relative to the replay start).
-				due := base + (rec.Time - t0)
+				due := p.base + (rec.Time - t0)
 				if now := eng.Now(); due > now {
-					eng.Schedule(due-now, func() { issueNow(rec, i) })
+					eng.Schedule(due-now, func() { issueNow(rec) })
 					return
 				}
 			}
-			issueNow(rec, i)
+			issueNow(rec)
 		}
-		issueNow = func(rec trace.Record, i int) {
-			h, ok := handles[rec.File]
-			if !ok {
-				var err error
-				h, err = mw.Open(rec.File, rec.Rank)
-				if err != nil {
-					runErrs = append(runErrs, err)
-					return
+		issueNow = func(rec trace.Record) {
+			h := lastH
+			if rec.File != lastFile || h == nil {
+				var ok bool
+				h, ok = handles[rec.File]
+				if !ok {
+					var err error
+					h, err = mw.Open(rec.File, rec.Rank)
+					if err != nil {
+						p.runErrs = append(p.runErrs, err)
+						return
+					}
+					handles[rec.File] = h
 				}
-				handles[rec.File] = h
-			}
-			done := func(end float64) {
-				res.Ops++
-				if opts.Mode == LockStep {
-					e := epochOf[keyOf(rec)]
-					gate := epochBarriers[e]
-					gate.complete(func() { issue(i + 1) })
-					return
-				}
-				issue(i + 1)
+				lastFile, lastH = rec.File, h
 			}
 			var err error
 			if rec.Op == trace.OpWrite {
-				res.WriteBytes += rec.Size
+				p.res.WriteBytes += rec.Size
 				err = h.WriteAt(payload[:rec.Size], rec.Offset, done)
 			} else {
-				res.ReadBytes += rec.Size
-				err = h.ReadAt(make([]byte, rec.Size), rec.Offset, done)
+				p.res.ReadBytes += rec.Size
+				buf := readScratch
+				if buf == nil {
+					buf = make([]byte, rec.Size)
+				}
+				err = h.ReadAt(buf[:rec.Size], rec.Offset, done)
 			}
 			if err != nil {
-				runErrs = append(runErrs, err)
+				p.runErrs = append(p.runErrs, err)
 			}
 		}
 		// All ranks start at the same virtual instant.
-		eng.Schedule(0, func() { issue(0) })
+		eng.Schedule(0, issue)
 	}
+	return p, nil
+}
 
-	eng.Run()
-	if len(runErrs) > 0 {
-		return Result{}, fmt.Errorf("replay: %d errors, first: %w", len(runErrs), runErrs[0])
+// Finish validates the drained replay and assembles its result. The
+// caller must have run the engine until no replay events remain.
+func (p *Pending) Finish() (Result, error) {
+	tr := p.tr
+	if len(tr) == 0 {
+		return Result{}, nil
+	}
+	defer p.mw.Uninstall(recName)
+	res := p.res
+	if len(p.runErrs) > 0 {
+		return Result{}, fmt.Errorf("replay: %d errors, first: %w", len(p.runErrs), p.runErrs[0])
 	}
 	if res.Ops != len(tr) {
 		return Result{}, fmt.Errorf("replay: completed %d of %d operations", res.Ops, len(tr))
 	}
-	if rec.Len() != len(tr) {
-		return Result{}, fmt.Errorf("replay: pipeline recorded %d of %d requests", rec.Len(), len(tr))
+	if p.rec.Len() != len(tr) {
+		return Result{}, fmt.Errorf("replay: pipeline recorded %d of %d requests", p.rec.Len(), len(tr))
 	}
-	latest := base
+	latest := p.base
 	failed := 0
 	var firstErr error
-	for _, c := range rec.Records() {
+	for _, c := range p.rec.Records() {
 		res.Latencies = append(res.Latencies, c.Latency())
 		if c.Complete > latest {
 			latest = c.Complete
@@ -242,8 +315,8 @@ func RunWith(mw *mpiio.Middleware, tr trace.Trace, opts Options) (Result, error)
 		// bench ships is allowed to produce.
 		return Result{}, fmt.Errorf("replay: %d of %d requests failed, first: %w", failed, len(tr), firstErr)
 	}
-	res.Makespan = latest - base
-	res.PerServer = metrics.DiffStats(before, mw.Cluster.ServerStats())
+	res.Makespan = latest - p.base
+	res.PerServer = metrics.DiffStats(p.before, p.mw.Cluster.ServerStats())
 	return res, nil
 }
 
@@ -265,7 +338,9 @@ type epochGate struct {
 	waiters   []func()
 }
 
-func newEpochGate(n int) *epochGate { return &epochGate{remaining: n} }
+func newEpochGate(n int) *epochGate {
+	return &epochGate{remaining: n, waiters: make([]func(), 0, n)}
+}
 
 // complete marks one record done and registers the continuation to run
 // when the whole epoch has drained. The continuation runs immediately if

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"fmt"
+
+	"mhafs/internal/fault"
+	"mhafs/internal/trace"
+)
+
+// Dataless mode: the XL simulation tier measures timing, queueing and
+// layout behaviour over ≥10⁶ requests — it never reads the bytes back
+// out-of-band, so materializing every payload in ByteStores (and the
+// defensive copy each submit makes) is pure overhead at that scale. A
+// dataless server charges exactly the same virtual-time costs through
+// exactly the same FIFO resource, but skips the byte movement, and its
+// submission path runs on pooled in-flight descriptors: steady state it
+// allocates nothing per request.
+//
+// Paper-scale clusters keep Dataless off, so their byte-accurate
+// write/read round-trips — and their golden figures — are untouched.
+
+// Done receives a sub-request completion on the descriptor-based
+// submission path. *iopath.Request implements it, so the pipeline's
+// terminal stage hands the request itself to the server — no completion
+// closure per sub-request.
+type Done interface {
+	IODone(end float64, err error)
+}
+
+// SetDataless switches the server's payload handling. Flipping it on a
+// server that already stores bytes is a wiring bug the caller owns;
+// clusters set it once at construction.
+func (s *Server) SetDataless(v bool) { s.dataless = v }
+
+// IsDataless reports whether the server skips payload materialization.
+func (s *Server) IsDataless() bool { return s.dataless }
+
+// inflight is one submission in service: the reserved window, the fault
+// decision taken at submit, and the completion target. It implements
+// sim.Callback so the service-end event schedules without a closure, and
+// it is pooled on the server, so the steady-state submit path performs no
+// allocation at all.
+type inflight struct {
+	srv       *Server
+	op        trace.Op
+	n         int64
+	submit    float64
+	start     float64
+	end       float64
+	transient bool
+	done      Done
+}
+
+// Fire completes the submission at its service-end event: resource
+// bookkeeping, counters, telemetry, then the Done callback. The
+// descriptor is recycled before the callback runs — IODone may submit
+// follow-on work to this same server and immediately reuse it.
+func (f *inflight) Fire() {
+	s, op, n := f.srv, f.op, f.n
+	submit, start, end := f.submit, f.start, f.end
+	transient, done := f.transient, f.done
+	*f = inflight{}
+	s.freeIn = append(s.freeIn, f)
+
+	s.res.Complete()
+	if transient {
+		if s.tel != nil {
+			s.tel.observe(op, n, submit, start, end)
+		}
+		done.IODone(end, fault.ErrTransient)
+		return
+	}
+	if op == trace.OpWrite {
+		s.writeBytes += n
+		s.writes++
+	} else {
+		s.readBytes += n
+		s.reads++
+	}
+	if s.tel != nil {
+		s.tel.observe(op, n, submit, start, end)
+	}
+	done.IODone(end, nil)
+}
+
+// getInflight pops a pooled descriptor (the pool is confined to the
+// engine's single thread, like the server itself).
+func (s *Server) getInflight() *inflight {
+	if n := len(s.freeIn); n > 0 {
+		f := s.freeIn[n-1]
+		s.freeIn[n-1] = nil
+		s.freeIn = s.freeIn[:n-1]
+		return f
+	}
+	return &inflight{}
+}
+
+// SubmitDataless is the descriptor-based submission path of a dataless
+// server: it charges the same fault decisions, queueing and service time
+// as SubmitWriteErr/SubmitReadErr, but moves no bytes and allocates
+// nothing steady-state. done receives the attempt's virtual end time and
+// its error, exactly like the Err-returning submits.
+func (s *Server) SubmitDataless(op trace.Op, n int64, done Done) {
+	if !s.dataless {
+		panic(fmt.Sprintf("server %s: SubmitDataless on a byte-storing server", s.Name))
+	}
+	if done == nil {
+		panic(fmt.Sprintf("server %s: submit with nil completion", s.Name))
+	}
+	submit := s.eng.Now()
+	d := fault.Healthy()
+	if s.faults != nil {
+		start := submit
+		if bu := s.res.BusyUntil(); bu > start {
+			start = bu
+		}
+		d = s.faults.At(s.Name, start)
+		s.faults.Observe(s.Name, d)
+		if d.Down {
+			// Refused at the door, asynchronously like every submit. The
+			// fault path may allocate: outages are rare by construction.
+			s.eng.Schedule(0, func() { done.IODone(s.eng.Now(), fault.ErrUnavailable) })
+			return
+		}
+	}
+	service := s.serviceTimeAt(op, n, s.res.Depth())
+	if d.Scale != 1 && n > 0 {
+		service = s.Dev.ServiceTimeAt(op, n, s.res.Depth())*d.Scale + s.Net.TransferTime(n)
+	}
+	start, end := s.res.Reserve(service)
+	f := s.getInflight()
+	f.srv, f.op, f.n = s, op, n
+	f.submit, f.start, f.end = submit, start, end
+	f.transient, f.done = d.Transient, done
+	s.eng.AtCall(end, f)
+}
+
+// doneFunc adapts a completion func to Done for callers that need a
+// per-attempt closure rather than a descriptor.
+type doneFunc func(end float64, err error)
+
+// IODone implements Done.
+func (f doneFunc) IODone(end float64, err error) { f(end, err) }
+
+// SubmitOpErr is the func-based fault-aware submission of a dataless
+// server, the analogue of SubmitWriteErr/SubmitReadErr by size alone. The
+// client retry stage uses it: each attempt owns a settling closure, so the
+// descriptor path does not apply (and boxing the closure may allocate —
+// retries ride the fault path, not the hot loop).
+func (s *Server) SubmitOpErr(op trace.Op, n int64, done func(end float64, err error)) {
+	if done == nil {
+		panic(fmt.Sprintf("server %s: submit with nil completion", s.Name))
+	}
+	s.SubmitDataless(op, n, doneFunc(done))
+}

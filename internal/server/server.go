@@ -32,6 +32,11 @@ type Server struct {
 	tel    *serverMetrics
 	faults *fault.Injector
 
+	// dataless servers charge full virtual-time costs but move no bytes;
+	// freeIn is their pooled in-flight descriptor list (see dataless.go).
+	dataless bool
+	freeIn   []*inflight
+
 	readBytes  int64
 	writeBytes int64
 	reads      int64
@@ -188,6 +193,13 @@ func (s *Server) SubmitRead(obj string, local int64, buf []byte, done func(end f
 // slowdown scales the device term of the service time.
 func (s *Server) SubmitWriteErr(obj string, local int64, data []byte, done func(end float64, err error)) {
 	n := int64(len(data))
+	if s.dataless {
+		s.submit(trace.OpWrite, n, func() {
+			s.writeBytes += n
+			s.writes++
+		}, done)
+		return
+	}
 	// Copy now: the caller may reuse its buffer before virtual completion.
 	buf := make([]byte, n)
 	copy(buf, data)
@@ -202,6 +214,13 @@ func (s *Server) SubmitWriteErr(obj string, local int64, data []byte, done func(
 // SubmitWriteErr. buf is filled only on success.
 func (s *Server) SubmitReadErr(obj string, local int64, buf []byte, done func(end float64, err error)) {
 	n := int64(len(buf))
+	if s.dataless {
+		s.submit(trace.OpRead, n, func() {
+			s.readBytes += n
+			s.reads++
+		}, done)
+		return
+	}
 	s.submit(trace.OpRead, n, func() {
 		s.Object(obj).ReadAt(buf, local)
 		s.readBytes += n

@@ -34,24 +34,41 @@ func NewResource(eng *Engine, name string) *Resource {
 // runs at completion with the virtual start and end times of service.
 // FIFO semantics: service starts at max(now, end of previous request).
 func (r *Resource) Acquire(service float64, done func(start, end float64)) {
-	if service < 0 || math.IsNaN(service) {
-		panic(fmt.Sprintf("sim: resource %s acquire with invalid service time %v", r.Name, service))
-	}
-	start := r.eng.Now()
-	if r.busyUntil > start {
-		start = r.busyUntil
-	}
-	end := start + service
-	r.busyUntil = end
-	r.busyTime += service
-	r.inflight++
+	start, end := r.Reserve(service)
 	r.eng.At(end, func() {
-		r.inflight--
-		r.served++
+		r.Complete()
 		if done != nil {
 			done(start, end)
 		}
 	})
+}
+
+// Reserve claims the next FIFO service window without scheduling the
+// completion event, returning the window's virtual start and end. The
+// caller must schedule its own event at end and call Complete from it —
+// the split exists so pooled submission descriptors can use AtCall and
+// keep the whole acquire/complete cycle allocation-free. Accounting is
+// identical to Acquire, which is built on it.
+func (r *Resource) Reserve(service float64) (start, end float64) {
+	if service < 0 || math.IsNaN(service) {
+		panic(fmt.Sprintf("sim: resource %s acquire with invalid service time %v", r.Name, service))
+	}
+	start = r.eng.Now()
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end = start + service
+	r.busyUntil = end
+	r.busyTime += service
+	r.inflight++
+	return start, end
+}
+
+// Complete records the completion of a window claimed with Reserve. It
+// must be called exactly once per Reserve, at the window's end event.
+func (r *Resource) Complete() {
+	r.inflight--
+	r.served++
 }
 
 // BusyUntil returns the virtual time at which the queue drains.

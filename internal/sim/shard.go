@@ -1,0 +1,82 @@
+package sim
+
+import "mhafs/internal/parfan"
+
+// Sharded execution of independent engines.
+//
+// A single Engine is strictly single-threaded; scaling past one timeline
+// therefore means many engines, each owning a shared-nothing cell of the
+// simulated world (one server group, its clients, its files). Events never
+// cross engines, so each engine's execution — and every byte it produces —
+// is a pure function of its own initial schedule, independent of when the
+// other engines advance. That is the same shape as parfan's per-index
+// slots (DESIGN.md §12), lifted from result slots to whole simulations,
+// and it is why the functions below can change how engines are grouped and
+// parallelized without changing any output: partitioning affects wall
+// clock only, never bytes. DESIGN.md §14 spells out the argument.
+
+// RunInterleaved drains every engine, stepping them in globally merged
+// (time, engine index, seq) order, and returns the total number of events
+// executed. The merge order is the one a single engine hosting all the
+// cells would have used (with engine index as the tiebreak between cells
+// scheduled at identical times), which makes interleaved stepping easy to
+// reason about in logs and debuggers — but because the engines share
+// nothing, any stepping order produces the same final state.
+func RunInterleaved(engines []*Engine) uint64 {
+	var fired uint64
+	for {
+		best := -1
+		var bt float64
+		var bs uint64
+		for i, e := range engines {
+			t, s, ok := e.peek()
+			if !ok {
+				continue
+			}
+			if best < 0 || t < bt || (t == bt && s < bs) {
+				best, bt, bs = i, t, s
+			}
+		}
+		if best < 0 {
+			return fired
+		}
+		engines[best].Step()
+		fired++
+	}
+}
+
+// RunSharded partitions engines into the given number of contiguous
+// shards, drains each shard with RunInterleaved, and fans the shards out
+// across at most workers goroutines via parfan.Map. It returns the total
+// number of events executed.
+//
+// Because the engines are shared-nothing, the result bytes of every
+// engine are identical for every (shards, workers) pair — including
+// (1, 1), the serial path — so shard and worker counts are pure
+// performance knobs, verified by TestRunShardedEquivalence and the XL
+// determinism matrix in internal/bench.
+func RunSharded(engines []*Engine, shards, workers int) uint64 {
+	n := len(engines)
+	if n == 0 {
+		return 0
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	counts := parfan.Map(shards, workers, func(s int) uint64 {
+		// Contiguous partition: shard s owns engines [lo, hi). The split is
+		// a function of (n, shards) alone, so the grouping — irrelevant to
+		// bytes, visible in traces — is itself reproducible.
+		lo := s * n / shards
+		hi := (s + 1) * n / shards
+		return RunInterleaved(engines[lo:hi])
+	})
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}

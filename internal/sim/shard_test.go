@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// buildCell populates eng with a deterministic little workload — a FIFO
+// resource fed by staggered arrivals, a cancelled timer, a live timer —
+// and returns the slice the workload appends its completion log to. The
+// log is a pure function of idx, so two cells built with the same idx
+// must produce identical logs no matter how their engines are stepped.
+func buildCell(eng *Engine, idx int) *[]string {
+	log := &[]string{}
+	res := NewResource(eng, fmt.Sprintf("cell%d", idx))
+	for j := 0; j < 5; j++ {
+		j := j
+		eng.Schedule(float64(j)+float64(idx)*0.1, func() {
+			res.Acquire(1.5, func(start, end float64) {
+				*log = append(*log, fmt.Sprintf("cell%d req%d %.3f-%.3f", idx, j, start, end))
+			})
+		})
+	}
+	dead := eng.AfterFunc(100, func() { *log = append(*log, "dead timer fired") })
+	eng.Schedule(0.5, func() { dead.Stop() })
+	eng.AfterFunc(3, func() { *log = append(*log, fmt.Sprintf("cell%d alarm %.3f", idx, eng.Now())) })
+	return log
+}
+
+// buildCells returns n freshly built engines and their logs.
+func buildCells(n int) ([]*Engine, []*[]string) {
+	engines := make([]*Engine, n)
+	logs := make([]*[]string, n)
+	for i := range engines {
+		engines[i] = &Engine{}
+		logs[i] = buildCell(engines[i], i)
+	}
+	return engines, logs
+}
+
+func TestRunShardedEquivalence(t *testing.T) {
+	const cells = 6
+	serial, serialLogs := buildCells(cells)
+	var serialFired uint64
+	for _, e := range serial {
+		e.Run()
+		serialFired += e.Fired()
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("shards=%d/workers=%d", shards, workers)
+			engines, logs := buildCells(cells)
+			fired := RunSharded(engines, shards, workers)
+			if fired != serialFired {
+				t.Errorf("%s: fired %d events, serial fired %d", name, fired, serialFired)
+			}
+			for i := range logs {
+				if !reflect.DeepEqual(*logs[i], *serialLogs[i]) {
+					t.Errorf("%s: cell %d log diverged\n got %v\nwant %v", name, i, *logs[i], *serialLogs[i])
+				}
+				if got, want := engines[i].Now(), serial[i].Now(); got != want {
+					t.Errorf("%s: cell %d final clock %v, serial %v", name, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRunInterleavedMergeOrder(t *testing.T) {
+	// Two engines with events at interleaving times: the merged stepping
+	// order must be by (time, engine index, seq), observable through a
+	// shared trace — safe here because RunInterleaved is single-threaded.
+	a, b := &Engine{}, &Engine{}
+	var order []string
+	a.Schedule(1, func() { order = append(order, "a1") })
+	b.Schedule(0.5, func() { order = append(order, "b0.5") })
+	a.Schedule(2, func() { order = append(order, "a2") })
+	b.Schedule(2, func() { order = append(order, "b2") })
+	if fired := RunInterleaved([]*Engine{a, b}); fired != 4 {
+		t.Fatalf("fired %d events, want 4", fired)
+	}
+	// At t=2 both engines have an event; engine index breaks the tie.
+	want := []string{"b0.5", "a1", "a2", "b2"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("interleave order %v, want %v", order, want)
+	}
+}
+
+func TestRunShardedEmpty(t *testing.T) {
+	if fired := RunSharded(nil, 4, 4); fired != 0 {
+		t.Errorf("fired %d on no engines, want 0", fired)
+	}
+	// More shards than engines must clamp rather than index out of range.
+	e := &Engine{}
+	e.Schedule(1, func() {})
+	if fired := RunSharded([]*Engine{e}, 8, 4); fired != 1 {
+		t.Errorf("fired %d, want 1", fired)
+	}
+}
+
+func TestDeadTimerCompaction(t *testing.T) {
+	eng := &Engine{}
+	const n = 4 * compactDeadMin
+	timers := make([]*Timer, n)
+	for i := range timers {
+		timers[i] = eng.AfterFunc(1000, func() { t.Error("stopped timer ran") })
+	}
+	var ran bool
+	eng.Schedule(1, func() { ran = true })
+	if got := eng.Pending(); got != n+1 {
+		t.Fatalf("Pending() = %d before stops, want %d", got, n+1)
+	}
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	// Every cancelled timer vanishes from Pending immediately, compacted or
+	// not: a dead event can no longer run anything.
+	if got := eng.Pending(); got != 1 {
+		t.Errorf("Pending() = %d after stops, want 1", got)
+	}
+	// Compaction must have physically shrunk the heap: the trigger fires
+	// whenever dead events reach compactDeadMin and half the heap, so at
+	// most compactDeadMin residual dead events (plus the live one) survive
+	// the stop burst — far-future cancelled deadlines cannot pile up (the
+	// retry stage cancels one timeout per successful attempt).
+	if len(eng.events) > compactDeadMin+1 {
+		t.Errorf("heap holds %d events after stopping %d timers, want <= %d", len(eng.events), n, compactDeadMin+1)
+	}
+	eng.Run()
+	if !ran {
+		t.Error("live event did not run")
+	}
+	if got := eng.Pending(); got != 0 {
+		t.Errorf("Pending() = %d after drain, want 0", got)
+	}
+}
+
+func TestCompactionPreservesOrder(t *testing.T) {
+	// Interleave live events with a compaction-triggering burst of
+	// cancellations and verify the surviving events still run in (time,
+	// seq) order with correct clocks.
+	eng := &Engine{}
+	var got []float64
+	for i := 0; i < 10; i++ {
+		at := float64(i)*2 + 10
+		eng.At(at, func() { got = append(got, eng.Now()) })
+	}
+	timers := make([]*Timer, 2*compactDeadMin)
+	for i := range timers {
+		timers[i] = eng.AfterFunc(500, func() {})
+	}
+	eng.Schedule(1, func() {
+		for _, tm := range timers {
+			tm.Stop()
+		}
+	})
+	eng.Run()
+	want := make([]float64, 10)
+	for i := range want {
+		want[i] = float64(i)*2 + 10
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("execution times %v, want %v", got, want)
+	}
+}

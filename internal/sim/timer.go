@@ -1,34 +1,35 @@
 package sim
 
 // Timer is a cancellable virtual-time alarm. The engine's event heap has
-// no removal — events are immutable once scheduled — so a Timer wraps its
-// event with a liveness flag: Stop marks the timer dead and the event
-// becomes a no-op when it fires. Clients use timers for per-attempt
-// timeouts, where the common case (the attempt completes first) must be
-// able to disarm the pending deadline.
+// no removal — events are immutable once scheduled — so a Timer marks its
+// event with a liveness flag: Stop marks the timer dead, the event fires
+// as a no-op when its time arrives, and once dead events dominate the
+// heap the engine compacts them away (see Engine.compactDead). Clients
+// use timers for per-attempt timeouts, where the common case (the attempt
+// completes first) must be able to disarm the pending deadline.
 //
 // Timers are driven from engine callbacks, which are single-threaded like
 // the engine itself.
 type Timer struct {
+	eng     *Engine
 	fired   bool
 	stopped bool
 }
 
 // AfterFunc schedules fn to run after delay seconds of virtual time and
-// returns a Timer that can cancel it. A stopped timer's event still
-// occupies the heap until its time arrives, but fn does not run.
+// returns a Timer that can cancel it. A stopped timer's event occupies
+// the heap until its time arrives or the engine compacts dead events,
+// whichever comes first; fn does not run either way.
 func (e *Engine) AfterFunc(delay float64, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: AfterFunc with nil callback")
 	}
-	t := &Timer{}
-	e.Schedule(delay, func() {
-		if t.stopped {
-			return
-		}
-		t.fired = true
-		fn()
-	})
+	if delay < 0 {
+		panic("sim: AfterFunc with negative delay")
+	}
+	t := &Timer{eng: e}
+	e.seq++
+	e.events.push(event{time: e.now + delay, seq: e.seq, fn: fn, timer: t})
 	return t
 }
 
@@ -39,6 +40,7 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	t.stopped = true
+	t.eng.timerStopped()
 	return true
 }
 

@@ -210,15 +210,28 @@ func bytesBelow(x, base, size, L int64) int64 {
 // Split maps the file extent [off, off+length) to per-server sub-requests.
 // Servers receiving no bytes are omitted. The order is flat server order.
 func (l Layout) Split(off, length int64) []SubRequest {
+	return l.AppendSplit(nil, off, length)
+}
+
+// AppendSplit is Split appending into dst, so a caller reusing planning
+// scratch splits without allocating. The flat server order is iterated
+// directly rather than materializing Servers().
+func (l Layout) AppendSplit(dst []SubRequest, off, length int64) []SubRequest {
 	if off < 0 || length < 0 {
 		panic(fmt.Sprintf("stripe: invalid extent off=%d len=%d", off, length))
 	}
 	if length == 0 {
-		return nil
+		return dst
 	}
 	L := l.RoundLength()
-	out := make([]SubRequest, 0, l.M+l.N)
-	for _, ref := range l.Servers() {
+	if dst == nil {
+		dst = make([]SubRequest, 0, l.M+l.N)
+	}
+	for k := 0; k < l.M+l.N; k++ {
+		ref := ServerRef{Class: ClassH, Index: k}
+		if k >= l.M {
+			ref = ServerRef{Class: ClassS, Index: k - l.M}
+		}
 		size, base := l.stripeOf(ref)
 		if size == 0 {
 			continue
@@ -227,9 +240,9 @@ func (l Layout) Split(off, length int64) []SubRequest {
 		if n == 0 {
 			continue
 		}
-		out = append(out, SubRequest{Server: ref, Local: l.firstLocalAtOrAfter(off, ref), Size: n})
+		dst = append(dst, SubRequest{Server: ref, Local: l.firstLocalAtOrAfter(off, ref), Size: n})
 	}
-	return out
+	return dst
 }
 
 // firstLocalAtOrAfter returns the local offset on server ref of the first

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+// XLConfig parameterizes the XL-tier generator: a synthetic application
+// sized for the ≥10⁶-request simulation tier rather than any benchmark in
+// the paper. The access structure is the common checkpoint-then-analyze
+// shape: every rank writes its partition of a shared file phase by phase,
+// then the same extents are read back in the same phase order.
+type XLConfig struct {
+	File  string
+	Procs int
+	// Requests is the total record count; the first half (rounded up) are
+	// writes, the rest read the written extents back in write order.
+	Requests int
+	// Sizes rotate per phase, giving the trace the size heterogeneity the
+	// layout schemes care about. Empty means 64KB.
+	Sizes []int64
+}
+
+// Validate checks the configuration.
+func (c XLConfig) Validate() error {
+	if c.File == "" {
+		return fmt.Errorf("workload: xl: empty file name")
+	}
+	if c.Procs <= 0 {
+		return fmt.Errorf("workload: xl: non-positive process count %d", c.Procs)
+	}
+	if c.Requests <= 0 {
+		return fmt.Errorf("workload: xl: non-positive request count %d", c.Requests)
+	}
+	for _, s := range c.Sizes {
+		if s <= 0 {
+			return fmt.Errorf("workload: xl: non-positive request size %d", s)
+		}
+	}
+	return nil
+}
+
+// XLApp generates the trace: write phases of one record per rank at
+// consecutive disjoint offsets, then read phases re-walking the same
+// extents with the same ranks. Fully deterministic — same config, same
+// bytes — which the XL determinism matrix depends on.
+func XLApp(cfg XLConfig) (trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sizes := cfg.Sizes
+	if len(sizes) == 0 {
+		sizes = []int64{64 * units.KB}
+	}
+	writes := (cfg.Requests + 1) / 2
+	reads := cfg.Requests - writes
+	tr := make(trace.Trace, 0, cfg.Requests)
+	var off int64
+	for k := 0; k < writes; k++ {
+		phase, rank := k/cfg.Procs, k%cfg.Procs
+		size := sizes[phase%len(sizes)]
+		tr = append(tr, trace.Record{
+			PID: 1000 + rank, Rank: rank, FD: 3, File: cfg.File, Op: trace.OpWrite,
+			Offset: off, Size: size,
+			Time: float64(phase)*epochGap + float64(rank)*rankJitter,
+		})
+		off += size
+	}
+	// Read phases mirror the write phases, shifted past the write span.
+	readBase := (float64((writes-1)/cfg.Procs) + 1) * epochGap
+	for k := 0; k < reads; k++ {
+		r := tr[k]
+		r.Op = trace.OpRead
+		r.Time += readBase
+		tr = append(tr, r)
+	}
+	return tr, nil
+}

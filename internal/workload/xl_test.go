@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"testing"
+
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+func TestXLApp(t *testing.T) {
+	tr, err := XLApp(XLConfig{File: "x", Procs: 4, Requests: 101,
+		Sizes: []int64{16 * units.KB, 64 * units.KB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 101 {
+		t.Fatalf("records = %d, want 101", len(tr))
+	}
+	writes := 51
+	for i, r := range tr[:writes] {
+		if r.Op != trace.OpWrite {
+			t.Fatalf("record %d: op %v, want write", i, r.Op)
+		}
+	}
+	// Reads mirror the write extents in write order, shifted in time.
+	for i, r := range tr[writes:] {
+		w := tr[i]
+		if r.Op != trace.OpRead {
+			t.Fatalf("read %d: op %v", i, r.Op)
+		}
+		if r.Offset != w.Offset || r.Size != w.Size || r.Rank != w.Rank {
+			t.Fatalf("read %d = %+v does not mirror write %+v", i, r, w)
+		}
+		if r.Time <= w.Time {
+			t.Fatalf("read %d at %v not after its write at %v", i, r.Time, w.Time)
+		}
+	}
+	// Write extents are disjoint and consecutive.
+	var off int64
+	for i, r := range tr[:writes] {
+		if r.Offset != off {
+			t.Fatalf("write %d offset %d, want %d", i, r.Offset, off)
+		}
+		off += r.Size
+	}
+	// Deterministic: regeneration is identical.
+	tr2, err := XLApp(XLConfig{File: "x", Procs: 4, Requests: 101,
+		Sizes: []int64{16 * units.KB, 64 * units.KB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr {
+		if tr[i] != tr2[i] {
+			t.Fatalf("record %d differs between generations", i)
+		}
+	}
+}
+
+func TestXLAppValidation(t *testing.T) {
+	cases := []XLConfig{
+		{File: "", Procs: 1, Requests: 1},
+		{File: "x", Procs: 0, Requests: 1},
+		{File: "x", Procs: 1, Requests: 0},
+		{File: "x", Procs: 1, Requests: 1, Sizes: []int64{0}},
+	}
+	for i, c := range cases {
+		if _, err := XLApp(c); err == nil {
+			t.Errorf("case %d: config %+v validated", i, c)
+		}
+	}
+}
