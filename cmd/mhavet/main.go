@@ -1,21 +1,37 @@
 // Command mhavet is the repository's domain-aware static analyzer: it
-// machine-checks the determinism, unit-safety, pipeline and
+// machine-checks the determinism, unit-safety, pipeline, allocation and
 // concurrency-scope invariants the reproduction's bit-for-bit figure
 // guarantee rests on (goroutines and sync primitives are confined to the
 // sanctioned packages — everything else fans out through
-// internal/parfan).
+// internal/parfan; heap allocations reachable from the HotPathFunctions
+// roots are flagged by allocheck; nondeterministic values flowing into
+// figure emission are flagged by flowcheck).
 //
 // Usage:
 //
-//	go run ./cmd/mhavet ./...          # analyze the whole module (CI)
-//	go run ./cmd/mhavet ./internal/sim # analyze one package
-//	go run ./cmd/mhavet -list          # describe the analyzers
+//	go run ./cmd/mhavet ./...                      # analyze the whole module (CI)
+//	go run ./cmd/mhavet ./internal/sim             # analyze one package
+//	go run ./cmd/mhavet -format sarif ./...        # SARIF 2.1.0 on stdout
+//	go run ./cmd/mhavet -baseline mhavet_baseline.json ./...
+//	go run ./cmd/mhavet -list                      # describe the analyzers
 //
-// mhavet prints one gofmt-style "file:line:col: analyzer/rule: message"
-// diagnostic per finding and exits 1 when any are found, 2 on load
-// errors, 0 on a clean tree. Findings are suppressed at the site with a
-// "//mhavet:allow <rule>" comment on the same or the preceding line; see
-// DESIGN.md §10 for the contract each analyzer enforces.
+// The default -format text prints one gofmt-style
+// "file:line:col: analyzer/rule: message" diagnostic per finding;
+// -format json emits a flat array with stable fingerprints, and
+// -format sarif a minimal SARIF 2.1.0 log for code-scanning upload.
+// Paths in every format are module-root-relative.
+//
+// -baseline names a committed JSON file mapping finding fingerprints to
+// justifications; baselined findings are suppressed in every format, and
+// stale entries (matching nothing) are themselves an error so the file
+// cannot rot. Fingerprints hash path, analyzer, rule and message — not
+// the line number — so unrelated edits don't invalidate them.
+//
+// Exit codes are uniform across formats: 0 clean (after baseline and
+// allow-comment suppression), 1 findings, 2 load or usage errors.
+// Findings are suppressed at the site with a "//mhavet:allow <rule>"
+// comment on the same or the preceding line; see DESIGN.md §10 and §15
+// for the contract each analyzer enforces.
 //
 // The analyzer is built on go/parser and go/types only — no
 // golang.org/x/tools — so it runs offline from a bare checkout.
@@ -34,8 +50,10 @@ import (
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
 	quiet := flag.Bool("q", false, "suppress the success summary")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	baselinePath := flag.String("baseline", "", "JSON baseline file of fingerprint -> justification")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mhavet [-list] [-q] [./... | ./dir | ./dir/...]")
+		fmt.Fprintln(os.Stderr, "usage: mhavet [-list] [-q] [-format text|json|sarif] [-baseline file] [./... | ./dir | ./dir/...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,6 +64,18 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fatal(fmt.Errorf("unknown format %q (want text, json, or sarif)", *format))
+	}
+
+	var baseline analysis.Baseline
+	if *baselinePath != "" {
+		b, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		baseline = b
 	}
 
 	cwd, err := os.Getwd()
@@ -66,20 +96,38 @@ func main() {
 		fatal(err)
 	}
 	filtered := &analysis.Module{Path: mod.Path, Root: mod.Root, Fset: mod.Fset, Pkgs: pkgs}
-	diags := analysis.Run(filtered, analyzers)
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
-		}
-		fmt.Printf("%s:%d:%d: %s/%s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Rule, d.Message)
+	findings := analysis.Fingerprints(mod, analysis.Run(filtered, analyzers))
+
+	suppressed := 0
+	var stale []string
+	if baseline != nil {
+		stale = baseline.Stale(findings)
+		findings, suppressed = baseline.Filter(findings)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "mhavet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+
+	switch *format {
+	case "text":
+		err = analysis.WriteText(os.Stdout, findings)
+	case "json":
+		err = analysis.WriteJSON(os.Stdout, findings)
+	case "sarif":
+		err = analysis.WriteSARIF(os.Stdout, analyzers, findings)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, fp := range stale {
+		fmt.Fprintf(os.Stderr, "mhavet: stale baseline entry %s: %s\n", fp, baseline[fp])
+	}
+	if len(findings) > 0 || len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "mhavet: %d finding(s), %d baselined, %d stale baseline entr(ies) in %d package(s)\n",
+			len(findings), suppressed, len(stale), len(pkgs))
 		os.Exit(1)
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "mhavet: %d package(s) clean (%d analyzers)\n", len(pkgs), len(analyzers))
+		fmt.Fprintf(os.Stderr, "mhavet: %d package(s) clean (%d analyzers, %d baselined)\n",
+			len(pkgs), len(analyzers), suppressed)
 	}
 }
 

@@ -1,0 +1,365 @@
+package analysis
+
+// allocheck turns the runtime allocs/op ceiling (the CI hot-loop
+// benchmark gate) into a merge-time check: starting from the
+// HotPathFunctions roots it walks the call graph and flags every
+// statically detectable heap allocation — capturing closures, interface
+// boxing, map/slice literals and makes, growing appends, fmt calls — in
+// any function the hot path can reach.
+//
+// Two deliberate blind spots keep the signal usable (DESIGN.md §15):
+//
+//   - subtrees of return statements and panic arguments are skipped as
+//     cold error paths (building an *Errorf on the way out of a failed
+//     request is not a per-op allocation in a correct run);
+//   - a //mhavet:coldpath directive on a function declaration prunes
+//     the walk at that function — for stages that are wired into the
+//     pipeline (so the class-hierarchy edges reach them) but run at
+//     file-creation or fault-recovery frequency, not per request.
+//
+// Escape analysis is out of scope: allocheck flags syntactic allocation
+// forms, so a non-escaping &T{} the compiler would stack-allocate still
+// needs an //mhavet:allow comment. On the hot path that conservatism is
+// the point — the reviewer decides, with the justification in-tree.
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AllocSite is one statically detected heap allocation.
+type AllocSite struct {
+	Node ast.Node
+	Rule string // "closure", "box", "literal", "append" or "fmt"
+	Desc string
+}
+
+const allocheckName = "allocheck"
+
+// AllocCheck builds the interprocedural allocation analyzer.
+func AllocCheck() *Analyzer {
+	return &Analyzer{
+		Name: allocheckName,
+		Doc:  "forbid heap allocations reachable from the HotPathFunctions roots",
+		Run: func(p *Package) []Diagnostic {
+			return p.Module.Graph().allocFindings()[p]
+		},
+	}
+}
+
+// allocFindings computes the module's allocation findings once, grouped
+// by the package that owns each finding site (so allow comments resolve
+// against the right file set).
+func (g *CallGraph) allocFindings() map[*Package][]Diagnostic {
+	if g.allocDiags != nil {
+		return g.allocDiags
+	}
+	g.allocDiags = make(map[*Package][]Diagnostic)
+	var roots []*FuncNode
+	for _, key := range HotPathFunctions {
+		if n := g.Lookup(key); n != nil {
+			roots = append(roots, n)
+		}
+	}
+	set, via := g.Reachable(roots)
+	for _, node := range g.Functions() {
+		if !set[node] || node.ColdPath {
+			continue
+		}
+		sites := collectAllocSites(node)
+		node.Summary.AllocSites = sites
+		for _, s := range sites {
+			d := node.Pkg.diag(allocheckName, s.Rule, s.Node,
+				"%s on the hot path (%s)", s.Desc, Route(via, node))
+			g.allocDiags[node.Pkg] = append(g.allocDiags[node.Pkg], d)
+		}
+	}
+	return g.allocDiags
+}
+
+// collectAllocSites scans one function body for syntactic heap
+// allocations, skipping return-statement and panic-argument subtrees.
+func collectAllocSites(node *FuncNode) []AllocSite {
+	p := node.Pkg
+	body := node.Decl.Body
+	presized := presizedSlices(p, body)
+	var sites []AllocSite
+	add := func(n ast.Node, rule, desc string) {
+		sites = append(sites, AllocSite{Node: n, Rule: rule, Desc: desc})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.ReturnStmt:
+			return false // cold: value construction on the way out
+		case *ast.FuncLit:
+			if name, ok := capturesVariable(p, node.Decl, e); ok {
+				add(e, "closure", "closure capturing "+name+" allocates")
+			}
+			return true // calls inside the closure still count
+		case *ast.CompositeLit:
+			switch p.typeOf(e).(type) {
+			case *types.Map:
+				add(e, "literal", "map literal allocates")
+			case *types.Slice:
+				add(e, "literal", "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if e.Op.String() == "&" {
+				if _, ok := unparen(e.X).(*ast.CompositeLit); ok {
+					add(e, "literal", "&composite literal allocates")
+				}
+			}
+		case *ast.CallExpr:
+			return inspectAllocCall(p, e, presized, add)
+		}
+		return true
+	})
+	return sites
+}
+
+// inspectAllocCall applies the call-site rules; its return value is the
+// "descend into this subtree" answer for the walker.
+func inspectAllocCall(p *Package, call *ast.CallExpr, presized map[*types.Var]bool,
+	add func(ast.Node, string, string)) bool {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := p.Info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "panic":
+				return false // cold: argument built only on the failure path
+			case "make":
+				switch p.typeOf(call).(type) {
+				case *types.Map:
+					add(call, "literal", "make(map) allocates")
+				case *types.Slice:
+					add(call, "literal", "make(slice) allocates")
+				case *types.Chan:
+					add(call, "literal", "make(chan) allocates")
+				}
+				return true
+			case "new":
+				add(call, "literal", "new allocates")
+				return true
+			case "append":
+				if v := growableAppendTarget(p, call, presized); v != nil {
+					add(call, "append", "append to un-presized slice "+v.Name()+" may grow")
+				}
+				return true
+			}
+		}
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			flagBoxingAndFmt(p, call, fn, add)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			flagBoxingAndFmt(p, call, fn, add)
+		}
+	}
+	// Conversions that copy: []byte <-> string.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := p.typeOf(call), p.typeOf(call.Args[0])
+		if isString(to) && isByteSlice(from) {
+			add(call, "literal", "[]byte to string conversion allocates")
+		} else if isByteSlice(to) && isString(from) {
+			add(call, "literal", "string to []byte conversion allocates")
+		}
+	}
+	return true
+}
+
+// flagBoxingAndFmt flags fmt-package calls and interface boxing of
+// concrete, non-pointer-shaped arguments (including the implicit boxing
+// of variadic ...any parameters).
+func flagBoxingAndFmt(p *Package, call *ast.CallExpr, fn *types.Func,
+	add func(ast.Node, string, string)) {
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		add(call, "fmt", "fmt."+fn.Name()+" allocates")
+		return // boxing into its ...any is subsumed by the fmt finding
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return // a spread slice is passed as-is, no per-element boxing
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := p.Info.Types[arg]
+		if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+			continue // untyped nil and constants stay out of the heap
+		}
+		at := tv.Type
+		if types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		add(arg, "box", "boxing "+at.String()+" into "+pt.String()+" allocates")
+	}
+}
+
+// presizedSlices records local slice variables whose appends reuse
+// existing capacity rather than growing fresh storage: those initialized
+// by a three-argument make (explicit capacity) and those re-sliced from
+// another value (the queue := b.queue[:0] reuse idiom — the backing
+// array belongs to a field that amortizes growth across calls).
+func presizedSlices(p *Package, body *ast.BlockStmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		target, ok := unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := p.objOf(target).(*types.Var)
+		if !ok {
+			return
+		}
+		switch r := unparen(rhs).(type) {
+		case *ast.SliceExpr:
+			out[v] = true
+		case *ast.CallExpr:
+			if len(r.Args) != 3 {
+				return
+			}
+			id, ok := unparen(r.Fun).(*ast.Ident)
+			if !ok {
+				return
+			}
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+				out[v] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i := range st.Lhs {
+				if i < len(st.Rhs) {
+					record(st.Lhs[i], st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range st.Names {
+				if i < len(st.Values) {
+					record(st.Names[i], st.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// growableAppendTarget returns the local slice variable an append may
+// grow, or nil when the append target is presized, a parameter, or a
+// field/slice expression (assumed to reuse a caller-owned backing array,
+// like the batcher's drained queue).
+func growableAppendTarget(p *Package, call *ast.CallExpr, presized map[*types.Var]bool) *types.Var {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := p.objOf(id).(*types.Var)
+	if !ok || v.IsField() || presized[v] {
+		return nil
+	}
+	if fn := enclosingFuncFor(p, v); fn != nil && v.Pos() < fn.Decl.Body.Pos() {
+		return nil // parameter or receiver: the caller owns the capacity
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return nil // package-level slice
+	}
+	return v
+}
+
+// enclosingFuncFor finds the graph node whose declaration contains the
+// variable, if any.
+func enclosingFuncFor(p *Package, v *types.Var) *FuncNode {
+	g := p.Module.Graph()
+	for _, node := range g.Functions() {
+		if node.Pkg == p && node.Decl.Pos() <= v.Pos() && v.Pos() <= node.Decl.End() {
+			return node
+		}
+	}
+	return nil
+}
+
+// capturesVariable reports whether the function literal captures a
+// variable of its enclosing function (the allocation that turns a static
+// code pointer into a heap-allocated closure), naming the first one.
+func capturesVariable(p *Package, enclosing *ast.FuncDecl, lit *ast.FuncLit) (string, bool) {
+	name, found := "", false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured = declared inside the enclosing declaration but outside
+		// the literal itself (package-level vars are accessed directly).
+		if v.Pos() >= enclosing.Pos() && v.Pos() <= enclosing.End() &&
+			(v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+			name, found = v.Name(), true
+		}
+		return true
+	})
+	return name, found
+}
+
+// typeOf returns the expression's type, nil when untracked.
+func (p *Package) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type.Underlying()
+	}
+	return nil
+}
+
+// objOf resolves an identifier to its object via Defs or Uses.
+func (p *Package) objOf(id *ast.Ident) types.Object {
+	if o := p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Info.Uses[id]
+}
+
+// pointerShaped reports whether values of the type fit in an interface's
+// data word without allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

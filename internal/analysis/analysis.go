@@ -81,6 +81,8 @@ func All() []*Analyzer {
 		StageCheck(),
 		PoolCheck(),
 		Concurrency(),
+		AllocCheck(),
+		FlowCheck(),
 	}
 }
 
@@ -118,6 +120,18 @@ func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 // AllowPrefix introduces an allow comment: //mhavet:allow rule [rule...]
 const AllowPrefix = "mhavet:allow"
 
+// parseDirective is the one parser for mhavet comment directives
+// (//mhavet:allow, //mhavet:coldpath, ...). It reports whether the
+// comment carries exactly the named directive — "mhavet:allowx" does not
+// match "mhavet:allow" — and returns the whitespace-separated arguments.
+func parseDirective(text, directive string) (args []string, ok bool) {
+	t := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if t != directive && !strings.HasPrefix(t, directive+" ") && !strings.HasPrefix(t, directive+"\t") {
+		return nil, false
+	}
+	return strings.Fields(strings.TrimPrefix(t, directive)), true
+}
+
 // collectAllows records, per file and line, the rules an allow comment
 // suppresses. A comment suppresses findings on its own line and on the
 // line immediately below (so a standalone comment line covers the
@@ -127,12 +141,8 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[string]map[int]ma
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, AllowPrefix) {
-					continue
-				}
-				rules := strings.Fields(strings.TrimPrefix(text, AllowPrefix))
-				if len(rules) == 0 {
+				rules, ok := parseDirective(c.Text, AllowPrefix)
+				if !ok || len(rules) == 0 {
 					continue
 				}
 				pos := fset.Position(c.Pos())

@@ -104,6 +104,8 @@ func TestAnalyzers(t *testing.T) {
 		{"stagecheck", StageCheck()},
 		{"poolcheck", PoolCheck()},
 		{"concurrency", Concurrency()},
+		{"allocheck", AllocCheck()},
+		{"flowcheck", FlowCheck()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -148,6 +150,20 @@ func TestSelfCheck(t *testing.T) {
 			if !byPath[mod.Path+"/"+pkg] {
 				t.Errorf("%s names %s, which is not in the module", sc.name, pkg)
 			}
+		}
+	}
+	// The function-scope tables must resolve against the real call graph,
+	// so a rename or receiver change cannot silently un-root allocheck or
+	// un-sink flowcheck.
+	g := mod.Graph()
+	for _, key := range HotPathFunctions {
+		if g.Lookup(key) == nil {
+			t.Errorf("HotPathFunctions names %s, which does not resolve to a function", key)
+		}
+	}
+	for _, key := range EmissionSinkFunctions {
+		if g.Lookup(key) == nil {
+			t.Errorf("EmissionSinkFunctions names %s, which does not resolve to a function", key)
 		}
 	}
 	for _, d := range Run(mod, All()) {

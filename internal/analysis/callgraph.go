@@ -1,0 +1,399 @@
+package analysis
+
+// The interprocedural layer: a module-wide call graph over go/types with
+// per-function summaries, shared by the allocheck and flowcheck
+// analyzers. The per-file analyzers of DESIGN.md §10 check invariants a
+// single function exhibits syntactically; the whole-program invariants —
+// "the hot loop allocates nothing, transitively" and "nondeterminism
+// never reaches an emitted figure" — need to know who calls whom.
+//
+// Construction is stdlib-only, like the loader:
+//
+//   - Direct calls (pkg.F, method calls on concrete receivers) resolve
+//     through types.Info.Uses to their *types.Func and become one edge.
+//   - Interface method calls resolve by class-hierarchy analysis: the
+//     call edges to every module type implementing the interface that
+//     declares the method (sound over the module, blind to out-of-module
+//     implementations — none exist for module-internal interfaces).
+//   - Function literals are folded into their enclosing named function:
+//     calls made inside a closure are edges of the function that created
+//     it. Closure *values* invoked through variables or fields (Handler,
+//     the prebuilt chain nexts) are NOT resolved — the soundness gap is
+//     closed by listing both ends of such indirections in
+//     HotPathFunctions (scopes.go).
+//
+// A `//mhavet:coldpath` directive on a function declaration marks the
+// function as off the per-operation path (metadata creation, error
+// recovery): allocheck stops traversing at it. Like //mhavet:allow, the
+// directive is a deliberate, reviewable escape hatch at the site.
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ColdPathDirective marks a function declaration as off the hot path:
+// //mhavet:coldpath [reason...]
+const ColdPathDirective = "mhavet:coldpath"
+
+// FuncNode is one function of the module in the call graph.
+type FuncNode struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	Key  string // stable identity, e.g. "internal/iopath.(*Striper).Handle"
+
+	// Callees are the resolved outgoing edges in stable (Key) order.
+	Callees []*FuncNode
+
+	// ColdPath is set by a //mhavet:coldpath directive on the declaration.
+	ColdPath bool
+
+	// Summary is the function's interprocedural summary; the flow facts
+	// (TaintedReturn, MapOrderedReturn, SinkParams) are computed to a
+	// fixpoint by flowcheck, the syntactic facts during construction.
+	Summary FuncSummary
+}
+
+// FuncSummary captures what a function does that its callers care about.
+type FuncSummary struct {
+	// AllocSites are the direct heap-allocation sites in the body
+	// (closure captures, boxing, literals, growing appends, fmt calls),
+	// excluding error-return and panic subtrees. See allocheck.go.
+	AllocSites []AllocSite
+
+	// ReadsWallclock reports a direct wall-clock read in the body.
+	ReadsWallclock bool
+
+	// SpawnsGoroutine reports a go statement in the body.
+	SpawnsGoroutine bool
+
+	// RangesMapIntoOutput reports a map range whose loop variables reach
+	// a return value or an emission sink (set by flowcheck).
+	RangesMapIntoOutput bool
+
+	// TaintedReturn: some return value derives from a nondeterminism
+	// source (wall clock, unseeded rand, environment).
+	TaintedReturn bool
+
+	// MapOrderedReturn: some return value is a sequence built in map
+	// iteration order without a deterministic sort.
+	MapOrderedReturn bool
+
+	// SinkParams are the parameter indices that flow into an emission
+	// sink (receiver counts as index 0 when present; regular parameters
+	// follow). A function with sink params is itself a sink on those
+	// arguments.
+	SinkParams map[int]bool
+}
+
+// CallGraph is the module-wide graph plus the type inventory CHA needs.
+type CallGraph struct {
+	Module *Module
+	Nodes  map[*types.Func]*FuncNode
+	ByKey  map[string]*FuncNode
+
+	keys []string // sorted node keys, for deterministic iteration
+
+	namedTypes []*types.Named
+	chaCache   map[chaKey][]*FuncNode
+
+	// Memoized module-wide analyzer results, grouped by owning package
+	// (the driver asks per package; the graph computes once).
+	allocDiags map[*Package][]Diagnostic
+	flowDiags  map[*Package][]Diagnostic
+}
+
+type chaKey struct {
+	iface *types.Interface
+	name  string
+}
+
+// Graph returns the module's call graph, building it on first use. The
+// driver is single-threaded (analyzers run package by package), so a
+// plain cached field suffices.
+func (m *Module) Graph() *CallGraph {
+	if m.graph == nil {
+		m.graph = buildCallGraph(m)
+	}
+	return m.graph
+}
+
+// relPath strips the module prefix from an import path, so keys read
+// "internal/iopath" in both the real tree and the fixture module.
+func (m *Module) relPath(path string) string {
+	if path == m.Path {
+		return "."
+	}
+	return strings.TrimPrefix(path, m.Path+"/")
+}
+
+// FuncKey renders a function's stable identity: the defining package's
+// module-relative path plus a plain name or (Type)/(*Type) method
+// selector — "internal/sim.RunInterleaved",
+// "internal/iopath.(*Striper).Handle".
+func (m *Module) FuncKey(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return fn.Name()
+	}
+	rel := m.relPath(pkg.Path())
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return rel + "." + fn.Name()
+	}
+	t := sig.Recv().Type()
+	ptr := false
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		ptr, t = true, p.Elem()
+	}
+	name := "?"
+	if named, isNamed := t.(*types.Named); isNamed {
+		name = named.Obj().Name()
+	} else if iface, isIface := t.(*types.Interface); isIface {
+		_ = iface
+		name = "interface"
+	}
+	if ptr {
+		return rel + ".(*" + name + ")." + fn.Name()
+	}
+	return rel + ".(" + name + ")." + fn.Name()
+}
+
+// buildCallGraph constructs nodes for every function declaration in the
+// module, then resolves edges.
+func buildCallGraph(m *Module) *CallGraph {
+	g := &CallGraph{
+		Module:   m,
+		Nodes:    make(map[*types.Func]*FuncNode),
+		ByKey:    make(map[string]*FuncNode),
+		chaCache: make(map[chaKey][]*FuncNode),
+	}
+	// Pass 1: nodes and the named-type inventory.
+	for _, p := range m.Pkgs {
+		scope := p.Pkg.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				if named, ok := tn.Type().(*types.Named); ok {
+					g.namedTypes = append(g.namedTypes, named)
+				}
+			}
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{
+					Obj:      obj,
+					Decl:     fd,
+					Pkg:      p,
+					Key:      m.FuncKey(obj),
+					ColdPath: hasDirective(fd.Doc, ColdPathDirective),
+				}
+				g.Nodes[obj] = node
+				g.ByKey[node.Key] = node
+			}
+		}
+	}
+	sort.Slice(g.namedTypes, func(i, j int) bool {
+		return g.namedTypes[i].Obj().Id() < g.namedTypes[j].Obj().Id()
+	})
+	// Pass 2: edges and syntactic summary facts.
+	for _, node := range g.Nodes {
+		g.resolveEdges(node)
+	}
+	g.keys = make([]string, 0, len(g.ByKey))
+	for k := range g.ByKey {
+		g.keys = append(g.keys, k)
+	}
+	sort.Strings(g.keys)
+	return g
+}
+
+// Functions iterates the graph's nodes in stable key order.
+func (g *CallGraph) Functions() []*FuncNode {
+	out := make([]*FuncNode, len(g.keys))
+	for i, k := range g.keys {
+		out[i] = g.ByKey[k]
+	}
+	return out
+}
+
+// Lookup resolves a scope-table entry (a FuncKey) to its node.
+func (g *CallGraph) Lookup(key string) *FuncNode {
+	return g.ByKey[key]
+}
+
+// resolveEdges walks the function body — closures included — collecting
+// call edges and the syntactic summary facts.
+func (g *CallGraph) resolveEdges(node *FuncNode) {
+	p := node.Pkg
+	seen := make(map[*FuncNode]bool)
+	add := func(callee *FuncNode) {
+		if callee != nil && callee != node && !seen[callee] {
+			seen[callee] = true
+			node.Callees = append(node.Callees, callee)
+		}
+	}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.GoStmt:
+			node.Summary.SpawnsGoroutine = true
+		case *ast.CallExpr:
+			for _, callee := range g.calleesOf(p, e) {
+				add(callee)
+			}
+		case *ast.SelectorExpr:
+			// A wall-clock *reference* (not just call) marks the summary,
+			// mirroring the determinism analyzer.
+			if fn, ok := p.Info.Uses[e.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "time" && wallclockFuncs[fn.Name()] {
+				node.Summary.ReadsWallclock = true
+			}
+		}
+		return true
+	})
+	sort.Slice(node.Callees, func(i, j int) bool {
+		return node.Callees[i].Key < node.Callees[j].Key
+	})
+}
+
+// calleesOf resolves one call expression to its possible module-internal
+// targets: one node for a static call, every implementing method for an
+// interface call, nothing for calls through function values or into the
+// standard library.
+func (g *CallGraph) calleesOf(p *Package, call *ast.CallExpr) []*FuncNode {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			if node := g.Nodes[fn]; node != nil {
+				return []*FuncNode{node}
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := p.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() != nil {
+			if iface, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+				return g.implementers(iface, fn.Name())
+			}
+		}
+		if node := g.Nodes[fn]; node != nil {
+			return []*FuncNode{node}
+		}
+	}
+	return nil
+}
+
+// implementers returns the module methods that an interface method call
+// can dispatch to: for every named module type implementing the
+// interface, the method with the call's name. Results are cached per
+// (interface, method).
+func (g *CallGraph) implementers(iface *types.Interface, name string) []*FuncNode {
+	key := chaKey{iface, name}
+	if cached, ok := g.chaCache[key]; ok {
+		return cached
+	}
+	var out []*FuncNode
+	seen := make(map[*FuncNode]bool)
+	for _, named := range g.namedTypes {
+		if types.IsInterface(named.Underlying()) {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), name)
+		if fn, ok := obj.(*types.Func); ok {
+			if node := g.Nodes[fn]; node != nil && !seen[node] {
+				seen[node] = true
+				out = append(out, node)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	g.chaCache[key] = out
+	return out
+}
+
+// Reachable returns the functions reachable from the given roots,
+// traversal stopping at (but including) cold-path functions. The
+// per-root shortest-path predecessor map lets diagnostics name the route.
+func (g *CallGraph) Reachable(roots []*FuncNode) (set map[*FuncNode]bool, via map[*FuncNode]*FuncNode) {
+	set = make(map[*FuncNode]bool)
+	via = make(map[*FuncNode]*FuncNode)
+	queue := make([]*FuncNode, 0, len(roots))
+	for _, r := range roots {
+		if r != nil && !set[r] {
+			set[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.ColdPath {
+			continue // included, not traversed past
+		}
+		for _, c := range n.Callees {
+			if !set[c] {
+				set[c] = true
+				via[c] = n
+				queue = append(queue, c)
+			}
+		}
+	}
+	return set, via
+}
+
+// Route renders the call chain from a hot root to n, for diagnostics:
+// "a → b → c".
+func Route(via map[*FuncNode]*FuncNode, n *FuncNode) string {
+	var parts []string
+	for hop := n; hop != nil; hop = via[hop] {
+		parts = append(parts, hop.Key)
+		if len(parts) > 8 { // defensive: cycles cannot occur (via is a tree)
+			break
+		}
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, " → ")
+}
+
+// hasDirective reports whether a doc comment group carries the given
+// mhavet directive, using the shared directive grammar.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if _, ok := parseDirective(c.Text, directive); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// unparen strips parentheses from an expression.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		paren, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = paren.X
+	}
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCallGraph exercises the graph machinery directly against the
+// fixture module: key grammar, class-hierarchy edges, coldpath pruning,
+// reachability routes, and the per-function summaries.
+func TestCallGraph(t *testing.T) {
+	mod, err := LoadModule(fixtureRoot)
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	g := mod.Graph()
+
+	dispatch := g.Lookup("internal/iopath.(*Pipeline).dispatch")
+	if dispatch == nil {
+		t.Fatal("fixture (*Pipeline).dispatch not in the graph")
+	}
+	set, via := g.Reachable([]*FuncNode{dispatch})
+
+	// The terminal stage is reached only through the Stage interface: its
+	// presence proves the class-hierarchy edges work.
+	term := g.Lookup("internal/iopath.(*termStage).Handle")
+	if term == nil {
+		t.Fatal("fixture (*termStage).Handle not in the graph")
+	}
+	if !set[term] {
+		t.Error("(*termStage).Handle not reachable through the Stage interface")
+	}
+	if route := Route(via, term); !strings.Contains(route, "dispatch") {
+		t.Errorf("route to termStage.Handle = %q, want it to start at dispatch", route)
+	}
+
+	// audit carries the coldpath directive: in the reachable set (so its
+	// own callers still count) but pruned — nothing past it is traversed.
+	audit := g.Lookup("internal/iopath.(*Pipeline).audit")
+	if audit == nil {
+		t.Fatal("fixture (*Pipeline).audit not in the graph")
+	}
+	if !audit.ColdPath {
+		t.Error("audit's //mhavet:coldpath directive not picked up")
+	}
+
+	// The helper one level down is statically reachable.
+	if helper := g.Lookup("internal/iopath.debugf"); helper == nil || !set[helper] {
+		t.Error("debugf not reachable from dispatch")
+	}
+
+	// Flow summaries: the export fixture's wallStamp returns wall-clock
+	// taint, and forward sinks its second parameter. The summaries are
+	// filled by the flowcheck fixpoint.
+	g.flowFindings()
+	if n := g.Lookup("internal/export.wallStamp"); n == nil || !n.Summary.TaintedReturn {
+		t.Error("wallStamp's TaintedReturn summary not set")
+	}
+	if n := g.Lookup("internal/export.forward"); n == nil || !n.Summary.SinkParams[1] {
+		t.Error("forward's SinkParams summary does not name parameter 1")
+	}
+	if n := g.Lookup("internal/export.emitUnsorted"); n == nil || !n.Summary.RangesMapIntoOutput {
+		t.Error("emitUnsorted's RangesMapIntoOutput summary not set")
+	}
+}

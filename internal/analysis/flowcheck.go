@@ -1,0 +1,623 @@
+package analysis
+
+// flowcheck extends the determinism analyzer from import-site checks to
+// dataflow: a nondeterministic value — wall clock, unseeded math/rand,
+// os.Getenv, runtime.GOMAXPROCS — or a sequence built in map-iteration
+// order must never reach an emission sink (EmissionSinkFunctions in
+// scopes.go: the table rows every figure, export and telemetry dump is
+// built from).
+//
+// The tracking is deliberately coarse so its verdicts are predictable:
+//
+//   - per function, flow-insensitive: a variable that is ever assigned a
+//     tainted value is tainted everywhere in the function;
+//   - field-insensitive: a struct value is tainted as a whole (x.f
+//     carries x's taint);
+//   - interprocedural through call-graph summaries: a module function
+//     that returns a tainted value taints its callers' results
+//     (TaintedReturn / MapOrderedReturn), and one that forwards a
+//     parameter into a sink makes its own call sites sinks on that
+//     argument (SinkParams), computed to a fixpoint over the module;
+//   - passing a sequence to a sort.* function launders its
+//     map-iteration-order taint — a deterministic sort is exactly the
+//     sanctioned fix;
+//   - wall-clock sources inside WallclockAllowedPackages do not taint:
+//     those packages (bench wall-time measurements, the telemetry
+//     real-clock adapter) emit wall-clock-derived values by design, and
+//     their nondeterministic export fields are documented as such.
+//
+// Two rules come out: "taint" (nondeterministic value reaches a sink)
+// and "maprange" (map-ordered sequence reaches a sink, or a sink is
+// called lexically inside a map-range body — rows emitted one per map
+// key are in nondeterministic order even when each row's values are
+// deterministic).
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const (
+	taintNondet   uint8 = 1 << iota // wall clock, env, unseeded rand
+	taintMapOrder                   // sequence in map-iteration order
+)
+
+// taintVal carries a value's colors plus the set of enclosing-function
+// parameters it derives from (receiver = bit 0 for methods), used to
+// compute SinkParams summaries.
+type taintVal struct {
+	colors uint8
+	params uint64
+}
+
+func (t taintVal) union(o taintVal) taintVal {
+	return taintVal{t.colors | o.colors, t.params | o.params}
+}
+
+const flowcheckName = "flowcheck"
+
+// FlowCheck builds the interprocedural determinism-taint analyzer.
+func FlowCheck() *Analyzer {
+	return &Analyzer{
+		Name: flowcheckName,
+		Doc:  "forbid nondeterministic and map-ordered values from reaching emission sinks",
+		Run: func(p *Package) []Diagnostic {
+			return p.Module.Graph().flowFindings()[p]
+		},
+	}
+}
+
+// flowFindings runs the module-wide summary fixpoint once, then a final
+// diagnostic pass, grouping findings by owning package.
+func (g *CallGraph) flowFindings() map[*Package][]Diagnostic {
+	if g.flowDiags != nil {
+		return g.flowDiags
+	}
+	g.flowDiags = make(map[*Package][]Diagnostic)
+	sinks := make(map[string]bool, len(EmissionSinkFunctions))
+	for _, k := range EmissionSinkFunctions {
+		sinks[k] = true
+	}
+	// Summary fixpoint: iterate until no TaintedReturn/MapOrderedReturn/
+	// SinkParams bit changes. Facts only accumulate, so this terminates;
+	// the bound is a safety net.
+	for pass := 0; pass < 32; pass++ {
+		changed := false
+		for _, node := range g.Functions() {
+			ff := newFuncFlow(g, node, sinks)
+			ff.propagate()
+			if ff.updateSummary() {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, node := range g.Functions() {
+		ff := newFuncFlow(g, node, sinks)
+		ff.propagate()
+		ff.updateSummary()
+		for _, d := range ff.diagnostics() {
+			g.flowDiags[node.Pkg] = append(g.flowDiags[node.Pkg], d)
+		}
+	}
+	return g.flowDiags
+}
+
+// funcFlow is the per-function propagation state.
+type funcFlow struct {
+	g     *CallGraph
+	node  *FuncNode
+	p     *Package
+	sinks map[string]bool
+
+	wallOK   bool // package may read the wall clock (scopes.go)
+	vars     map[*types.Var]taintVal
+	paramIdx map[*types.Var]int
+	sorted   map[*types.Var]bool // ever passed to a sort.* function
+
+	mapRanges []span // body spans of range-over-map statements
+	changed   bool
+}
+
+type span struct{ lo, hi token.Pos }
+
+func newFuncFlow(g *CallGraph, node *FuncNode, sinks map[string]bool) *funcFlow {
+	ff := &funcFlow{
+		g:        g,
+		node:     node,
+		p:        node.Pkg,
+		sinks:    sinks,
+		wallOK:   node.Pkg.pathMatches(WallclockAllowedPackages),
+		vars:     make(map[*types.Var]taintVal),
+		paramIdx: make(map[*types.Var]int),
+		sorted:   make(map[*types.Var]bool),
+	}
+	idx := 0
+	bind := func(names []*ast.Ident) {
+		for _, name := range names {
+			if v, ok := ff.p.Info.Defs[name].(*types.Var); ok && idx < 64 {
+				ff.paramIdx[v] = idx
+			}
+			idx++
+		}
+	}
+	fd := node.Decl
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			bind(f.Names)
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			bind(f.Names)
+		}
+	}
+	ff.prepass()
+	return ff
+}
+
+// prepass records the sort-laundered variables and the map-range body
+// spans; both are syntactic facts that hold for the whole function.
+func (ff *funcFlow) prepass() {
+	ast.Inspect(ff.node.Decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.RangeStmt:
+			if _, ok := ff.typeOfExpr(e.X).(*types.Map); ok && e.Body != nil {
+				ff.mapRanges = append(ff.mapRanges, span{e.Body.Pos(), e.Body.End()})
+			}
+		case *ast.CallExpr:
+			sel, ok := unparen(e.Fun).(*ast.SelectorExpr)
+			if !ok || len(e.Args) == 0 {
+				return true
+			}
+			fn, ok := ff.p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+				return true
+			}
+			if id, ok := unparen(e.Args[0]).(*ast.Ident); ok {
+				if v, ok := ff.p.objOf(id).(*types.Var); ok {
+					ff.sorted[v] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (ff *funcFlow) typeOfExpr(e ast.Expr) types.Type {
+	if tv, ok := ff.p.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type.Underlying()
+	}
+	return nil
+}
+
+// propagate runs the flow-insensitive transfer functions to a local
+// fixpoint.
+func (ff *funcFlow) propagate() {
+	for i := 0; i < 32; i++ {
+		ff.changed = false
+		ast.Inspect(ff.node.Decl.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.RangeStmt:
+				ff.transferRange(e)
+			case *ast.AssignStmt:
+				ff.transferAssign(e)
+			case *ast.ValueSpec:
+				for i, name := range e.Names {
+					if i < len(e.Values) {
+						ff.assignIdent(name, ff.eval(e.Values[i]))
+					}
+				}
+			}
+			return true
+		})
+		if !ff.changed {
+			return
+		}
+	}
+}
+
+func (ff *funcFlow) transferRange(rs *ast.RangeStmt) {
+	if _, ok := ff.typeOfExpr(rs.X).(*types.Map); !ok {
+		// Ranging over a non-map only forwards the operand's taint.
+		t := ff.eval(rs.X)
+		ff.assignExpr(rs.Key, t)
+		ff.assignExpr(rs.Value, t)
+		return
+	}
+	t := ff.eval(rs.X)
+	t.colors |= taintMapOrder
+	ff.assignExpr(rs.Key, t)
+	ff.assignExpr(rs.Value, t)
+}
+
+func (ff *funcFlow) transferAssign(as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Tuple assignment: every lhs inherits the single rhs taint.
+		t := ff.eval(as.Rhs[0])
+		for _, lhs := range as.Lhs {
+			ff.assignExpr(lhs, t)
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i < len(as.Rhs) {
+			t := ff.eval(as.Rhs[i])
+			if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN ||
+				as.Tok == token.MUL_ASSIGN || as.Tok == token.QUO_ASSIGN {
+				t = t.union(ff.eval(lhs))
+			}
+			ff.assignExpr(lhs, t)
+		}
+	}
+}
+
+// assignExpr stores taint into an assignment target: identifiers are
+// tracked precisely, field/index targets taint the base variable
+// (field-insensitivity working in the conservative direction).
+func (ff *funcFlow) assignExpr(lhs ast.Expr, t taintVal) {
+	switch e := unparen(lhs).(type) {
+	case nil:
+	case *ast.Ident:
+		ff.assignIdent(e, t)
+	case *ast.SelectorExpr:
+		ff.assignExpr(e.X, t)
+	case *ast.IndexExpr:
+		ff.assignExpr(e.X, t)
+	case *ast.StarExpr:
+		ff.assignExpr(e.X, t)
+	}
+}
+
+func (ff *funcFlow) assignIdent(id *ast.Ident, t taintVal) {
+	if id == nil || id.Name == "_" {
+		return
+	}
+	v, ok := ff.p.objOf(id).(*types.Var)
+	if !ok {
+		return
+	}
+	if ff.sorted[v] {
+		// A deterministic sort anywhere in the function sanctions the
+		// sequence: map-order taint never sticks to this variable.
+		t.colors &^= taintMapOrder
+	}
+	old := ff.vars[v]
+	merged := old.union(t)
+	if merged != old {
+		ff.vars[v] = merged
+		ff.changed = true
+	}
+}
+
+// eval computes an expression's taint under the current state.
+func (ff *funcFlow) eval(e ast.Expr) taintVal {
+	switch e := unparen(e).(type) {
+	case nil:
+		return taintVal{}
+	case *ast.Ident:
+		if v, ok := ff.p.objOf(e).(*types.Var); ok {
+			if t, ok := ff.vars[v]; ok {
+				if i, pok := ff.paramIdx[v]; pok {
+					t.params |= 1 << i
+				}
+				return t
+			}
+			if i, ok := ff.paramIdx[v]; ok {
+				return taintVal{params: 1 << i}
+			}
+		}
+		return taintVal{}
+	case *ast.SelectorExpr:
+		if _, ok := ff.p.Info.Uses[ff.baseIdent(e)].(*types.PkgName); ok {
+			return taintVal{} // pkg.Name reference, not a field chain
+		}
+		return ff.eval(e.X)
+	case *ast.CallExpr:
+		return ff.evalCall(e)
+	case *ast.BinaryExpr:
+		return ff.eval(e.X).union(ff.eval(e.Y))
+	case *ast.UnaryExpr:
+		return ff.eval(e.X)
+	case *ast.StarExpr:
+		return ff.eval(e.X)
+	case *ast.IndexExpr:
+		return ff.eval(e.X)
+	case *ast.SliceExpr:
+		return ff.eval(e.X)
+	case *ast.TypeAssertExpr:
+		return ff.eval(e.X)
+	case *ast.CompositeLit:
+		var t taintVal
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				t = t.union(ff.eval(kv.Value))
+			} else {
+				t = t.union(ff.eval(elt))
+			}
+		}
+		return t
+	}
+	return taintVal{}
+}
+
+// baseIdent returns the leftmost identifier of a selector chain.
+func (ff *funcFlow) baseIdent(sel *ast.SelectorExpr) *ast.Ident {
+	x := unparen(sel.X)
+	for {
+		inner, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		x = unparen(inner.X)
+	}
+	if id, ok := x.(*ast.Ident); ok {
+		return id
+	}
+	return &ast.Ident{} // resolves to nothing in Uses
+}
+
+// evalCall computes a call result's taint: nondeterminism sources
+// introduce colors, module calls contribute their summaries, unknown
+// (stdlib) calls conservatively forward their arguments' taint.
+func (ff *funcFlow) evalCall(call *ast.CallExpr) taintVal {
+	if tv, ok := ff.p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return ff.eval(call.Args[0]) // conversion
+	}
+	fn := ff.calledFunc(call)
+	if b := ff.calledBuiltin(call); b != "" {
+		switch b {
+		case "make", "new", "len", "cap":
+			return taintVal{}
+		default: // append, copy, min, max...
+			var t taintVal
+			for _, a := range call.Args {
+				t = t.union(ff.eval(a))
+			}
+			return t
+		}
+	}
+	if fn != nil && fn.Pkg() != nil {
+		if t, isSource := ff.sourceTaint(fn); isSource {
+			return t
+		}
+		if targets := ff.g.calleesOf(ff.p, call); len(targets) > 0 {
+			var t taintVal
+			for _, callee := range targets {
+				if callee.Summary.TaintedReturn {
+					t.colors |= taintNondet
+				}
+				if callee.Summary.MapOrderedReturn {
+					t.colors |= taintMapOrder
+				}
+			}
+			return t
+		}
+		if fn.Pkg().Path() == "sort" {
+			return taintVal{}
+		}
+	}
+	// Unknown callee (stdlib, func value): a pure-transformation
+	// assumption — taint in, taint out.
+	t := ff.eval(call.Fun)
+	for _, a := range call.Args {
+		t = t.union(ff.eval(a))
+	}
+	return t
+}
+
+// calledFunc resolves the call's static *types.Func, if any.
+func (ff *funcFlow) calledFunc(call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := ff.p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := ff.p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func (ff *funcFlow) calledBuiltin(call *ast.CallExpr) string {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := ff.p.Info.Uses[id].(*types.Builtin); ok {
+			return b.Name()
+		}
+	}
+	return ""
+}
+
+// sourceTaint classifies calls to nondeterminism sources. Methods (a
+// seeded *rand.Rand, a telemetry clock handle) are never sources here —
+// the seeded-generator constructors are the sanctioned pattern, and the
+// clock interface's implementations are checked where they are defined.
+func (ff *funcFlow) sourceTaint(fn *types.Func) (taintVal, bool) {
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return taintVal{}, false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallclockFuncs[fn.Name()] && !ff.wallOK {
+			return taintVal{colors: taintNondet}, true
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			return taintVal{colors: taintNondet}, true
+		}
+	case "os":
+		switch fn.Name() {
+		case "Getenv", "LookupEnv", "Environ", "Hostname", "Getpid":
+			return taintVal{colors: taintNondet}, true
+		}
+	case "runtime":
+		switch fn.Name() {
+		case "GOMAXPROCS", "NumCPU", "NumGoroutine":
+			return taintVal{colors: taintNondet}, true
+		}
+	}
+	return taintVal{}, false
+}
+
+// sinkArgs returns the sink-relevant argument expressions of a call,
+// indexed by summary parameter position (receiver = 0 for methods), or
+// nil when the call is not a sink.
+func (ff *funcFlow) sinkArgs(call *ast.CallExpr) map[int]ast.Expr {
+	fn := ff.calledFunc(call)
+	if fn == nil {
+		return nil
+	}
+	hasRecv := false
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		hasRecv = true
+	}
+	offset := 0
+	if hasRecv {
+		offset = 1
+	}
+	out := make(map[int]ast.Expr)
+	if ff.sinks[ff.g.Module.FuncKey(fn)] {
+		// Direct sink: every regular argument is emitted.
+		for i, a := range call.Args {
+			out[i+offset] = a
+		}
+		return out
+	}
+	// Summary sinks: module functions that forward a parameter into a
+	// sink. Interface calls union all CHA targets.
+	for _, callee := range ff.g.calleesOf(ff.p, call) {
+		for idx := range callee.Summary.SinkParams {
+			if idx == 0 && hasRecv {
+				if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+					out[0] = sel.X
+				}
+				continue
+			}
+			ai := idx - offset
+			if ai >= 0 && ai < len(call.Args) {
+				out[idx] = call.Args[ai]
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// updateSummary recomputes the node's flow summary from the final local
+// state; reports whether any summary fact changed.
+func (ff *funcFlow) updateSummary() bool {
+	node := ff.node
+	var ret taintVal
+	// Explicit return expressions.
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.ReturnStmt); ok {
+			for _, e := range rs.Results {
+				ret = ret.union(ff.eval(e))
+			}
+		}
+		return true
+	})
+	// Named results assigned then bare-returned.
+	if res := node.Decl.Type.Results; res != nil {
+		for _, f := range res.List {
+			for _, name := range f.Names {
+				if v, ok := ff.p.Info.Defs[name].(*types.Var); ok {
+					ret = ret.union(ff.vars[v])
+				}
+			}
+		}
+	}
+	sinkParams := make(map[int]bool)
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range ff.sinkArgs(call) {
+			t := ff.eval(arg)
+			for i := 0; i < 64; i++ {
+				if t.params&(1<<i) != 0 {
+					sinkParams[i] = true
+				}
+			}
+		}
+		return true
+	})
+
+	s := &node.Summary
+	changed := false
+	if v := ret.colors&taintNondet != 0; v && !s.TaintedReturn {
+		s.TaintedReturn, changed = true, true
+	}
+	if v := ret.colors&taintMapOrder != 0; v && !s.MapOrderedReturn {
+		s.MapOrderedReturn, changed = true, true
+	}
+	for i := range sinkParams {
+		if s.SinkParams == nil {
+			s.SinkParams = make(map[int]bool)
+		}
+		if !s.SinkParams[i] {
+			s.SinkParams[i] = true
+			changed = true
+		}
+	}
+	if s.MapOrderedReturn && !s.RangesMapIntoOutput {
+		s.RangesMapIntoOutput = true
+	}
+	return changed
+}
+
+// diagnostics reports the function's sink violations.
+func (ff *funcFlow) diagnostics() []Diagnostic {
+	var out []Diagnostic
+	seen := make(map[string]bool) // "line:col rule" dedup
+	report := func(n ast.Node, rule, format string, args ...any) {
+		d := ff.p.diag(flowcheckName, rule, n, format, args...)
+		key := d.Pos.String() + " " + rule
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, d)
+		}
+	}
+	ast.Inspect(ff.node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		args := ff.sinkArgs(call)
+		if args == nil {
+			return true
+		}
+		sinkName := "emission sink"
+		if fn := ff.calledFunc(call); fn != nil {
+			sinkName = fn.Name()
+		}
+		for _, arg := range args {
+			t := ff.eval(arg)
+			if t.colors&taintNondet != 0 {
+				report(arg, "taint",
+					"nondeterministic value (wall clock, environment or unseeded rand) reaches emission sink %s", sinkName)
+			}
+			if t.colors&taintMapOrder != 0 {
+				report(arg, "maprange",
+					"value in map-iteration order reaches emission sink %s; sort the keys first", sinkName)
+			}
+		}
+		for _, sp := range ff.mapRanges {
+			if call.Pos() >= sp.lo && call.Pos() < sp.hi {
+				report(call, "maprange",
+					"%s called inside a map range emits rows in nondeterministic order; iterate sorted keys instead", sinkName)
+				if ff.node.Summary.RangesMapIntoOutput == false {
+					ff.node.Summary.RangesMapIntoOutput = true
+				}
+				break
+			}
+		}
+		return true
+	})
+	return out
+}

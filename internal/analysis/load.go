@@ -21,6 +21,8 @@ type Module struct {
 	Root string // absolute directory containing go.mod
 	Fset *token.FileSet
 	Pkgs []*Package // sorted by import path
+
+	graph *CallGraph // built lazily by Graph(); the driver is single-threaded
 }
 
 // Package is one type-checked package of the module. Test files are not

@@ -1,0 +1,253 @@
+package analysis
+
+// This file is the reporting layer shared by the mhavet driver and its
+// tests: stable per-finding fingerprints, the committed-baseline filter,
+// and the text / json / sarif renderers. The fingerprint is the identity
+// a baseline entry suppresses, so its construction is the compatibility
+// contract — see Fingerprints.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// Finding is a Diagnostic resolved against its module: the file path is
+// rewritten relative to the module root (slash-separated, so output and
+// fingerprints match across machines) and a stable fingerprint is
+// attached.
+type Finding struct {
+	Diagnostic
+	RelPath     string // module-root-relative, slash-separated
+	Fingerprint string
+}
+
+// Fingerprints resolves diagnostics (already sorted by Run) into
+// Findings. The fingerprint hashes relpath|analyzer|rule|message plus an
+// occurrence index — deliberately NOT the line number, so a finding keeps
+// its identity (and its baseline entry) when unrelated edits move it.
+// The occurrence index disambiguates identical findings in one file; it
+// is assigned in position order, so inserting a duplicate earlier in the
+// file shifts later indices — an accepted, and rare, invalidation.
+func Fingerprints(m *Module, diags []Diagnostic) []Finding {
+	occ := make(map[string]int)
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(m.Root, d.Pos.Filename); err == nil {
+			rel = filepath.ToSlash(r)
+		}
+		base := rel + "|" + d.Analyzer + "|" + d.Rule + "|" + d.Message
+		n := occ[base]
+		occ[base] = n + 1
+		sum := sha256.Sum256([]byte(base + "|" + strconv.Itoa(n)))
+		out = append(out, Finding{
+			Diagnostic:  d,
+			RelPath:     rel,
+			Fingerprint: hex.EncodeToString(sum[:8]),
+		})
+	}
+	return out
+}
+
+// Baseline maps a finding's fingerprint to the human justification for
+// tolerating it. The committed file is plain JSON:
+//
+//	{ "<fingerprint>": "why this finding is accepted", ... }
+//
+// An empty object means the tree must be clean. Entries whose fingerprint
+// no longer matches any finding are reported by Stale so the file cannot
+// quietly rot.
+type Baseline map[string]string
+
+// LoadBaseline reads and parses a baseline file. A missing path is an
+// error — CI passes the committed file explicitly, and a typo'd flag
+// should not silently mean "no baseline".
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Filter splits findings into those not covered by the baseline (kept)
+// and the count it suppressed.
+func (b Baseline) Filter(fs []Finding) (kept []Finding, suppressed int) {
+	for _, f := range fs {
+		if _, ok := b[f.Fingerprint]; ok {
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed
+}
+
+// Stale returns the baseline fingerprints that matched no finding, in
+// sorted order.
+func (b Baseline) Stale(fs []Finding) []string {
+	seen := make(map[string]bool, len(fs))
+	for _, f := range fs {
+		seen[f.Fingerprint] = true
+	}
+	var out []string
+	for fp := range b {
+		if !seen[fp] {
+			out = append(out, fp)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteText renders findings in the conventional gofmt-style
+// file:line:col form, one per line.
+func WriteText(w io.Writer, fs []Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: %s/%s: %s\n",
+			f.RelPath, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Rule, f.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonFinding is the -format json wire shape: flat, stable field names,
+// one object per finding.
+type jsonFinding struct {
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Column      int    `json:"column"`
+	Analyzer    string `json:"analyzer"`
+	Rule        string `json:"rule"`
+	Message     string `json:"message"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// WriteJSON renders findings as a JSON array (never null — an empty
+// tree emits []).
+func WriteJSON(w io.Writer, fs []Finding) error {
+	out := make([]jsonFinding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, jsonFinding{
+			File:        f.RelPath,
+			Line:        f.Pos.Line,
+			Column:      f.Pos.Column,
+			Analyzer:    f.Analyzer,
+			Rule:        f.Rule,
+			Message:     f.Message,
+			Fingerprint: f.Fingerprint,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Minimal SARIF 2.1.0 shapes — just the subset code-scanning consumers
+// require: tool metadata, rule ids, physical locations, and a partial
+// fingerprint carrying mhavet's own stable identity.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	Level               string            `json:"level"`
+	Message             sarifMessage      `json:"message"`
+	Locations           []sarifLocation   `json:"locations"`
+	PartialFingerprints map[string]string `json:"partialFingerprints"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log. Rule ids use the
+// "analyzer/rule" form the text format prints; the analyzer suite
+// provides the rule inventory (one SARIF rule per analyzer — individual
+// rule names stay in the result's ruleId suffix, keeping the inventory
+// stable as rules are added).
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, fs []Finding) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(fs))
+	for _, f := range fs {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer + "/" + f.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.RelPath},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+			PartialFingerprints: map[string]string{"mhavet/v1": f.Fingerprint},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "mhavet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testDiag(file string, line int, analyzer, rule, msg string) Diagnostic {
+	d := Diagnostic{Analyzer: analyzer, Rule: rule, Message: msg}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = file, line, 5
+	return d
+}
+
+// TestFingerprints pins the identity contract: path-relative, line
+// independent, occurrence-indexed.
+func TestFingerprints(t *testing.T) {
+	m := &Module{Root: "/repo"}
+	fs := Fingerprints(m, []Diagnostic{
+		testDiag("/repo/internal/a.go", 3, "allocheck", "fmt", "fmt.Sprintf allocates"),
+		testDiag("/repo/internal/a.go", 9, "allocheck", "fmt", "fmt.Sprintf allocates"),
+		testDiag("/repo/internal/a.go", 9, "allocheck", "box", "boxing int allocates"),
+	})
+	if fs[0].RelPath != "internal/a.go" {
+		t.Errorf("RelPath = %q, want internal/a.go", fs[0].RelPath)
+	}
+	if fs[0].Fingerprint == fs[1].Fingerprint {
+		t.Error("identical findings not disambiguated by occurrence index")
+	}
+	if fs[0].Fingerprint == fs[2].Fingerprint {
+		t.Error("distinct rules share a fingerprint")
+	}
+	// Moving a finding to another line keeps its fingerprint.
+	moved := Fingerprints(m, []Diagnostic{
+		testDiag("/repo/internal/a.go", 77, "allocheck", "fmt", "fmt.Sprintf allocates"),
+	})
+	if moved[0].Fingerprint != fs[0].Fingerprint {
+		t.Error("fingerprint changed when only the line number moved")
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	m := &Module{Root: "/repo"}
+	fs := Fingerprints(m, []Diagnostic{
+		testDiag("/repo/a.go", 1, "allocheck", "fmt", "one"),
+		testDiag("/repo/b.go", 2, "flowcheck", "taint", "two"),
+	})
+	b := Baseline{
+		fs[0].Fingerprint:  "known cold fmt call",
+		"deadbeef00000000": "entry for a finding that no longer exists",
+	}
+	kept, suppressed := b.Filter(fs)
+	if suppressed != 1 || len(kept) != 1 || kept[0].Rule != "taint" {
+		t.Errorf("Filter kept %d suppressed %d, want 1/1 keeping the taint finding", len(kept), suppressed)
+	}
+	stale := b.Stale(fs)
+	if len(stale) != 1 || stale[0] != "deadbeef00000000" {
+		t.Errorf("Stale = %v, want the dangling entry only", stale)
+	}
+}
+
+func TestWriteFormats(t *testing.T) {
+	m := &Module{Root: "/repo"}
+	fs := Fingerprints(m, []Diagnostic{
+		testDiag("/repo/internal/a.go", 3, "flowcheck", "maprange", "map order reaches sink"),
+	})
+
+	var text bytes.Buffer
+	if err := WriteText(&text, fs); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := text.String(), "internal/a.go:3:5: flowcheck/maprange: map order reaches sink\n"; got != want {
+		t.Errorf("text = %q, want %q", got, want)
+	}
+
+	var empty bytes.Buffer
+	if err := WriteJSON(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(empty.String()) != "[]" {
+		t.Errorf("empty JSON = %q, want []", empty.String())
+	}
+	var js bytes.Buffer
+	if err := WriteJSON(&js, fs); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"file": "internal/a.go"`, `"fingerprint": "` + fs[0].Fingerprint + `"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON output missing %s", want)
+		}
+	}
+
+	var sarif bytes.Buffer
+	if err := WriteSARIF(&sarif, All(), fs); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"version": "2.1.0"`,
+		`"ruleId": "flowcheck/maprange"`,
+		`"uri": "internal/a.go"`,
+		`"mhavet/v1": "` + fs[0].Fingerprint + `"`,
+		`"id": "allocheck"`, // the rule inventory carries the whole suite
+	} {
+		if !strings.Contains(sarif.String(), want) {
+			t.Errorf("SARIF output missing %s", want)
+		}
+	}
+}

@@ -51,6 +51,42 @@ var UnitsExemptPackages = []string{
 	"internal/units",
 }
 
+// HotPathFunctions are the roots of the per-operation hot path: the
+// functions that run once (or more) per simulated I/O request at the XL
+// tier, where the runtime contract is ≤ 2 allocs/op (DESIGN.md §14).
+// allocheck walks the call graph from these roots and flags every
+// statically detectable heap allocation it can reach.
+//
+// The list names both ends of the pipeline's function-value
+// indirections: dispatch invokes stages through prebuilt Handler
+// closures the call graph cannot resolve, so the stage entry points are
+// listed as roots in their own right rather than relying on edges
+// through the chain (DESIGN.md §15 documents this soundness limit).
+//
+// Entries use the call graph's key grammar:
+// "<module-relative-pkg>.Func" or "<pkg>.(*Type).Method". The
+// self-check test pins that every entry resolves to a real function.
+var HotPathFunctions = []string{
+	"internal/iopath.(*Pipeline).dispatch", // staged chain walk, one per request
+	"internal/iopath.(*Striper).Handle",    // stripe fan-out loop
+	"internal/iopath.(*Batcher).flush",     // batch drain: group, sort, merge
+	"internal/iopath.(ServerStage).Handle", // terminal server submission
+	"internal/sim.(*Engine).Step",          // event loop core
+	"internal/sim.RunInterleaved",          // sharded-engine merge loop
+	"internal/replay.(*rankClient).issue",  // replay drive loop: next record
+	"internal/replay.(*rankClient).issueNow",
+	"internal/replay.(*rankClient).done", // replay completion path
+}
+
+// EmissionSinkFunctions are where figure/export data leaves the
+// simulator: every table row the bench suite prints or exports passes
+// through these. flowcheck forbids nondeterministic values (wall clock,
+// environment, unseeded rand) and map-iteration-ordered sequences from
+// reaching them, directly or through calls summarized by the call graph.
+var EmissionSinkFunctions = []string{
+	"internal/metrics.(*Table).AddRow",
+}
+
 // ConcurrencyAllowedPackages may use go statements and the sync /
 // sync/atomic primitives. Everywhere else, parallelism must go through
 // internal/parfan's deterministic ordered fan-out — the concurrency

@@ -1,0 +1,75 @@
+// Package export is the flowcheck fixture: nondeterministic values and
+// map-ordered sequences reaching the metrics table, the sanctioned
+// sorted contrast, and taint carried through one call level in each
+// direction (a tainted return, and a sink-forwarding parameter).
+package export
+
+import (
+	"sort"
+	"time"
+
+	"mhafs/internal/metrics"
+)
+
+// emitUnsorted ranges a map straight into the table: the key argument
+// is map-ordered AND the sink call sits lexically inside the range body,
+// so both maprange forms fire on the one line.
+func emitUnsorted(t *metrics.Table, m map[string]int) {
+	for k := range m {
+		t.AddRow(k) //want:flowcheck/maprange //want:flowcheck/maprange
+	}
+}
+
+// emitCollected builds the slice in map order and emits it after the
+// loop: only the value-taint form fires.
+func emitCollected(t *metrics.Table, m map[string]int) {
+	var rows []int
+	for _, v := range m {
+		rows = append(rows, v)
+	}
+	for _, r := range rows {
+		t.AddRow(r) //want:flowcheck/maprange
+	}
+}
+
+// emitSorted is the sanctioned fix: sorting the keys launders the
+// map-iteration-order taint.
+func emitSorted(t *metrics.Table, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.AddRow(k, m[k])
+	}
+}
+
+// wallStamp returns a wall-clock-derived value; the taint travels to
+// callers through the TaintedReturn summary (determinism flags the read
+// itself at the source).
+func wallStamp() float64 {
+	return float64(time.Now().UnixNano()) //want:determinism/wallclock
+}
+
+// emitStamp receives the taint one call level down.
+func emitStamp(t *metrics.Table) {
+	t.AddRow(wallStamp()) //want:flowcheck/taint
+}
+
+// forward pushes its argument into the sink, making its own call sites
+// sinks via the SinkParams summary.
+func forward(t *metrics.Table, v any) {
+	t.AddRow(v)
+}
+
+// emitViaForward is a sink one level removed.
+func emitViaForward(t *metrics.Table) {
+	forward(t, wallStamp()) //want:flowcheck/taint
+}
+
+// emitDirect reads the clock at the sink itself: the determinism source
+// rule and the flow rule fire on the same line.
+func emitDirect(t *metrics.Table) {
+	t.AddRow(float64(time.Now().Unix())) //want:determinism/wallclock //want:flowcheck/taint
+}

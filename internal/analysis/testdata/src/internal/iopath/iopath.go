@@ -26,9 +26,10 @@ type slot struct {
 // Pipeline mirrors the copy-on-write chain holder and the descriptor
 // free list.
 type Pipeline struct {
-	chain []slot
-	saved []slot
-	freed []*Request
+	chain   []slot
+	saved   []slot
+	freed   []*Request
+	scratch []int
 }
 
 func (p *Pipeline) register(chain []slot, s Stage) {

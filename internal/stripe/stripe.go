@@ -225,7 +225,8 @@ func (l Layout) AppendSplit(dst []SubRequest, off, length int64) []SubRequest {
 	}
 	L := l.RoundLength()
 	if dst == nil {
-		dst = make([]SubRequest, 0, l.M+l.N)
+		// First call only; planning scratch is reused afterwards.
+		dst = make([]SubRequest, 0, l.M+l.N) //mhavet:allow literal
 	}
 	for k := 0; k < l.M+l.N; k++ {
 		ref := ServerRef{Class: ClassH, Index: k}

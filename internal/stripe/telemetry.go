@@ -39,7 +39,11 @@ func NewMeter(reg *telemetry.Registry) *Meter {
 }
 
 // ObserveSplit records one striped extent: the file (region) it targeted
-// and the per-server sub-requests its layout split produced.
+// and the per-server sub-requests its layout split produced. Metering is
+// opt-in observability — the meter is nil on the measured XL path, and
+// per-region counter registration allocates by design.
+//
+//mhavet:coldpath opt-in stripe metering, nil on the measured path
 func (m *Meter) ObserveSplit(file string, subs []SubRequest) {
 	m.reg.Counter(MetricRegionHits, telemetry.L("region", file)).Inc()
 	m.fanout.Observe(float64(len(subs)))
