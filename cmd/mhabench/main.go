@@ -11,6 +11,7 @@
 //	         [-xl-requests N] [-shards N] [-batch=false] [-batch-window S]
 //	         [-min-events-per-sec F] [...]
 //	mhabench -faults none|straggler|flaky|outage|all [-fault-seed N] [...]
+//	mhabench -adaptive [-faults SCENARIO|all] [-fault-seed N] [...]
 //	mhabench -compare [-tolerance T] OLD.json NEW.json
 //
 // -scale selects the workload tier: a number divides the paper's workload
@@ -43,6 +44,14 @@
 // retry/failover stages enabled, and prints the completion-time and
 // fault-action tables. -fault-seed varies the scenario's pseudo-random
 // window placement (default 1). The figure is deterministic: byte-identical
+// at every -workers setting and across repeated runs.
+//
+// -adaptive runs the adaptive-scheduling figure instead of the paper's:
+// every layout scheme replays the resilience workload twice per scenario —
+// static, and with the client's straggler-aware SASIO scheduler enabled
+// (per-server latency estimation, reroute, speculative re-issue) — and the
+// completion-time and scheduler-action tables are printed. -faults selects
+// the scenarios (default all). The figure is deterministic: byte-identical
 // at every -workers setting and across repeated runs.
 //
 // -compare is the CI perf-gate: it diffs the aggregate bandwidth of two
@@ -101,6 +110,7 @@ func main() {
 		telFormat = flag.String("telemetry-format", "json", "telemetry snapshot format: json (canonical) or prom (Prometheus text)")
 		faults    = flag.String("faults", "", "run the resilience figure under this seeded fault scenario (none, straggler, flaky, outage, or all) instead of the paper figures")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault scenario's pseudo-random window placement")
+		adaptiveF = flag.Bool("adaptive", false, "run the adaptive-scheduling figure (static vs +SASIO per scheme) under the -faults scenarios (default all) instead of the paper figures")
 		xlGroups  = flag.Int("xl-groups", 16, "XL tier: server groups (each -h HServers + -s SServers)")
 		xlApps    = flag.Int("xl-apps", 4, "XL tier: concurrent apps per group")
 		xlProcs   = flag.Int("xl-procs", 32, "XL tier: ranks per app")
@@ -198,6 +208,14 @@ func main() {
 		fatal(err)
 	}
 
+	if *adaptiveF {
+		cfg.FaultSeed = *faultSeed
+		runAdaptive(cfg, *faults, *csv)
+		if reg != nil {
+			emitTelemetry(reg, *telFormat)
+		}
+		return
+	}
 	if *faults != "" {
 		cfg.FaultSeed = *faultSeed
 		runFaults(cfg, *faults, *csv)
@@ -344,6 +362,34 @@ func runFaults(cfg bench.Config, name string, csv bool) {
 		scenarios = []fault.Scenario{sc}
 	}
 	_, tables, err := cfg.FigFaults(scenarios)
+	if err != nil {
+		fatal(err)
+	}
+	for _, tb := range tables {
+		if csv {
+			err = tb.FprintCSV(os.Stdout)
+		} else {
+			err = tb.Fprint(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+// runAdaptive runs the adaptive-scheduling figure and prints both of its
+// tables. name selects the scenarios like runFaults does; empty means all.
+func runAdaptive(cfg bench.Config, name string, csv bool) {
+	var scenarios []fault.Scenario
+	if name != "" && strings.ToLower(name) != "all" {
+		sc, err := fault.ParseScenario(name)
+		if err != nil {
+			fatal(err)
+		}
+		scenarios = []fault.Scenario{sc}
+	}
+	_, tables, err := cfg.FigAdaptive(scenarios)
 	if err != nil {
 		fatal(err)
 	}

@@ -12,6 +12,7 @@
 //	mhactl replay -trace t.txt -scheme MHA [-telemetry] simulate a replay
 //	              [-faults none|straggler|flaky|outage] [-fault-seed N]
 //	              inject a seeded fault scenario with resilience enabled
+//	              [-adaptive]  enable the straggler-aware SASIO scheduler
 //	mhactl convert -trace in.txt -o out.bin [-binary=true]  convert formats
 //	mhactl drt    -db drt.db               dump a persisted DRT
 //	mhactl rst    -db rst.db               dump a persisted RST
@@ -56,6 +57,7 @@ func main() {
 	toBinary := fs.Bool("binary", true, "convert to binary (false: to text)")
 	faults := fs.String("faults", "", "replay: inject this seeded fault scenario (none, straggler, flaky, outage) with the resilience stages enabled")
 	faultSeed := fs.Int64("fault-seed", 1, "replay: seed for the fault scenario's window placement")
+	adaptiveF := fs.Bool("adaptive", false, "replay: enable the straggler-aware SASIO scheduler (latency estimation, reroute, speculative re-issue)")
 	telem := fs.Bool("telemetry", false, "replay: emit the telemetry snapshot to stdout after the tables")
 	telFormat := fs.String("telemetry-format", "json", "telemetry snapshot format: json (canonical) or prom (Prometheus text)")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -186,6 +188,7 @@ func main() {
 			}
 			cfg.Faults, cfg.FaultSeed = sc, *faultSeed
 		}
+		cfg.Adaptive = *adaptiveF
 		var reg *telemetry.Registry
 		if *telem {
 			reg = telemetry.NewRegistry()

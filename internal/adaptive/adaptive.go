@@ -1,0 +1,123 @@
+// Package adaptive is the client-side straggler-aware I/O scheduler
+// (after Tavakoli et al.'s SASIO): the runtime complement to the paper's
+// static layout intelligence. Clients maintain per-server latency
+// estimates — a virtual-clock EWMA over each server's observable queue
+// backlog — and two policies act on them when a target server lags its
+// class:
+//
+//   - reroute: a write whose stripe fan-out touches a server whose
+//     estimate exceeds a threshold relative to the class median is
+//     remapped onto a straggler-avoiding fallback layout through the same
+//     DRT/fallback-file machinery degraded-mode failover uses;
+//   - speculative re-issue: a write predicted to wait beyond a deadline
+//     races two copies — the original placement and, once the deadline
+//     passes, a duplicate on the straggler-avoiding fallback — first
+//     completion wins and the loser is cancelled through the servers'
+//     cancellable submission path.
+//
+// The scheduler installs as an iopath stage (StageAdaptive, before
+// resilience and striping) via mpiio.EnableAdaptive. Everything runs
+// under the virtual clock from pipeline events, so runs are bit-for-bit
+// reproducible at every worker count; DESIGN.md §16 carries the
+// determinism and cancellation arguments.
+package adaptive
+
+import (
+	"fmt"
+)
+
+// Policy bounds the scheduler's behaviour. All times are virtual seconds.
+type Policy struct {
+	// Alpha is the EWMA weight of the newest backlog sample (0, 1].
+	Alpha float64
+
+	// RerouteThreshold: a server whose smoothed estimate exceeds
+	// RerouteThreshold × its class median is a straggler and writes are
+	// rerouted off it. Must exceed 1.
+	RerouteThreshold float64
+
+	// MinSamples is the per-server sample count before the estimator is
+	// trusted for rerouting — the warm-up guard against first-impression
+	// relocation.
+	MinSamples int
+
+	// MinEstimate is the absolute floor (virtual seconds) below which no
+	// server counts as a straggler, however its ratio looks: an idle
+	// class has a near-zero median that would otherwise flag noise.
+	MinEstimate float64
+
+	// SpecWait arms speculative re-issue: a write predicted to wait
+	// longer than this on its slowest server races a duplicate, launched
+	// once the deadline has actually passed. 0 disables speculation.
+	SpecWait float64
+
+	// SpecThreshold gates speculation on heterogeneity: the slowest
+	// server's instantaneous backlog must exceed SpecThreshold × its
+	// class median backlog, so a uniformly loaded (healthy) cluster does
+	// not breed duplicates. Must exceed 1 when speculation is enabled.
+	SpecThreshold float64
+
+	// MaxReroutes bounds recursive rerouting of one piece (the fallback
+	// may itself develop a straggler).
+	MaxReroutes int
+}
+
+// DefaultPolicy returns the bench defaults, sized against the simulator's
+// device models (HDD 128 KB service ≈ 3 ms) and tuned on the resilience
+// workload: a quarter-weight EWMA, a 4× class-median reroute ratio after
+// 64 samples, and speculation once a piece would wait 50 ms behind a
+// server 4× over its class median. The ratios are deliberately high —
+// under a healthy cluster's transient load imbalance the scheduler must
+// stay close to idle (the bench gates the fault-free scenario at ±5%),
+// while a persistent straggler's queue ratio grows without bound and
+// clears them quickly.
+func DefaultPolicy() Policy {
+	return Policy{
+		Alpha:            0.25,
+		RerouteThreshold: 4,
+		MinSamples:       64,
+		MinEstimate:      2e-3,
+		SpecWait:         50e-3,
+		SpecThreshold:    4,
+		MaxReroutes:      2,
+	}
+}
+
+// Validate checks the policy's invariants.
+func (p Policy) Validate() error {
+	if p.Alpha <= 0 || p.Alpha > 1 {
+		return fmt.Errorf("adaptive: alpha %v outside (0, 1]", p.Alpha)
+	}
+	if p.RerouteThreshold <= 1 {
+		return fmt.Errorf("adaptive: reroute threshold %v must exceed 1", p.RerouteThreshold)
+	}
+	if p.MinSamples < 1 {
+		return fmt.Errorf("adaptive: min samples %d must be positive", p.MinSamples)
+	}
+	if p.MinEstimate < 0 {
+		return fmt.Errorf("adaptive: negative estimate floor %v", p.MinEstimate)
+	}
+	if p.SpecWait < 0 {
+		return fmt.Errorf("adaptive: negative speculation deadline %v", p.SpecWait)
+	}
+	if p.SpecWait > 0 && p.SpecThreshold <= 1 {
+		return fmt.Errorf("adaptive: speculation threshold %v must exceed 1", p.SpecThreshold)
+	}
+	if p.MaxReroutes < 1 {
+		return fmt.Errorf("adaptive: max reroutes %d must be positive", p.MaxReroutes)
+	}
+	return nil
+}
+
+// Telemetry series the scheduler emits (eagerly registered, so an
+// adaptive run that never acted still exports zeros).
+const (
+	// MetricReroutes counts writes relocated off a straggler.
+	MetricReroutes = "adaptive_reroutes_total"
+	// MetricSpeculations counts speculation races armed.
+	MetricSpeculations = "adaptive_speculations_total"
+	// MetricSpecWins counts races the duplicate won (mapping published).
+	MetricSpecWins = "adaptive_speculation_wins_total"
+	// MetricSpecCancelled counts losing legs withdrawn.
+	MetricSpecCancelled = "adaptive_speculation_cancelled_total"
+)

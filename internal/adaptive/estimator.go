@@ -1,0 +1,147 @@
+package adaptive
+
+import (
+	"mhafs/internal/pfs"
+	"mhafs/internal/server"
+	"mhafs/internal/stripe"
+)
+
+// Estimator maintains the per-server latency estimates the scheduler's
+// decisions run on: an EWMA, under the virtual clock, of each server's
+// observable queue backlog (the time a sub-request arriving now would
+// wait before service starts). The client reads only what a real PFS
+// client could observe from its own completions — queue congestion —
+// never the simulator's fault injector, so a straggler is detected by
+// its symptoms.
+//
+// State is flat-indexed in the cluster's server order (HServers then
+// SServers) and updated in that order on every Observe, which keeps the
+// estimator deterministic and the hot path free of map iteration and
+// allocation.
+type Estimator struct {
+	servers []*server.Server
+	index   map[*server.Server]int
+	hCount  int // servers[:hCount] are ClassH, the rest ClassS
+
+	alpha   float64
+	est     []float64 // smoothed backlog per server
+	samples []int     // observations folded into est
+	scratch []float64 // class-median workspace, len == len(servers)
+}
+
+// NewEstimator captures the cluster's server set (flat order, fixed for
+// the run) and starts all estimates at zero.
+func NewEstimator(c *pfs.Cluster, alpha float64) *Estimator {
+	servers := c.Servers()
+	e := &Estimator{
+		servers: servers,
+		index:   make(map[*server.Server]int, len(servers)),
+		hCount:  c.Config().HServers,
+		alpha:   alpha,
+		est:     make([]float64, len(servers)),
+		samples: make([]int, len(servers)),
+		scratch: make([]float64, len(servers)),
+	}
+	for i, s := range servers {
+		e.index[s] = i
+	}
+	return e
+}
+
+// Observe folds the current backlog of every server into the estimates.
+// The scheduler calls it once per request passing the stage, so sampling
+// density follows request density — a busy run converges faster.
+func (e *Estimator) Observe() {
+	a := e.alpha
+	for i, s := range e.servers {
+		e.est[i] += a * (s.Backlog() - e.est[i])
+		e.samples[i]++
+	}
+}
+
+// Index returns the flat index of a server captured at construction.
+func (e *Estimator) Index(s *server.Server) int { return e.index[s] }
+
+// Estimate returns the smoothed backlog of server i.
+func (e *Estimator) Estimate(i int) float64 { return e.est[i] }
+
+// Samples returns how many observations server i's estimate folds.
+func (e *Estimator) Samples(i int) int { return e.samples[i] }
+
+// classRange returns the flat half-open index range of a class.
+func (e *Estimator) classRange(c stripe.Class) (lo, hi int) {
+	if c == stripe.ClassH {
+		return 0, e.hCount
+	}
+	return e.hCount, len(e.servers)
+}
+
+// ClassMedian returns the median smoothed estimate across the servers of
+// a class (the straggler's own estimate included — one outlier barely
+// moves the median of a class of six). Even-sized classes take the mean
+// of the middle pair. Runs on the per-request decision path: the
+// workspace is preallocated and the sort is in-place insertion sort.
+func (e *Estimator) ClassMedian(c stripe.Class) float64 {
+	lo, hi := e.classRange(c)
+	n := hi - lo
+	if n == 0 {
+		return 0
+	}
+	w := e.scratch
+	for i := 0; i < n; i++ {
+		v := e.est[lo+i]
+		j := i
+		for j > 0 && w[j-1] > v {
+			w[j] = w[j-1]
+			j--
+		}
+		w[j] = v
+	}
+	if n%2 == 1 {
+		return w[n/2]
+	}
+	return (w[n/2-1] + w[n/2]) / 2
+}
+
+// IsStraggler reports whether server i currently counts as a straggler
+// under the policy: enough samples, estimate above the absolute floor,
+// and above RerouteThreshold × its class median.
+func (e *Estimator) IsStraggler(i int, pol *Policy) bool {
+	if e.samples[i] < pol.MinSamples {
+		return false
+	}
+	v := e.est[i]
+	if v < pol.MinEstimate {
+		return false
+	}
+	c := stripe.ClassS
+	if i < e.hCount {
+		c = stripe.ClassH
+	}
+	return v > pol.RerouteThreshold*e.ClassMedian(c)
+}
+
+// BacklogMedian returns the median instantaneous (unsmoothed) backlog of
+// a class — the speculation gate's heterogeneity reference. Same
+// workspace discipline as ClassMedian.
+func (e *Estimator) BacklogMedian(c stripe.Class) float64 {
+	lo, hi := e.classRange(c)
+	n := hi - lo
+	if n == 0 {
+		return 0
+	}
+	w := e.scratch
+	for i := 0; i < n; i++ {
+		v := e.servers[lo+i].Backlog()
+		j := i
+		for j > 0 && w[j-1] > v {
+			w[j] = w[j-1]
+			j--
+		}
+		w[j] = v
+	}
+	if n%2 == 1 {
+		return w[n/2]
+	}
+	return (w[n/2-1] + w[n/2]) / 2
+}

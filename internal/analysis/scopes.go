@@ -20,6 +20,7 @@ var DeterministicPackages = []string{
 	"internal/replay",
 	"internal/dynamic",
 	"internal/fault",
+	"internal/adaptive",
 }
 
 // WallclockAllowedPackages may read the wall clock:
@@ -67,13 +68,15 @@ var UnitsExemptPackages = []string{
 // "<module-relative-pkg>.Func" or "<pkg>.(*Type).Method". The
 // self-check test pins that every entry resolves to a real function.
 var HotPathFunctions = []string{
-	"internal/iopath.(*Pipeline).dispatch", // staged chain walk, one per request
-	"internal/iopath.(*Striper).Handle",    // stripe fan-out loop
-	"internal/iopath.(*Batcher).flush",     // batch drain: group, sort, merge
-	"internal/iopath.(ServerStage).Handle", // terminal server submission
-	"internal/sim.(*Engine).Step",          // event loop core
-	"internal/sim.RunInterleaved",          // sharded-engine merge loop
-	"internal/replay.(*rankClient).issue",  // replay drive loop: next record
+	"internal/iopath.(*Pipeline).dispatch",   // staged chain walk, one per request
+	"internal/iopath.(*Striper).Handle",      // stripe fan-out loop
+	"internal/iopath.(*Batcher).flush",       // batch drain: group, sort, merge
+	"internal/iopath.(ServerStage).Handle",   // terminal server submission
+	"internal/adaptive.(*Scheduler).Handle",  // per-request straggler decision
+	"internal/adaptive.(*Estimator).Observe", // per-request EWMA refresh
+	"internal/sim.(*Engine).Step",            // event loop core
+	"internal/sim.RunInterleaved",            // sharded-engine merge loop
+	"internal/replay.(*rankClient).issue",    // replay drive loop: next record
 	"internal/replay.(*rankClient).issueNow",
 	"internal/replay.(*rankClient).done", // replay completion path
 }
@@ -102,7 +105,10 @@ var EmissionSinkFunctions = []string{
 //     in-order telemetry merge;
 //   - internal/iopath guards its recorder and pipeline registration;
 //   - internal/iosig guards its signature cache;
-//   - internal/kvstore guards the persisted DRT/RST tables.
+//   - internal/kvstore guards the persisted DRT/RST tables;
+//   - internal/adaptive settles speculation races from deadline-timer
+//     callbacks under the pipeline's submission lock and shares iopath's
+//     locking discipline.
 var ConcurrencyAllowedPackages = []string{
 	"internal/parfan",
 	"internal/telemetry",
@@ -110,4 +116,5 @@ var ConcurrencyAllowedPackages = []string{
 	"internal/iopath",
 	"internal/iosig",
 	"internal/kvstore",
+	"internal/adaptive",
 }

@@ -1,0 +1,72 @@
+// Package adaptive is a fixture for the straggler-aware scheduler's
+// analyzer contract: (*Scheduler).Handle and (*Estimator).Observe match
+// the HotPathFunctions entries, so everything reachable from them is
+// held to the zero-alloc standard; the package sits in
+// DeterministicPackages (wall-clock reads flag) and in
+// ConcurrencyAllowedPackages (its locking is sanctioned).
+package adaptive
+
+import (
+	"sync"
+	"time"
+
+	"mhafs/internal/iopath"
+)
+
+// Estimator mirrors the per-server EWMA state: flat slices plus a
+// preallocated median workspace.
+type Estimator struct {
+	mu      sync.Mutex // sanctioned: adaptive is concurrency-allowed
+	est     []float64
+	scratch []float64
+}
+
+// Observe is a HotPathFunctions root: the in-place EWMA fold must not
+// allocate.
+func (e *Estimator) Observe() {
+	e.mu.Lock()
+	for i := range e.est {
+		e.est[i] += 0.25 * (1 - e.est[i])
+	}
+	e.mu.Unlock()
+}
+
+// Scheduler mirrors the decision stage.
+type Scheduler struct {
+	est *Estimator
+}
+
+// Handle is a HotPathFunctions root: the pass-through decision path is
+// the common case and must stay allocation-free; interventions are
+// pruned as coldpaths.
+func (s *Scheduler) Handle(req *iopath.Request, next iopath.Handler) error {
+	s.est.Observe()
+	var lagging []int64
+	lagging = append(lagging, req.Offset) //want:allocheck/append
+	_ = lagging
+	w := s.est.scratch[:0]
+	w = append(w, 1) // re-sliced reuse idiom: presized
+	s.est.scratch = w
+	if req.Offset > 4 {
+		return s.intervene(req, next)
+	}
+	return next(req)
+}
+
+// intervene stands in for reroute/speculate: it allocates freely, and
+// the directive prunes the hot-path walk at its boundary.
+//
+//mhavet:coldpath fixture: straggler interventions are rare
+func (s *Scheduler) intervene(req *iopath.Request, next iopath.Handler) error {
+	relocated := map[int64]bool{req.Offset: true} // no finding: coldpath
+	_ = relocated
+	return next(req)
+}
+
+// deadlineNow would stamp a speculation deadline from real time instead
+// of the virtual clock: flagged, adaptive is a deterministic package.
+func deadlineNow() float64 {
+	return float64(time.Now().UnixNano()) //want:determinism/wallclock
+}
+
+var _ = deadlineNow

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+
+	"mhafs/internal/adaptive"
+	"mhafs/internal/fault"
+	"mhafs/internal/layout"
+	"mhafs/internal/metrics"
+	"mhafs/internal/telemetry"
+)
+
+// AdaptiveActions summarizes the straggler-aware scheduler's decisions
+// during one replay, scraped from the run's telemetry.
+type AdaptiveActions struct {
+	Reroutes      float64 // writes relocated off a confident straggler
+	Speculations  float64 // speculation races armed
+	SpecWins      float64 // races the duplicate won (mapping published)
+	SpecCancelled float64 // losing legs withdrawn
+}
+
+// AdaptiveRow is one scenario of the adaptive-scheduling figure: each
+// scheme replayed twice — static (the historical resilient pipeline) and
+// with the SASIO scheduler enabled — plus the scheduler's actions.
+type AdaptiveRow struct {
+	Scenario fault.Scenario
+	Static   map[layout.Scheme]float64
+	Adaptive map[layout.Scheme]float64
+	Actions  map[layout.Scheme]AdaptiveActions
+}
+
+// scrapeAdaptive reads the scheduler counters from a run's registry.
+// Counter lookups are get-or-create, so a static run reads zeros.
+func scrapeAdaptive(reg *telemetry.Registry) AdaptiveActions {
+	return AdaptiveActions{
+		Reroutes:      reg.Counter(adaptive.MetricReroutes).Value(),
+		Speculations:  reg.Counter(adaptive.MetricSpeculations).Value(),
+		SpecWins:      reg.Counter(adaptive.MetricSpecWins).Value(),
+		SpecCancelled: reg.Counter(adaptive.MetricSpecCancelled).Value(),
+	}
+}
+
+// FigAdaptive runs the adaptive-scheduling figure: the fault scenarios ×
+// every layout scheme × {static, +SASIO} on the resilience workload
+// (IOR mixed 128+256 KB write, 32 procs), under the resilient pipeline.
+// It returns the rows plus two tables — completion times side by side
+// and the scheduler's actions.
+func (c Config) FigAdaptive(scenarios []fault.Scenario) ([]AdaptiveRow, []*metrics.Table, error) {
+	if len(scenarios) == 0 {
+		scenarios = fault.Scenarios()
+	}
+	rows, err := parallelRows(c, len(scenarios), func(cc Config, i int) (AdaptiveRow, error) {
+		cc.Faults = scenarios[i]
+		row := AdaptiveRow{
+			Scenario: scenarios[i],
+			Static:   make(map[layout.Scheme]float64),
+			Adaptive: make(map[layout.Scheme]float64),
+			Actions:  make(map[layout.Scheme]AdaptiveActions),
+		}
+		tr, err := cc.faultWorkload()
+		if err != nil {
+			return row, err
+		}
+		schemes := layout.AllSchemes()
+		// Cell j replays schemes[j/2]; odd j turns the scheduler on.
+		cells, err := parallelRows(cc, 2*len(schemes), func(sc Config, j int) (AdaptiveRow, error) {
+			scheme, withSASIO := schemes[j/2], j%2 == 1
+			sc.Adaptive = withSASIO
+			reg := sc.Telemetry
+			if reg == nil {
+				reg = telemetry.NewRegistry()
+				sc.Telemetry = reg
+			}
+			run, err := sc.RunScheme(scheme, tr)
+			if err != nil {
+				return AdaptiveRow{}, fmt.Errorf("bench: adaptive %s scheme %v sasio=%v: %w",
+					scenarios[i], scheme, withSASIO, err)
+			}
+			cell := AdaptiveRow{
+				Static:   map[layout.Scheme]float64{scheme: run.Result.Makespan},
+				Actions:  map[layout.Scheme]AdaptiveActions{scheme: scrapeAdaptive(reg)},
+				Adaptive: map[layout.Scheme]float64{scheme: run.Result.Makespan},
+			}
+			return cell, nil
+		})
+		if err != nil {
+			return row, err
+		}
+		for j, s := range schemes {
+			row.Static[s] = cells[2*j].Static[s]
+			row.Adaptive[s] = cells[2*j+1].Adaptive[s]
+			row.Actions[s] = cells[2*j+1].Actions[s]
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	times := metrics.NewTable(
+		"Adaptive scheduling: completion time (s), static vs +SASIO per scheme — IOR write 128+256KB, 32 procs",
+		"scenario",
+		"DEF", "DEF+SASIO", "AAL", "AAL+SASIO",
+		"HARL", "HARL+SASIO", "MHA", "MHA+SASIO")
+	for _, row := range rows {
+		times.AddRow(string(row.Scenario),
+			fmt.Sprintf("%.6f", row.Static[layout.DEF]),
+			fmt.Sprintf("%.6f", row.Adaptive[layout.DEF]),
+			fmt.Sprintf("%.6f", row.Static[layout.AAL]),
+			fmt.Sprintf("%.6f", row.Adaptive[layout.AAL]),
+			fmt.Sprintf("%.6f", row.Static[layout.HARL]),
+			fmt.Sprintf("%.6f", row.Adaptive[layout.HARL]),
+			fmt.Sprintf("%.6f", row.Static[layout.MHA]),
+			fmt.Sprintf("%.6f", row.Adaptive[layout.MHA]))
+	}
+	actions := metrics.NewTable(
+		"Adaptive scheduling: scheduler actions per scenario and scheme (+SASIO runs)",
+		"scenario", "scheme", "reroutes", "speculations", "spec_wins", "spec_cancelled")
+	for _, row := range rows {
+		for _, s := range schemeOrder {
+			a := row.Actions[s]
+			actions.AddRow(string(row.Scenario), s.String(),
+				fmt.Sprintf("%.0f", a.Reroutes),
+				fmt.Sprintf("%.0f", a.Speculations),
+				fmt.Sprintf("%.0f", a.SpecWins),
+				fmt.Sprintf("%.0f", a.SpecCancelled))
+		}
+	}
+	return rows, []*metrics.Table{times, actions}, nil
+}

@@ -16,6 +16,7 @@ package bench
 import (
 	"fmt"
 
+	"mhafs/internal/adaptive"
 	"mhafs/internal/fault"
 	"mhafs/internal/layout"
 	"mhafs/internal/mpiio"
@@ -80,6 +81,17 @@ type Config struct {
 	// FaultSeed seeds the scenario's pseudo-random window placement;
 	// 0 means seed 1.
 	FaultSeed int64
+
+	// Adaptive enables the client's straggler-aware scheduler (SASIO) on
+	// every replayed scheme: per-server latency estimation plus reroute
+	// and speculative re-issue of lagging writes. Off by default — the
+	// historical pipelines carry no adaptive stage, so their figures are
+	// byte-identical with the flag unset.
+	Adaptive bool
+
+	// AdaptivePolicy overrides the scheduler policy; the zero value means
+	// adaptive.DefaultPolicy.
+	AdaptivePolicy adaptive.Policy
 }
 
 // Default returns the paper's setup: 6 HServers, 2 SServers, 64 KB
@@ -187,6 +199,14 @@ func (c Config) RunScheme(scheme layout.Scheme, tr trace.Trace) (SchemeRun, erro
 		if err := mw.EnableResilience(mpiio.ResilienceOptions{
 			Injector: in,
 			RST:      placement.RST,
+		}); err != nil {
+			return SchemeRun{}, err
+		}
+	}
+	if c.Adaptive {
+		if err := mw.EnableAdaptive(mpiio.AdaptiveOptions{
+			Policy: c.AdaptivePolicy,
+			RST:    placement.RST,
 		}); err != nil {
 			return SchemeRun{}, err
 		}

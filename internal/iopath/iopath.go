@@ -84,6 +84,15 @@ type Request struct {
 	// the slowest piece. Stages may wrap it to observe completion.
 	OnComplete func(end float64)
 
+	// Cancels, when non-nil, marks the request (and every child derived
+	// from it) as withdrawable: the terminal stages submit it through the
+	// servers' cancellable path and register the resulting handles here,
+	// so the owner — the adaptive scheduler's speculation race — can
+	// cancel the whole subtree when the other copy wins. Nil on every
+	// ordinary request, which keeps the default submission paths
+	// byte-identical.
+	Cancels *CancelSet
+
 	pipe        *Pipeline
 	annotations map[string]any
 
@@ -219,9 +228,40 @@ func (r *Request) child(file string, off int64, data []byte) *Request {
 	c.Op, c.File, c.Offset, c.Data = r.Op, file, off, data
 	c.Rank, c.PID, c.FD = r.Rank, r.PID, r.FD
 	c.Untraced, c.Submit = r.Untraced, r.Submit
+	c.Cancels = r.Cancels
 	c.parent = r
 	return c
 }
+
+// FanOut arms the request to complete after n derived children finish —
+// the exported form of the fan-out bookkeeping for stages composed from
+// outside the package (the adaptive scheduler).
+func (r *Request) FanOut(n int) { r.fanOut(n) }
+
+// Child derives a pooled child request addressing a different extent; the
+// deriving stage must arm the parent with FanOut before dispatching it.
+// Exported for stages composed from outside the package.
+func (r *Request) Child(file string, off int64, data []byte) *Request {
+	return r.child(file, off, data)
+}
+
+// Derive is Child without the parent link: the leg completes on its own
+// and never folds into r. The adaptive scheduler's speculation race uses
+// it for the two racing copies of a piece — the race decides r's
+// completion from whichever leg finishes first, so neither leg may drive
+// r's fan-out directly (the loser would drag r's completion out to its
+// own, possibly cancelled-and-burned, end time). Callers observe a leg
+// through OnComplete; the leg's descriptor recycles itself when done.
+func (r *Request) Derive(file string, off int64, data []byte) *Request {
+	c := r.child(file, off, data)
+	c.parent = nil
+	return c
+}
+
+// Pipeline returns the pipeline the request flows through (set on Submit
+// and on derived children). External stages use it to re-enter the chain
+// from scheduled events via Exclusive.
+func (r *Request) Pipeline() *Pipeline { return r.pipe }
 
 // Reset clears the descriptor for reuse. Every pooled request must pass
 // through Reset on its way back to the free list (mhavet's poolcheck
@@ -309,6 +349,7 @@ func (f StageFunc) Handle(req *Request, next Handler) error { return f(req, next
 const (
 	StageTrace      = "trace"
 	StageRedirect   = "redirect"
+	StageAdaptive   = "adaptive"
 	StageResilience = "resilience"
 	StageStripe     = "stripe"
 	StageServer     = "server"

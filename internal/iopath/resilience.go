@@ -192,6 +192,12 @@ func (s *RetryServerStage) attempt(req *Request, k int) {
 		s.settle(req, k, end, err)
 	}
 	switch {
+	case req.Cancels != nil:
+		// Speculation-race legs submit through the cancellable path so the
+		// race can withdraw them; a cancelled attempt settles with
+		// ErrCancelled, which is not retryable, so the leg finishes
+		// instead of re-issuing work the race already discarded.
+		submitCancellable(req, done)
 	case b.Server.IsDataless():
 		// Dataless servers charge by size alone; merged batch bindings
 		// carry an explicit byte count and no payload.

@@ -140,6 +140,13 @@ func (ServerStage) Handle(req *Request, next Handler) error {
 	if b == nil {
 		return fmt.Errorf("iopath: request for %q reached the server stage without a binding", req.File)
 	}
+	if req.Cancels != nil {
+		// Speculation-race legs must stay withdrawable end to end; the
+		// cancellable path is the coldpath, so the default submissions
+		// below stay byte-identical.
+		serveCancellable(req)
+		return nil
+	}
 	if b.Server.IsDataless() {
 		// The descriptor path: the request itself receives the completion
 		// (IODone), so the hot loop allocates no done closure.

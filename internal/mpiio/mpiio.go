@@ -18,6 +18,7 @@ package mpiio
 import (
 	"fmt"
 
+	"mhafs/internal/adaptive"
 	"mhafs/internal/fault"
 	"mhafs/internal/iopath"
 	"mhafs/internal/iosig"
@@ -47,6 +48,7 @@ type Middleware struct {
 	resilience *iopath.Resilience
 	retryStage *iopath.RetryServerStage
 	failover   *reorder.Failover
+	adaptive   *adaptive.Scheduler
 	nextFD     int
 }
 
@@ -111,6 +113,11 @@ func (m *Middleware) SetRedirector(r *reorder.Redirector) {
 		// Redirection translates logical extents to regions; failover then
 		// routes the region extents around down servers.
 		anchor = iopath.StageResilience
+	}
+	if m.pipe.Has(iopath.StageAdaptive) {
+		// The adaptive scheduler decides per region extent, so it too runs
+		// after redirection.
+		anchor = iopath.StageAdaptive
 	}
 	must(m.pipe.InsertBefore(anchor, iopath.StageRedirect, st))
 }
@@ -183,6 +190,64 @@ func (m *Middleware) EnableResilience(opts ResilienceOptions) error {
 // is enabled).
 func (m *Middleware) Failover() *reorder.Failover { return m.failover }
 
+// AdaptiveOptions configures EnableAdaptive.
+type AdaptiveOptions struct {
+	// Policy bounds the scheduler; the zero value means
+	// adaptive.DefaultPolicy.
+	Policy adaptive.Policy
+	// RST, when non-nil, receives the layout of every straggler-avoiding
+	// fallback file the scheduler creates (typically the active
+	// placement's RST).
+	RST *region.RST
+}
+
+// EnableAdaptive turns on the client's straggler-aware scheduling
+// (SASIO): a stage inserted after redirection and before resilience and
+// striping that maintains per-server latency estimates and reroutes or
+// speculatively re-issues writes around lagging servers. The scheduler
+// owns its own failover/relocation tables, separate from the resilience
+// stage's outage tables. Enabling twice is a wiring bug. Adaptive
+// scheduling and batching are mutually exclusive: a merged submission
+// cannot be withdrawn by one of the requests it coalesced.
+func (m *Middleware) EnableAdaptive(opts AdaptiveOptions) error {
+	if m.adaptive != nil {
+		return fmt.Errorf("mpiio: adaptive scheduling already enabled")
+	}
+	if m.pipe.Has(iopath.StageBatch) {
+		return fmt.Errorf("mpiio: adaptive scheduling is incompatible with batching")
+	}
+	pol := opts.Policy
+	if pol == (adaptive.Policy{}) {
+		pol = adaptive.DefaultPolicy()
+	}
+	fo, err := reorder.NewFailover(m.Cluster, opts.RST)
+	if err != nil {
+		return err
+	}
+	sched, err := adaptive.NewScheduler(m.Cluster, m, fo, pol)
+	if err != nil {
+		fo.Close()
+		return err
+	}
+	if m.telemetry != nil {
+		sched.SetTelemetry(m.telemetry)
+	}
+	// The stage lands after redirect (region extents are what hit
+	// servers) and before resilience, so an adaptively relocated piece
+	// can still fail over if its new home goes down.
+	anchor := iopath.StageStripe
+	if m.pipe.Has(iopath.StageResilience) {
+		anchor = iopath.StageResilience
+	}
+	must(m.pipe.InsertBefore(anchor, iopath.StageAdaptive, sched))
+	m.adaptive = sched
+	return nil
+}
+
+// Adaptive returns the straggler-aware scheduler (nil until adaptive
+// scheduling is enabled).
+func (m *Middleware) Adaptive() *adaptive.Scheduler { return m.adaptive }
+
 // EnableBatching inserts the sub-request batching stage before the
 // terminal server stage (or its retrying replacement): sub-requests
 // issued within one aggregation window (window virtual seconds; 0 means
@@ -193,6 +258,9 @@ func (m *Middleware) Failover() *reorder.Failover { return m.failover }
 func (m *Middleware) EnableBatching(window float64) error {
 	if m.pipe.Has(iopath.StageBatch) {
 		return fmt.Errorf("mpiio: batching already enabled")
+	}
+	if m.adaptive != nil {
+		return fmt.Errorf("mpiio: batching is incompatible with adaptive scheduling")
 	}
 	return m.pipe.InsertBefore(iopath.StageServer, iopath.StageBatch, iopath.NewBatcher(m.pipe, window))
 }
@@ -217,6 +285,9 @@ func (m *Middleware) EnableTelemetry(reg *telemetry.Registry) {
 			in.SetTelemetry(reg)
 		}
 	}
+	if m.adaptive != nil {
+		m.adaptive.SetTelemetry(reg)
+	}
 	if reg == nil {
 		m.pipe.SetObserver(nil)
 		m.pipe.Remove(StageMeter)
@@ -239,6 +310,9 @@ func (m *Middleware) Intercept(name string, s iopath.Stage) error {
 	anchor := iopath.StageStripe
 	if m.pipe.Has(iopath.StageResilience) {
 		anchor = iopath.StageResilience
+	}
+	if m.pipe.Has(iopath.StageAdaptive) {
+		anchor = iopath.StageAdaptive
 	}
 	if m.pipe.Has(iopath.StageRedirect) {
 		anchor = iopath.StageRedirect

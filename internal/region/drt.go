@@ -178,6 +178,15 @@ func (d *DRT) Mappings(oFile string) []Mapping {
 	return d.byFile[oFile]
 }
 
+// HasFile reports whether any mapping covers the original file. It is the
+// allocation-free fast path in front of Translate: per-request callers on
+// the hot path check it first and skip translation (which materializes a
+// target slice even for identity results) while the table holds nothing
+// for the file.
+func (d *DRT) HasFile(oFile string) bool {
+	return len(d.byFile[oFile]) > 0
+}
+
 // Files returns the original file names with at least one mapping, sorted.
 func (d *DRT) Files() []string {
 	out := make([]string, 0, len(d.byFile))

@@ -42,6 +42,13 @@ func (fo *Failover) Translate(file string, off, n int64) []region.Target {
 	return fo.table.Translate(file, off, n)
 }
 
+// HasMapping reports whether any extent of the file has been remapped. It
+// is the allocation-free gate per-request callers check before paying for
+// Translate.
+func (fo *Failover) HasMapping(file string) bool {
+	return fo.table.HasFile(file)
+}
+
 // Table exposes the failover DRT (read-mostly; tests inspect it).
 func (fo *Failover) Table() *region.DRT { return fo.table }
 
@@ -80,6 +87,23 @@ func (fo *Failover) fallbackLayout(l stripe.Layout, downClass stripe.Class) (str
 // Translate first and remap only unmapped pieces, so the DRT's overlap
 // rejection never trips for a given down server.
 func (fo *Failover) Remap(f *pfs.File, off, n int64, downName string, downClass stripe.Class, downPhys int) (*pfs.File, error) {
+	fb, err := fo.Fallback(f, downName, downClass, downPhys)
+	if fb == nil || err != nil {
+		return nil, err
+	}
+	if err := fo.Map(f.Name, fb.Name, off, n); err != nil {
+		return nil, err
+	}
+	return fb, nil
+}
+
+// Fallback resolves (or creates) the fallback file that avoids one server
+// of f's layout, without recording any extent mapping. It is the first
+// half of Remap, split out for callers whose relocation is provisional —
+// the adaptive scheduler's speculative duplicate writes into the fallback
+// first and publishes the mapping with Map only if the duplicate wins the
+// race. Fallback returns nil, nil when no layout avoids the server.
+func (fo *Failover) Fallback(f *pfs.File, downName string, downClass stripe.Class, downPhys int) (*pfs.File, error) {
 	l, ok := fo.fallbackLayout(f.Layout, downClass)
 	if !ok {
 		return nil, nil
@@ -110,14 +134,18 @@ func (fo *Failover) Remap(f *pfs.File, off, n int64, downName string, downClass 
 	} else if fb.Layout != l {
 		return nil, fmt.Errorf("reorder: fallback %s exists with layout %v, want %v", name, fb.Layout, l)
 	}
-	if err := fo.table.Add(region.Mapping{
-		OFile: f.Name, OOffset: off,
-		RFile: name, ROffset: off,
-		Length: n,
-	}); err != nil {
-		return nil, err
-	}
 	return fb, nil
+}
+
+// Map records the extent [off, off+n) of the original file as living in
+// the fallback file, mirroring offsets 1:1 — the second half of Remap.
+// The extent must not overlap an existing mapping of the file.
+func (fo *Failover) Map(oFile, fbFile string, off, n int64) error {
+	return fo.table.Add(region.Mapping{
+		OFile: oFile, OOffset: off,
+		RFile: fbFile, ROffset: off,
+		Length: n,
+	})
 }
 
 // classCount returns the layout's server count for the class.

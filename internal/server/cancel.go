@@ -1,0 +1,216 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"mhafs/internal/fault"
+	"mhafs/internal/trace"
+)
+
+// Cancellable submission: the adaptive scheduler's speculative re-issue
+// races one sub-request on two servers and must be able to withdraw the
+// loser. Under the simulator's eager FIFO reservation (sim.Resource), a
+// submission's service window is fixed the moment it is reserved, so
+// cancellation has exactly two deterministic outcomes:
+//
+//   - the window has not started and is still the queue tail: the
+//     reservation is rescinded and the server never performs the work;
+//   - otherwise the window burns — the device and wire do the work, as
+//     they would for a request already dispatched to a real server's
+//     queue — but the commit (byte movement, op counters) is suppressed.
+//
+// Either way the submission completes with ErrCancelled, so descriptor
+// bookkeeping upstream always runs. ErrCancelled is not retryable.
+
+// ErrCancelled reports a submission withdrawn by its client before
+// completion. It is terminal: the retry stage must not re-issue a
+// cancelled attempt.
+var ErrCancelled = errors.New("server: submission cancelled")
+
+// Backlog returns the server's current queue backlog in virtual seconds:
+// how long a sub-request submitted now would wait before service starts.
+// It is the client-observable congestion signal the adaptive scheduler's
+// latency estimator samples — clients cannot see injected fault state
+// directly, but they can see its effect on the queue.
+func (s *Server) Backlog() float64 {
+	b := s.res.BusyUntil() - s.eng.Now()
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// QueueDepth returns the number of sub-requests queued or in service.
+func (s *Server) QueueDepth() int { return s.res.Depth() }
+
+// Pending is the handle of one cancellable in-flight submission.
+type Pending struct {
+	srv       *Server
+	op        trace.Op
+	n         int64
+	submit    float64
+	start     float64
+	end       float64
+	transient bool
+	commit    func()
+	done      func(end float64, err error)
+	cancelled bool
+	rescinded bool
+	settled   bool
+}
+
+// Cancel withdraws the submission. An unstarted tail window is rescinded
+// (the server never does the work); a started or covered window burns with
+// its commit suppressed. The completion callback receives ErrCancelled in
+// both cases — asynchronously for a rescinded window, at the original
+// service-end event for a burned one. Cancelling a settled or already
+// cancelled submission is a no-op.
+func (p *Pending) Cancel() {
+	if p == nil || p.settled || p.cancelled {
+		return
+	}
+	p.cancelled = true
+	if p.srv.res.Rescind(p.start, p.end) {
+		// The service-end event still fires, but fire sees rescinded and
+		// does nothing; Rescind already undid the Reserve accounting.
+		p.rescinded = true
+		p.settled = true
+		s := p.srv
+		done := p.done
+		s.eng.Schedule(0, func() { done(s.eng.Now(), ErrCancelled) })
+	}
+}
+
+// Cancelled reports whether Cancel ran.
+func (p *Pending) Cancelled() bool { return p != nil && p.cancelled }
+
+// Rescinded reports whether cancellation withdrew the reservation before
+// service (false when the window burned or the submission completed).
+func (p *Pending) Rescinded() bool { return p != nil && p.rescinded }
+
+// fire completes the submission at its service-end event.
+func (p *Pending) fire() {
+	if p.rescinded {
+		return
+	}
+	p.settled = true
+	s := p.srv
+	s.res.Complete()
+	if p.cancelled || p.transient {
+		// The device did the work (telemetry observes it) but nothing is
+		// committed.
+		if s.tel != nil {
+			s.tel.observe(p.op, p.n, p.submit, p.start, p.end)
+		}
+		if p.cancelled {
+			p.done(p.end, ErrCancelled)
+			return
+		}
+		p.done(p.end, fault.ErrTransient)
+		return
+	}
+	p.commit()
+	if s.tel != nil {
+		s.tel.observe(p.op, p.n, p.submit, p.start, p.end)
+	}
+	p.done(p.end, nil)
+}
+
+// submitCancellable mirrors submit — same fault consultation at the
+// attempt's service-start time, same Reserve accounting, same telemetry —
+// but returns a Pending handle instead of owning the window outright. An
+// outage refuses the attempt immediately and returns nil (there is nothing
+// to cancel).
+//
+//mhavet:coldpath cancellable submission runs only for speculative duplicates
+func (s *Server) submitCancellable(op trace.Op, n int64, commit func(), done func(end float64, err error)) *Pending {
+	if done == nil {
+		panic(fmt.Sprintf("server %s: submit with nil completion", s.Name))
+	}
+	submit := s.eng.Now()
+	d := fault.Healthy()
+	if s.faults != nil {
+		start := submit
+		if bu := s.res.BusyUntil(); bu > start {
+			start = bu
+		}
+		d = s.faults.At(s.Name, start)
+		s.faults.Observe(s.Name, d)
+		if d.Down {
+			s.eng.Schedule(0, func() { done(s.eng.Now(), fault.ErrUnavailable) })
+			return nil
+		}
+	}
+	service := s.serviceTimeAt(op, n, s.res.Depth())
+	if d.Scale != 1 && n > 0 {
+		service = s.Dev.ServiceTimeAt(op, n, s.res.Depth())*d.Scale + s.Net.TransferTime(n)
+	}
+	start, end := s.res.Reserve(service)
+	p := &Pending{
+		srv: s, op: op, n: n,
+		submit: submit, start: start, end: end,
+		transient: d.Transient, commit: commit, done: done,
+	}
+	s.eng.At(end, p.fire)
+	return p
+}
+
+// SubmitWriteCancellable is SubmitWriteErr with a cancellation handle.
+//
+//mhavet:coldpath cancellable submission runs only for speculative duplicates
+func (s *Server) SubmitWriteCancellable(obj string, local int64, data []byte, done func(end float64, err error)) *Pending {
+	n := int64(len(data))
+	if s.dataless {
+		return s.submitCancellable(trace.OpWrite, n, func() {
+			s.writeBytes += n
+			s.writes++
+		}, done)
+	}
+	// Copy now: the caller may reuse its buffer before virtual completion.
+	buf := make([]byte, n)
+	copy(buf, data)
+	return s.submitCancellable(trace.OpWrite, n, func() {
+		s.Object(obj).WriteAt(buf, local)
+		s.writeBytes += n
+		s.writes++
+	}, done)
+}
+
+// SubmitReadCancellable is SubmitReadErr with a cancellation handle; buf
+// is filled only on success.
+//
+//mhavet:coldpath cancellable submission runs only for speculative duplicates
+func (s *Server) SubmitReadCancellable(obj string, local int64, buf []byte, done func(end float64, err error)) *Pending {
+	n := int64(len(buf))
+	if s.dataless {
+		return s.submitCancellable(trace.OpRead, n, func() {
+			s.readBytes += n
+			s.reads++
+		}, done)
+	}
+	return s.submitCancellable(trace.OpRead, n, func() {
+		s.Object(obj).ReadAt(buf, local)
+		s.readBytes += n
+		s.reads++
+	}, done)
+}
+
+// SubmitOpCancellable is the by-size cancellable submission of a dataless
+// server, the analogue of SubmitOpErr.
+//
+//mhavet:coldpath cancellable submission runs only for speculative duplicates
+func (s *Server) SubmitOpCancellable(op trace.Op, n int64, done func(end float64, err error)) *Pending {
+	if !s.dataless {
+		panic(fmt.Sprintf("server %s: SubmitOpCancellable on a byte-storing server", s.Name))
+	}
+	return s.submitCancellable(op, n, func() {
+		if op == trace.OpWrite {
+			s.writeBytes += n
+			s.writes++
+		} else {
+			s.readBytes += n
+			s.reads++
+		}
+	}, done)
+}

@@ -1,0 +1,49 @@
+package sim
+
+import "testing"
+
+// TestRescindTailOnly pins the rollback rule: only the last reservation
+// can be withdrawn, and only while its start is still in the future.
+func TestRescindTailOnly(t *testing.T) {
+	eng := &Engine{}
+	r := NewResource(eng, "r")
+	s1, e1 := r.Reserve(1)
+	s2, e2 := r.Reserve(2)
+	if s1 != 0 || e1 != 1 || s2 != 1 || e2 != 3 {
+		t.Fatalf("windows = [%v,%v] [%v,%v], want [0,1] [1,3]", s1, e1, s2, e2)
+	}
+
+	if r.Rescind(s1, e1) {
+		t.Fatal("rescinded a covered (non-tail) window")
+	}
+	if !r.Rescind(s2, e2) {
+		t.Fatal("could not rescind the unstarted tail")
+	}
+	if r.BusyUntil() != 1 || r.Depth() != 1 || r.BusyTime() != 1 {
+		t.Errorf("after rescind: busyUntil=%v depth=%d busyTime=%v, want 1/1/1",
+			r.BusyUntil(), r.Depth(), r.BusyTime())
+	}
+
+	// The freed capacity is reusable: the next reservation starts where
+	// the rescinded one would have.
+	if s3, e3 := r.Reserve(1); s3 != 1 || e3 != 2 {
+		t.Errorf("re-reserve = [%v,%v], want [1,2]", s3, e3)
+	}
+}
+
+// TestRescindRefusesStartedService: once virtual time reaches a
+// window's start it is in service and burns even as the tail.
+func TestRescindRefusesStartedService(t *testing.T) {
+	eng := &Engine{}
+	r := NewResource(eng, "r")
+	s1, e1 := r.Reserve(1)
+	eng.Schedule(0.5, func() {
+		if r.Rescind(s1, e1) {
+			t.Error("rescinded a window already in service")
+		}
+	})
+	eng.Run()
+	if r.BusyUntil() != 1 {
+		t.Errorf("busyUntil = %v, want the window kept to 1", r.BusyUntil())
+	}
+}

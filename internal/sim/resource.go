@@ -71,6 +71,25 @@ func (r *Resource) Complete() {
 	r.served++
 }
 
+// Rescind rolls back a reservation that has not started service, undoing
+// its Reserve accounting. Under eager FIFO reservation every later
+// arrival's start time was fixed at submission, so only the queue tail can
+// be withdrawn: Rescind succeeds exactly when the window is the last one
+// reserved (end == BusyUntil) and its service has not begun (start is
+// strictly in the future). On success the caller must NOT call Complete
+// for the window; its completion event, if already scheduled, must no-op.
+// When Rescind reports false the window burns — the device performs the
+// work and the caller suppresses only the commit (see server.Pending).
+func (r *Resource) Rescind(start, end float64) bool {
+	if r.busyUntil != end || start <= r.eng.Now() {
+		return false
+	}
+	r.busyUntil = start
+	r.busyTime -= end - start
+	r.inflight--
+	return true
+}
+
 // BusyUntil returns the virtual time at which the queue drains.
 func (r *Resource) BusyUntil() float64 { return r.busyUntil }
 
