@@ -5,6 +5,7 @@
 //
 //	mhabench [-fig all|3|7|8|9|10|11|12a|12b|13a|13b|14|meta]
 //	         [-scale N|paper|xl] [-h N] [-s N] [-workers N] [-csv] [-json[=FILE]]
+//	         [-plan-cache mem|dir|off] [-plan-cache-dir DIR]
 //	         [-telemetry] [-telemetry-format json|prom]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //	mhabench -scale xl [-xl-groups N] [-xl-apps N] [-xl-procs N]
@@ -31,6 +32,15 @@
 // additionally writes every generated table — plus the per-scheme
 // aggregate bandwidth across the bandwidth figures — to FILE (default
 // BENCH_pipeline.json) as machine-readable JSON.
+//
+// -plan-cache memoizes planner output by content address (default mem):
+// figure cells that pose identical planning problems — the same workload
+// re-planned across sweep points, fault scenarios, or adaptive variants —
+// plan once and share the result. "dir" persists plans under
+// -plan-cache-dir so later invocations start warm; "off" plans every cell
+// from scratch. Every figure, table and export is byte-identical in every
+// mode (plans are pure functions of the cache key); only wall-clock time
+// and the plan_cache_* telemetry series change.
 //
 // -telemetry threads a telemetry registry through every replayed scheme
 // and appends the snapshot (canonical JSON, or Prometheus text exposition
@@ -71,6 +81,7 @@ import (
 	"mhafs/internal/config"
 	"mhafs/internal/fault"
 	"mhafs/internal/metrics"
+	"mhafs/internal/plancache"
 	"mhafs/internal/telemetry"
 	"mhafs/internal/units"
 )
@@ -119,6 +130,8 @@ func main() {
 		batch     = flag.Bool("batch", true, "XL tier: merge contiguous same-server sub-requests into single service events")
 		batchWin  = flag.Float64("batch-window", 0, "XL tier: batching aggregation window in virtual seconds (0 flushes per instant)")
 		minEPS    = flag.Float64("min-events-per-sec", 0, "XL tier: exit nonzero when wall-clock events/sec falls below this floor")
+		planCache = flag.String("plan-cache", "mem", "plan cache mode: mem shares plans across cells in-process, dir additionally persists them under -plan-cache-dir, off disables caching; figures are byte-identical in every mode")
+		planDir   = flag.String("plan-cache-dir", "plan_cache", "directory for -plan-cache=dir entries")
 		compare   = flag.Bool("compare", false, "perf-gate mode: compare two -json exports (mhabench -compare OLD.json NEW.json)")
 		tolerance = flag.Float64("tolerance", 0.05, "relative bandwidth tolerance for -compare (0.05 = 5% slower still passes)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -204,6 +217,22 @@ func main() {
 		reg = telemetry.NewRegistry()
 		cfg.Telemetry = reg
 	}
+	cache, err := plancache.FromMode(*planCache, *planDir)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.PlanCache = cache
+	// The cache's own counters go into the snapshot at exit: they are the
+	// only series that legitimately vary with the cache mode (planner
+	// search totals and every figure stay byte-identical across modes).
+	finish := func() {
+		if reg != nil {
+			if cache != nil {
+				cache.EmitTelemetry(reg)
+			}
+			emitTelemetry(reg, *telFormat)
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
@@ -211,17 +240,13 @@ func main() {
 	if *adaptiveF {
 		cfg.FaultSeed = *faultSeed
 		runAdaptive(cfg, *faults, *csv)
-		if reg != nil {
-			emitTelemetry(reg, *telFormat)
-		}
+		finish()
 		return
 	}
 	if *faults != "" {
 		cfg.FaultSeed = *faultSeed
 		runFaults(cfg, *faults, *csv)
-		if reg != nil {
-			emitTelemetry(reg, *telFormat)
-		}
+		finish()
 		return
 	}
 
@@ -297,9 +322,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	if reg != nil {
-		emitTelemetry(reg, *telFormat)
-	}
+	finish()
 	if *memProf != "" {
 		f, err := os.Create(*memProf)
 		if err != nil {
@@ -440,6 +463,10 @@ func runCompare(args []string, tolerance float64) {
 		fatal(err)
 	}
 	if len(regs) > 0 {
+		// Worst first (CompareExports orders by shortfall) with the gate's
+		// setting up front, so a red CI log reads top-down.
+		fmt.Fprintf(os.Stderr, "mhabench: %d regression(s) beyond the %.0f%% tolerance, worst first:\n",
+			len(regs), tolerance*100)
 		for _, r := range regs {
 			fmt.Fprintln(os.Stderr, "mhabench: REGRESSION:", r)
 		}

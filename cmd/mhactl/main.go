@@ -13,6 +13,9 @@
 //	              [-faults none|straggler|flaky|outage] [-fault-seed N]
 //	              inject a seeded fault scenario with resilience enabled
 //	              [-adaptive]  enable the straggler-aware SASIO scheduler
+//	              [-plan-cache mem|dir|off] [-plan-cache-dir DIR]
+//	              memoize plans by content address (plan and replay both
+//	              accept these; output is identical in every mode)
 //	mhactl convert -trace in.txt -o out.bin [-binary=true]  convert formats
 //	mhactl drt    -db drt.db               dump a persisted DRT
 //	mhactl rst    -db rst.db               dump a persisted RST
@@ -32,6 +35,7 @@ import (
 	"mhafs/internal/layout"
 	"mhafs/internal/metrics"
 	"mhafs/internal/pattern"
+	"mhafs/internal/plancache"
 	"mhafs/internal/region"
 	"mhafs/internal/stripe"
 	"mhafs/internal/telemetry"
@@ -58,6 +62,8 @@ func main() {
 	faults := fs.String("faults", "", "replay: inject this seeded fault scenario (none, straggler, flaky, outage) with the resilience stages enabled")
 	faultSeed := fs.Int64("fault-seed", 1, "replay: seed for the fault scenario's window placement")
 	adaptiveF := fs.Bool("adaptive", false, "replay: enable the straggler-aware SASIO scheduler (latency estimation, reroute, speculative re-issue)")
+	planCacheMode := fs.String("plan-cache", "mem", "plan/replay: plan cache mode (mem, dir, off); output is identical in every mode")
+	planCacheDir := fs.String("plan-cache-dir", "plan_cache", "plan/replay: directory for -plan-cache=dir entries")
 	telem := fs.Bool("telemetry", false, "replay: emit the telemetry snapshot to stdout after the tables")
 	telFormat := fs.String("telemetry-format", "json", "telemetry snapshot format: json (canonical) or prom (Prometheus text)")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -140,7 +146,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		plan, err := planner.Plan(tr, env)
+		cache, err := plancache.FromMode(*planCacheMode, *planCacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := plancache.Wrap(planner, cache).Plan(tr, env)
 		if err != nil {
 			fatal(err)
 		}
@@ -194,9 +204,17 @@ func main() {
 			reg = telemetry.NewRegistry()
 			cfg.Telemetry = reg
 		}
+		cache, err := plancache.FromMode(*planCacheMode, *planCacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.PlanCache = cache
 		run, err := cfg.RunScheme(scheme, tr)
 		if err != nil {
 			fatal(err)
+		}
+		if reg != nil && cache != nil {
+			cache.EmitTelemetry(reg)
 		}
 		res := run.Result
 		lat := res.LatencySummary()

@@ -21,6 +21,7 @@ var DeterministicPackages = []string{
 	"internal/dynamic",
 	"internal/fault",
 	"internal/adaptive",
+	"internal/plancache",
 }
 
 // WallclockAllowedPackages may read the wall clock:
@@ -108,7 +109,11 @@ var EmissionSinkFunctions = []string{
 //   - internal/kvstore guards the persisted DRT/RST tables;
 //   - internal/adaptive settles speculation races from deadline-timer
 //     callbacks under the pipeline's submission lock and shares iopath's
-//     locking discipline.
+//     locking discipline;
+//   - internal/plancache implements single-flight plan memoization: one
+//     mutex guards the key → entry map and completion channels block
+//     coalesced callers, so concurrent parfan cells planning the same
+//     key wait for one computation instead of racing.
 var ConcurrencyAllowedPackages = []string{
 	"internal/parfan",
 	"internal/telemetry",
@@ -117,4 +122,5 @@ var ConcurrencyAllowedPackages = []string{
 	"internal/iosig",
 	"internal/kvstore",
 	"internal/adaptive",
+	"internal/plancache",
 }

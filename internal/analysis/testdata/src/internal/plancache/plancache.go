@@ -1,0 +1,51 @@
+// Package plancache is a fixture for the plan cache's analyzer
+// contract: the package sits in ConcurrencyAllowedPackages (the
+// single-flight mutex, map and completion channels are sanctioned) and
+// in DeterministicPackages (a cached plan must be a pure function of its
+// content-address key, so wall-clock freshness logic flags).
+package plancache
+
+import (
+	"sync"
+	"time"
+)
+
+// entry is the single-flight rendezvous: the done channel blocks
+// coalesced callers until the leader publishes its result.
+type entry struct {
+	done chan struct{}
+	plan int64
+}
+
+// Cache mirrors the real shape: one mutex over a key → entry map.
+type Cache struct {
+	mu      sync.Mutex // sanctioned: plancache is concurrency-allowed
+	entries map[[32]byte]*entry
+}
+
+// GetOrCompute is the single-flight sketch: first caller computes,
+// concurrent callers block on the entry's channel — no analyzer finding,
+// the locking discipline is exactly what the allowlist sanctions.
+func (c *Cache) GetOrCompute(key [32]byte, compute func() int64) int64 {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.plan
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	e.plan = compute()
+	close(e.done)
+	return e.plan
+}
+
+// expiredNow would make cache validity depend on when the process runs —
+// a freshness check has no place in a content-addressed cache, and the
+// determinism analyzer flags the wall-clock read.
+func expiredNow(writtenAt int64) bool {
+	return time.Now().Unix()-writtenAt > 3600 //want:determinism/wallclock
+}
+
+var _ = expiredNow

@@ -22,6 +22,7 @@ import (
 	"mhafs/internal/mpiio"
 	"mhafs/internal/parfan"
 	"mhafs/internal/pfs"
+	"mhafs/internal/plancache"
 	"mhafs/internal/reorder"
 	"mhafs/internal/replay"
 	"mhafs/internal/telemetry"
@@ -92,6 +93,16 @@ type Config struct {
 	// AdaptivePolicy overrides the scheduler policy; the zero value means
 	// adaptive.DefaultPolicy.
 	AdaptivePolicy adaptive.Policy
+
+	// PlanCache, when non-nil, memoizes planner output by content address
+	// (trace digest + scheme + Env knobs). Identical planning problems —
+	// the same figure workload re-planned across sweep points, worker
+	// counts, or the fault and adaptive variants of a run — are computed
+	// once and served from the cache thereafter, byte-identically; the
+	// pointer is shared by every cell the config fans out to. Plans are
+	// pure functions of the key, so figures are bit-identical with the
+	// cache on, off, or pre-warmed from disk.
+	PlanCache *plancache.Cache
 }
 
 // Default returns the paper's setup: 6 HServers, 2 SServers, 64 KB
@@ -167,7 +178,7 @@ func (c Config) RunScheme(scheme layout.Scheme, tr trace.Trace) (SchemeRun, erro
 	if err != nil {
 		return SchemeRun{}, err
 	}
-	plan, err := planner.Plan(tr, c.Env)
+	plan, err := c.plan(planner, scheme, tr)
 	if err != nil {
 		return SchemeRun{}, err
 	}
@@ -226,6 +237,35 @@ func (c Config) RunScheme(scheme layout.Scheme, tr trace.Trace) (SchemeRun, erro
 		return SchemeRun{}, err
 	}
 	return SchemeRun{Scheme: scheme, Result: res, Plan: plan}, nil
+}
+
+// plan produces the scheme's plan, through the plan cache when one is
+// configured. Search-effort counters (candidates tried / pruned,
+// aggregated in layout.SearchStats) are emitted once per planner call
+// whether the plan was computed or served — the stats travel inside the
+// cached Plan, so every cell reports the same numbers and the merged
+// totals are byte-identical with the cache off, in memory, on disk, or
+// pre-warmed, at every worker count.
+func (c Config) plan(planner layout.Planner, scheme layout.Scheme, tr trace.Trace) (layout.Plan, error) {
+	var plan layout.Plan
+	var err error
+	if c.PlanCache != nil {
+		plan, _, err = c.PlanCache.GetOrPlan(
+			plancache.KeyFor(tr, scheme, c.Env),
+			func() (layout.Plan, error) { return planner.Plan(tr, c.Env) },
+		)
+	} else {
+		plan, err = planner.Plan(tr, c.Env)
+	}
+	if err != nil {
+		return layout.Plan{}, err
+	}
+	if c.Telemetry != nil {
+		sl := telemetry.L("scheme", scheme.String())
+		c.Telemetry.Counter("planner_search_total", sl, telemetry.L("kind", "tried")).Add(float64(plan.Search.Tried))
+		c.Telemetry.Counter("planner_search_total", sl, telemetry.L("kind", "pruned")).Add(float64(plan.Search.Pruned))
+	}
+	return plan, nil
 }
 
 // RunAllSchemes runs every scheme on the same workload; the schemes run

@@ -1,0 +1,6 @@
+//go:build !race
+
+package bench
+
+// raceEnabled is false without the race detector; see race_test.go.
+const raceEnabled = false

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mhafs/internal/plancache"
+	"mhafs/internal/telemetry"
+)
+
+// cachedFigSnapshot is figSnapshot with a plan cache installed: Fig. 7
+// plus the Fig. 14 overhead sweep at the given worker count, returning
+// (tables, telemetry JSON) as rendered bytes.
+func cachedFigSnapshot(t *testing.T, workers int, cache *plancache.Cache) (string, string) {
+	t.Helper()
+	c := Default()
+	c.Scale = 512
+	c.Workers = workers
+	c.PlanCache = cache
+	reg := telemetry.NewRegistry()
+	c.Telemetry = reg
+
+	var tables bytes.Buffer
+	_, tb, err := c.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Fprint(&tables); err != nil {
+		t.Fatal(err)
+	}
+	_, tb, err = c.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Fprint(&tables); err != nil {
+		t.Fatal(err)
+	}
+
+	var tel strings.Builder
+	if err := reg.WriteJSON(&tel); err != nil {
+		t.Fatal(err)
+	}
+	return tables.String(), tel.String()
+}
+
+// TestFiguresCacheEquivalence is the cache acceptance gate at the
+// harness layer: the figure tables AND the merged telemetry snapshot
+// must be byte-identical with the cache off, shared in memory, backed by
+// a cold disk directory, and warm-started from that same directory — at
+// workers 1, 2 and 8. Under -race this also exercises the single-flight
+// path: parallel cells plan the same keys concurrently.
+func TestFiguresCacheEquivalence(t *testing.T) {
+	baseTables, baseTel := cachedFigSnapshot(t, 1, nil)
+	dir := t.TempDir()
+	workerCounts := []int{1, 2, 8}
+	modes := []string{"off", "mem", "dir"}
+	if raceEnabled {
+		// Under the race detector keep only the combos that exercise
+		// concurrent single-flight planning; the plain run covers the
+		// full matrix (see race_test.go).
+		workerCounts = []int{8}
+		modes = []string{"mem", "dir"}
+	}
+	for _, workers := range workerCounts {
+		for _, mode := range modes {
+			cache, err := plancache.FromMode(mode, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables, tel := cachedFigSnapshot(t, workers, cache)
+			if tables != baseTables {
+				t.Errorf("workers=%d mode=%s: figure tables differ from the uncached serial run", workers, mode)
+			}
+			if tel != baseTel {
+				t.Errorf("workers=%d mode=%s: telemetry snapshot differs from the uncached serial run", workers, mode)
+			}
+			if mode != "off" {
+				if s := cache.Stats(); s.Misses+s.DiskHits == 0 {
+					t.Errorf("workers=%d mode=%s: cache never engaged (stats %+v)", workers, mode, s)
+				}
+			}
+		}
+	}
+	// The dir runs above left entries behind; a fresh process over the
+	// same directory must start warm and compute nothing new.
+	warm, err := plancache.FromMode("dir", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, tel := cachedFigSnapshot(t, 8, warm)
+	if tables != baseTables || tel != baseTel {
+		t.Error("warm-start from disk diverged from the uncached serial run")
+	}
+	if s := warm.Stats(); s.Misses != 0 || s.DiskHits == 0 {
+		t.Errorf("warm start computed %d plans (disk hits %d); want 0 computed", s.Misses, s.DiskHits)
+	}
+}
+
+// TestCacheColdVsWarmInProcess runs the same figure twice through one
+// in-memory cache: the warm pass must serve every plan from the cache
+// and reproduce the cold pass byte for byte.
+func TestCacheColdVsWarmInProcess(t *testing.T) {
+	cache, err := plancache.New(plancache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, coldTel := cachedFigSnapshot(t, 2, cache)
+	after := cache.Stats()
+	if after.Misses == 0 {
+		t.Fatalf("cold pass computed no plans (stats %+v)", after)
+	}
+	warm, warmTel := cachedFigSnapshot(t, 2, cache)
+	if warm != cold {
+		t.Error("warm pass tables differ from cold pass")
+	}
+	if warmTel != coldTel {
+		t.Error("warm pass telemetry differs from cold pass")
+	}
+	if s := cache.Stats(); s.Misses != after.Misses {
+		t.Errorf("warm pass computed %d new plans, want 0", s.Misses-after.Misses)
+	}
+}

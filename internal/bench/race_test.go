@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled narrows the plan-cache equivalence matrix under the race
+// detector: instrumentation makes each figure snapshot several times
+// slower, and the full mode × worker sweep would dominate the package's
+// race budget. The plain run keeps full coverage.
+const raceEnabled = true

@@ -16,18 +16,31 @@ type Regression struct {
 	Limit  float64 // Old × (1 − tol), the lowest acceptable value
 }
 
+// Shortfall is the relative drop below the baseline: (Old − New) / Old.
+// It is the gate's severity measure — a value of 0.08 reads "8% slower
+// than the baseline" — and always exceeds the tolerance for a reported
+// regression.
+func (r Regression) Shortfall() float64 {
+	if r.Old <= 0 {
+		return 0
+	}
+	return (r.Old - r.New) / r.Old
+}
+
 func (r Regression) String() string {
-	return fmt.Sprintf("%s %s regressed: %.2f -> %.2f (limit %.2f)",
-		r.Scheme, r.Metric, r.Old, r.New, r.Limit)
+	return fmt.Sprintf("%s %s regressed: %.2f -> %.2f (-%.1f%%, limit %.2f)",
+		r.Scheme, r.Metric, r.Old, r.New, r.Shortfall()*100, r.Limit)
 }
 
 // CompareExports gates a new run against an old baseline: every scheme's
 // aggregate read/write bandwidth in old must be matched by new within the
 // relative tolerance tol (0.05 = new may be up to 5% slower). It returns
-// the regressions in deterministic (scheme, metric) order, or an error
-// when the runs are incomparable — different scale or cluster shape, a
-// scheme missing from the new run, or a baseline without bandwidth data.
-// Improvements and schemes present only in new never fail the gate.
+// the regressions worst-first — ordered by descending Shortfall, ties
+// broken by (scheme, metric) so the order stays deterministic — or an
+// error when the runs are incomparable: different scale or cluster
+// shape, a scheme missing from the new run, or a baseline without
+// bandwidth data. Improvements and schemes present only in new never
+// fail the gate.
 func CompareExports(old, new Export, tol float64) ([]Regression, error) {
 	if tol < 0 || tol >= 1 {
 		return nil, fmt.Errorf("bench: tolerance %v outside [0,1)", tol)
@@ -73,5 +86,18 @@ func CompareExports(old, new Export, tol float64) ([]Regression, error) {
 			}
 		}
 	}
+	// Worst regression first: on a failing gate the top line is the one
+	// to chase. The scheme/metric tie-break keeps equal shortfalls (and
+	// with them the full report) in a stable order.
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].Shortfall(), out[j].Shortfall()
+		if si != sj {
+			return si > sj
+		}
+		if out[i].Scheme != out[j].Scheme {
+			return out[i].Scheme < out[j].Scheme
+		}
+		return out[i].Metric < out[j].Metric
+	})
 	return out, nil
 }

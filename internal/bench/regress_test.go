@@ -2,6 +2,7 @@ package bench
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -37,13 +38,38 @@ func TestCompareExportsPassAndRegress(t *testing.T) {
 	if r.Limit != 200*0.95 {
 		t.Errorf("limit = %v, want %v", r.Limit, 200*0.95)
 	}
-	// Both directions regressed: deterministic (scheme, metric) order.
+	// Both directions regressed: the 50% read drop outranks the 33%
+	// write drop.
 	regs, err = CompareExports(base, gateExport(100, 100), 0.05)
 	if err != nil || len(regs) != 2 {
 		t.Fatalf("regs=%v err=%v, want two regressions", regs, err)
 	}
 	if regs[0].Metric != "read_mbps" || regs[1].Metric != "write_mbps" {
 		t.Errorf("order = %v, %v", regs[0].Metric, regs[1].Metric)
+	}
+}
+
+// TestCompareExportsWorstFirst: the report is ordered by shortfall, not
+// by (scheme, metric) — a deep write regression must outrank a shallow
+// read one.
+func TestCompareExportsWorstFirst(t *testing.T) {
+	base := gateExport(200, 150)
+	// Read drops 10%, write drops 40%: write is the headline.
+	regs, err := CompareExports(base, gateExport(180, 90), 0.05)
+	if err != nil || len(regs) != 2 {
+		t.Fatalf("regs=%v err=%v, want two regressions", regs, err)
+	}
+	if regs[0].Metric != "write_mbps" || regs[1].Metric != "read_mbps" {
+		t.Errorf("order = %v, %v; want write_mbps first", regs[0].Metric, regs[1].Metric)
+	}
+	if got := regs[0].Shortfall(); got != 0.4 {
+		t.Errorf("write shortfall = %v, want 0.4", got)
+	}
+	if s := regs[0].String(); !strings.Contains(s, "-40.0%") {
+		t.Errorf("String() = %q, want the percentage drop in it", s)
+	}
+	if (Regression{}).Shortfall() != 0 {
+		t.Error("zero-baseline shortfall must be 0")
 	}
 }
 

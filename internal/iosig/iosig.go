@@ -10,8 +10,11 @@
 package iosig
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -97,6 +100,40 @@ func (c *Collector) Trace() trace.Trace {
 	t := c.RawTrace()
 	t.SortByOffset()
 	return t
+}
+
+// TraceDigest returns the sha256 of a canonical binary encoding of the
+// trace — the content address of a profiled workload. Two traces digest
+// equal iff they hold identical records in identical order: every field
+// is encoded fixed-width little-endian and file names are
+// length-prefixed, so no two distinct traces share an encoding. The
+// digest is total (unlike the MHTR writer it never validates), which
+// lets the plan cache key on any trace a planner would accept.
+func TraceDigest(t trace.Trace) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	var nameBuf []byte // reused across records: one allocation per digest
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	u64(uint64(len(t)))
+	for i := range t {
+		r := &t[i]
+		u64(uint64(len(r.File)))
+		nameBuf = append(nameBuf[:0], r.File...)
+		h.Write(nameBuf)
+		u64(uint64(int64(r.PID)))
+		u64(uint64(int64(r.Rank)))
+		u64(uint64(int64(r.FD)))
+		u64(uint64(r.Op))
+		u64(uint64(r.Offset))
+		u64(uint64(r.Size))
+		u64(math.Float64bits(r.Time))
+	}
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
 }
 
 // Reset discards all captured records.

@@ -152,3 +152,50 @@ func TestReadDirEmpty(t *testing.T) {
 		t.Error("empty dir accepted")
 	}
 }
+
+func TestTraceDigest(t *testing.T) {
+	base := trace.Trace{
+		{PID: 1, Rank: 0, FD: 3, File: "a", Op: trace.OpWrite, Offset: 0, Size: 16, Time: 0.5},
+		{PID: 1, Rank: 1, FD: 3, File: "a", Op: trace.OpRead, Offset: 16, Size: 32, Time: 1.5},
+	}
+	d := TraceDigest(base)
+	if d != TraceDigest(base.Clone()) {
+		t.Error("identical traces digest differently")
+	}
+	// Order matters: the digest addresses the trace, not a multiset.
+	swapped := trace.Trace{base[1], base[0]}
+	if TraceDigest(swapped) == d {
+		t.Error("record order not reflected in the digest")
+	}
+	// Every field perturbs the digest.
+	perturb := []func(r *trace.Record){
+		func(r *trace.Record) { r.PID++ },
+		func(r *trace.Record) { r.Rank++ },
+		func(r *trace.Record) { r.FD++ },
+		func(r *trace.Record) { r.File = "b" },
+		func(r *trace.Record) { r.Op = trace.OpRead },
+		func(r *trace.Record) { r.Offset++ },
+		func(r *trace.Record) { r.Size++ },
+		func(r *trace.Record) { r.Time += 1e-9 },
+	}
+	for i, f := range perturb {
+		tr := base.Clone()
+		f(&tr[0])
+		if TraceDigest(tr) == d {
+			t.Errorf("perturbation %d not reflected in the digest", i)
+		}
+	}
+	// Length-prefixed names keep the encoding injective: the boundary
+	// between name and fields cannot shift.
+	ab := trace.Trace{{File: "ab", Op: trace.OpWrite, Size: 1}}
+	a := trace.Trace{{File: "a", Op: trace.OpWrite, Size: 1}}
+	if TraceDigest(ab) == TraceDigest(a) {
+		t.Error("file-name boundary ambiguity")
+	}
+	// Total on traces the validators would reject (negative sizes).
+	_ = TraceDigest(trace.Trace{{File: "x", Size: -1}})
+	// Empty and nil traces share the canonical empty digest.
+	if TraceDigest(nil) != TraceDigest(trace.Trace{}) {
+		t.Error("nil and empty traces digest differently")
+	}
+}

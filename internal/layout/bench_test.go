@@ -64,6 +64,43 @@ func BenchmarkRSSDLANL(b *testing.B) {
 	b.ReportMetric(float64(res.Pruned), "pruned")
 }
 
+// xlConcReqs models one XL-tier region's aggregated request classes: rank
+// counts far above the paper's 8-process apps. At these concurrencies the
+// kernel's phase-period collapse dominates — packed strides are round
+// multiples for many candidates, reducing 512 per-request walks to one.
+func xlConcReqs() []Req {
+	var reqs []Req
+	for i := 0; i < 16; i++ {
+		size := int64(16*units.KB) << uint(i%4)
+		reqs = append(reqs,
+			Req{Op: trace.OpWrite, Size: size, Conc: 512, Weight: 64},
+			Req{Op: trace.OpRead, Size: size + 52, Conc: 256, Weight: 64})
+	}
+	return reqs
+}
+
+// BenchmarkRSSDXLConc measures the incremental kernel on the XL-tier mix;
+// BenchmarkRSSDXLConcNaive is the same search with the pre-kernel
+// per-request cost walk (naiveRSSD, the equivalence-test reference), kept
+// so the speedup stays measurable in one run.
+func BenchmarkRSSDXLConc(b *testing.B) {
+	env := DefaultEnv()
+	reqs := xlConcReqs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RSSD(reqs, env)
+	}
+}
+
+func BenchmarkRSSDXLConcNaive(b *testing.B) {
+	env := DefaultEnv()
+	reqs := xlConcReqs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		naiveRSSD(reqs, env)
+	}
+}
+
 // BenchmarkHARLPlanWorkers sweeps the planner fan-out: HARL runs one RSSD
 // search per region, so the speedup over workers=1 tracks GOMAXPROCS on
 // multi-core runners (the plan itself is bit-identical at every count).

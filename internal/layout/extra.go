@@ -3,7 +3,6 @@ package layout
 import (
 	"sort"
 
-	"mhafs/internal/costmodel"
 	"mhafs/internal/parfan"
 	"mhafs/internal/pattern"
 	"mhafs/internal/region"
@@ -90,13 +89,17 @@ func (carlPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
 		}
 		// Rank regions by their access cost under the baseline (HDD-only)
 		// placement; the costliest go to the SServers until the capacity
-		// fraction is spent.
+		// fraction is spent. The kernel scores each region's single
+		// candidate without allocating (this loop is serial, so one kernel
+		// serves every region).
+		kern := newCostKernel(env.Params, env.M+env.N)
 		scores := make([]regionScore, nRegions)
 		costOf := make([]float64, nRegions)
 		for i, bucket := range buckets {
+			p.Search.Tried++
 			var cost float64
 			for _, r := range AggregateReqs(ReqsFromAnnotated(bucket)) {
-				cost += costmodel.RequestCost(env.Params, hddOnly, r.Op, 0, r.Size,
+				cost += kern.epochCost(hddOnly, r.Op, r.Size,
 					units.RoundUp(r.Size, env.Step), r.Conc) * float64(r.Weight)
 			}
 			scores[i] = regionScore{idx: i, cost: cost}
@@ -191,12 +194,15 @@ func (hasPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
 			cost   float64
 		}
 		chosen := parfan.Map(nRegions, env.Workers, func(i int) choice {
+			// Per-region kernel: the regions score concurrently and the
+			// kernel's scratch is single-worker state.
+			kern := newCostKernel(env.Params, env.M+env.N)
 			reqs := AggregateReqs(ReqsFromAnnotated(buckets[i]))
 			best, bestCost := candidates[0], 0.0
 			for ci, cand := range candidates {
 				var cost float64
 				for _, r := range reqs {
-					cost += costmodel.RequestCost(env.Params, cand, r.Op, 0, r.Size,
+					cost += kern.epochCost(cand, r.Op, r.Size,
 						units.RoundUp(r.Size, env.Step), r.Conc) * float64(r.Weight)
 				}
 				if ci == 0 || cost < bestCost {
@@ -205,6 +211,7 @@ func (hasPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
 			}
 			return choice{layout: best, cost: bestCost}
 		})
+		p.Search.Tried += nRegions * len(candidates)
 		for i := 0; i < nRegions; i++ {
 			start := int64(i) * width
 			length := units.Min(width, size-start)

@@ -1,0 +1,162 @@
+package layout
+
+import (
+	"mhafs/internal/costmodel"
+	"mhafs/internal/stripe"
+	"mhafs/internal/trace"
+)
+
+// costKernel is the incremental epoch-cost evaluator behind the stripe
+// searches: it computes exactly the number costmodel.RequestCost computes
+// (the slowest server's time for conc stride-spaced requests at offset 0)
+// but with closed-form per-server prefix sums instead of materializing
+// sub-requests, reusing scratch slices across candidates, and collapsing
+// the epoch's requests to their distinct round phases.
+//
+// Two facts make this an exact replacement, not an approximation
+// (DESIGN.md §17 gives the full argument):
+//
+//  1. The bytes request j of the epoch places on server i are
+//     B(j·d+size) − B(j·d) where B is stripe.PrefixBytes for the server's
+//     round window; B is translation-invariant modulo rounds, so only the
+//     request's phase u_j = (j·d) mod L matters. A contiguous extent
+//     intersects a server's stripes in one contiguous local range
+//     (stripe.Split yields at most one sub-request per server), so the
+//     per-request process count on a server is 1 exactly when those bytes
+//     are positive — the kernel's procs increment matches the naive
+//     walk's per-sub-request increment.
+//  2. The phases u_j are periodic in j with period p = L/gcd(L, d mod L)
+//     (p = 1 when d is a round multiple). An epoch of conc requests is
+//     therefore ⌊conc/p⌋ copies of the full phase set plus the first
+//     conc mod p phases; per-server bytes and procs are integer sums, so
+//     scaling the period totals by ⌊conc/p⌋ is exact — no floats are
+//     touched until the final SubRequestTime calls, which see the same
+//     integer inputs as the naive walk and hence return the same floats.
+//
+// Per candidate the cost is O((M+N)·min(conc, p)) with zero allocations,
+// against the naive walk's O((M+N)·conc) plus per-request Split/Servers
+// allocations.
+type costKernel struct {
+	params costmodel.Params
+	bytes  []int64
+	procs  []int64
+	width  []int64 // per flat server: stripe width under the current candidate
+	base   []int64 // per flat server: within-round base offset
+}
+
+// newCostKernel sizes the scratch for layouts of at most nsrv servers.
+// One kernel serves one search (one parfan worker); it is not safe for
+// concurrent use.
+func newCostKernel(params costmodel.Params, nsrv int) *costKernel {
+	return &costKernel{
+		params: params,
+		bytes:  make([]int64, nsrv),
+		procs:  make([]int64, nsrv),
+		width:  make([]int64, nsrv),
+		base:   make([]int64, nsrv),
+	}
+}
+
+// epochCost evaluates one term of the search objective: the cost of conc
+// requests of the given size issued at stride-spaced offsets from 0 under
+// layout l. Bit-identical to
+// costmodel.RequestCost(params, l, op, 0, size, stride, conc).
+func (k *costKernel) epochCost(l stripe.Layout, op trace.Op, size, stride int64, conc int) float64 {
+	if conc < 1 {
+		conc = 1
+	}
+	if size <= 0 {
+		return 0
+	}
+	if stride < size {
+		stride = size
+	}
+	n := l.M + l.N
+	L := l.RoundLength()
+	bytes, procs := k.bytes[:n], k.procs[:n]
+	width, base := k.width[:n], k.base[:n]
+	var cum int64
+	for i := 0; i < n; i++ {
+		w := l.H
+		if i >= l.M {
+			w = l.S
+		}
+		width[i], base[i] = w, cum
+		cum += w
+		bytes[i], procs[i] = 0, 0
+	}
+
+	// Distinct phases of the epoch: u_j = (j·d) mod L has period
+	// p = L/gcd(L, d) with d = stride mod L (p = 1 when d = 0).
+	d := stride % L
+	period := int64(1)
+	if d != 0 {
+		period = L / gcd64(L, d)
+	}
+	phases := int64(conc)
+	if period < phases {
+		phases = period
+	}
+	addPhase := func(off int64) {
+		for i := 0; i < n; i++ {
+			if width[i] == 0 {
+				continue
+			}
+			b := stripe.PrefixBytes(off+size, base[i], width[i], L) -
+				stripe.PrefixBytes(off, base[i], width[i], L)
+			if b > 0 {
+				bytes[i] += b
+				procs[i]++
+			}
+		}
+	}
+	off := int64(0)
+	for j := int64(0); j < phases; j++ {
+		addPhase(off)
+		off += d
+		if off >= L {
+			off -= L
+		}
+	}
+	if phases < int64(conc) {
+		// conc = full·period + rem: the accumulated period totals repeat
+		// full times, then the first rem phases run once more. Integer
+		// scaling, so exact.
+		full := int64(conc) / period
+		rem := int64(conc) % period
+		for i := 0; i < n; i++ {
+			bytes[i] *= full
+			procs[i] *= full
+		}
+		off = 0
+		for j := int64(0); j < rem; j++ {
+			addPhase(off)
+			off += d
+			if off >= L {
+				off -= L
+			}
+		}
+	}
+
+	var worst float64
+	for i := 0; i < n; i++ {
+		class := stripe.ClassH
+		if i >= l.M {
+			class = stripe.ClassS
+		}
+		// procs[i] ≤ conc (an int), so the conversion is exact.
+		t := k.params.SubRequestTime(class, op, int(procs[i]), bytes[i]) //mhavet:allow trunc
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// gcd64 is the classic Euclid loop; gcd64(a, 0) = a.
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

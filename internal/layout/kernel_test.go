@@ -1,0 +1,243 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"mhafs/internal/costmodel"
+	"mhafs/internal/stripe"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+// kernelTestParams uses round numbers so every expectation below is
+// checkable by hand: no per-message overhead, no seek interference, unit
+// network and storage per-byte times (every byte costs 2s on any class),
+// and distinct startups so the process counts are observable.
+func kernelTestParams() costmodel.Params {
+	return costmodel.Params{
+		T: 1, PerMessage: 0,
+		AlphaH: 10, BetaH: 1,
+		AlphaSR: 5, BetaSR: 1,
+		AlphaSW: 5, BetaSW: 1,
+	}
+}
+
+// TestPrefixBytesHand pins the closed-form prefix sum on hand-computed
+// windows of an L=8 round with a [4, 8) window.
+func TestPrefixBytesHand(t *testing.T) {
+	cases := []struct {
+		x, base, size, L, want int64
+	}{
+		{0, 4, 4, 8, 0},   // empty prefix
+		{4, 4, 4, 8, 0},   // prefix stops at the window
+		{6, 4, 4, 8, 2},   // two bytes into the window
+		{8, 4, 4, 8, 4},   // full first window
+		{10, 4, 4, 8, 4},  // second round, window not reached
+		{14, 4, 4, 8, 6},  // second window partially covered
+		{80, 4, 4, 8, 40}, // ten full rounds
+		{6, 0, 4, 8, 4},   // window at the round start, clamped to size
+	}
+	for _, c := range cases {
+		if got := stripe.PrefixBytes(c.x, c.base, c.size, c.L); got != c.want {
+			t.Errorf("PrefixBytes(%d,%d,%d,%d) = %d, want %d",
+				c.x, c.base, c.size, c.L, got, c.want)
+		}
+	}
+}
+
+// TestKernelHandComputed pins epochCost on epochs small enough to walk on
+// paper, including one whose phase period is shorter than its concurrency
+// (the period-scaling path).
+func TestKernelHandComputed(t *testing.T) {
+	p := kernelTestParams()
+	l := stripe.Layout{M: 1, N: 1, H: 4, S: 4} // L = 8
+	k := newCostKernel(p, 2)
+
+	// Three aligned reads of 6 bytes at stride 8 (= L, so period 1 — one
+	// phase scaled by 3): every request puts 4 bytes on H and 2 on S, all
+	// three processes touch both servers.
+	//   H: 3·α_H + 12·(T+β_H) = 30 + 24 = 54
+	//   S: 3·α_SR + 6·(T+β_SR) = 15 + 12 = 27
+	if got := k.epochCost(l, trace.OpRead, 6, 8, 3); got != 54 {
+		t.Errorf("aligned epoch: got %v, want 54", got)
+	}
+
+	// Five reads of 4 bytes at stride 12: d = 4, period = 8/gcd(8,4) = 2.
+	// Phases alternate 0 (4 bytes on H) and 4 (4 bytes on S); five
+	// requests are two full periods plus one extra phase-0 request.
+	//   H: bytes 12, procs 3 → 3·10 + 12·2 = 54
+	//   S: bytes 8,  procs 2 → 2·5 + 8·2 = 26
+	if got := k.epochCost(l, trace.OpRead, 4, 12, 5); got != 54 {
+		t.Errorf("period-2 epoch: got %v, want 54", got)
+	}
+
+	// Writes switch the SServer startup but here α_SW = α_SR; an SServer-
+	// only layout isolates the S term: two writes of 3 bytes, stride 4,
+	// L = 4, period 1 → S bytes 6, procs 2 → 2·5 + 6·2 = 22.
+	ssd := stripe.Layout{M: 1, N: 1, H: 0, S: 4}
+	if got := k.epochCost(ssd, trace.OpWrite, 3, 4, 2); got != 22 {
+		t.Errorf("ssd-only epoch: got %v, want 22", got)
+	}
+
+	// Degenerate guards mirror costmodel.RequestCost exactly.
+	if got := k.epochCost(l, trace.OpRead, 0, 8, 3); got != 0 {
+		t.Errorf("size 0: got %v, want 0", got)
+	}
+	if got := k.epochCost(l, trace.OpRead, 6, 2, 0); got != k.epochCost(l, trace.OpRead, 6, 6, 1) {
+		t.Errorf("conc<1 and stride<size guards diverge from the naive walk")
+	}
+}
+
+// TestKernelMatchesNaive sweeps layouts, operations, sizes, strides and
+// concurrencies and requires the kernel to reproduce
+// costmodel.RequestCost bit for bit — the equality the search relies on
+// for identical argmins, tie-breaks and prune decisions.
+func TestKernelMatchesNaive(t *testing.T) {
+	params := []costmodel.Params{kernelTestParams(), costmodel.Default()}
+	layouts := []stripe.Layout{
+		{M: 1, N: 1, H: 4, S: 4},
+		{M: 6, N: 2, H: 64 * units.KB, S: 192 * units.KB},
+		{M: 6, N: 2, H: 0, S: 8 * units.KB},  // SServer-only placement
+		{M: 6, N: 2, H: 8 * units.KB, S: 0},  // HServer-only placement
+		{M: 3, N: 2, H: 12288, S: 4096},      // uneven classes
+		{M: 2, N: 3, H: 4096, S: 28672},      // large S share
+		{M: 1, N: 0, H: 4 * units.KB, S: 0},  // homogeneous HDD cluster
+		{M: 0, N: 2, H: 0, S: 16 * units.KB}, // homogeneous SSD cluster
+	}
+	sizes := []int64{1, 16, 100, 4095, 4096, 65536, 131052, 1 << 20}
+	concs := []int{0, 1, 2, 7, 8, 64, 1000}
+	for _, p := range params {
+		for _, l := range layouts {
+			k := newCostKernel(p, l.M+l.N)
+			for _, op := range []trace.Op{trace.OpRead, trace.OpWrite} {
+				for _, size := range sizes {
+					// Strides exercise: the stride<size fallback, exact
+					// round multiples (period 1), step-aligned packing, and
+					// a coprime-ish stride (long period).
+					strides := []int64{0, size, units.RoundUp(size, 4*units.KB), 2 * size, size + 12, 1048573}
+					for _, stride := range strides {
+						for _, conc := range concs {
+							want := costmodel.RequestCost(p, l, op, 0, size, stride, conc)
+							got := k.epochCost(l, op, size, stride, conc)
+							if got != want {
+								t.Fatalf("layout %v op %v size %d stride %d conc %d: kernel %v != naive %v",
+									l, op, size, stride, conc, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRSSDMatchesNaiveSearch re-runs the full Algorithm 2 grid with the
+// naive per-candidate walk and requires the production search to agree on
+// the chosen layout, the cost, and both effort counters — the kernel may
+// change how a candidate is summed, never which candidates win or prune.
+func TestRSSDMatchesNaiveSearch(t *testing.T) {
+	envs := []Env{DefaultEnv()}
+	small := DefaultEnv()
+	small.M, small.N = 2, 1
+	envs = append(envs, small)
+	workloads := [][]Req{
+		lanlReqs(),
+		{{Op: trace.OpRead, Size: 128 * units.KB, Conc: 32, Weight: 100},
+			{Op: trace.OpWrite, Size: 256 * units.KB, Conc: 32, Weight: 100},
+			{Op: trace.OpRead, Size: 16 * units.KB, Conc: 8, Weight: 100}},
+		{{Op: trace.OpWrite, Size: 5000, Conc: 3, Weight: 7}},
+	}
+	for _, env := range envs {
+		for wi, reqs := range workloads {
+			got := RSSD(reqs, env)
+			want := naiveRSSD(reqs, env)
+			if got.Layout != want.Layout || got.Cost != want.Cost ||
+				got.Tried != want.Tried || got.Pruned != want.Pruned {
+				t.Errorf("env %dH+%dS workload %d: kernel search %+v != naive search %+v",
+					env.M, env.N, wi, got, want)
+			}
+		}
+	}
+}
+
+// naiveRSSD is RSSD with the kernel replaced by the original
+// costmodel.RequestCost walk: same bounds, same candidate order, same
+// prune and tie-break. It exists only as the reference for the
+// equivalence test above.
+func naiveRSSD(reqs []Req, env Env) RSSDResult {
+	step := env.Step
+	if step <= 0 {
+		step = 4 * units.KB
+	}
+	agg := AggregateReqs(reqs)
+	var rmax int64
+	for _, r := range agg {
+		if r.Size > rmax {
+			rmax = r.Size
+		}
+	}
+	if rmax == 0 {
+		return RSSDResult{Layout: stripe.Uniform(env.M, env.N, env.DefaultStripe)}
+	}
+	sreqs := make([]searchReq, len(agg))
+	for i, r := range agg {
+		sreqs[i] = searchReq{
+			op: r.Op, size: r.Size, stride: units.RoundUp(r.Size, step),
+			conc: r.Conc, weight: float64(r.Weight),
+		}
+	}
+	bh, bs := rmax, rmax
+	if rmax >= int64(env.M+env.N)*64*units.KB {
+		if env.M > 0 {
+			bh = rmax / int64(env.M)
+		}
+		if env.N > 0 {
+			bs = rmax / int64(env.N)
+		}
+	}
+	if bs < step {
+		bs = step
+	}
+	if bh < step {
+		bh = step
+	}
+	if env.M == 0 {
+		bh = 0
+	}
+	best := RSSDResult{Cost: math.Inf(1)}
+	const tieEps = 1e-12
+	evaluate := func(l stripe.Layout) {
+		best.Tried++
+		var cost float64
+		for _, r := range sreqs {
+			cost += costmodel.RequestCost(env.Params, l, r.op, 0, r.size, r.stride, r.conc) * r.weight
+			if cost > best.Cost+tieEps {
+				best.Pruned++
+				return
+			}
+		}
+		if cost < best.Cost-tieEps ||
+			(cost <= best.Cost+tieEps && l.H+l.S > best.Layout.H+best.Layout.S) {
+			best.Cost = cost
+			best.Layout = l
+		}
+	}
+	for h := int64(0); h <= bh; h += step {
+		if env.N == 0 {
+			if h > 0 {
+				evaluate(stripe.Layout{M: env.M, N: 0, H: h, S: 0})
+			}
+			continue
+		}
+		for s := h + step; s <= bs; s += step {
+			evaluate(stripe.Layout{M: env.M, N: env.N, H: h, S: s})
+		}
+	}
+	if env.M > 0 && env.N > 0 {
+		for c := step; c <= units.Max(bh, bs); c += step {
+			evaluate(stripe.Uniform(env.M, env.N, c))
+		}
+	}
+	return best
+}

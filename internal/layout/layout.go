@@ -169,6 +169,16 @@ type RegionPlan struct {
 	Cost float64
 }
 
+// SearchStats aggregates the stripe-search effort behind a plan:
+// candidates visited and candidates abandoned early by RSSD's lower-bound
+// prune, summed over every per-region search. The totals are independent
+// of Env.Workers — each region's search is deterministic and the sums run
+// in region order — so they may feed deterministic telemetry.
+type SearchStats struct {
+	Tried  int
+	Pruned int
+}
+
 // Plan is a planner's output.
 type Plan struct {
 	Scheme  Scheme
@@ -176,6 +186,8 @@ type Plan struct {
 	// Mappings relocate original extents into regions; empty when regions
 	// are the original files themselves.
 	Mappings []region.Mapping
+	// Search reports the planning effort that produced the plan.
+	Search SearchStats
 }
 
 // Validate checks plan consistency: every mapping references a planned
@@ -232,6 +244,31 @@ func NewPlanner(s Scheme) (Planner, error) {
 		return hasPlanner{}, nil
 	default:
 		return nil, fmt.Errorf("layout: unknown scheme %d", s)
+	}
+}
+
+// PlannerVersion returns the per-scheme cache-invalidation version. The
+// plan cache (internal/plancache) hashes it into every key, so bumping a
+// scheme's constant makes entries computed by the older planner miss
+// instead of serving stale plans. Bump it whenever the planner's output
+// for a given (trace, env) pair could change — a search-order tweak, a
+// cost-model reading, a region-naming change. Unknown schemes report 0.
+func PlannerVersion(s Scheme) int {
+	switch s {
+	case DEF:
+		return 1
+	case AAL:
+		return 1
+	case HARL:
+		return 1
+	case MHA:
+		return 1
+	case CARL:
+		return 1
+	case HAS:
+		return 1
+	default:
+		return 0
 	}
 }
 

@@ -86,7 +86,8 @@ func (aalPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
 	}
 	for _, f := range sortedFiles(tr) {
 		reqs := AggregateReqs(ReqsFromAnnotated(byFile[f]))
-		l, cost := bestUniformStripe(reqs, env, homog)
+		l, cost, tried := bestUniformStripe(reqs, env, homog)
+		p.Search.Tried += tried
 		// The whole file is restriped into one region file with the
 		// optimized uniform stripe; a single identity mapping redirects
 		// every access there.
@@ -102,8 +103,10 @@ func (aalPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
 }
 
 // bestUniformStripe searches uniform stripe sizes with the given model
-// parameters, using the same adaptive bound policy as RSSD.
-func bestUniformStripe(reqs []Req, env Env, params costmodel.Params) (stripe.Layout, float64) {
+// parameters, using the same adaptive bound policy as RSSD. The third
+// result counts the candidates evaluated (this search carries no
+// lower-bound prune, so none are abandoned early).
+func bestUniformStripe(reqs []Req, env Env, params costmodel.Params) (stripe.Layout, float64, int) {
 	step := env.Step
 	var rmax int64
 	for _, r := range reqs {
@@ -112,7 +115,7 @@ func bestUniformStripe(reqs []Req, env Env, params costmodel.Params) (stripe.Lay
 		}
 	}
 	if rmax == 0 {
-		return stripe.Uniform(env.M, env.N, env.DefaultStripe), 0
+		return stripe.Uniform(env.M, env.N, env.DefaultStripe), 0, 0
 	}
 	var bound int64
 	if rmax < int64(env.M+env.N)*64*units.KB {
@@ -123,13 +126,16 @@ func bestUniformStripe(reqs []Req, env Env, params costmodel.Params) (stripe.Lay
 	if bound < step {
 		bound = step
 	}
+	kern := newCostKernel(params, env.M+env.N)
 	bestCost := math.Inf(1)
 	var best stripe.Layout
+	tried := 0
 	for c := step; c <= bound; c += step {
+		tried++
 		l := stripe.Uniform(env.M, env.N, c)
 		var cost float64
 		for _, r := range reqs {
-			cost += costmodel.RequestCost(params, l, r.Op, 0, r.Size, units.RoundUp(r.Size, step), r.Conc) * float64(r.Weight)
+			cost += kern.epochCost(l, r.Op, r.Size, units.RoundUp(r.Size, step), r.Conc) * float64(r.Weight)
 		}
 		const tieEps = 1e-12
 		if cost < bestCost-tieEps ||
@@ -137,7 +143,7 @@ func bestUniformStripe(reqs []Req, env Env, params costmodel.Params) (stripe.Lay
 			bestCost, best = cost, l
 		}
 	}
-	return best, bestCost
+	return best, bestCost, tried
 }
 
 // ---------------------------------------------------------------------------
@@ -193,6 +199,8 @@ func (harlPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
 			start := int64(i) * width
 			length := units.Min(width, size-start)
 			res := searched[i]
+			p.Search.Tried += res.Tried
+			p.Search.Pruned += res.Pruned
 			name := RegionName(HARL, env.Tag, f, i)
 			p.Regions = append(p.Regions, RegionPlan{
 				File: name, Layout: res.Layout, Size: length, Cost: res.Cost,
@@ -330,6 +338,8 @@ func (mhaPlanner) Plan(tr trace.Trace, env Env) (Plan, error) {
 		})
 		for oi, g := range owning {
 			rssd := searched[oi]
+			p.Search.Tried += rssd.Tried
+			p.Search.Pruned += rssd.Pruned
 			round := rssd.Layout.RoundLength()
 
 			name := RegionName(MHA, env.Tag, f, g)

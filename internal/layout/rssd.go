@@ -3,7 +3,6 @@ package layout
 import (
 	"math"
 
-	"mhafs/internal/costmodel"
 	"mhafs/internal/stripe"
 	"mhafs/internal/trace"
 	"mhafs/internal/units"
@@ -140,11 +139,17 @@ func RSSD(reqs []Req, env Env) RSSDResult {
 
 	best := RSSDResult{Cost: math.Inf(1)}
 	const tieEps = 1e-12
+	// One kernel per search: candidate evaluation reuses its scratch, so
+	// the inner loop is allocation-free and skips repeated round phases
+	// (kernel.go documents why the sums are bit-identical to
+	// costmodel.RequestCost).
+	kern := newCostKernel(env.Params, env.M+env.N)
 	evaluate := func(l stripe.Layout) {
 		best.Tried++
 		var cost float64
-		for _, r := range sreqs {
-			cost += costmodel.RequestCost(env.Params, l, r.op, 0, r.size, r.stride, r.conc) * r.weight
+		for i := range sreqs {
+			r := &sreqs[i]
+			cost += kern.epochCost(l, r.op, r.size, r.stride, r.conc) * r.weight
 			// Lower-bound prune: every term of the sum is ≥ 0, so the
 			// partial sum only grows. Once it exceeds best.Cost+tieEps the
 			// candidate can neither beat the incumbent nor tie it (the tie

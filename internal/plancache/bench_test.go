@@ -1,0 +1,44 @@
+package plancache
+
+import (
+	"testing"
+
+	"mhafs/internal/layout"
+)
+
+// BenchmarkCacheHit measures the warm in-memory path: one mutex
+// round-trip and a map probe. CI gates this benchmark at 0 allocs/op.
+func BenchmarkCacheHit(b *testing.B) {
+	c, err := New(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := testTrace(10)
+	env := layout.DefaultEnv()
+	key := KeyFor(tr, layout.MHA, env)
+	planner, _ := layout.NewPlanner(layout.MHA)
+	if _, _, err := c.GetOrPlan(key, func() (layout.Plan, error) {
+		return planner.Plan(tr, env)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, out, _ := c.GetOrPlan(key, nil); out != Hit {
+			b.Fatal("warm call missed")
+		}
+	}
+}
+
+// BenchmarkKeyFor measures the keying cost itself — the price a cache
+// lookup adds to a planner call (dominated by hashing the trace).
+func BenchmarkKeyFor(b *testing.B) {
+	tr := testTrace(1000)
+	env := layout.DefaultEnv()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KeyFor(tr, layout.MHA, env)
+	}
+}

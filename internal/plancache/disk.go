@@ -1,0 +1,127 @@
+package plancache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mhafs/internal/layout"
+)
+
+// envelopeFormat versions the on-disk file layout; entries written under
+// a different format are stale, not corrupt.
+const envelopeFormat = 1
+
+// envelope is the on-disk representation of one cached plan. Every field
+// outside Plan exists to let the loader refuse an entry without trusting
+// it: the key must match the file we asked for, the planner version must
+// match the code that would otherwise recompute, and the plan bytes must
+// hash to PlanSHA256 before they are parsed into a layout.Plan.
+type envelope struct {
+	Format         int             `json:"format"`
+	Key            string          `json:"key"`
+	Scheme         string          `json:"scheme"`
+	PlannerVersion int             `json:"planner_version"`
+	PlanSHA256     string          `json:"plan_sha256"`
+	Plan           json.RawMessage `json:"plan"`
+}
+
+// path returns the entry file for a key: <dir>/<keyhex>.plan.json.
+func (c *Cache) path(key Key) string {
+	return filepath.Join(c.dir, key.String()+".plan.json")
+}
+
+// loadDisk tries the on-disk layer for key. It returns the plan and
+// loaded=true only when every integrity check passes; otherwise the
+// caller recomputes. corrupt/stale report (as 0/1 deltas for the stats
+// fields) why an existing entry was rejected: stale means the entry was
+// written by another envelope format or planner version — expected after
+// an upgrade — while corrupt means the bytes themselves fail their
+// self-description (truncation, tampering, torn write). Both are
+// recoverable by recomputation; neither is ever trusted.
+func (c *Cache) loadDisk(key Key) (plan layout.Plan, loaded bool, corrupt, stale uint64) {
+	if c.dir == "" {
+		return layout.Plan{}, false, 0, 0
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		// Absent (or unreadable) is a plain miss, not an error class.
+		return layout.Plan{}, false, 0, 0
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return layout.Plan{}, false, 1, 0
+	}
+	if env.Format != envelopeFormat {
+		return layout.Plan{}, false, 0, 1
+	}
+	if env.Key != key.String() {
+		return layout.Plan{}, false, 1, 0
+	}
+	sum := sha256.Sum256(env.Plan)
+	if hex.EncodeToString(sum[:]) != env.PlanSHA256 {
+		return layout.Plan{}, false, 1, 0
+	}
+	if err := json.Unmarshal(env.Plan, &plan); err != nil {
+		return layout.Plan{}, false, 1, 0
+	}
+	if env.Scheme != plan.Scheme.String() ||
+		env.PlannerVersion != layout.PlannerVersion(plan.Scheme) {
+		// A version mismatch usually means the planner changed since the
+		// entry was written (KeyFor would produce a different key now, but
+		// a hand-copied or downgraded cache directory can still collide).
+		return layout.Plan{}, false, 0, 1
+	}
+	if err := plan.Validate(); err != nil {
+		return layout.Plan{}, false, 1, 0
+	}
+	return plan, true, 0, 0
+}
+
+// storeDisk writes the entry atomically: marshal to a temp file in the
+// cache directory, then rename over the final name so readers never see
+// a torn entry. Canonical encoding is encoding/json's deterministic
+// struct-field order, so identical plans produce identical files.
+func (c *Cache) storeDisk(key Key, plan layout.Plan) error {
+	planBytes, err := json.Marshal(plan)
+	if err != nil {
+		return fmt.Errorf("plancache: %w", err)
+	}
+	sum := sha256.Sum256(planBytes)
+	env := envelope{
+		Format:         envelopeFormat,
+		Key:            key.String(),
+		Scheme:         plan.Scheme.String(),
+		PlannerVersion: layout.PlannerVersion(plan.Scheme),
+		PlanSHA256:     hex.EncodeToString(sum[:]),
+		Plan:           planBytes,
+	}
+	// Compact on purpose: indentation would rewrite the embedded Plan
+	// bytes and break the PlanSHA256 self-check.
+	data, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("plancache: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(c.dir, ".plan-*.tmp")
+	if err != nil {
+		return fmt.Errorf("plancache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("plancache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("plancache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("plancache: %w", err)
+	}
+	return nil
+}

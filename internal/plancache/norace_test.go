@@ -1,0 +1,37 @@
+//go:build !race
+
+package plancache
+
+import (
+	"testing"
+
+	"mhafs/internal/layout"
+)
+
+// TestHitPathZeroAllocs pins the acceptance bar for the in-memory hit
+// fast path: no allocations per served call. Guarded out under -race
+// because the race runtime instruments map reads with allocations that
+// are not the code's own.
+func TestHitPathZeroAllocs(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(10)
+	env := layout.DefaultEnv()
+	key := KeyFor(tr, layout.MHA, env)
+	planner, _ := layout.NewPlanner(layout.MHA)
+	if _, _, err := c.GetOrPlan(key, func() (layout.Plan, error) {
+		return planner.Plan(tr, env)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, out, _ := c.GetOrPlan(key, nil); out != Hit {
+			t.Fatal("warm call missed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocates %v times per call, want 0", allocs)
+	}
+}

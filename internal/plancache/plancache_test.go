@@ -1,0 +1,481 @@
+package plancache
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"mhafs/internal/layout"
+	"mhafs/internal/telemetry"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+func testTrace(n int) trace.Trace {
+	var tr trace.Trace
+	off := int64(0)
+	for i := 0; i < n; i++ {
+		tr = append(tr, trace.Record{
+			Rank: i % 8, File: "f", Op: trace.OpRead,
+			Offset: off, Size: 16 * units.KB, Time: float64(i),
+		})
+		off += 16 * units.KB
+	}
+	return tr
+}
+
+func mustCache(t *testing.T, opts Options) *Cache {
+	t.Helper()
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestKeySensitivity: the key must move with every planner input and stay
+// put for everything else — most importantly Env.Workers, whose exclusion
+// is what lets one cached plan serve every worker count.
+func TestKeySensitivity(t *testing.T) {
+	tr := testTrace(10)
+	env := layout.DefaultEnv()
+	base := KeyFor(tr, layout.MHA, env)
+
+	if KeyFor(tr, layout.MHA, env) != base {
+		t.Fatal("key not deterministic")
+	}
+	wEnv := env
+	wEnv.Workers = 8
+	if KeyFor(tr, layout.MHA, wEnv) != base {
+		t.Error("Workers changed the key; plans are worker-independent and must share entries")
+	}
+
+	perturb := map[string]func(*layout.Env){
+		"M":             func(e *layout.Env) { e.M++ },
+		"N":             func(e *layout.Env) { e.N++ },
+		"Params.AlphaH": func(e *layout.Env) { e.Params.AlphaH *= 2 },
+		"Params.BetaSR": func(e *layout.Env) { e.Params.BetaSR *= 2 },
+		"Params.T":      func(e *layout.Env) { e.Params.T *= 2 },
+		"DefaultStripe": func(e *layout.Env) { e.DefaultStripe *= 2 },
+		"Step":          func(e *layout.Env) { e.Step *= 2 },
+		"MaxRegions":    func(e *layout.Env) { e.MaxRegions++ },
+		"EpochWindow":   func(e *layout.Env) { e.EpochWindow *= 2 },
+		"Seed":          func(e *layout.Env) { e.Seed++ },
+		"Tag":           func(e *layout.Env) { e.Tag = "g2" },
+	}
+	for name, mutate := range perturb {
+		e := env
+		mutate(&e)
+		if KeyFor(tr, layout.MHA, e) == base {
+			t.Errorf("perturbing %s did not change the key", name)
+		}
+	}
+
+	if KeyFor(tr, layout.HARL, env) == base {
+		t.Error("scheme did not change the key")
+	}
+	tr2 := testTrace(10)
+	tr2[3].Size += 4
+	if KeyFor(tr2, layout.MHA, env) == base {
+		t.Error("trace did not change the key")
+	}
+}
+
+// TestKeyPinsStructShapes fails when layout.Env or costmodel.Params grow
+// a field, forcing whoever adds one to decide whether KeyFor must hash
+// it. Workers and the 10 hashed Params fields are accounted for below.
+func TestKeyPinsStructShapes(t *testing.T) {
+	if n := reflect.TypeOf(layout.Env{}).NumField(); n != 10 {
+		t.Errorf("layout.Env has %d fields, KeyFor encodes 8 of 10 (Params expanded, Workers excluded) — update KeyFor and this pin", n)
+	}
+	if n := reflect.TypeOf(layout.DefaultEnv().Params).NumField(); n != 10 {
+		t.Errorf("costmodel.Params has %d fields, KeyFor encodes 10 — update KeyFor and this pin", n)
+	}
+}
+
+// TestGetOrPlanMemory covers the serial life of a key: computed once,
+// then hit, with an independent key computed separately.
+func TestGetOrPlanMemory(t *testing.T) {
+	c := mustCache(t, Options{})
+	tr := testTrace(10)
+	env := layout.DefaultEnv()
+	key := KeyFor(tr, layout.MHA, env)
+	planner, _ := layout.NewPlanner(layout.MHA)
+
+	calls := 0
+	compute := func() (layout.Plan, error) {
+		calls++
+		return planner.Plan(tr, env)
+	}
+
+	p1, out, err := c.GetOrPlan(key, compute)
+	if err != nil || out != Computed {
+		t.Fatalf("first call: outcome %v err %v", out, err)
+	}
+	p2, out, err := c.GetOrPlan(key, compute)
+	if err != nil || out != Hit {
+		t.Fatalf("second call: outcome %v err %v", out, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("hit returned a different plan")
+	}
+
+	env2 := env
+	env2.Tag = "gen2"
+	if _, out, _ := c.GetOrPlan(KeyFor(tr, layout.MHA, env2), compute); out != Computed {
+		t.Fatalf("distinct key served from cache: outcome %v", out)
+	}
+
+	s := c.Stats()
+	if s.Misses != 2 || s.Hits != 1 || s.Coalesced != 0 {
+		t.Fatalf("stats %+v, want 2 misses / 1 hit / 0 coalesced", s)
+	}
+}
+
+// TestSingleFlight releases eight goroutines at the same key
+// simultaneously and holds the leader's computation open until the cache
+// has registered the other seven as coalesced waiters: exactly one may
+// compute, the rest must block on it, and all eight must receive the
+// same plan value.
+func TestSingleFlight(t *testing.T) {
+	c := mustCache(t, Options{})
+	tr := testTrace(10)
+	env := layout.DefaultEnv()
+	key := KeyFor(tr, layout.MHA, env)
+	planner, _ := layout.NewPlanner(layout.MHA)
+
+	const callers = 8
+	release := make(chan struct{})
+	var computes int // written only by the single-flight leader
+	compute := func() (layout.Plan, error) {
+		<-release
+		computes++
+		return planner.Plan(tr, env)
+	}
+
+	plans := make([]layout.Plan, callers)
+	outcomes := make([]Outcome, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, out, err := c.GetOrPlan(key, compute)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			plans[i], outcomes[i] = p, out
+		}(i)
+	}
+	// The leader is parked on release inside compute; wait until the
+	// cache has counted every other caller as a waiter, then let it run.
+	for c.Stats().Coalesced != callers-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Coalesced != callers-1 || s.Hits != 0 {
+		t.Fatalf("stats %+v, want 1 miss / %d coalesced / 0 hits", s, callers-1)
+	}
+	nComputed := 0
+	for i := range outcomes {
+		switch outcomes[i] {
+		case Computed:
+			nComputed++
+		case Coalesced:
+		default:
+			t.Fatalf("caller %d: unexpected outcome %v", i, outcomes[i])
+		}
+		if !reflect.DeepEqual(plans[i], plans[0]) {
+			t.Fatalf("caller %d received a different plan", i)
+		}
+	}
+	if nComputed != 1 {
+		t.Fatalf("%d callers computed, want 1", nComputed)
+	}
+}
+
+// TestErrorCaching: planner errors memoize like plans — deterministic
+// inputs fail deterministically, so retrying is pure waste.
+func TestErrorCaching(t *testing.T) {
+	c := mustCache(t, Options{})
+	key := KeyFor(testTrace(1), layout.MHA, layout.DefaultEnv())
+	boom := errors.New("boom")
+	calls := 0
+	compute := func() (layout.Plan, error) {
+		calls++
+		return layout.Plan{}, boom
+	}
+	if _, out, err := c.GetOrPlan(key, compute); out != Computed || !errors.Is(err, boom) {
+		t.Fatalf("first call: outcome %v err %v", out, err)
+	}
+	if _, out, err := c.GetOrPlan(key, compute); out != Hit || !errors.Is(err, boom) {
+		t.Fatalf("second call: outcome %v err %v", out, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+}
+
+// TestDiskRoundTrip: a second cache over the same directory serves the
+// first cache's plan without computing, byte-identically.
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tr := testTrace(10)
+	env := layout.DefaultEnv()
+	key := KeyFor(tr, layout.MHA, env)
+	planner, _ := layout.NewPlanner(layout.MHA)
+	compute := func() (layout.Plan, error) { return planner.Plan(tr, env) }
+
+	c1 := mustCache(t, Options{Dir: dir})
+	p1, out, err := c1.GetOrPlan(key, compute)
+	if err != nil || out != Computed {
+		t.Fatalf("cold: outcome %v err %v", out, err)
+	}
+
+	c2 := mustCache(t, Options{Dir: dir})
+	p2, out, err := c2.GetOrPlan(key, func() (layout.Plan, error) {
+		t.Fatal("warm cache computed despite a valid disk entry")
+		return layout.Plan{}, nil
+	})
+	if err != nil || out != DiskHit {
+		t.Fatalf("warm: outcome %v err %v", out, err)
+	}
+	j1, _ := json.Marshal(p1)
+	j2, _ := json.Marshal(p2)
+	if string(j1) != string(j2) {
+		t.Fatal("disk round trip changed the plan")
+	}
+	if s := c2.Stats(); s.DiskHits != 1 || s.Misses != 0 {
+		t.Fatalf("warm stats %+v, want 1 disk hit / 0 misses", s)
+	}
+
+	// Errors never reach disk: a failing key on a disk-backed cache
+	// leaves no file behind.
+	boomKey := KeyFor(testTrace(2), layout.MHA, env)
+	c1.GetOrPlan(boomKey, func() (layout.Plan, error) {
+		return layout.Plan{}, errors.New("boom")
+	})
+	if _, err := os.Stat(filepath.Join(dir, boomKey.String()+".plan.json")); !os.IsNotExist(err) {
+		t.Fatal("error result was written to disk")
+	}
+}
+
+// corruptionCase tampers with a stored entry and states how the loader
+// must classify the damage.
+type corruptionCase struct {
+	name       string
+	tamper     func(t *testing.T, path string)
+	wantStale  uint64
+	wantRotten uint64
+}
+
+// TestDiskCorruptAndStale: damaged or outdated entries are recomputed,
+// never trusted, with the rejection classified correctly; the recompute
+// rewrites the entry so a third cache loads it cleanly again.
+func TestDiskCorruptAndStale(t *testing.T) {
+	tr := testTrace(10)
+	env := layout.DefaultEnv()
+	key := KeyFor(tr, layout.MHA, env)
+	planner, _ := layout.NewPlanner(layout.MHA)
+	compute := func() (layout.Plan, error) { return planner.Plan(tr, env) }
+
+	rewriteEnvelope := func(t *testing.T, path string, mutate func(*envelope)) {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e envelope
+		if err := json.Unmarshal(data, &e); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&e)
+		out, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cases := []corruptionCase{
+		{name: "truncated", wantRotten: 1, tamper: func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			os.WriteFile(path, data[:len(data)/2], 0o644)
+		}},
+		{name: "plan-bytes-flipped", wantRotten: 1, tamper: func(t *testing.T, path string) {
+			rewriteEnvelope(t, path, func(e *envelope) {
+				e.Plan = json.RawMessage(strings.Replace(string(e.Plan), `"M":`, `"Z":`, 1))
+			})
+		}},
+		{name: "sha-mismatch", wantRotten: 1, tamper: func(t *testing.T, path string) {
+			rewriteEnvelope(t, path, func(e *envelope) {
+				e.PlanSHA256 = strings.Repeat("0", 64)
+			})
+		}},
+		{name: "wrong-key-field", wantRotten: 1, tamper: func(t *testing.T, path string) {
+			rewriteEnvelope(t, path, func(e *envelope) {
+				e.Key = strings.Repeat("a", 64)
+			})
+		}},
+		{name: "old-format", wantStale: 1, tamper: func(t *testing.T, path string) {
+			rewriteEnvelope(t, path, func(e *envelope) { e.Format = envelopeFormat + 1 })
+		}},
+		{name: "old-planner-version", wantStale: 1, tamper: func(t *testing.T, path string) {
+			rewriteEnvelope(t, path, func(e *envelope) { e.PlannerVersion = -1 })
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			seed := mustCache(t, Options{Dir: dir})
+			want, _, err := seed.GetOrPlan(key, compute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, key.String()+".plan.json")
+			tc.tamper(t, path)
+
+			c := mustCache(t, Options{Dir: dir})
+			got, out, err := c.GetOrPlan(key, compute)
+			if err != nil || out != Computed {
+				t.Fatalf("tampered entry: outcome %v err %v, want recompute", out, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("recomputed plan differs from the original")
+			}
+			s := c.Stats()
+			if s.DiskCorrupt != tc.wantRotten || s.DiskStale != tc.wantStale {
+				t.Fatalf("stats %+v, want corrupt=%d stale=%d", s, tc.wantRotten, tc.wantStale)
+			}
+
+			// The recompute rewrote the entry: a fresh cache must load it.
+			c3 := mustCache(t, Options{Dir: dir})
+			if _, out, err := c3.GetOrPlan(key, compute); err != nil || out != DiskHit {
+				t.Fatalf("after recompute: outcome %v err %v, want disk hit", out, err)
+			}
+		})
+	}
+}
+
+// TestWrap: a wrapped planner is transparent (same scheme, same plan)
+// and a nil cache is the identity.
+func TestWrap(t *testing.T) {
+	planner, _ := layout.NewPlanner(layout.MHA)
+	if Wrap(planner, nil) != planner {
+		t.Fatal("nil cache must return the planner unchanged")
+	}
+	c := mustCache(t, Options{})
+	w := Wrap(planner, c)
+	if w.Scheme() != layout.MHA {
+		t.Fatalf("wrapped scheme %v", w.Scheme())
+	}
+	tr := testTrace(10)
+	env := layout.DefaultEnv()
+	direct, err := planner.Plan(tr, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := w.Plan(tr, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := w.Plan(tr, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got1, direct) || !reflect.DeepEqual(got2, direct) {
+		t.Fatal("wrapped planner diverged from the direct plan")
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats %+v, want 1 miss / 1 hit", s)
+	}
+}
+
+// TestFromMode maps the CLI flag values onto cache configurations.
+func TestFromMode(t *testing.T) {
+	if c, err := FromMode("off", ""); err != nil || c != nil {
+		t.Fatalf("off: %v %v", c, err)
+	}
+	if c, err := FromMode("mem", ""); err != nil || c == nil || c.dir != "" {
+		t.Fatalf("mem: %+v %v", c, err)
+	}
+	dir := filepath.Join(t.TempDir(), "pc")
+	c, err := FromMode("dir", dir)
+	if err != nil || c == nil || c.dir != dir {
+		t.Fatalf("dir: %+v %v", c, err)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Fatalf("dir mode did not create %s: %v", dir, err)
+	}
+	if _, err := FromMode("dir", ""); err == nil {
+		t.Fatal("dir mode without a directory must fail")
+	}
+	if _, err := FromMode("bogus", ""); err == nil {
+		t.Fatal("unknown mode must fail")
+	}
+}
+
+// TestEmitTelemetry checks the exported aggregates: computed = misses,
+// served = hits + coalesced + disk hits, and the full series set present
+// even at zero.
+func TestEmitTelemetry(t *testing.T) {
+	c := mustCache(t, Options{})
+	tr := testTrace(10)
+	env := layout.DefaultEnv()
+	key := KeyFor(tr, layout.MHA, env)
+	planner, _ := layout.NewPlanner(layout.MHA)
+	compute := func() (layout.Plan, error) { return planner.Plan(tr, env) }
+	c.GetOrPlan(key, compute)
+	c.GetOrPlan(key, compute)
+	c.GetOrPlan(key, compute)
+
+	reg := telemetry.NewRegistry()
+	c.EmitTelemetry(reg)
+	get := func(result string, name string) float64 {
+		t.Helper()
+		return reg.Counter(name, telemetry.L("result", result)).Value()
+	}
+	if v := get("computed", "plan_cache_requests_total"); v != 1 {
+		t.Errorf("computed = %v, want 1", v)
+	}
+	if v := get("served", "plan_cache_requests_total"); v != 2 {
+		t.Errorf("served = %v, want 2", v)
+	}
+	for _, result := range []string{"hit", "corrupt", "stale"} {
+		if v := get(result, "plan_cache_disk_total"); v != 0 {
+			t.Errorf("disk %s = %v, want 0", result, v)
+		}
+	}
+	// Nil registry is a documented no-op.
+	c.EmitTelemetry(nil)
+}
+
+// TestOutcomeString pins the flag-facing names.
+func TestOutcomeString(t *testing.T) {
+	want := map[Outcome]string{
+		Computed: "computed", Hit: "hit", Coalesced: "coalesced",
+		DiskHit: "disk-hit", Outcome(99): "outcome(99)",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), s)
+		}
+	}
+}

@@ -188,9 +188,14 @@ type SubRequest struct {
 	Size   int64 // bytes
 }
 
-// bytesBelow returns how many bytes of the global prefix [0, x) fall into
-// the window [base, base+size) of each stripe round of length L.
-func bytesBelow(x, base, size, L int64) int64 {
+// PrefixBytes returns how many bytes of the global prefix [0, x) fall
+// into the window [base, base+size) of each stripe round of length L —
+// the closed-form prefix sum behind Split and the layout planners'
+// incremental cost kernel. It is translation-invariant modulo rounds:
+// PrefixBytes(x+q·L, base, size, L) = PrefixBytes(x, base, size, L) +
+// q·size, which is what lets the kernel evaluate a request's phase
+// (offset mod L) instead of its absolute offset.
+func PrefixBytes(x, base, size, L int64) int64 {
 	if x <= 0 || size == 0 {
 		return 0
 	}
@@ -237,7 +242,7 @@ func (l Layout) AppendSplit(dst []SubRequest, off, length int64) []SubRequest {
 		if size == 0 {
 			continue
 		}
-		n := bytesBelow(units.End(off, length), base, size, L) - bytesBelow(off, base, size, L)
+		n := PrefixBytes(units.End(off, length), base, size, L) - PrefixBytes(off, base, size, L)
 		if n == 0 {
 			continue
 		}

@@ -34,6 +34,7 @@ import (
 	"mhafs/internal/layout"
 	"mhafs/internal/mpiio"
 	"mhafs/internal/pfs"
+	"mhafs/internal/plancache"
 	"mhafs/internal/region"
 	"mhafs/internal/reorder"
 	"mhafs/internal/replay"
@@ -108,6 +109,13 @@ type Config struct {
 	// in memory.
 	DRTPath string
 	RSTPath string
+
+	// PlanCache, when non-nil, memoizes planner output by content address
+	// so repeated Optimize calls over unchanged traces — including the
+	// dynamic monitor's periodic re-planning — skip the stripe search and
+	// reuse the earlier plan byte for byte. Re-optimization generations
+	// carry distinct Env tags and therefore distinct keys.
+	PlanCache *plancache.Cache
 }
 
 // DefaultConfig returns the paper's experimental setup.
@@ -213,6 +221,7 @@ func (s *System) Optimize(scheme Scheme, tr Trace) error {
 	if err != nil {
 		return err
 	}
+	planner = plancache.Wrap(planner, s.cfg.PlanCache)
 	env := s.cfg.Plan
 	opts := reorder.Options{
 		DRTPath: s.cfg.DRTPath,
