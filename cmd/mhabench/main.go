@@ -78,10 +78,10 @@ import (
 	"strings"
 
 	"mhafs/internal/bench"
+	"mhafs/internal/cliflags"
 	"mhafs/internal/config"
 	"mhafs/internal/fault"
 	"mhafs/internal/metrics"
-	"mhafs/internal/plancache"
 	"mhafs/internal/telemetry"
 	"mhafs/internal/units"
 )
@@ -113,7 +113,7 @@ func main() {
 		scale     = flag.String("scale", "64", "workload tier: a divisor of the paper volumes, \"paper\" (= 64), or \"xl\" for the XL simulation tier")
 		hSrv      = flag.Int("h", 6, "number of HServers (HDD-backed)")
 		sSrv      = flag.Int("s", 2, "number of SServers (SSD-backed)")
-		workers   = flag.Int("workers", 0, "worker-pool size for the harness and planners (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+		workers   = cliflags.Workers(flag.CommandLine)
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut   = optFile{def: "BENCH_pipeline.json"}
 		calPath   = flag.String("config", "", "JSON calibration file overriding device/network/planner defaults")
@@ -130,8 +130,7 @@ func main() {
 		batch     = flag.Bool("batch", true, "XL tier: merge contiguous same-server sub-requests into single service events")
 		batchWin  = flag.Float64("batch-window", 0, "XL tier: batching aggregation window in virtual seconds (0 flushes per instant)")
 		minEPS    = flag.Float64("min-events-per-sec", 0, "XL tier: exit nonzero when wall-clock events/sec falls below this floor")
-		planCache = flag.String("plan-cache", "mem", "plan cache mode: mem shares plans across cells in-process, dir additionally persists them under -plan-cache-dir, off disables caching; figures are byte-identical in every mode")
-		planDir   = flag.String("plan-cache-dir", "plan_cache", "directory for -plan-cache=dir entries")
+		planCache = cliflags.PlanCache(flag.CommandLine)
 		compare   = flag.Bool("compare", false, "perf-gate mode: compare two -json exports (mhabench -compare OLD.json NEW.json)")
 		tolerance = flag.Float64("tolerance", 0.05, "relative bandwidth tolerance for -compare (0.05 = 5% slower still passes)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -217,7 +216,7 @@ func main() {
 		reg = telemetry.NewRegistry()
 		cfg.Telemetry = reg
 	}
-	cache, err := plancache.FromMode(*planCache, *planDir)
+	cache, err := planCache.Open()
 	if err != nil {
 		fatal(err)
 	}

@@ -19,6 +19,12 @@
 //	mhactl convert -trace in.txt -o out.bin [-binary=true]  convert formats
 //	mhactl drt    -db drt.db               dump a persisted DRT
 //	mhactl rst    -db rst.db               dump a persisted RST
+//	mhactl plan-submit -service-dir d -tenant t -submitter who \
+//	              -trace t.txt -scheme MHA   submit a job to the plan
+//	              service (idempotent: an identical descriptor returns the
+//	              original job ID and is recorded as a duplicate)
+//	mhactl plan-status -service-dir d [-tenant t] [-job ID]
+//	              summarize the service's dedupe ledger per job
 package main
 
 import (
@@ -26,10 +32,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"sort"
 
 	"mhafs/internal/bench"
+	"mhafs/internal/cliflags"
 	"mhafs/internal/cluster"
 	"mhafs/internal/fault"
 	"mhafs/internal/layout"
@@ -37,6 +45,7 @@ import (
 	"mhafs/internal/pattern"
 	"mhafs/internal/plancache"
 	"mhafs/internal/region"
+	"mhafs/internal/service"
 	"mhafs/internal/stripe"
 	"mhafs/internal/telemetry"
 	"mhafs/internal/trace"
@@ -55,15 +64,18 @@ func main() {
 	hSrv := fs.Int("h", 6, "HServers")
 	sSrv := fs.Int("s", 2, "SServers")
 	k := fs.Int("k", 16, "maximum group count")
-	workers := fs.Int("workers", 0, "worker-pool size for planning/grouping/replay (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+	workers := cliflags.Workers(fs)
 	window := fs.Float64("window", pattern.DefaultEpochWindow, "concurrency window (s)")
 	outPath := fs.String("o", "", "output path (convert)")
 	toBinary := fs.Bool("binary", true, "convert to binary (false: to text)")
 	faults := fs.String("faults", "", "replay: inject this seeded fault scenario (none, straggler, flaky, outage) with the resilience stages enabled")
 	faultSeed := fs.Int64("fault-seed", 1, "replay: seed for the fault scenario's window placement")
 	adaptiveF := fs.Bool("adaptive", false, "replay: enable the straggler-aware SASIO scheduler (latency estimation, reroute, speculative re-issue)")
-	planCacheMode := fs.String("plan-cache", "mem", "plan/replay: plan cache mode (mem, dir, off); output is identical in every mode")
-	planCacheDir := fs.String("plan-cache-dir", "plan_cache", "plan/replay: directory for -plan-cache=dir entries")
+	planCache := cliflags.PlanCache(fs)
+	serviceDir := fs.String("service-dir", "", "plan service state root: the dedupe ledger plus a plancache/ subdirectory (plan-submit, plan-status)")
+	tenant := fs.String("tenant", "", "plan-submit/plan-status: owning tenant")
+	submitter := fs.String("submitter", "", "plan-submit: who is triggering the job (recorded in the ledger)")
+	jobID := fs.String("job", "", "plan-status: restrict to one job ID")
 	telem := fs.Bool("telemetry", false, "replay: emit the telemetry snapshot to stdout after the tables")
 	telFormat := fs.String("telemetry-format", "json", "telemetry snapshot format: json (canonical) or prom (Prometheus text)")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -146,7 +158,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		cache, err := plancache.FromMode(*planCacheMode, *planCacheDir)
+		cache, err := planCache.Open()
 		if err != nil {
 			fatal(err)
 		}
@@ -204,7 +216,7 @@ func main() {
 			reg = telemetry.NewRegistry()
 			cfg.Telemetry = reg
 		}
-		cache, err := plancache.FromMode(*planCacheMode, *planCacheDir)
+		cache, err := planCache.Open()
 		if err != nil {
 			fatal(err)
 		}
@@ -251,6 +263,92 @@ func main() {
 				fatal(werr)
 			}
 		}
+	case "plan-submit":
+		if *serviceDir == "" {
+			fatal(fmt.Errorf("missing -service-dir"))
+		}
+		if *tenant == "" {
+			fatal(fmt.Errorf("missing -tenant"))
+		}
+		tr := loadTrace(*tracePath)
+		scheme, err := layout.ParseScheme(*schemeStr)
+		if err != nil {
+			fatal(err)
+		}
+		env := layout.DefaultEnv()
+		env.M, env.N = *hSrv, *sSrv
+		env.MaxRegions = *k
+		env.Workers = *workers
+		// The service's plan cache lives under the service directory so
+		// identical workloads — resubmitted or cross-tenant — reuse plans
+		// across invocations; -plan-cache off opts out.
+		var cache *plancache.Cache
+		if *planCache.Mode != "off" {
+			cache, err = plancache.New(plancache.Options{Dir: filepath.Join(*serviceDir, "plancache")})
+			if err != nil {
+				fatal(err)
+			}
+		}
+		svc, err := service.New(service.Config{
+			Workers: *workers, Cache: cache, LedgerDir: *serviceDir,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer svc.Close()
+		who := *submitter
+		if who == "" {
+			who = "mhactl"
+		}
+		receipt, err := svc.Submit(service.Descriptor{
+			Tenant: *tenant, Scheme: scheme, Env: env, Trace: tr,
+		}, who)
+		if err != nil {
+			fatal(err)
+		}
+		if err := svc.Run(); err != nil {
+			fatal(err)
+		}
+		st, _ := svc.Status(receipt.ID)
+		tb := metrics.NewTable("plan-submit receipt", "field", "value")
+		tb.AddRow("job", receipt.ID.String())
+		tb.AddRow("tenant", *tenant)
+		tb.AddRow("scheme", scheme.String())
+		tb.AddRow("duplicate", receipt.Duplicate)
+		tb.AddRow("state", st.State)
+		tb.AddRow("attempts", st.Attempts)
+		// Region counts exist only for jobs planned by this invocation; a
+		// duplicate of a prior invocation's job answers from the ledger
+		// (and its plan from the dir cache) without re-planning.
+		if st.State == "done" && st.PlanKey != "" {
+			tb.AddRow("regions", st.Regions)
+			tb.AddRow("mappings", st.Mappings)
+		}
+		if st.Error != "" {
+			tb.AddRow("error", st.Error)
+		}
+		tb.Fprint(os.Stdout)
+	case "plan-status":
+		if *serviceDir == "" {
+			fatal(fmt.Errorf("missing -service-dir"))
+		}
+		entries, err := service.ReadLedger(*serviceDir)
+		if err != nil {
+			fatal(err)
+		}
+		tb := metrics.NewTable("plan service ledger", "job", "tenant", "scheme",
+			"state", "submissions", "duplicates", "first", "last")
+		for _, s := range service.SummarizeLedger(entries) {
+			if *tenant != "" && s.Tenant != *tenant {
+				continue
+			}
+			if *jobID != "" && s.Job != *jobID {
+				continue
+			}
+			tb.AddRow(s.Job, s.Tenant, s.Scheme, s.State, s.Submissions, s.Duplicates,
+				fmt.Sprintf("%.3f", s.FirstSubmit), fmt.Sprintf("%.3f", s.LastEntry))
+		}
+		tb.Fprint(os.Stdout)
 	case "drt":
 		d, err := region.OpenDRT(*db)
 		if err != nil {
@@ -320,7 +418,7 @@ func loadTrace(path string) trace.Trace {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mhactl <stats|hist|epochs|group|sig|plan|replay|convert|drt|rst> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mhactl <stats|hist|epochs|group|sig|plan|replay|convert|drt|rst|plan-submit|plan-status> [flags]")
 	os.Exit(2)
 }
 

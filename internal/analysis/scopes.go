@@ -22,6 +22,11 @@ var DeterministicPackages = []string{
 	"internal/fault",
 	"internal/adaptive",
 	"internal/plancache",
+	// internal/service runs the multi-tenant plan service on a virtual
+	// clock: job IDs, the dedupe ledger and every state dump must be
+	// byte-identical across runs and worker counts, so wall-clock reads
+	// are as corrupting here as in the engine.
+	"internal/service",
 }
 
 // WallclockAllowedPackages may read the wall clock:
@@ -113,7 +118,11 @@ var EmissionSinkFunctions = []string{
 //   - internal/plancache implements single-flight plan memoization: one
 //     mutex guards the key → entry map and completion channels block
 //     coalesced callers, so concurrent parfan cells planning the same
-//     key wait for one computation instead of racing.
+//     key wait for one computation instead of racing;
+//   - internal/service batch-dispatches each virtual instant's planner
+//     calls through parfan and its tests hold computations open across
+//     goroutines to pin the single-flight coalescing behavior; the event
+//     loop itself stays single-threaded.
 var ConcurrencyAllowedPackages = []string{
 	"internal/parfan",
 	"internal/telemetry",
@@ -123,4 +132,5 @@ var ConcurrencyAllowedPackages = []string{
 	"internal/kvstore",
 	"internal/adaptive",
 	"internal/plancache",
+	"internal/service",
 }

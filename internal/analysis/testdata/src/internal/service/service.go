@@ -1,0 +1,69 @@
+// Package service is a fixture for the plan service's analyzer
+// contract: the package sits in DeterministicPackages (job IDs, ledger
+// rows and state dumps must be byte-identical across runs, so wall-clock
+// reads flag) and in ConcurrencyAllowedPackages (its tests hold
+// single-flight computations open across goroutines; the event loop
+// itself is single-threaded).
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// event mirrors the real (time, seq)-ordered queue entry.
+type event struct {
+	time float64
+	seq  uint64
+}
+
+// queue mirrors the virtual-time event heap: pure data, ordered by
+// (time, seq), no analyzer finding — determinism comes from the total
+// order, not from locking.
+type queue struct {
+	events []event
+}
+
+func (q *queue) push(e event) {
+	q.events = append(q.events, e)
+	for i := len(q.events) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !less(q.events[i], q.events[parent]) {
+			break
+		}
+		q.events[i], q.events[parent] = q.events[parent], q.events[i]
+		i = parent
+	}
+}
+
+func less(a, b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// ledger mirrors the test-side synchronization the allowlist sanctions:
+// a mutex-guarded append log written from fixture goroutines.
+type ledger struct {
+	mu      sync.Mutex // sanctioned: service is concurrency-allowed
+	entries []event
+}
+
+func (l *ledger) append(e event) {
+	l.mu.Lock()
+	l.entries = append(l.entries, e)
+	l.mu.Unlock()
+}
+
+// submittedNow would stamp ledger rows with the wall clock — the exact
+// nondeterminism the virtual clock exists to exclude: two replays of one
+// script would produce different ledgers. The determinism analyzer flags
+// the read.
+func submittedNow() float64 {
+	return float64(time.Now().UnixNano()) / 1e9 //want:determinism/wallclock
+}
+
+var _ = submittedNow
+var _ = (&queue{}).push
+var _ = (&ledger{}).append

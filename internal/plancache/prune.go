@@ -1,0 +1,74 @@
+package plancache
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// PruneStats reports what one Prune pass did.
+type PruneStats struct {
+	MemRemoved  int // ready in-memory entries dropped
+	DiskRemoved int // entry files deleted
+	DiskKept    int // entry files retained by keep
+	DiskSkipped int // non-entry files left untouched (bad names, temp files)
+}
+
+// ParseKey parses the lowercase-hex form produced by Key.String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return Key{}, fmt.Errorf("plancache: bad key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Prune drops every entry whose key fails keep, sweeping both the
+// in-memory map and (when dir-backed) the on-disk layer. It is the
+// retention hook for long-lived daemons: pass the set of keys still
+// referenced by live jobs and everything else is reclaimed.
+//
+// In-flight computations are never pruned — their waiters hold the entry
+// — and the sweep decides from file names alone (a key is its content
+// address), so corrupt or stale entry bodies prune exactly like healthy
+// ones. Files whose names are not entry keys are counted in DiskSkipped
+// and left in place (storeDisk's temp files never match the entry glob).
+func (c *Cache) Prune(keep func(Key) bool) (PruneStats, error) {
+	var st PruneStats
+	c.mu.Lock()
+	for k, e := range c.entries {
+		if e.ready && !keep(k) {
+			delete(c.entries, k)
+			st.MemRemoved++
+		}
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return st, nil
+	}
+	names, err := filepath.Glob(filepath.Join(c.dir, "*.plan.json"))
+	if err != nil {
+		return st, fmt.Errorf("plancache: %w", err)
+	}
+	for _, name := range names {
+		stem := strings.TrimSuffix(filepath.Base(name), ".plan.json")
+		key, err := ParseKey(stem)
+		if err != nil {
+			st.DiskSkipped++
+			continue
+		}
+		if keep(key) {
+			st.DiskKept++
+			continue
+		}
+		if err := os.Remove(name); err != nil {
+			return st, fmt.Errorf("plancache: %w", err)
+		}
+		st.DiskRemoved++
+	}
+	return st, nil
+}

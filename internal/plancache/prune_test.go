@@ -1,0 +1,146 @@
+package plancache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mhafs/internal/layout"
+)
+
+// TestPruneMemory: ready entries failing keep are dropped and recompute
+// on next request; kept entries still hit.
+func TestPruneMemory(t *testing.T) {
+	c := mustCache(t, Options{})
+	env := layout.DefaultEnv()
+	planner, _ := layout.NewPlanner(layout.MHA)
+	keyA := KeyFor(testTrace(10), layout.MHA, env)
+	keyB := KeyFor(testTrace(20), layout.MHA, env)
+	computeA := func() (layout.Plan, error) { return planner.Plan(testTrace(10), env) }
+	computeB := func() (layout.Plan, error) { return planner.Plan(testTrace(20), env) }
+	c.GetOrPlan(keyA, computeA)
+	c.GetOrPlan(keyB, computeB)
+
+	st, err := c.Prune(func(k Key) bool { return k == keyA })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MemRemoved != 1 {
+		t.Fatalf("prune stats %+v, want 1 mem removal", st)
+	}
+	if _, out, _ := c.GetOrPlan(keyA, computeA); out != Hit {
+		t.Fatalf("kept key outcome %v, want hit", out)
+	}
+	if _, out, _ := c.GetOrPlan(keyB, computeB); out != Computed {
+		t.Fatalf("pruned key outcome %v, want recompute", out)
+	}
+}
+
+// TestPruneDisk sweeps the on-disk layer: pruned entries delete, kept
+// ones survive, and files that are not cache entries — including corrupt
+// bodies under valid names, which prune by name like healthy entries —
+// are classified correctly.
+func TestPruneDisk(t *testing.T) {
+	dir := t.TempDir()
+	c := mustCache(t, Options{Dir: dir})
+	env := layout.DefaultEnv()
+	planner, _ := layout.NewPlanner(layout.MHA)
+	keyA := KeyFor(testTrace(10), layout.MHA, env)
+	keyB := KeyFor(testTrace(20), layout.MHA, env)
+	c.GetOrPlan(keyA, func() (layout.Plan, error) { return planner.Plan(testTrace(10), env) })
+	c.GetOrPlan(keyB, func() (layout.Plan, error) { return planner.Plan(testTrace(20), env) })
+
+	// A corrupt body under a valid entry name: prunable by name alone.
+	corruptKey := KeyFor(testTrace(30), layout.MHA, env)
+	corruptPath := filepath.Join(dir, corruptKey.String()+".plan.json")
+	if err := os.WriteFile(corruptPath, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt body under a KEPT name must survive untouched (prune
+	// reclaims space, it does not repair).
+	keptCorrupt := filepath.Join(dir, keyB.String()+".plan.json")
+	if err := os.WriteFile(keptCorrupt, []byte("{also torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Foreign names and temp files are not entries: skipped, not deleted.
+	foreign := filepath.Join(dir, "not-a-key.plan.json")
+	if err := os.WriteFile(foreign, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	shortHex := filepath.Join(dir, strings.Repeat("ab", 4)+".plan.json")
+	if err := os.WriteFile(shortHex, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Prune(func(k Key) bool { return k == keyB })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DiskRemoved != 2 || st.DiskKept != 1 || st.DiskSkipped != 2 || st.MemRemoved != 1 {
+		t.Fatalf("prune stats %+v, want 2 removed / 1 kept / 2 skipped / 1 mem", st)
+	}
+	for _, gone := range []string{
+		filepath.Join(dir, keyA.String()+".plan.json"),
+		corruptPath,
+	} {
+		if _, err := os.Stat(gone); !os.IsNotExist(err) {
+			t.Errorf("%s survived the prune", filepath.Base(gone))
+		}
+	}
+	for _, alive := range []string{keptCorrupt, foreign, shortHex} {
+		if _, err := os.Stat(alive); err != nil {
+			t.Errorf("%s was wrongly deleted: %v", filepath.Base(alive), err)
+		}
+	}
+}
+
+// TestPruneInFlight: an entry mid-computation is never pruned — its
+// waiters hold it — but becomes prunable once ready.
+func TestPruneInFlight(t *testing.T) {
+	c := mustCache(t, Options{})
+	env := layout.DefaultEnv()
+	key := KeyFor(testTrace(10), layout.MHA, env)
+	planner, _ := layout.NewPlanner(layout.MHA)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.GetOrPlan(key, func() (layout.Plan, error) {
+			close(started)
+			<-release
+			return planner.Plan(testTrace(10), env)
+		})
+	}()
+	<-started
+	st, err := c.Prune(func(Key) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MemRemoved != 0 {
+		t.Fatalf("pruned an in-flight entry: %+v", st)
+	}
+	close(release)
+	<-done
+
+	st, err = c.Prune(func(Key) bool { return false })
+	if err != nil || st.MemRemoved != 1 {
+		t.Fatalf("ready entry not pruned: %+v %v", st, err)
+	}
+}
+
+// TestParseKey round-trips and rejects malformed input.
+func TestParseKey(t *testing.T) {
+	key := KeyFor(testTrace(3), layout.MHA, layout.DefaultEnv())
+	back, err := ParseKey(key.String())
+	if err != nil || back != key {
+		t.Fatalf("round trip: %v %v", back, err)
+	}
+	for _, bad := range []string{"", "zz", key.String()[:8], key.String() + "00"} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) accepted malformed input", bad)
+		}
+	}
+}

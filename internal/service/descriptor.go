@@ -1,0 +1,112 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"mhafs/internal/iosig"
+	"mhafs/internal/layout"
+	"mhafs/internal/plancache"
+	"mhafs/internal/trace"
+)
+
+// Descriptor is one tenant's planning request: everything the planner
+// reads plus the identity of who is asking. The descriptor is the unit of
+// idempotency — its content hash is the job ID, so submitting the same
+// descriptor twice addresses the same job.
+//
+// The submitter is deliberately not part of the descriptor: two users of
+// one tenant asking the same question ask about the same job, and the
+// ledger records who asked when.
+type Descriptor struct {
+	// Tenant is the owning application. Distinct tenants planning the
+	// same trace get distinct jobs (isolation, fairness, per-tenant
+	// queries) but still share one planner execution through the plan
+	// cache, whose key excludes the tenant.
+	Tenant string
+
+	// Scheme selects the planner.
+	Scheme layout.Scheme
+
+	// Env is the planning environment: cluster shape, cost-model
+	// calibration, search knobs. Env.Workers is excluded from the job
+	// identity (plans are bit-identical at every worker count), exactly
+	// as the plan-cache key excludes it.
+	Env layout.Env
+
+	// Trace is the profiled workload to plan. Identity-wise only its
+	// digest matters (iosig.TraceDigest); the records themselves are
+	// carried so the service can run the planner.
+	Trace trace.Trace
+}
+
+// Validate checks the descriptor.
+func (d Descriptor) Validate() error {
+	if d.Tenant == "" {
+		return fmt.Errorf("service: descriptor needs a tenant")
+	}
+	if _, err := layout.NewPlanner(d.Scheme); err != nil {
+		return err
+	}
+	return d.Env.Validate()
+}
+
+// PlanKey is the descriptor's plan-cache address: tenant-blind, so
+// identical planning problems across tenants coalesce onto one
+// computation.
+func (d Descriptor) PlanKey() plancache.Key {
+	return plancache.KeyFor(d.Trace, d.Scheme, d.Env)
+}
+
+// TraceDigest is the content address of the descriptor's workload.
+func (d Descriptor) TraceDigest() [sha256.Size]byte {
+	return iosig.TraceDigest(d.Trace)
+}
+
+// JobID is the content address of a job: sha256 over the canonical
+// encoding of the tenant and the descriptor's plan-cache key. Everything
+// that steers the plan is already injectively encoded inside the plan
+// key, so the job ID inherits the cache key's sensitivity (and its
+// deliberate Workers-blindness) for free.
+type JobID [sha256.Size]byte
+
+// String returns the lowercase hex form, the ID's wire and display shape.
+func (id JobID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseJobID parses the hex form.
+func ParseJobID(s string) (JobID, error) {
+	var id JobID
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(id) {
+		return JobID{}, fmt.Errorf("service: bad job ID %q", s)
+	}
+	copy(id[:], b)
+	return id, nil
+}
+
+// jobIDFormat versions the job-ID encoding; bumping it re-addresses every
+// job at once.
+const jobIDFormat = 1
+
+// JobID computes the descriptor's content hash.
+func (d Descriptor) JobID() JobID {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	u64(uint64(len("mhafs-service-job")))
+	io.WriteString(h, "mhafs-service-job")
+	u64(jobIDFormat)
+	u64(uint64(len(d.Tenant)))
+	io.WriteString(h, d.Tenant)
+	key := d.PlanKey()
+	h.Write(key[:])
+	var id JobID
+	h.Sum(id[:0])
+	return id
+}

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"reflect"
+	"testing"
+
+	"mhafs/internal/layout"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+func testTrace(n int) trace.Trace {
+	var tr trace.Trace
+	off := int64(0)
+	for i := 0; i < n; i++ {
+		tr = append(tr, trace.Record{
+			Rank: i % 8, File: "f", Op: trace.OpRead,
+			Offset: off, Size: 16 * units.KB, Time: float64(i),
+		})
+		off += 16 * units.KB
+	}
+	return tr
+}
+
+func testDescriptor(tenant string, n int) Descriptor {
+	return Descriptor{
+		Tenant: tenant,
+		Scheme: layout.MHA,
+		Env:    layout.DefaultEnv(),
+		Trace:  testTrace(n),
+	}
+}
+
+// TestJobIDSensitivity: the job ID must move with the tenant and every
+// planner input, and stay put for Env.Workers — the same
+// worker-count-blindness the plan-cache key guarantees, inherited here
+// because the ID hashes that key.
+func TestJobIDSensitivity(t *testing.T) {
+	base := testDescriptor("acme", 10)
+	id := base.JobID()
+	if base.JobID() != id {
+		t.Fatal("job ID not deterministic")
+	}
+
+	d := base
+	d.Tenant = "umbrella"
+	if d.JobID() == id {
+		t.Error("tenant did not change the job ID")
+	}
+	d = base
+	d.Scheme = layout.HARL
+	if d.JobID() == id {
+		t.Error("scheme did not change the job ID")
+	}
+	d = base
+	d.Env.M++
+	if d.JobID() == id {
+		t.Error("env did not change the job ID")
+	}
+	d = base
+	d.Trace = testTrace(11)
+	if d.JobID() == id {
+		t.Error("trace did not change the job ID")
+	}
+	d = base
+	d.Env.Workers = 8
+	if d.JobID() != id {
+		t.Error("Workers changed the job ID; jobs are worker-independent")
+	}
+}
+
+// TestJobIDStability freezes the ID for one fully pinned descriptor.
+// This failing means every persisted ledger silently re-addresses its
+// jobs — bump jobIDFormat deliberately, never by accident.
+func TestJobIDStability(t *testing.T) {
+	id := testDescriptor("acme", 10).JobID()
+	const want = "2366b2e84a97dc6d67a6f9ae375a21e54c644a8aed0edb8a6996368191503432"
+	if got := id.String(); got != want {
+		t.Errorf("job ID for the pinned descriptor changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestDescriptorPinsShape fails when Descriptor grows a field, forcing
+// whoever adds one to decide whether JobID must hash it.
+func TestDescriptorPinsShape(t *testing.T) {
+	if n := reflect.TypeOf(Descriptor{}).NumField(); n != 4 {
+		t.Errorf("Descriptor has %d fields, JobID encodes 4 (Tenant + the plan key's Scheme/Env/Trace) — update JobID and this pin", n)
+	}
+}
+
+// TestParseJobID round-trips and rejects malformed input.
+func TestParseJobID(t *testing.T) {
+	id := testDescriptor("acme", 3).JobID()
+	back, err := ParseJobID(id.String())
+	if err != nil || back != id {
+		t.Fatalf("round trip: %v %v", back, err)
+	}
+	for _, bad := range []string{"", "zz", id.String()[:10], id.String() + "ab"} {
+		if _, err := ParseJobID(bad); err == nil {
+			t.Errorf("ParseJobID(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// TestDescriptorValidate covers the rejection paths.
+func TestDescriptorValidate(t *testing.T) {
+	if err := testDescriptor("acme", 3).Validate(); err != nil {
+		t.Fatalf("valid descriptor rejected: %v", err)
+	}
+	d := testDescriptor("", 3)
+	if d.Validate() == nil {
+		t.Error("empty tenant accepted")
+	}
+	d = testDescriptor("acme", 3)
+	d.Scheme = layout.Scheme(99)
+	if d.Validate() == nil {
+		t.Error("unknown scheme accepted")
+	}
+	d = testDescriptor("acme", 3)
+	d.Env.M, d.Env.N = 0, 0
+	if d.Validate() == nil {
+		t.Error("empty cluster accepted")
+	}
+}

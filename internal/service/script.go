@@ -1,0 +1,187 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mhafs/internal/layout"
+	"mhafs/internal/trace"
+	"mhafs/internal/units"
+)
+
+// Script support: a tiny line language that drives the service from a
+// file, so the determinism gate can replay the same submission history
+// at different worker counts and diff the dumps byte-for-byte.
+//
+// Grammar (one op per line, '#' comments, blank lines ignored):
+//
+//	at <t> submit <tenant> <submitter> <scheme> <workload> [as <label>]
+//	at <t> cancel <label>
+//
+// <workload> is gen:<file>:<r|w>:<size>:<count>[:procs] — a synthetic
+// trace of <count> sequential requests of <size> bytes (units.ParseBytes
+// forms) against <file>, round-robined over <procs> ranks (default 4).
+// Labels name submissions so later cancel ops can reference them.
+
+// ScriptOp is one parsed script line.
+type ScriptOp struct {
+	Time      float64
+	Cancel    bool   // false: submit
+	Tenant    string // submit
+	Submitter string // submit
+	Scheme    layout.Scheme
+	Workload  string // submit: the gen: spec
+	Label     string // submit: optional "as" name; cancel: the target
+}
+
+// ParseScript parses the driver language.
+func ParseScript(text string) ([]ScriptOp, error) {
+	var ops []ScriptOp
+	labels := make(map[string]bool)
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) ([]ScriptOp, error) {
+			return nil, fmt.Errorf("script:%d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		if len(fields) < 3 || fields[0] != "at" {
+			return fail("want 'at <t> submit ...' or 'at <t> cancel ...', got %q", strings.TrimSpace(line))
+		}
+		t, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || t < 0 {
+			return fail("bad time %q", fields[1])
+		}
+		switch fields[2] {
+		case "submit":
+			rest := fields[3:]
+			op := ScriptOp{Time: t}
+			switch len(rest) {
+			case 4:
+				op.Tenant, op.Submitter, op.Workload = rest[0], rest[1], rest[3]
+			case 6:
+				if rest[4] != "as" {
+					return fail("want 'as <label>', got %q", rest[4])
+				}
+				op.Tenant, op.Submitter, op.Workload, op.Label = rest[0], rest[1], rest[3], rest[5]
+				if labels[op.Label] {
+					return fail("duplicate label %q", op.Label)
+				}
+				labels[op.Label] = true
+			default:
+				return fail("submit wants <tenant> <submitter> <scheme> <workload> [as <label>]")
+			}
+			scheme, err := layout.ParseScheme(rest[2])
+			if err != nil {
+				return fail("%v", err)
+			}
+			op.Scheme = scheme
+			if _, err := GenTrace(op.Workload); err != nil {
+				return fail("%v", err)
+			}
+			ops = append(ops, op)
+		case "cancel":
+			if len(fields) != 4 {
+				return fail("cancel wants one label")
+			}
+			if !labels[fields[3]] {
+				return fail("cancel of unknown label %q", fields[3])
+			}
+			ops = append(ops, ScriptOp{Time: t, Cancel: true, Label: fields[3]})
+		default:
+			return fail("unknown op %q", fields[2])
+		}
+	}
+	return ops, nil
+}
+
+// GenTrace materializes a gen:<file>:<r|w>:<size>:<count>[:procs] spec
+// into a synthetic sequential trace. The spec is the workload's entire
+// identity, so equal specs yield equal traces (and so equal job IDs).
+func GenTrace(spec string) (trace.Trace, error) {
+	parts := strings.Split(spec, ":")
+	if parts[0] != "gen" || (len(parts) != 5 && len(parts) != 6) {
+		return nil, fmt.Errorf("service: workload %q: want gen:<file>:<r|w>:<size>:<count>[:procs]", spec)
+	}
+	file := parts[1]
+	if file == "" {
+		return nil, fmt.Errorf("service: workload %q: empty file", spec)
+	}
+	op, err := trace.ParseOp(parts[2])
+	if err != nil {
+		return nil, fmt.Errorf("service: workload %q: %v", spec, err)
+	}
+	size, err := units.ParseBytes(parts[3])
+	if err != nil || size <= 0 {
+		return nil, fmt.Errorf("service: workload %q: bad size %q", spec, parts[3])
+	}
+	count, err := strconv.Atoi(parts[4])
+	if err != nil || count <= 0 {
+		return nil, fmt.Errorf("service: workload %q: bad count %q", spec, parts[4])
+	}
+	procs := 4
+	if len(parts) == 6 {
+		procs, err = strconv.Atoi(parts[5])
+		if err != nil || procs <= 0 {
+			return nil, fmt.Errorf("service: workload %q: bad procs %q", spec, parts[5])
+		}
+	}
+	t := make(trace.Trace, count)
+	for i := 0; i < count; i++ {
+		rank := i % procs
+		t[i] = trace.Record{
+			PID:    1000 + rank,
+			Rank:   rank,
+			FD:     3,
+			File:   file,
+			Op:     op,
+			Offset: int64(i) * int64(size),
+			Size:   int64(size),
+			Time:   float64(i) * 1e-4,
+		}
+	}
+	return t, nil
+}
+
+// RunScript schedules every op against svc (descriptors built from env,
+// with each op's scheme) and runs the event loop to completion. It
+// returns the job ID of each submit op in script order.
+func RunScript(svc *Service, env layout.Env, ops []ScriptOp) ([]JobID, error) {
+	byLabel := make(map[string]JobID)
+	var ids []JobID
+	for _, op := range ops {
+		if op.Cancel {
+			id, ok := byLabel[op.Label]
+			if !ok {
+				return nil, fmt.Errorf("service: cancel of unknown label %q", op.Label)
+			}
+			if err := svc.CancelAt(op.Time, id); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		tr, err := GenTrace(op.Workload)
+		if err != nil {
+			return nil, err
+		}
+		d := Descriptor{Tenant: op.Tenant, Scheme: op.Scheme, Env: env, Trace: tr}
+		id, err := svc.SubmitAt(op.Time, d, op.Submitter)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+		if op.Label != "" {
+			byLabel[op.Label] = id
+		}
+	}
+	if err := svc.Run(); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mhafs/internal/layout"
+	"mhafs/internal/plancache"
+	"mhafs/internal/telemetry"
+)
+
+// ciScript exercises every service path: multi-tenant fan-in, an exact
+// duplicate, cross-tenant workload sharing, and a cancellation.
+const ciScript = `
+# tenants acme and umbrella share one workload; zed cancels its job
+at 0   submit acme     ana mha  gen:/data/a:w:64KB:40    as a1
+at 0   submit umbrella eve mha  gen:/data/a:w:64KB:40
+at 0.1 submit acme     bob mha  gen:/data/a:w:64KB:40        # duplicate of a1
+at 0.2 submit acme     ana harl gen:/data/b:r:128KB:30
+at 0.3 submit zed      zoe def  gen:/data/c:w:32KB:50:8  as z1
+at 0.4 cancel z1
+`
+
+// runScripted executes ciScript on a fresh service and returns the state
+// dump and telemetry snapshot bytes.
+func runScripted(t *testing.T, workers int, cache *plancache.Cache) (state, telem []byte) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	s := mustService(t, Config{
+		Slots: 2, Workers: workers,
+		PlanBase: 0.25, PlanPerRecord: 0.0009765625, // 2^-10: exact float schedule
+		Cache: cache, Telemetry: reg,
+	})
+	ops, err := ParseScript(ciScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunScript(s, layout.DefaultEnv(), ops); err != nil {
+		t.Fatal(err)
+	}
+	var sb, tb bytes.Buffer
+	if err := s.WriteState(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(&tb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.Bytes(), tb.Bytes()
+}
+
+// TestScriptedDeterminism is the tentpole acceptance check: the same
+// submission script must produce byte-identical state dumps and
+// telemetry at every worker count, with and without the plan cache.
+func TestScriptedDeterminism(t *testing.T) {
+	for _, mode := range []string{"off", "mem"} {
+		t.Run("cache="+mode, func(t *testing.T) {
+			newCache := func() *plancache.Cache {
+				if mode == "off" {
+					return nil
+				}
+				c, err := plancache.New(plancache.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c
+			}
+			refState, refTelem := runScripted(t, 1, newCache())
+			for _, workers := range []int{2, 4, 8} {
+				state, telem := runScripted(t, workers, newCache())
+				if !bytes.Equal(state, refState) {
+					t.Errorf("state dump at workers=%d differs from workers=1:\n%s\nvs\n%s",
+						workers, state, refState)
+				}
+				if !bytes.Equal(telem, refTelem) {
+					t.Errorf("telemetry at workers=%d differs from workers=1:\n%s\nvs\n%s",
+						workers, telem, refTelem)
+				}
+			}
+		})
+	}
+}
+
+// TestScriptOutcomes spot-checks the scripted run's semantics rather
+// than just its stability.
+func TestScriptOutcomes(t *testing.T) {
+	cache, _ := plancache.New(plancache.Options{})
+	reg := telemetry.NewRegistry()
+	s := mustService(t, Config{Slots: 2, Workers: 4, PlanBase: 0.25, Cache: cache, Telemetry: reg})
+	ops, err := ParseScript(ciScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := RunScript(s, layout.DefaultEnv(), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5 {
+		t.Fatalf("script produced %d submissions, want 5", len(ids))
+	}
+	if ids[0] == ids[1] {
+		t.Error("cross-tenant submissions share a job ID")
+	}
+	if ids[0] != ids[2] {
+		t.Error("duplicate submission got a fresh job ID")
+	}
+	stats := s.Stats()
+	if stats.Submitted != 5 || stats.Deduped != 1 || stats.Completed != 3 || stats.Cancelled != 1 {
+		t.Fatalf("stats %+v, want 5 submitted / 1 deduped / 3 completed / 1 cancelled", stats)
+	}
+	// acme and umbrella planned the same workload: the cache coalesced
+	// them onto one mha execution; harl planned separately; the def job
+	// was cancelled before finishing but its planner call had already
+	// been issued at dispatch.
+	cs := cache.Stats()
+	planned := cs.Misses
+	if planned != 3 {
+		t.Fatalf("planner executions %d, want 3 (shared mha + harl + dispatched def)", planned)
+	}
+	dump := s.Snapshot()
+	if dump.Cache == nil || dump.Cache.Planned != 3 || dump.Cache.Requests != 4 {
+		t.Fatalf("dump cache counts %+v", dump.Cache)
+	}
+}
+
+// TestParseScriptErrors rejects malformed driver input with the line
+// number attached.
+func TestParseScriptErrors(t *testing.T) {
+	cases := []string{
+		"bogus line",
+		"at x submit a b mha gen:/f:w:4KB:2",
+		"at 1 frobnicate a",
+		"at 1 submit a b mha",
+		"at 1 submit a b bogus gen:/f:w:4KB:2",
+		"at 1 submit a b mha gen:/f:w:4KB:2 oops label",
+		"at 1 submit a b mha nongen",
+		"at 1 submit a b mha gen:/f:x:4KB:2",
+		"at 1 submit a b mha gen:/f:w:nope:2",
+		"at 1 submit a b mha gen:/f:w:4KB:0",
+		"at 1 submit a b mha gen:/f:w:4KB:2:0",
+		"at 1 submit a b mha gen::w:4KB:2",
+		"at 1 cancel nosuch",
+		"at 1 cancel",
+		"at 1 submit a b mha gen:/f:w:4KB:2 as x\nat 2 submit a b mha gen:/f:w:4KB:3 as x",
+	}
+	for _, src := range cases {
+		if _, err := ParseScript(src); err == nil {
+			t.Errorf("ParseScript(%q) accepted malformed input", src)
+		}
+	}
+	ops, err := ParseScript("# only comments\n\n")
+	if err != nil || len(ops) != 0 {
+		t.Errorf("empty script: %v %v", ops, err)
+	}
+}
+
+// TestGenTrace pins the synthetic workload shape: equal specs must yield
+// equal traces (they are the job identity), and the fields follow the
+// spec.
+func TestGenTrace(t *testing.T) {
+	tr, err := GenTrace("gen:/data/x:w:64KB:8:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 8 {
+		t.Fatalf("generated %d records, want 8", len(tr))
+	}
+	for i, r := range tr {
+		if r.File != "/data/x" || r.Size != 64*1024 || r.Rank != i%2 ||
+			r.Offset != int64(i)*64*1024 {
+			t.Fatalf("record %d unexpected: %+v", i, r)
+		}
+	}
+	tr2, _ := GenTrace("gen:/data/x:w:64KB:8:2")
+	for i := range tr {
+		if tr[i] != tr2[i] {
+			t.Fatal("equal specs generated different traces")
+		}
+	}
+	// Default procs is 4.
+	tr3, err := GenTrace("gen:/f:r:4KB:6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr3[5].Rank != 1 {
+		t.Fatalf("default procs: record 5 rank %d, want 1", tr3[5].Rank)
+	}
+	if _, err := GenTrace(fmt.Sprintf("gen:/f:r:4KB:%d:nope", 2)); err == nil {
+		t.Fatal("bad procs accepted")
+	}
+}

@@ -16,6 +16,7 @@ import (
 // rely on.
 type Snapshot struct {
 	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms"`
 	Spans      []SpanSnapshot      `json:"spans"`
 }
@@ -23,6 +24,14 @@ type Snapshot struct {
 // CounterSnapshot is one counter series.
 type CounterSnapshot struct {
 	Series string  `json:"series"` // canonical name{labels} identity
+	Value  float64 `json:"value"`
+}
+
+// GaugeSnapshot is one gauge series. The slice is omitted entirely when
+// no gauges are registered, so registries that predate gauges export the
+// exact bytes they always did.
+type GaugeSnapshot struct {
+	Series string  `json:"series"`
 	Value  float64 `json:"value"`
 }
 
@@ -55,6 +64,8 @@ func (r *Registry) Snapshot() Snapshot {
 		switch {
 		case s.counter != nil:
 			snap.Counters = append(snap.Counters, CounterSnapshot{Series: id, Value: s.counter.Value()})
+		case s.gauge != nil:
+			snap.Gauges = append(snap.Gauges, GaugeSnapshot{Series: id, Value: s.gauge.Value()})
 		case s.hist != nil:
 			bounds, buckets, sum, count := s.hist.snapshot()
 			snap.Histograms = append(snap.Histograms, HistogramSnapshot{
@@ -135,6 +146,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "# TYPE %s counter\n", name)
 			for _, s := range fam {
 				fmt.Fprintf(&b, "%s%s %s\n", name, labelString(s.labels), fnum(s.counter.Value()))
+			}
+		case fam[0].gauge != nil:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+			for _, s := range fam {
+				fmt.Fprintf(&b, "%s%s %s\n", name, labelString(s.labels), fnum(s.gauge.Value()))
 			}
 		case fam[0].hist != nil:
 			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)

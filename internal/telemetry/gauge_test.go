@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGauge covers the level semantics counters refuse: Set overwrites,
+// Add moves in both directions, SetMax keeps the high-water mark.
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue_depth")
+	if g.Value() != 0 {
+		t.Fatalf("zero value %v", g.Value())
+	}
+	g.Set(5)
+	g.Add(3)
+	g.Add(-6)
+	if v := g.Value(); v != 2 {
+		t.Fatalf("value %v, want 2", v)
+	}
+	if r.Gauge("queue_depth") != g {
+		t.Fatal("same series returned a different handle")
+	}
+
+	peak := r.Gauge("queue_depth_peak")
+	peak.SetMax(4)
+	peak.SetMax(2) // lower: no effect
+	peak.SetMax(7)
+	if v := peak.Value(); v != 7 {
+		t.Fatalf("peak %v, want 7", v)
+	}
+}
+
+// TestGaugeKindCollision: a name registered as a gauge cannot be re-read
+// as another kind.
+func TestGaugeKindCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind collision did not panic")
+		}
+	}()
+	r.Counter("x")
+}
+
+// TestGaugeExport: gauges appear in both export formats — and the JSON
+// gauges array is omitted entirely when none are registered, so
+// registries that predate gauges export the exact bytes they always did.
+func TestGaugeExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops_total").Inc()
+	var without strings.Builder
+	if err := r.WriteJSON(&without); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(without.String(), "gauges") {
+		t.Fatalf("gauge-free snapshot mentions gauges:\n%s", without.String())
+	}
+
+	r.Gauge("depth", L("tenant", "acme")).Set(3)
+	var with strings.Builder
+	if err := r.WriteJSON(&with); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(with.String(), `"depth{tenant=\"acme\"}"`) {
+		t.Fatalf("JSON lacks the gauge series:\n%s", with.String())
+	}
+
+	var prom strings.Builder
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "# TYPE depth gauge\ndepth{tenant=\"acme\"} 3\n") {
+		t.Fatalf("Prometheus output lacks the gauge family:\n%s", prom.String())
+	}
+}
+
+// TestGaugeMerge: parallel cells own disjoint gauge instruments, so the
+// merged level is the sum.
+func TestGaugeMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Gauge("depth").Set(2)
+	b.Gauge("depth").Set(5)
+	b.Gauge("only_b").Set(1)
+	a.Merge(b)
+	if v := a.Gauge("depth").Value(); v != 7 {
+		t.Fatalf("merged depth %v, want 7", v)
+	}
+	if v := a.Gauge("only_b").Value(); v != 1 {
+		t.Fatalf("merged only_b %v, want 1", v)
+	}
+}

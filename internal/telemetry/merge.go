@@ -23,6 +23,11 @@ func (r *Registry) Merge(src *Registry) {
 		switch {
 		case s.counter != nil:
 			r.Counter(s.name, s.labels...).Add(s.counter.Value())
+		case s.gauge != nil:
+			// Gauges add like counters: parallel cells own disjoint
+			// instruments, so the merged level is the sum of the cells'.
+			// Levels that must stay distinct belong under distinct labels.
+			r.Gauge(s.name, s.labels...).Add(s.gauge.Value())
 		case s.hist != nil:
 			bounds, buckets, sum, count := s.hist.snapshot()
 			r.Histogram(s.name, bounds, s.labels...).merge(bounds, buckets, sum, count)

@@ -98,6 +98,47 @@ func (c *Counter) Value() float64 {
 	return c.val
 }
 
+// Gauge is a point-in-time level that can rise and fall — a queue depth,
+// an in-flight count, a high-water mark. Unlike Counter, Add accepts
+// negative deltas and Set overwrites outright; the exported value is
+// whatever the level was when the snapshot was taken.
+type Gauge struct {
+	mu  sync.Mutex
+	val float64
+}
+
+// Set overwrites the level.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.val = v
+	g.mu.Unlock()
+}
+
+// Add moves the level by v (either direction).
+func (g *Gauge) Add(v float64) {
+	g.mu.Lock()
+	g.val += v
+	g.mu.Unlock()
+}
+
+// SetMax raises the level to v when v exceeds it — the idiom for
+// high-water marks (peak queue depth), kept atomic under the gauge lock
+// so concurrent emitters cannot lose a peak.
+func (g *Gauge) SetMax(v float64) {
+	g.mu.Lock()
+	if v > g.val {
+		g.val = v
+	}
+	g.mu.Unlock()
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.val
+}
+
 // Histogram is a fixed-bucket distribution: cumulative counts per
 // upper-bound bucket plus an implicit +Inf bucket, a sum, and a count —
 // the Prometheus histogram shape.
@@ -222,6 +263,7 @@ type series struct {
 	labels []Label
 
 	counter *Counter
+	gauge   *Gauge
 	hist    *Histogram
 	span    *Span
 }
@@ -258,6 +300,10 @@ func (r *Registry) get(name string, labels []Label, kind string, mk func(*series
 		if s.counter == nil {
 			panic(fmt.Sprintf("telemetry: %s already registered as a non-counter", id))
 		}
+	case "gauge":
+		if s.gauge == nil {
+			panic(fmt.Sprintf("telemetry: %s already registered as a non-gauge", id))
+		}
 	case "histogram":
 		if s.hist == nil {
 			panic(fmt.Sprintf("telemetry: %s already registered as a non-histogram", id))
@@ -275,6 +321,12 @@ func (r *Registry) get(name string, labels []Label, kind string, mk func(*series
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	s := r.get(name, labels, "counter", func(s *series) { s.counter = &Counter{} })
 	return s.counter
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	s := r.get(name, labels, "gauge", func(s *series) { s.gauge = &Gauge{} })
+	return s.gauge
 }
 
 // Histogram returns the fixed-bucket histogram for (name, labels),
